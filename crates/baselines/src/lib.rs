@@ -1,0 +1,43 @@
+//! # hire-baselines
+//!
+//! The comparison methods of the paper's evaluation (§ VI-A), implemented
+//! on the same tensor/NN substrate as HIRE:
+//!
+//! - CF-based: [`MatrixFactorization`], [`NeuMF`], [`WideDeep`], [`DeepFM`],
+//!   [`Afn`]
+//! - Social recommendation: [`GraphRec`] (datasets with a social graph)
+//! - HIN-based: [`HinNeighbor`] (GraphHINGE/MetaHIN-lite; attribute-rich
+//!   datasets)
+//! - Meta-learning: [`MeLU`], [`Mamo`], [`Tanp`]
+//! - Naive references: [`GlobalMean`], [`EntityMean`]
+//!
+//! All models implement [`RatingModel`]; the evaluation harness treats them
+//! uniformly. Simplifications relative to the authors' released code are
+//! documented per-module and in DESIGN.md §2.
+
+pub mod afn;
+pub mod common;
+pub mod deepfm;
+pub mod graphrec;
+pub mod hin;
+pub mod mamo;
+pub mod melu;
+pub mod meta;
+pub mod mf;
+pub mod naive;
+pub mod neumf;
+pub mod tanp;
+pub mod wide_deep;
+
+pub use afn::Afn;
+pub use common::{EdgeTrainConfig, FieldEmbedder, RatingModel};
+pub use deepfm::DeepFM;
+pub use graphrec::GraphRec;
+pub use hin::HinNeighbor;
+pub use mamo::Mamo;
+pub use melu::{MeLU, MetaTrainConfig};
+pub use mf::MatrixFactorization;
+pub use naive::{EntityMean, GlobalMean};
+pub use neumf::NeuMF;
+pub use tanp::{Tanp, TanpConfig};
+pub use wide_deep::WideDeep;

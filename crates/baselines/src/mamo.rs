@@ -1,0 +1,197 @@
+//! MAMO (Dong et al.): memory-augmented meta-optimization. Like MeLU, a
+//! meta-learned head is adapted per task; additionally a **feature-specific
+//! memory** keyed by the user profile supplies a personalized bias to the
+//! head before adaptation, steering the initialization toward the right
+//! user group. (Simplified: one memory matrix; see DESIGN.md §2.)
+
+use crate::common::{scale_to_rating, FieldEmbedder, RatingModel};
+use crate::melu::MetaTrainConfig;
+use crate::meta::{sample_tasks, support_from_visible, FoMaml};
+use hire_data::Dataset;
+use hire_graph::{BipartiteGraph, Rating};
+use hire_nn::{Linear, Module};
+use hire_optim::{clip_grad_norm, Adam, Optimizer};
+use hire_tensor::{init, NdArray, Tensor};
+use rand::rngs::StdRng;
+
+/// The MAMO baseline (simplified memory-augmented MAML).
+pub struct Mamo {
+    field_dim: usize,
+    /// Number of memory prototypes `P`.
+    prototypes: usize,
+    config: MetaTrainConfig,
+    state: Option<State>,
+}
+
+struct State {
+    fields: FieldEmbedder,
+    /// Head layer 1 (adapted locally).
+    l1: Linear,
+    /// Head layer 2 (adapted locally).
+    l2: Linear,
+    /// Profile key projection: user features -> P logits (meta only).
+    profile_key: Linear,
+    /// Memory matrix [P, hidden] (meta only).
+    memory: Tensor,
+}
+
+impl Mamo {
+    /// MAMO with `field_dim`-wide embeddings and `prototypes` memory rows.
+    pub fn new(field_dim: usize, prototypes: usize, config: MetaTrainConfig) -> Self {
+        Mamo { field_dim, prototypes, config, state: None }
+    }
+
+    fn raw_score(&self, dataset: &Dataset, pairs: &[(usize, usize)]) -> Tensor {
+        let s = self.state.as_ref().expect("fit before predict");
+        let users: Vec<usize> = pairs.iter().map(|&(u, _)| u).collect();
+        let x = s.fields.flat(dataset, pairs); // [b, in]
+        // memory bias from the user profile
+        let profile = s.fields.user_flat(dataset, &users); // [b, uw]
+        let attn = s.profile_key.forward(&profile).softmax_last(); // [b, P]
+        let bias = attn.matmul(&s.memory); // [b, hidden]
+        let h = s.l1.forward(&x).add(&bias).relu();
+        s.l2.forward(&h).reshape([pairs.len()])
+    }
+
+    fn batch_loss(&self, dataset: &Dataset, edges: &[Rating]) -> Tensor {
+        let pairs: Vec<(usize, usize)> = edges.iter().map(|r| (r.user, r.item)).collect();
+        let pred = scale_to_rating(&self.raw_score(dataset, &pairs), dataset);
+        let target = NdArray::from_vec([edges.len()], edges.iter().map(|r| r.value).collect());
+        hire_nn::mse_loss(&pred, &target)
+    }
+
+    fn local_params(&self) -> Vec<Tensor> {
+        let s = self.state.as_ref().unwrap();
+        let mut p = s.l1.parameters();
+        p.extend(s.l2.parameters());
+        p
+    }
+
+    fn all_params(&self) -> Vec<Tensor> {
+        let s = self.state.as_ref().unwrap();
+        let mut p = s.fields.parameters();
+        p.extend(s.l1.parameters());
+        p.extend(s.l2.parameters());
+        p.extend(s.profile_key.parameters());
+        p.push(s.memory.clone());
+        p
+    }
+}
+
+impl RatingModel for Mamo {
+    fn name(&self) -> &'static str {
+        "MAMO"
+    }
+
+    fn fit(&mut self, dataset: &Dataset, train: &BipartiteGraph, rng: &mut StdRng) {
+        let fields = FieldEmbedder::new(dataset, self.field_dim, rng);
+        let in_w = fields.num_fields() * self.field_dim;
+        let hidden = in_w.min(32);
+        let uw = fields.num_user_fields() * self.field_dim;
+        let state = State {
+            l1: Linear::new(in_w, hidden, rng),
+            l2: Linear::new(hidden, 1, rng),
+            profile_key: Linear::new(uw, self.prototypes, rng),
+            memory: Tensor::parameter(init::xavier_uniform(self.prototypes, hidden, rng)),
+            fields,
+        };
+        self.state = Some(state);
+
+        let all = self.all_params();
+        let mut fomaml = FoMaml::new(
+            self.local_params(),
+            all.clone(),
+            self.config.inner_lr,
+            self.config.inner_steps,
+        );
+        let mut outer = Adam::new(all.clone());
+        for _ in 0..self.config.outer_steps {
+            let mut tasks =
+                sample_tasks(train, true, self.config.support_ratio, 4, self.config.task_batch / 2 + 1, rng);
+            tasks.extend(sample_tasks(
+                train,
+                false,
+                self.config.support_ratio,
+                4,
+                self.config.task_batch / 2,
+                rng,
+            ));
+            for task in &tasks {
+                if task.support.is_empty() || task.query.is_empty() {
+                    continue;
+                }
+                let saved = fomaml.save();
+                fomaml.adapt(|| self.batch_loss(dataset, &task.support));
+                self.batch_loss(dataset, &task.query).backward();
+                fomaml.stash_grads();
+                fomaml.restore(&saved);
+            }
+            fomaml.replay_grads();
+            clip_grad_norm(&all, 5.0);
+            outer.step(self.config.outer_lr);
+            outer.zero_grad();
+        }
+    }
+
+    fn predict(
+        &self,
+        dataset: &Dataset,
+        visible: &BipartiteGraph,
+        pairs: &[(usize, usize)],
+    ) -> Vec<f32> {
+        let support = support_from_visible(visible, pairs, 64);
+        let fomaml = FoMaml::new(
+            self.local_params(),
+            self.all_params(),
+            self.config.inner_lr,
+            self.config.inner_steps,
+        );
+        let saved = fomaml.save();
+        if !support.is_empty() {
+            fomaml.adapt(|| self.batch_loss(dataset, &support));
+        }
+        let out = scale_to_rating(&self.raw_score(dataset, pairs), dataset)
+            .value()
+            .into_vec();
+        fomaml.restore(&saved);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hire_data::SyntheticConfig;
+    use rand::SeedableRng;
+
+    #[test]
+    fn trains_and_predicts() {
+        let d = SyntheticConfig::movielens_like().scaled(25, 20, (8, 12)).generate(13);
+        let g = d.graph();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut m = Mamo::new(4, 4, MetaTrainConfig { outer_steps: 4, ..Default::default() });
+        m.fit(&d, &g, &mut rng);
+        let preds = m.predict(&d, &g, &[(0, 0), (5, 5)]);
+        assert_eq!(preds.len(), 2);
+        for p in preds {
+            assert!(p.is_finite() && p >= 0.0 && p <= d.max_rating());
+        }
+    }
+
+    #[test]
+    fn memory_receives_gradient_during_training() {
+        let d = SyntheticConfig::movielens_like().scaled(20, 15, (6, 10)).generate(14);
+        let g = d.graph();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut m = Mamo::new(4, 4, MetaTrainConfig { outer_steps: 1, ..Default::default() });
+        m.fit(&d, &g, &mut rng);
+        // after training, memory should have moved away from init — proxy:
+        // predictions differ when we zero the memory
+        let s = m.state.as_ref().unwrap();
+        let before = m.predict(&d, &g, &[(0, 0)])[0];
+        let saved = s.memory.value();
+        s.memory.set_value(NdArray::zeros(saved.shape().clone()));
+        let after = m.predict(&d, &g, &[(0, 0)])[0];
+        assert!((before - after).abs() > 1e-6, "memory has no influence");
+    }
+}

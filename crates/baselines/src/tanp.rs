@@ -1,0 +1,220 @@
+//! TaNP (Lin et al., "Task-adaptive Neural Process"): an encoder pools a
+//! task's support ratings into a task embedding `z`; a decoder conditioned
+//! on `z` predicts the query ratings. Adaptation is amortized in the
+//! encoder — no per-task gradient steps (hence TaNP's fast test time in
+//! Fig. 6). Simplified to the deterministic-path neural process
+//! (DESIGN.md §2).
+
+use crate::common::{scale_to_rating, FieldEmbedder, RatingModel};
+use crate::meta::{sample_tasks, support_from_visible};
+use hire_data::Dataset;
+use hire_graph::{BipartiteGraph, Rating};
+use hire_nn::{Activation, Mlp, Module};
+use hire_optim::{clip_grad_norm, Adam, Optimizer};
+use hire_tensor::{NdArray, Tensor};
+use rand::rngs::StdRng;
+
+/// Training settings for TaNP.
+#[derive(Debug, Clone, Copy)]
+pub struct TanpConfig {
+    /// Outer optimization iterations.
+    pub steps: usize,
+    /// Tasks per step.
+    pub task_batch: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Support ratio within a training task.
+    pub support_ratio: f32,
+    /// Task embedding width.
+    pub z_dim: usize,
+}
+
+impl Default for TanpConfig {
+    fn default() -> Self {
+        TanpConfig { steps: 80, task_batch: 6, lr: 5e-3, support_ratio: 0.1, z_dim: 16 }
+    }
+}
+
+/// The TaNP baseline.
+pub struct Tanp {
+    field_dim: usize,
+    config: TanpConfig,
+    state: Option<State>,
+}
+
+struct State {
+    fields: FieldEmbedder,
+    /// Encoder over (pair features ‖ normalized rating).
+    encoder: Mlp,
+    /// Decoder over (pair features ‖ z).
+    decoder: Mlp,
+    z_dim: usize,
+}
+
+impl Tanp {
+    /// TaNP with `field_dim`-wide embeddings.
+    pub fn new(field_dim: usize, config: TanpConfig) -> Self {
+        Tanp { field_dim, config, state: None }
+    }
+
+    /// Encodes a support set into the task embedding `z` (zeros when the
+    /// support set is empty — the prior).
+    fn encode_task(&self, dataset: &Dataset, support: &[Rating]) -> Tensor {
+        let s = self.state.as_ref().expect("fit before predict");
+        if support.is_empty() {
+            return Tensor::constant(NdArray::zeros([1, s.z_dim]));
+        }
+        let pairs: Vec<(usize, usize)> = support.iter().map(|r| (r.user, r.item)).collect();
+        let x = s.fields.flat(dataset, &pairs); // [k, in]
+        let ratings = NdArray::from_vec(
+            [support.len(), 1],
+            support
+                .iter()
+                .map(|r| r.value / dataset.max_rating())
+                .collect(),
+        );
+        let enc_in = Tensor::concat_last(&[x, Tensor::constant(ratings)]);
+        let per_edge = s.encoder.forward(&enc_in); // [k, z]
+        // mean-pool over the support set -> [1, z]
+        per_edge
+            .permute(&[1, 0])
+            .mean_last()
+            .reshape([1, s.z_dim])
+    }
+
+    fn decode(&self, dataset: &Dataset, z: &Tensor, pairs: &[(usize, usize)]) -> Tensor {
+        let s = self.state.as_ref().unwrap();
+        let b = pairs.len();
+        let x = s.fields.flat(dataset, pairs); // [b, in]
+        let z_tile = z
+            .reshape([1, s.z_dim])
+            .mul(&Tensor::constant(NdArray::ones([b, s.z_dim])));
+        let dec_in = Tensor::concat_last(&[x, z_tile]);
+        s.decoder.forward(&dec_in).reshape([b])
+    }
+
+    fn all_params(&self) -> Vec<Tensor> {
+        let s = self.state.as_ref().unwrap();
+        let mut p = s.fields.parameters();
+        p.extend(s.encoder.parameters());
+        p.extend(s.decoder.parameters());
+        p
+    }
+}
+
+impl RatingModel for Tanp {
+    fn name(&self) -> &'static str {
+        "TaNP"
+    }
+
+    fn fit(&mut self, dataset: &Dataset, train: &BipartiteGraph, rng: &mut StdRng) {
+        let fields = FieldEmbedder::new(dataset, self.field_dim, rng);
+        let in_w = fields.num_fields() * self.field_dim;
+        let z = self.config.z_dim;
+        let state = State {
+            encoder: Mlp::new(&[in_w + 1, in_w.min(48), z], Activation::Relu, rng),
+            decoder: Mlp::new(&[in_w + z, in_w.min(48), 1], Activation::Relu, rng),
+            z_dim: z,
+            fields,
+        };
+        self.state = Some(state);
+        let params = self.all_params();
+        let mut opt = Adam::new(params.clone());
+        for _ in 0..self.config.steps {
+            opt.zero_grad();
+            // user tasks + item tasks, as for the other meta baselines
+            let mut tasks = sample_tasks(
+                train,
+                true,
+                self.config.support_ratio,
+                4,
+                self.config.task_batch / 2 + 1,
+                rng,
+            );
+            tasks.extend(sample_tasks(
+                train,
+                false,
+                self.config.support_ratio,
+                4,
+                self.config.task_batch / 2,
+                rng,
+            ));
+            let mut total: Option<Tensor> = None;
+            let mut count = 0;
+            for task in &tasks {
+                if task.query.is_empty() {
+                    continue;
+                }
+                let z = self.encode_task(dataset, &task.support);
+                let pairs: Vec<(usize, usize)> =
+                    task.query.iter().map(|r| (r.user, r.item)).collect();
+                let pred = scale_to_rating(&self.decode(dataset, &z, &pairs), dataset);
+                let target = NdArray::from_vec(
+                    [task.query.len()],
+                    task.query.iter().map(|r| r.value).collect(),
+                );
+                let loss = hire_nn::mse_loss(&pred, &target);
+                total = Some(match total {
+                    None => loss,
+                    Some(acc) => acc.add(&loss),
+                });
+                count += 1;
+            }
+            if let Some(loss) = total {
+                loss.mul_scalar(1.0 / count.max(1) as f32).backward();
+                clip_grad_norm(&params, 5.0);
+                opt.step(self.config.lr);
+            }
+        }
+    }
+
+    fn predict(
+        &self,
+        dataset: &Dataset,
+        visible: &BipartiteGraph,
+        pairs: &[(usize, usize)],
+    ) -> Vec<f32> {
+        let support = support_from_visible(visible, pairs, 64);
+        let z = self.encode_task(dataset, &support);
+        scale_to_rating(&self.decode(dataset, &z, pairs), dataset)
+            .value()
+            .into_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hire_data::SyntheticConfig;
+    use rand::SeedableRng;
+
+    #[test]
+    fn trains_and_predicts_in_range() {
+        let d = SyntheticConfig::movielens_like().scaled(25, 20, (8, 12)).generate(15);
+        let g = d.graph();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut m = Tanp::new(4, TanpConfig { steps: 10, ..Default::default() });
+        m.fit(&d, &g, &mut rng);
+        let preds = m.predict(&d, &g, &[(0, 0), (1, 2)]);
+        for p in preds {
+            assert!(p >= 0.0 && p <= d.max_rating());
+        }
+    }
+
+    #[test]
+    fn task_embedding_depends_on_support() {
+        let d = SyntheticConfig::movielens_like().scaled(20, 15, (6, 10)).generate(16);
+        let g = d.graph();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut m = Tanp::new(4, TanpConfig { steps: 5, ..Default::default() });
+        m.fit(&d, &g, &mut rng);
+        let high: Vec<Rating> = (0..3).map(|i| Rating::new(0, i, 5.0)).collect();
+        let low: Vec<Rating> = (0..3).map(|i| Rating::new(0, i, 1.0)).collect();
+        let z_high = m.encode_task(&d, &high).value();
+        let z_low = m.encode_task(&d, &low).value();
+        assert!(z_high.max_abs_diff(&z_low) > 1e-6, "z insensitive to support");
+        // empty support falls back to the zero prior
+        let z_prior = m.encode_task(&d, &[]).value();
+        assert_eq!(z_prior.norm_l2(), 0.0);
+    }
+}

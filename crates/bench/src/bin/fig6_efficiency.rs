@@ -1,0 +1,51 @@
+//! Regenerates **Fig. 6**: total test time per method (user cold-start, as
+//! in the paper — test time is similar across scenarios).
+//!
+//! Expected shape: CF methods fastest; HIRE slower than CF but faster than
+//! the adaptation-based meta-learning methods; MAMO slowest (inner-loop
+//! adaptation + memory reads at test time).
+
+use hire_bench::{cold_frac, dataset_for, maybe_write_json, DatasetKind, HarnessArgs};
+use hire_data::{ColdStartScenario, ColdStartSplit};
+use hire_eval::{evaluate_model, format_timing};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    println!("# Fig. 6: Total Test Time (seconds, user cold-start)\n");
+    let mut all = Vec::new();
+    for (kind, label) in [
+        (DatasetKind::MovieLens, "MovieLens-1M (synthetic)"),
+        (DatasetKind::Douban, "Douban (synthetic)"),
+        (DatasetKind::Bookcrossing, "Bookcrossing (synthetic)"),
+    ] {
+        let dataset = dataset_for(kind, args.tier, args.seed);
+        let split = ColdStartSplit::new(
+            &dataset,
+            ColdStartScenario::UserCold,
+            cold_frac(kind),
+            0.1,
+            args.seed,
+        );
+        let cfg = args.eval_config();
+        let mut results = Vec::new();
+        for mut model in hire_eval::baselines(&dataset, args.tier) {
+            eprintln!("  [{label}] {} ...", model.name());
+            results.push(evaluate_model(model.as_mut(), &dataset, &split, &cfg));
+        }
+        let mut hire = hire_eval::hire(args.tier);
+        eprintln!("  [{label}] HIRE ...");
+        results.push(evaluate_model(hire.as_mut(), &dataset, &split, &cfg));
+        println!("{}", format_timing(label, &results));
+        all.push((label.to_string(), results));
+    }
+    let json: Vec<_> = all
+        .iter()
+        .map(|(label, results)| {
+            serde_json::json!({
+                "dataset": label,
+                "test_seconds": results.iter().map(|r| (r.model.clone(), r.test_seconds)).collect::<Vec<_>>(),
+            })
+        })
+        .collect();
+    maybe_write_json(&args, &json);
+}

@@ -1,0 +1,185 @@
+//! Shared harness utilities for the per-table/figure benchmark binaries.
+//!
+//! Every binary accepts:
+//! - `--tier smoke|fast|full` — compute budget (default `fast`)
+//! - `--seed <u64>` — base RNG seed (default 7)
+//! - `--max-entities <n>` — cold entities evaluated per scenario
+//! - `--out <path>` — also write machine-readable JSON results
+//!
+//! `smoke` finishes in seconds (sanity only); `fast` reproduces the paper's
+//! qualitative shape in minutes on a laptop CPU; `full` uses the paper's
+//! 32×32 / 3-HIM configuration.
+
+use hire_data::{ColdStartScenario, ColdStartSplit, Dataset, SyntheticConfig};
+use hire_eval::{evaluate_model, EvalConfig, ModelResult, SpeedTier};
+use serde::Serialize;
+use std::io::Write;
+
+/// Parsed command-line options.
+#[derive(Debug, Clone)]
+pub struct HarnessArgs {
+    /// Compute tier.
+    pub tier: SpeedTier,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Cold entities per scenario.
+    pub max_entities: usize,
+    /// Optional JSON output path.
+    pub out: Option<String>,
+}
+
+impl HarnessArgs {
+    /// Parses `std::env::args`, panicking with a usage message on errors.
+    pub fn parse() -> Self {
+        let mut args = HarnessArgs {
+            tier: SpeedTier::Fast,
+            seed: 7,
+            max_entities: 25,
+            out: None,
+        };
+        let mut it = std::env::args().skip(1);
+        while let Some(flag) = it.next() {
+            let mut value = || {
+                it.next()
+                    .unwrap_or_else(|| panic!("flag {flag} needs a value"))
+            };
+            match flag.as_str() {
+                "--tier" => {
+                    args.tier = match value().as_str() {
+                        "smoke" => SpeedTier::Smoke,
+                        "fast" => SpeedTier::Fast,
+                        "full" => SpeedTier::Full,
+                        other => panic!("unknown tier {other} (smoke|fast|full)"),
+                    }
+                }
+                "--seed" => args.seed = value().parse().expect("--seed takes a u64"),
+                "--max-entities" => {
+                    args.max_entities = value().parse().expect("--max-entities takes a usize")
+                }
+                "--out" => args.out = Some(value()),
+                "--help" | "-h" => {
+                    eprintln!(
+                        "usage: [--tier smoke|fast|full] [--seed N] [--max-entities N] [--out FILE]"
+                    );
+                    std::process::exit(0);
+                }
+                other => panic!("unknown flag {other}"),
+            }
+        }
+        args
+    }
+
+    /// Evaluation config at these settings.
+    pub fn eval_config(&self) -> EvalConfig {
+        EvalConfig {
+            max_entities: match self.tier {
+                SpeedTier::Smoke => self.max_entities.min(8),
+                _ => self.max_entities,
+            },
+            seed: self.seed,
+            ..Default::default()
+        }
+    }
+}
+
+/// The three dataset stand-ins, scaled per tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DatasetKind {
+    /// MovieLens-1M stand-in (rich attributes).
+    MovieLens,
+    /// Douban stand-in (ID-only + social).
+    Douban,
+    /// Bookcrossing stand-in (sparse attributes, 1-10 scale).
+    Bookcrossing,
+}
+
+/// Generates a dataset stand-in at the tier's scale.
+pub fn dataset_for(kind: DatasetKind, tier: SpeedTier, seed: u64) -> Dataset {
+    let base = match kind {
+        DatasetKind::MovieLens => SyntheticConfig::movielens_like(),
+        DatasetKind::Douban => SyntheticConfig::douban_like(),
+        DatasetKind::Bookcrossing => SyntheticConfig::bookcrossing_like(),
+    };
+    let cfg = match tier {
+        SpeedTier::Smoke => base.scaled(60, 50, (10, 20)),
+        SpeedTier::Fast => base.scaled(150, 120, (20, 45)),
+        SpeedTier::Full => base,
+    };
+    cfg.generate(seed)
+}
+
+/// Cold fraction per dataset, following § VI-A (20 % of MovieLens users,
+/// 30 % for Douban/Bookcrossing).
+pub fn cold_frac(kind: DatasetKind) -> f32 {
+    match kind {
+        DatasetKind::MovieLens => 0.2,
+        _ => 0.3,
+    }
+}
+
+/// One scenario's comparison results.
+#[derive(Debug, Clone, Serialize)]
+pub struct ScenarioReport {
+    /// Scenario label ("UC" / "IC" / "U&I C").
+    pub scenario: String,
+    /// Per-model results, HIRE last.
+    pub results: Vec<ModelResult>,
+}
+
+/// Runs the full comparison (all baselines + HIRE) for one scenario.
+pub fn run_scenario(
+    dataset: &Dataset,
+    kind: DatasetKind,
+    scenario: ColdStartScenario,
+    args: &HarnessArgs,
+) -> ScenarioReport {
+    let split = ColdStartSplit::new(dataset, scenario, cold_frac(kind), 0.1, args.seed);
+    let cfg = args.eval_config();
+    let mut results = Vec::new();
+    for mut model in hire_eval::baselines(dataset, args.tier) {
+        eprintln!("  [{}] training {} ...", scenario.label(), model.name());
+        results.push(evaluate_model(model.as_mut(), dataset, &split, &cfg));
+    }
+    let mut hire = hire_eval::hire(args.tier);
+    eprintln!("  [{}] training HIRE ...", scenario.label());
+    results.push(evaluate_model(hire.as_mut(), dataset, &split, &cfg));
+    ScenarioReport { scenario: scenario.label().to_string(), results }
+}
+
+/// Writes reports as JSON when `--out` was given.
+pub fn maybe_write_json<T: Serialize>(args: &HarnessArgs, value: &T) {
+    if let Some(path) = &args.out {
+        let json = serde_json::to_string_pretty(value).expect("serializable results");
+        let mut f = std::fs::File::create(path).expect("create output file");
+        f.write_all(json.as_bytes()).expect("write results");
+        eprintln!("wrote {path}");
+    }
+}
+
+/// Prints the standard comparison tables for a whole dataset (one table per
+/// scenario) — the layout of Tables III-V.
+pub fn run_overall_table(kind: DatasetKind, title: &str) {
+    let args = HarnessArgs::parse();
+    let dataset = dataset_for(kind, args.tier, args.seed);
+    println!("# {title}");
+    println!(
+        "dataset: {} ({} users x {} items, {} ratings)\n",
+        dataset.name,
+        dataset.num_users,
+        dataset.num_items,
+        dataset.ratings.len()
+    );
+    let mut reports = Vec::new();
+    for scenario in ColdStartScenario::ALL {
+        let report = run_scenario(&dataset, kind, scenario, &args);
+        println!(
+            "{}",
+            hire_eval::format_table(
+                &format!("{title} — {}", report.scenario),
+                &report.results
+            )
+        );
+        reports.push(report);
+    }
+    maybe_write_json(&args, &reports);
+}

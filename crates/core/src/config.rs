@@ -1,0 +1,142 @@
+//! HIRE model configuration.
+
+/// Hyper-parameters of the HIRE model.
+///
+/// [`HireConfig::paper_default`] reproduces § VI-A of the paper: 3 HIM
+/// blocks, 8 heads x 16 dims per MHSA, 32x32 prediction contexts, 10 % of
+/// observed ratings visible as input. [`HireConfig::fast`] is a scaled-down
+/// configuration for CPU-budget experiments and tests; the architecture is
+/// identical.
+#[derive(Debug, Clone)]
+pub struct HireConfig {
+    /// Embedding dimension `f` for each attribute (and the rating channel).
+    pub attr_dim: usize,
+    /// Number of HIM blocks `K`.
+    pub num_blocks: usize,
+    /// Attention heads per MHSA layer.
+    pub heads: usize,
+    /// Dimension of each attention head.
+    pub head_dim: usize,
+    /// Users per prediction context (`n`).
+    pub context_users: usize,
+    /// Items per prediction context (`m`).
+    pub context_items: usize,
+    /// Fraction of observed in-context ratings revealed as input
+    /// (paper: 0.1; the remaining 90 % are masked targets).
+    pub input_ratio: f32,
+    /// Enable the user-user attention layer (MBU). Disabled in ablations.
+    pub enable_mbu: bool,
+    /// Enable the item-item attention layer (MBI).
+    pub enable_mbi: bool,
+    /// Enable the attribute-attribute attention layer (MBA).
+    pub enable_mba: bool,
+    /// Residual connections around each attention layer. The paper does not
+    /// spell these out; deep attention stacks need them to train (DESIGN.md
+    /// §5). They preserve permutation equivariance.
+    pub residual: bool,
+    /// LayerNorm after each attention layer (same caveat as `residual`).
+    pub layer_norm: bool,
+}
+
+impl HireConfig {
+    /// The configuration from the paper's implementation details.
+    pub fn paper_default() -> Self {
+        HireConfig {
+            attr_dim: 16,
+            num_blocks: 3,
+            heads: 8,
+            head_dim: 16,
+            context_users: 32,
+            context_items: 32,
+            input_ratio: 0.1,
+            enable_mbu: true,
+            enable_mbi: true,
+            enable_mba: true,
+            residual: true,
+            layer_norm: true,
+        }
+    }
+
+    /// A CPU-friendly configuration with the same architecture (used by the
+    /// scaled-down benchmark harness and tests).
+    pub fn fast() -> Self {
+        HireConfig {
+            attr_dim: 8,
+            num_blocks: 2,
+            heads: 4,
+            head_dim: 8,
+            context_users: 16,
+            context_items: 16,
+            input_ratio: 0.1,
+            enable_mbu: true,
+            enable_mbi: true,
+            enable_mba: true,
+            residual: true,
+            layer_norm: true,
+        }
+    }
+
+    /// Sets the number of HIM blocks (sensitivity analysis, Fig. 7a-c).
+    pub fn with_blocks(mut self, k: usize) -> Self {
+        assert!(k >= 1);
+        self.num_blocks = k;
+        self
+    }
+
+    /// Sets the context size (sensitivity analysis, Fig. 7d-f).
+    pub fn with_context_size(mut self, n: usize, m: usize) -> Self {
+        assert!(n >= 1 && m >= 1);
+        self.context_users = n;
+        self.context_items = m;
+        self
+    }
+
+    /// Toggles attention layers (ablation study, Table VI).
+    pub fn with_layers(mut self, mbu: bool, mbi: bool, mba: bool) -> Self {
+        assert!(mbu || mbi || mba, "at least one attention layer must remain");
+        self.enable_mbu = mbu;
+        self.enable_mbi = mbi;
+        self.enable_mba = mba;
+        self
+    }
+}
+
+impl Default for HireConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_section_6a() {
+        let c = HireConfig::paper_default();
+        assert_eq!(c.num_blocks, 3);
+        assert_eq!(c.heads, 8);
+        assert_eq!(c.head_dim, 16);
+        assert_eq!(c.context_users, 32);
+        assert_eq!(c.context_items, 32);
+        assert!((c.input_ratio - 0.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn builders_apply() {
+        let c = HireConfig::fast()
+            .with_blocks(4)
+            .with_context_size(8, 12)
+            .with_layers(true, false, true);
+        assert_eq!(c.num_blocks, 4);
+        assert_eq!(c.context_users, 8);
+        assert_eq!(c.context_items, 12);
+        assert!(!c.enable_mbi);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one attention layer")]
+    fn all_layers_off_panics() {
+        HireConfig::fast().with_layers(false, false, false);
+    }
+}

@@ -1,0 +1,28 @@
+//! # hire-core
+//!
+//! The paper's primary contribution: the **Heterogeneous Interaction Rating
+//! nEtwork (HIRE)** for cold-start rating prediction.
+//!
+//! - [`HireConfig`] — hyper-parameters (paper defaults in
+//!   [`HireConfig::paper_default`])
+//! - [`ContextEncoder`] — Eq. (6)-(9): per-attribute embeddings assembled
+//!   into the context tensor `H ∈ R^{n×m×e}`
+//! - [`HimBlock`] — § IV-C: the three stacked MHSA layers (MBU, MBI, MBA)
+//! - [`HireModel`] — encoder → K HIMs → `α · sigmoid(g(H))` decoder
+//! - [`train`] — Algorithm 1 with LAMB + Lookahead + flat-then-anneal LR
+//!
+//! The model is permutation equivariant over context users and items
+//! (Property 5.1) — enforced by tests in `him.rs`/`model.rs` and the
+//! property suite under `tests/`.
+
+pub mod config;
+pub mod encoder;
+pub mod him;
+pub mod model;
+pub mod trainer;
+
+pub use config::HireConfig;
+pub use encoder::ContextEncoder;
+pub use him::{HimAttention, HimBlock};
+pub use model::HireModel;
+pub use trainer::{train, StepStats, TrainConfig};

@@ -1,0 +1,23 @@
+//! # hire-data
+//!
+//! Dataset substrate of the HIRE reproduction:
+//!
+//! - [`EntitySchema`] / [`Attribute`] — categorical side information
+//! - [`Dataset`] — entities, attributes, ratings, optional social graph
+//! - [`SyntheticConfig`] — generators standing in for MovieLens-1M, Douban
+//!   and Bookcrossing (see DESIGN.md for the substitution rationale)
+//! - [`ColdStartSplit`] — the three cold-start scenarios of § III-A
+//! - [`PredictionContext`] — the `n x m` rating blocks of § IV-B with
+//!   input/target masks ([`training_context`], [`test_context`])
+
+pub mod context;
+pub mod dataset;
+pub mod schema;
+pub mod split;
+pub mod synthetic;
+
+pub use context::{test_context, test_context_with_ratio, training_context, PredictionContext};
+pub use dataset::{Dataset, DatasetProfile};
+pub use schema::{Attribute, EntitySchema};
+pub use split::{ColdStartScenario, ColdStartSplit};
+pub use synthetic::{SocialConfig, SyntheticConfig};

@@ -1,0 +1,336 @@
+//! Cold-start train/test splits for the three scenarios of § III-A.
+
+use crate::dataset::Dataset;
+use hire_graph::{BipartiteGraph, Rating};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::HashSet;
+
+/// The three cold-start scenarios evaluated in the paper (Fig. 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ColdStartScenario {
+    /// New users rating existing items.
+    UserCold,
+    /// Existing users rating new items.
+    ItemCold,
+    /// New users rating new items.
+    UserItemCold,
+}
+
+impl ColdStartScenario {
+    /// All three scenarios, in the paper's table order.
+    pub const ALL: [ColdStartScenario; 3] = [
+        ColdStartScenario::UserCold,
+        ColdStartScenario::ItemCold,
+        ColdStartScenario::UserItemCold,
+    ];
+
+    /// Short label used in tables ("UC" / "IC" / "U&I C").
+    pub fn label(&self) -> &'static str {
+        match self {
+            ColdStartScenario::UserCold => "UC",
+            ColdStartScenario::ItemCold => "IC",
+            ColdStartScenario::UserItemCold => "U&I C",
+        }
+    }
+}
+
+/// A cold-start split of a dataset.
+///
+/// - `train_ratings` connect warm entities only and are fully visible during
+///   training.
+/// - Each cold entity reveals `support_ratio` of its edges as **support**
+///   (visible at test time, the "few rating interactions" of a cold entity);
+///   the rest are **query** edges to predict.
+/// - For [`ColdStartScenario::UserItemCold`], query edges connect a cold
+///   user to a cold item; support edges attach cold entities to warm ones.
+#[derive(Debug, Clone)]
+pub struct ColdStartSplit {
+    /// The scenario this split realizes.
+    pub scenario: ColdStartScenario,
+    /// Warm (training) users.
+    pub train_users: Vec<usize>,
+    /// Cold (test) users; equals `train_users` for item cold-start.
+    pub test_users: Vec<usize>,
+    /// Warm (training) items.
+    pub train_items: Vec<usize>,
+    /// Cold (test) items; equals `train_items` for user cold-start.
+    pub test_items: Vec<usize>,
+    /// Ratings among warm entities.
+    pub train_ratings: Vec<Rating>,
+    /// Cold-entity edges visible at test time.
+    pub support_ratings: Vec<Rating>,
+    /// Cold-entity edges to predict.
+    pub query_ratings: Vec<Rating>,
+}
+
+impl ColdStartSplit {
+    /// Creates a split. `cold_frac` is the fraction of entities held out
+    /// (paper: 20 % of users for MovieLens, 30 % for Douban/Bookcrossing);
+    /// `support_ratio` is the fraction of a cold entity's edges revealed
+    /// (paper: 10 %).
+    pub fn new(
+        dataset: &Dataset,
+        scenario: ColdStartScenario,
+        cold_frac: f32,
+        support_ratio: f32,
+        seed: u64,
+    ) -> Self {
+        assert!((0.0..1.0).contains(&cold_frac) && cold_frac > 0.0);
+        assert!((0.0..1.0).contains(&support_ratio));
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        let split_entities = |count: usize, rng: &mut StdRng| -> (Vec<usize>, Vec<usize>) {
+            let mut ids: Vec<usize> = (0..count).collect();
+            ids.shuffle(rng);
+            let n_cold = ((count as f32 * cold_frac) as usize).max(1);
+            let test = ids[..n_cold].to_vec();
+            let train = ids[n_cold..].to_vec();
+            (train, test)
+        };
+
+        let all_users: Vec<usize> = (0..dataset.num_users).collect();
+        let all_items: Vec<usize> = (0..dataset.num_items).collect();
+        let (train_users, test_users, train_items, test_items) = match scenario {
+            ColdStartScenario::UserCold => {
+                let (tr, te) = split_entities(dataset.num_users, &mut rng);
+                (tr, te, all_items.clone(), all_items)
+            }
+            ColdStartScenario::ItemCold => {
+                let (tr, te) = split_entities(dataset.num_items, &mut rng);
+                (all_users.clone(), all_users, tr, te)
+            }
+            ColdStartScenario::UserItemCold => {
+                let (tru, teu) = split_entities(dataset.num_users, &mut rng);
+                let (tri, tei) = split_entities(dataset.num_items, &mut rng);
+                (tru, teu, tri, tei)
+            }
+        };
+        let cold_users: HashSet<usize> = match scenario {
+            ColdStartScenario::ItemCold => HashSet::new(),
+            _ => test_users.iter().copied().collect(),
+        };
+        let cold_items: HashSet<usize> = match scenario {
+            ColdStartScenario::UserCold => HashSet::new(),
+            _ => test_items.iter().copied().collect(),
+        };
+
+        let mut train_ratings = Vec::new();
+        // Edges incident to a cold entity, keyed by that entity (an edge
+        // between two cold entities is keyed by both).
+        let mut cold_edges: Vec<Rating> = Vec::new();
+        for r in &dataset.ratings {
+            let u_cold = cold_users.contains(&r.user);
+            let i_cold = cold_items.contains(&r.item);
+            if !u_cold && !i_cold {
+                train_ratings.push(*r);
+            } else {
+                cold_edges.push(*r);
+            }
+        }
+
+        // Reveal `support_ratio` of each cold entity's edges. For U&IC the
+        // query set is restricted to cold-cold edges; edges linking a cold
+        // entity to a warm one become support (they are the cold entity's
+        // "few interactions with existing items/users").
+        let mut support = Vec::new();
+        let mut query = Vec::new();
+        cold_edges.shuffle(&mut rng);
+        let mut support_count: std::collections::HashMap<(bool, usize), usize> =
+            std::collections::HashMap::new();
+        let mut degree: std::collections::HashMap<(bool, usize), usize> =
+            std::collections::HashMap::new();
+        for r in &cold_edges {
+            if cold_users.contains(&r.user) {
+                *degree.entry((true, r.user)).or_default() += 1;
+            }
+            if cold_items.contains(&r.item) {
+                *degree.entry((false, r.item)).or_default() += 1;
+            }
+        }
+        for r in cold_edges {
+            let u_cold = cold_users.contains(&r.user);
+            let i_cold = cold_items.contains(&r.item);
+            if scenario == ColdStartScenario::UserItemCold && !(u_cold && i_cold) {
+                // cold-warm edge: support only
+                support.push(r);
+                continue;
+            }
+            // Reveal until each cold endpoint has its quota (at least one).
+            let mut wants_support = false;
+            if u_cold {
+                let quota =
+                    ((degree[&(true, r.user)] as f32 * support_ratio).round() as usize).max(1);
+                let got = support_count.entry((true, r.user)).or_default();
+                if *got < quota {
+                    wants_support = true;
+                }
+            }
+            if !wants_support && i_cold {
+                let quota =
+                    ((degree[&(false, r.item)] as f32 * support_ratio).round() as usize).max(1);
+                let got = support_count.entry((false, r.item)).or_default();
+                if *got < quota {
+                    wants_support = true;
+                }
+            }
+            if wants_support {
+                if u_cold {
+                    *support_count.entry((true, r.user)).or_default() += 1;
+                }
+                if i_cold {
+                    *support_count.entry((false, r.item)).or_default() += 1;
+                }
+                support.push(r);
+            } else {
+                query.push(r);
+            }
+        }
+
+        ColdStartSplit {
+            scenario,
+            train_users,
+            test_users,
+            train_items,
+            test_items,
+            train_ratings,
+            support_ratings: support,
+            query_ratings: query,
+        }
+    }
+
+    /// The graph visible during training (warm edges only).
+    pub fn train_graph(&self, dataset: &Dataset) -> BipartiteGraph {
+        BipartiteGraph::from_ratings(dataset.num_users, dataset.num_items, &self.train_ratings)
+    }
+
+    /// The graph visible at test time (warm edges + cold support edges).
+    pub fn visible_graph(&self, dataset: &Dataset) -> BipartiteGraph {
+        let mut edges = self.train_ratings.clone();
+        edges.extend_from_slice(&self.support_ratings);
+        BipartiteGraph::from_ratings(dataset.num_users, dataset.num_items, &edges)
+    }
+
+    /// Query edges grouped by cold entity: per cold user for UC / U&IC, per
+    /// cold item for IC. Entities without query edges are omitted.
+    pub fn queries_by_entity(&self) -> Vec<(usize, Vec<Rating>)> {
+        let mut map: std::collections::BTreeMap<usize, Vec<Rating>> = Default::default();
+        let by_user = self.scenario != ColdStartScenario::ItemCold;
+        for r in &self.query_ratings {
+            let key = if by_user { r.user } else { r.item };
+            map.entry(key).or_default().push(*r);
+        }
+        map.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::SyntheticConfig;
+
+    fn dataset() -> Dataset {
+        SyntheticConfig::movielens_like()
+            .scaled(60, 50, (10, 20))
+            .generate(11)
+    }
+
+    #[test]
+    fn user_cold_split_partitions_users() {
+        let d = dataset();
+        let s = ColdStartSplit::new(&d, ColdStartScenario::UserCold, 0.25, 0.1, 1);
+        assert_eq!(s.train_users.len() + s.test_users.len(), d.num_users);
+        let train: HashSet<_> = s.train_users.iter().collect();
+        assert!(s.test_users.iter().all(|u| !train.contains(u)));
+        // no train rating touches a cold user
+        let cold: HashSet<_> = s.test_users.iter().collect();
+        assert!(s.train_ratings.iter().all(|r| !cold.contains(&r.user)));
+        // every cold edge is support or query
+        let total = s.train_ratings.len() + s.support_ratings.len() + s.query_ratings.len();
+        assert_eq!(total, d.ratings.len());
+    }
+
+    #[test]
+    fn support_is_roughly_ten_percent() {
+        let d = dataset();
+        let s = ColdStartSplit::new(&d, ColdStartScenario::UserCold, 0.25, 0.1, 2);
+        let cold_total = s.support_ratings.len() + s.query_ratings.len();
+        let frac = s.support_ratings.len() as f32 / cold_total as f32;
+        assert!(frac > 0.05 && frac < 0.25, "support fraction {frac}");
+    }
+
+    #[test]
+    fn every_cold_user_has_support_and_query() {
+        let d = dataset();
+        let s = ColdStartSplit::new(&d, ColdStartScenario::UserCold, 0.25, 0.1, 3);
+        let support_users: HashSet<_> = s.support_ratings.iter().map(|r| r.user).collect();
+        for &u in &s.test_users {
+            // cold users in this dataset always have >= 10 ratings
+            assert!(support_users.contains(&u), "cold user {u} has no support");
+        }
+        for (entity, queries) in s.queries_by_entity() {
+            assert!(!queries.is_empty());
+            assert!(s.test_users.contains(&entity));
+        }
+    }
+
+    #[test]
+    fn item_cold_split_partitions_items() {
+        let d = dataset();
+        let s = ColdStartSplit::new(&d, ColdStartScenario::ItemCold, 0.3, 0.1, 4);
+        assert_eq!(s.train_items.len() + s.test_items.len(), d.num_items);
+        let cold: HashSet<_> = s.test_items.iter().collect();
+        assert!(s.train_ratings.iter().all(|r| !cold.contains(&r.item)));
+        // queries grouped per item
+        for (entity, _) in s.queries_by_entity() {
+            assert!(s.test_items.contains(&entity));
+        }
+    }
+
+    #[test]
+    fn user_item_cold_queries_are_cold_cold() {
+        let d = dataset();
+        let s = ColdStartSplit::new(&d, ColdStartScenario::UserItemCold, 0.3, 0.1, 5);
+        let cu: HashSet<_> = s.test_users.iter().collect();
+        let ci: HashSet<_> = s.test_items.iter().collect();
+        assert!(!s.query_ratings.is_empty(), "need cold-cold query edges");
+        for r in &s.query_ratings {
+            assert!(cu.contains(&r.user) && ci.contains(&r.item));
+        }
+        // train ratings touch no cold entity
+        for r in &s.train_ratings {
+            assert!(!cu.contains(&r.user) && !ci.contains(&r.item));
+        }
+    }
+
+    #[test]
+    fn visible_graph_contains_support_not_query() {
+        let d = dataset();
+        let s = ColdStartSplit::new(&d, ColdStartScenario::UserCold, 0.25, 0.1, 6);
+        let vis = s.visible_graph(&d);
+        let sup = s.support_ratings[0];
+        assert_eq!(vis.rating(sup.user, sup.item), Some(sup.value));
+        let q = s.query_ratings[0];
+        assert_eq!(vis.rating(q.user, q.item), None);
+        let tg = s.train_graph(&d);
+        assert_eq!(tg.num_ratings(), s.train_ratings.len());
+    }
+
+    #[test]
+    fn split_is_deterministic() {
+        let d = dataset();
+        let a = ColdStartSplit::new(&d, ColdStartScenario::UserCold, 0.25, 0.1, 9);
+        let b = ColdStartSplit::new(&d, ColdStartScenario::UserCold, 0.25, 0.1, 9);
+        assert_eq!(a.test_users, b.test_users);
+        assert_eq!(a.query_ratings.len(), b.query_ratings.len());
+    }
+
+    #[test]
+    fn scenario_labels() {
+        assert_eq!(ColdStartScenario::UserCold.label(), "UC");
+        assert_eq!(ColdStartScenario::ItemCold.label(), "IC");
+        assert_eq!(ColdStartScenario::UserItemCold.label(), "U&I C");
+        assert_eq!(ColdStartScenario::ALL.len(), 3);
+    }
+}

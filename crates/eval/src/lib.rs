@@ -1,0 +1,16 @@
+//! # hire-eval
+//!
+//! Experiment harness for the HIRE reproduction: the [`RatingModel`]
+//! adapter for HIRE ([`HireRatingModel`]), the per-scenario evaluation
+//! runner ([`evaluate_model`]) producing the paper's Precision/NDCG/MAP @
+//! {5, 7, 10} tables, and the model zoo ([`zoo`]) that instantiates every
+//! method applicable to a dataset.
+
+pub mod hire_adapter;
+pub mod runner;
+pub mod zoo;
+
+pub use hire_adapter::HireRatingModel;
+pub use hire_baselines::RatingModel;
+pub use runner::{evaluate_model, format_table, format_timing, EvalConfig, MetricsAtK, ModelResult, PAPER_KS};
+pub use zoo::{baselines, hire, matrix_factorization, SpeedTier};

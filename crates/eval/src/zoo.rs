@@ -1,0 +1,145 @@
+//! Model zoo: builds every method applicable to a dataset, at a chosen
+//! compute tier, mirroring the paper's per-dataset baseline selection
+//! (GraphRec only where a social graph exists; the HIN baseline only where
+//! attributes are rich).
+
+use crate::hire_adapter::HireRatingModel;
+use hire_baselines::{
+    Afn, DeepFM, EdgeTrainConfig, GraphRec, HinNeighbor, Mamo, MatrixFactorization, MeLU,
+    MetaTrainConfig, NeuMF, RatingModel, Tanp, TanpConfig, WideDeep,
+};
+use hire_core::{HireConfig, TrainConfig};
+use hire_data::Dataset;
+
+/// Compute budget for a comparison run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpeedTier {
+    /// Seconds per model — CI smoke runs.
+    Smoke,
+    /// A few minutes per table — the default for the benchmark harness.
+    Fast,
+    /// Closest to the paper's configuration (32x32 contexts, 3 HIMs).
+    Full,
+}
+
+impl SpeedTier {
+    fn edge_config(self) -> EdgeTrainConfig {
+        match self {
+            SpeedTier::Smoke => EdgeTrainConfig { epochs: 2, batch_size: 128, lr: 1e-2 },
+            SpeedTier::Fast => EdgeTrainConfig { epochs: 8, batch_size: 128, lr: 1e-2 },
+            SpeedTier::Full => EdgeTrainConfig { epochs: 20, batch_size: 128, lr: 5e-3 },
+        }
+    }
+
+    fn meta_config(self) -> MetaTrainConfig {
+        match self {
+            SpeedTier::Smoke => MetaTrainConfig { outer_steps: 5, ..Default::default() },
+            SpeedTier::Fast => MetaTrainConfig { outer_steps: 40, ..Default::default() },
+            SpeedTier::Full => MetaTrainConfig { outer_steps: 150, ..Default::default() },
+        }
+    }
+
+    fn tanp_config(self) -> TanpConfig {
+        match self {
+            SpeedTier::Smoke => TanpConfig { steps: 8, ..Default::default() },
+            SpeedTier::Fast => TanpConfig { steps: 60, ..Default::default() },
+            SpeedTier::Full => TanpConfig { steps: 200, ..Default::default() },
+        }
+    }
+
+    /// The HIRE model configuration at this tier.
+    pub fn hire_config(self) -> HireConfig {
+        match self {
+            SpeedTier::Smoke => HireConfig::fast().with_blocks(1).with_context_size(8, 8),
+            SpeedTier::Fast => HireConfig::fast(),
+            SpeedTier::Full => HireConfig::paper_default(),
+        }
+    }
+
+    /// The HIRE training configuration at this tier.
+    pub fn hire_train_config(self) -> TrainConfig {
+        match self {
+            SpeedTier::Smoke => TrainConfig { steps: 20, batch_size: 2, base_lr: 3e-3, grad_clip: 1.0 },
+            SpeedTier::Fast => TrainConfig { steps: 150, batch_size: 4, base_lr: 3e-3, grad_clip: 1.0 },
+            SpeedTier::Full => TrainConfig::paper_default(),
+        }
+    }
+
+    fn field_dim(self) -> usize {
+        match self {
+            SpeedTier::Smoke => 4,
+            SpeedTier::Fast | SpeedTier::Full => 8,
+        }
+    }
+}
+
+/// Builds HIRE at the given tier.
+pub fn hire(tier: SpeedTier) -> Box<dyn RatingModel> {
+    Box::new(HireRatingModel::new(tier.hire_config(), tier.hire_train_config()))
+}
+
+/// Builds every baseline applicable to `dataset` (paper's Tables III-V
+/// selection), in table order. Does not include HIRE — add it with
+/// [`hire`].
+pub fn baselines(dataset: &Dataset, tier: SpeedTier) -> Vec<Box<dyn RatingModel>> {
+    let ec = tier.edge_config();
+    let f = tier.field_dim();
+    let mut models: Vec<Box<dyn RatingModel>> = vec![
+        Box::new(NeuMF::new(f, ec)),
+        Box::new(WideDeep::new(f, ec)),
+        Box::new(DeepFM::new(f, ec)),
+        Box::new(Afn::new(f, 2 * f, ec)),
+    ];
+    if dataset.social.is_some() {
+        models.push(Box::new(GraphRec::new(f, ec)));
+    }
+    let rich_attrs =
+        dataset.user_schema.num_attributes() >= 2 && dataset.item_schema.num_attributes() >= 2;
+    if rich_attrs {
+        models.push(Box::new(HinNeighbor::new(f, ec)));
+    }
+    models.push(Box::new(Mamo::new(f, 4, tier.meta_config())));
+    models.push(Box::new(Tanp::new(f, tier.tanp_config())));
+    models.push(Box::new(MeLU::new(f, tier.meta_config())));
+    models
+}
+
+/// The classical MF reference (not in the paper's tables; used by ablation
+/// tooling and examples).
+pub fn matrix_factorization(tier: SpeedTier) -> Box<dyn RatingModel> {
+    Box::new(MatrixFactorization::new(16, tier.edge_config()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hire_data::SyntheticConfig;
+
+    #[test]
+    fn movielens_gets_hin_but_not_graphrec() {
+        let d = SyntheticConfig::movielens_like().scaled(20, 20, (4, 8)).generate(1);
+        let names: Vec<&str> = baselines(&d, SpeedTier::Smoke).iter().map(|m| m.name()).collect();
+        assert!(names.contains(&"HIN"));
+        assert!(!names.contains(&"GraphRec"));
+        assert!(names.contains(&"NeuMF"));
+        assert!(names.contains(&"MeLU"));
+    }
+
+    #[test]
+    fn douban_gets_graphrec_but_not_hin() {
+        let d = SyntheticConfig::douban_like().scaled(20, 20, (4, 8)).generate(2);
+        let names: Vec<&str> = baselines(&d, SpeedTier::Smoke).iter().map(|m| m.name()).collect();
+        assert!(names.contains(&"GraphRec"));
+        assert!(!names.contains(&"HIN"));
+    }
+
+    #[test]
+    fn bookcrossing_gets_neither() {
+        let d = SyntheticConfig::bookcrossing_like().scaled(20, 20, (4, 8)).generate(3);
+        let names: Vec<&str> = baselines(&d, SpeedTier::Smoke).iter().map(|m| m.name()).collect();
+        assert!(!names.contains(&"GraphRec"));
+        assert!(!names.contains(&"HIN"));
+        // CF + meta methods remain
+        assert_eq!(names.len(), 7);
+    }
+}

@@ -1,0 +1,265 @@
+//! The user-item bipartite rating graph.
+
+/// A rated edge in the bipartite graph.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rating {
+    /// User index.
+    pub user: usize,
+    /// Item index.
+    pub item: usize,
+    /// Observed rating value.
+    pub value: f32,
+}
+
+impl Rating {
+    /// Convenience constructor.
+    pub fn new(user: usize, item: usize, value: f32) -> Self {
+        Rating { user, item, value }
+    }
+}
+
+/// User-item bipartite graph with ratings on the edges, stored as sorted
+/// adjacency on both sides for O(log d) rating lookup and O(1) neighbor
+/// iteration.
+#[derive(Debug, Clone)]
+pub struct BipartiteGraph {
+    num_users: usize,
+    num_items: usize,
+    /// Per user: sorted `(item, rating)` pairs.
+    user_adj: Vec<Vec<(usize, f32)>>,
+    /// Per item: sorted `(user, rating)` pairs.
+    item_adj: Vec<Vec<(usize, f32)>>,
+    num_ratings: usize,
+}
+
+impl BipartiteGraph {
+    /// Builds a graph from an edge list. Duplicate `(user, item)` pairs keep
+    /// the last rating. Panics on out-of-range indices.
+    pub fn from_ratings(num_users: usize, num_items: usize, ratings: &[Rating]) -> Self {
+        let mut user_adj: Vec<Vec<(usize, f32)>> = vec![Vec::new(); num_users];
+        let mut item_adj: Vec<Vec<(usize, f32)>> = vec![Vec::new(); num_items];
+        for r in ratings {
+            assert!(r.user < num_users, "user {} out of range {num_users}", r.user);
+            assert!(r.item < num_items, "item {} out of range {num_items}", r.item);
+            user_adj[r.user].push((r.item, r.value));
+            item_adj[r.item].push((r.user, r.value));
+        }
+        let mut num_ratings = 0;
+        for adj in &mut user_adj {
+            adj.sort_by_key(|&(i, _)| i);
+            adj.dedup_by_key(|&mut (i, _)| i);
+            num_ratings += adj.len();
+        }
+        for adj in &mut item_adj {
+            adj.sort_by_key(|&(u, _)| u);
+            adj.dedup_by_key(|&mut (u, _)| u);
+        }
+        BipartiteGraph { num_users, num_items, user_adj, item_adj, num_ratings }
+    }
+
+    /// Empty graph with the given vertex counts.
+    pub fn empty(num_users: usize, num_items: usize) -> Self {
+        Self::from_ratings(num_users, num_items, &[])
+    }
+
+    /// Number of user vertices.
+    pub fn num_users(&self) -> usize {
+        self.num_users
+    }
+
+    /// Number of item vertices.
+    pub fn num_items(&self) -> usize {
+        self.num_items
+    }
+
+    /// Number of rated edges.
+    pub fn num_ratings(&self) -> usize {
+        self.num_ratings
+    }
+
+    /// Items rated by `user`, with ratings, sorted by item index.
+    pub fn user_neighbors(&self, user: usize) -> &[(usize, f32)] {
+        &self.user_adj[user]
+    }
+
+    /// Users who rated `item`, with ratings, sorted by user index.
+    pub fn item_neighbors(&self, item: usize) -> &[(usize, f32)] {
+        &self.item_adj[item]
+    }
+
+    /// The rating of `user` on `item`, if observed.
+    pub fn rating(&self, user: usize, item: usize) -> Option<f32> {
+        let adj = &self.user_adj[user];
+        adj.binary_search_by_key(&item, |&(i, _)| i)
+            .ok()
+            .map(|ix| adj[ix].1)
+    }
+
+    /// Degree of a user (number of rated items).
+    pub fn user_degree(&self, user: usize) -> usize {
+        self.user_adj[user].len()
+    }
+
+    /// Degree of an item (number of raters).
+    pub fn item_degree(&self, item: usize) -> usize {
+        self.item_adj[item].len()
+    }
+
+    /// Mean rating over all edges; `None` for an empty graph.
+    pub fn mean_rating(&self) -> Option<f32> {
+        if self.num_ratings == 0 {
+            return None;
+        }
+        let sum: f64 = self
+            .user_adj
+            .iter()
+            .flat_map(|adj| adj.iter().map(|&(_, r)| r as f64))
+            .sum();
+        Some((sum / self.num_ratings as f64) as f32)
+    }
+
+    /// Density: observed edges / possible edges.
+    pub fn density(&self) -> f32 {
+        let possible = self.num_users * self.num_items;
+        if possible == 0 {
+            0.0
+        } else {
+            self.num_ratings as f32 / possible as f32
+        }
+    }
+
+    /// Iterates over all rated edges.
+    pub fn edges(&self) -> impl Iterator<Item = Rating> + '_ {
+        self.user_adj.iter().enumerate().flat_map(|(u, adj)| {
+            adj.iter().map(move |&(i, r)| Rating::new(u, i, r))
+        })
+    }
+
+    /// Returns a new graph containing this graph's edges plus `extra`.
+    pub fn with_extra_edges(&self, extra: &[Rating]) -> BipartiteGraph {
+        let mut all: Vec<Rating> = self.edges().collect();
+        all.extend_from_slice(extra);
+        BipartiteGraph::from_ratings(self.num_users, self.num_items, &all)
+    }
+}
+
+/// Undirected user-user social graph (used by the GraphRec baseline on the
+/// Douban-style dataset).
+#[derive(Debug, Clone)]
+pub struct SocialGraph {
+    adj: Vec<Vec<usize>>,
+}
+
+impl SocialGraph {
+    /// Builds from undirected friendship pairs; self-loops are ignored and
+    /// duplicates removed.
+    pub fn from_edges(num_users: usize, edges: &[(usize, usize)]) -> Self {
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); num_users];
+        for &(a, b) in edges {
+            assert!(a < num_users && b < num_users, "social edge out of range");
+            if a == b {
+                continue;
+            }
+            adj[a].push(b);
+            adj[b].push(a);
+        }
+        for list in &mut adj {
+            list.sort_unstable();
+            list.dedup();
+        }
+        SocialGraph { adj }
+    }
+
+    /// Number of users.
+    pub fn num_users(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Friends of `user`, sorted.
+    pub fn friends(&self, user: usize) -> &[usize] {
+        &self.adj[user]
+    }
+
+    /// Total undirected edge count.
+    pub fn num_edges(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum::<usize>() / 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> BipartiteGraph {
+        BipartiteGraph::from_ratings(
+            3,
+            4,
+            &[
+                Rating::new(0, 0, 5.0),
+                Rating::new(0, 1, 3.0),
+                Rating::new(1, 1, 4.0),
+                Rating::new(2, 3, 1.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn adjacency_both_sides() {
+        let g = toy();
+        assert_eq!(g.user_neighbors(0), &[(0, 5.0), (1, 3.0)]);
+        assert_eq!(g.item_neighbors(1), &[(0, 3.0), (1, 4.0)]);
+        assert_eq!(g.user_degree(2), 1);
+        assert_eq!(g.item_degree(2), 0);
+        assert_eq!(g.num_ratings(), 4);
+    }
+
+    #[test]
+    fn rating_lookup() {
+        let g = toy();
+        assert_eq!(g.rating(0, 1), Some(3.0));
+        assert_eq!(g.rating(1, 0), None);
+        assert_eq!(g.rating(2, 3), Some(1.0));
+    }
+
+    #[test]
+    fn duplicate_edges_deduped() {
+        let g = BipartiteGraph::from_ratings(
+            1,
+            1,
+            &[Rating::new(0, 0, 1.0), Rating::new(0, 0, 5.0)],
+        );
+        assert_eq!(g.num_ratings(), 1);
+    }
+
+    #[test]
+    fn stats() {
+        let g = toy();
+        assert!((g.mean_rating().unwrap() - 3.25).abs() < 1e-6);
+        assert!((g.density() - 4.0 / 12.0).abs() < 1e-6);
+        assert!(BipartiteGraph::empty(2, 2).mean_rating().is_none());
+    }
+
+    #[test]
+    fn edges_roundtrip() {
+        let g = toy();
+        let edges: Vec<Rating> = g.edges().collect();
+        let g2 = BipartiteGraph::from_ratings(3, 4, &edges);
+        assert_eq!(g2.num_ratings(), g.num_ratings());
+        assert_eq!(g2.rating(0, 0), Some(5.0));
+    }
+
+    #[test]
+    fn with_extra_edges_adds() {
+        let g = toy().with_extra_edges(&[Rating::new(2, 0, 2.0)]);
+        assert_eq!(g.rating(2, 0), Some(2.0));
+        assert_eq!(g.num_ratings(), 5);
+    }
+
+    #[test]
+    fn social_graph_basic() {
+        let s = SocialGraph::from_edges(4, &[(0, 1), (1, 0), (2, 2), (1, 3)]);
+        assert_eq!(s.friends(1), &[0, 3]);
+        assert_eq!(s.friends(2), &[] as &[usize]);
+        assert_eq!(s.num_edges(), 2);
+    }
+}

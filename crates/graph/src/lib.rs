@@ -1,0 +1,19 @@
+//! # hire-graph
+//!
+//! Graph substrate of the HIRE reproduction: the user-item bipartite rating
+//! graph ([`BipartiteGraph`]), the user-user social graph ([`SocialGraph`],
+//! for the GraphRec baseline), and the three prediction-context sampling
+//! strategies of § IV-B / § VI-E:
+//!
+//! - [`NeighborhoodSampler`] — BFS from the seed pair (the paper's default)
+//! - [`RandomSampler`] — uniform sampling ablation
+//! - [`FeatureSimilaritySampler`] — cosine-similarity ablation
+
+pub mod bipartite;
+pub mod sampler;
+
+pub use bipartite::{BipartiteGraph, Rating, SocialGraph};
+pub use sampler::{
+    ContextSampler, ContextSelection, FeatureSimilaritySampler, NeighborhoodSampler,
+    RandomSampler,
+};

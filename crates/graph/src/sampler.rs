@@ -1,0 +1,379 @@
+//! Prediction-context construction strategies (§ IV-B and § VI-E of the
+//! paper): neighborhood-based BFS sampling (the default), uniform random
+//! sampling, and feature-similarity sampling.
+
+use crate::bipartite::BipartiteGraph;
+use rand::seq::SliceRandom;
+use std::collections::HashSet;
+
+/// The users and items selected for one prediction context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ContextSelection {
+    /// Selected user indices (seeds first, in seed order).
+    pub users: Vec<usize>,
+    /// Selected item indices (seeds first, in seed order).
+    pub items: Vec<usize>,
+}
+
+/// A strategy for selecting `n` users and `m` items around seed entities.
+///
+/// Implementations must include all seeds, return no duplicates, and return
+/// exactly `n` users / `m` items whenever the graph has that many (assuming
+/// `n`/`m` are at least the seed counts).
+pub trait ContextSampler {
+    /// Samples a context around the given seed users/items.
+    fn sample(
+        &self,
+        graph: &BipartiteGraph,
+        seed_users: &[usize],
+        seed_items: &[usize],
+        n: usize,
+        m: usize,
+        rng: &mut dyn rand::RngCore,
+    ) -> ContextSelection;
+
+    /// Human-readable strategy name (used in benchmark output).
+    fn name(&self) -> &'static str;
+}
+
+fn dedup_seeds(seeds: &[usize], budget: usize) -> Vec<usize> {
+    let mut seen = HashSet::new();
+    let mut out = Vec::new();
+    for &s in seeds {
+        if seen.insert(s) {
+            out.push(s);
+        }
+    }
+    assert!(
+        out.len() <= budget,
+        "seed count {} exceeds budget {budget}",
+        out.len()
+    );
+    out
+}
+
+/// Fills `selected` up to `budget` with uniformly random fresh indices from
+/// `0..total`.
+fn fill_random(
+    selected: &mut Vec<usize>,
+    budget: usize,
+    total: usize,
+    rng: &mut dyn rand::RngCore,
+) {
+    if selected.len() >= budget || total == 0 {
+        return;
+    }
+    let chosen: HashSet<usize> = selected.iter().copied().collect();
+    let mut pool: Vec<usize> = (0..total).filter(|x| !chosen.contains(x)).collect();
+    pool.shuffle(rng);
+    for x in pool {
+        if selected.len() >= budget {
+            break;
+        }
+        selected.push(x);
+    }
+}
+
+// ----------------------------------------------------------------------
+// Neighborhood sampling (paper default)
+// ----------------------------------------------------------------------
+
+/// BFS from the seed set over the bipartite graph, hop by hop, taking whole
+/// neighborhoods when they fit the remaining budget and uniform subsets
+/// otherwise. Falls back to uniform sampling when the frontier empties
+/// before the budget is exhausted (disconnected cold entities).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NeighborhoodSampler;
+
+impl ContextSampler for NeighborhoodSampler {
+    fn sample(
+        &self,
+        graph: &BipartiteGraph,
+        seed_users: &[usize],
+        seed_items: &[usize],
+        n: usize,
+        m: usize,
+        rng: &mut dyn rand::RngCore,
+    ) -> ContextSelection {
+        let mut users = dedup_seeds(seed_users, n);
+        let mut items = dedup_seeds(seed_items, m);
+        let mut user_set: HashSet<usize> = users.iter().copied().collect();
+        let mut item_set: HashSet<usize> = items.iter().copied().collect();
+
+        let mut frontier_users: Vec<usize> = users.clone();
+        let mut frontier_items: Vec<usize> = items.clone();
+
+        while (users.len() < n || items.len() < m)
+            && (!frontier_users.is_empty() || !frontier_items.is_empty())
+        {
+            // One hop: neighbors of frontier users are items, and vice versa.
+            let mut next_items: Vec<usize> = Vec::new();
+            for &u in &frontier_users {
+                for &(i, _) in graph.user_neighbors(u) {
+                    if !item_set.contains(&i) && !next_items.contains(&i) {
+                        next_items.push(i);
+                    }
+                }
+            }
+            let mut next_users: Vec<usize> = Vec::new();
+            for &i in &frontier_items {
+                for &(u, _) in graph.item_neighbors(i) {
+                    if !user_set.contains(&u) && !next_users.contains(&u) {
+                        next_users.push(u);
+                    }
+                }
+            }
+
+            // Subsample to the remaining budget when the hop overflows it.
+            let item_budget = m - items.len();
+            if next_items.len() > item_budget {
+                next_items.shuffle(rng);
+                next_items.truncate(item_budget);
+            }
+            let user_budget = n - users.len();
+            if next_users.len() > user_budget {
+                next_users.shuffle(rng);
+                next_users.truncate(user_budget);
+            }
+
+            for &i in &next_items {
+                item_set.insert(i);
+                items.push(i);
+            }
+            for &u in &next_users {
+                user_set.insert(u);
+                users.push(u);
+            }
+            frontier_users = next_users;
+            frontier_items = next_items;
+        }
+
+        // Disconnected remainder: fill uniformly so the context is full.
+        fill_random(&mut users, n, graph.num_users(), rng);
+        fill_random(&mut items, m, graph.num_items(), rng);
+        ContextSelection { users, items }
+    }
+
+    fn name(&self) -> &'static str {
+        "neighborhood"
+    }
+}
+
+// ----------------------------------------------------------------------
+// Random sampling (ablation)
+// ----------------------------------------------------------------------
+
+/// Uniformly random users/items (plus the seeds).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RandomSampler;
+
+impl ContextSampler for RandomSampler {
+    fn sample(
+        &self,
+        graph: &BipartiteGraph,
+        seed_users: &[usize],
+        seed_items: &[usize],
+        n: usize,
+        m: usize,
+        rng: &mut dyn rand::RngCore,
+    ) -> ContextSelection {
+        let mut users = dedup_seeds(seed_users, n);
+        let mut items = dedup_seeds(seed_items, m);
+        fill_random(&mut users, n, graph.num_users(), rng);
+        fill_random(&mut items, m, graph.num_items(), rng);
+        ContextSelection { users, items }
+    }
+
+    fn name(&self) -> &'static str {
+        "random"
+    }
+}
+
+// ----------------------------------------------------------------------
+// Feature-similarity sampling (ablation)
+// ----------------------------------------------------------------------
+
+/// Selects the users/items with the highest cosine similarity of attribute
+/// features to the seed entities (§ VI-E).
+pub struct FeatureSimilaritySampler {
+    user_features: Vec<Vec<f32>>,
+    item_features: Vec<Vec<f32>>,
+}
+
+impl FeatureSimilaritySampler {
+    /// Creates the sampler from per-entity feature vectors.
+    pub fn new(user_features: Vec<Vec<f32>>, item_features: Vec<Vec<f32>>) -> Self {
+        FeatureSimilaritySampler { user_features, item_features }
+    }
+
+    fn top_similar(
+        features: &[Vec<f32>],
+        seeds: &[usize],
+        selected: &mut Vec<usize>,
+        budget: usize,
+    ) {
+        if selected.len() >= budget || seeds.is_empty() {
+            return;
+        }
+        let chosen: HashSet<usize> = selected.iter().copied().collect();
+        let mut scored: Vec<(f32, usize)> = (0..features.len())
+            .filter(|x| !chosen.contains(x))
+            .map(|x| {
+                let best = seeds
+                    .iter()
+                    .map(|&s| cosine(&features[s], &features[x]))
+                    .fold(f32::NEG_INFINITY, f32::max);
+                (best, x)
+            })
+            .collect();
+        scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+        for (_, x) in scored {
+            if selected.len() >= budget {
+                break;
+            }
+            selected.push(x);
+        }
+    }
+}
+
+fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    let dot: f32 = a.iter().zip(b).map(|(&x, &y)| x * y).sum();
+    let na: f32 = a.iter().map(|&x| x * x).sum::<f32>().sqrt();
+    let nb: f32 = b.iter().map(|&x| x * x).sum::<f32>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na * nb)
+    }
+}
+
+impl ContextSampler for FeatureSimilaritySampler {
+    fn sample(
+        &self,
+        graph: &BipartiteGraph,
+        seed_users: &[usize],
+        seed_items: &[usize],
+        n: usize,
+        m: usize,
+        rng: &mut dyn rand::RngCore,
+    ) -> ContextSelection {
+        let mut users = dedup_seeds(seed_users, n);
+        let mut items = dedup_seeds(seed_items, m);
+        let seed_u = users.clone();
+        let seed_i = items.clone();
+        Self::top_similar(&self.user_features, &seed_u, &mut users, n);
+        Self::top_similar(&self.item_features, &seed_i, &mut items, m);
+        // No seeds on one side, or not enough entities: random fallback.
+        fill_random(&mut users, n, graph.num_users(), rng);
+        fill_random(&mut items, m, graph.num_items(), rng);
+        ContextSelection { users, items }
+    }
+
+    fn name(&self) -> &'static str {
+        "feature-similarity"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bipartite::Rating;
+    use rand::SeedableRng;
+
+    /// The paper's Example 1 graph: users {u0,u1,u2}, items {i0,i1},
+    /// edges u1-i1, u2-i1, u1-i0. Seed = (u0, i1), n = m = 2.
+    fn example1() -> BipartiteGraph {
+        BipartiteGraph::from_ratings(
+            3,
+            2,
+            &[
+                Rating::new(1, 1, 4.0),
+                Rating::new(2, 1, 3.0),
+                Rating::new(1, 0, 5.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn neighborhood_follows_paper_example() {
+        let g = example1();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let sel = NeighborhoodSampler.sample(&g, &[0], &[1], 2, 2, &mut rng);
+        assert_eq!(sel.users.len(), 2);
+        assert_eq!(sel.items.len(), 2);
+        assert_eq!(sel.users[0], 0, "seed user first");
+        assert_eq!(sel.items[0], 1, "seed item first");
+        // the extra user must be a neighbor of i1 (u1 or u2)
+        assert!(sel.users[1] == 1 || sel.users[1] == 2);
+        // the extra item is i0 (only remaining item)
+        assert_eq!(sel.items[1], 0);
+    }
+
+    #[test]
+    fn budgets_are_exact_when_graph_is_large_enough() {
+        let g = example1();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for sampler in [&NeighborhoodSampler as &dyn ContextSampler, &RandomSampler] {
+            let sel = sampler.sample(&g, &[0], &[0], 3, 2, &mut rng);
+            assert_eq!(sel.users.len(), 3, "{}", sampler.name());
+            assert_eq!(sel.items.len(), 2, "{}", sampler.name());
+            // uniqueness
+            let us: HashSet<_> = sel.users.iter().collect();
+            let is: HashSet<_> = sel.items.iter().collect();
+            assert_eq!(us.len(), 3);
+            assert_eq!(is.len(), 2);
+        }
+    }
+
+    #[test]
+    fn disconnected_seed_falls_back_to_random() {
+        // u0 has no edges at all; context must still fill.
+        let g = BipartiteGraph::from_ratings(4, 4, &[Rating::new(1, 1, 3.0)]);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let sel = NeighborhoodSampler.sample(&g, &[0], &[], 3, 3, &mut rng);
+        assert_eq!(sel.users.len(), 3);
+        assert_eq!(sel.items.len(), 3);
+    }
+
+    #[test]
+    fn duplicate_seeds_are_deduped() {
+        let g = example1();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let sel = RandomSampler.sample(&g, &[0, 0, 0], &[1, 1], 2, 2, &mut rng);
+        assert_eq!(sel.users.len(), 2);
+        assert_eq!(sel.items.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds budget")]
+    fn too_many_seeds_panics() {
+        let g = example1();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        NeighborhoodSampler.sample(&g, &[0, 1, 2], &[], 2, 2, &mut rng);
+    }
+
+    #[test]
+    fn feature_similarity_prefers_similar_entities() {
+        let g = BipartiteGraph::empty(4, 4);
+        let uf = vec![
+            vec![1.0, 0.0], // seed
+            vec![0.9, 0.1], // most similar
+            vec![0.0, 1.0],
+            vec![-1.0, 0.0],
+        ];
+        let features = FeatureSimilaritySampler::new(uf, vec![vec![1.0]; 4]);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let sel = features.sample(&g, &[0], &[0], 2, 1, &mut rng);
+        assert_eq!(sel.users, vec![0, 1]);
+    }
+
+    #[test]
+    fn samplers_report_names() {
+        assert_eq!(NeighborhoodSampler.name(), "neighborhood");
+        assert_eq!(RandomSampler.name(), "random");
+        assert_eq!(
+            FeatureSimilaritySampler::new(vec![], vec![]).name(),
+            "feature-similarity"
+        );
+    }
+}

@@ -1,0 +1,14 @@
+//! # hire-metrics
+//!
+//! Evaluation metrics for the HIRE reproduction: the ranking metrics used
+//! throughout the paper's tables ([`precision_at_k`], [`ndcg_at_k`],
+//! [`map_at_k`] at k ∈ {5, 7, 10}) and `mean(std)` aggregation
+//! ([`Accumulator`]).
+
+pub mod aggregate;
+pub mod ranking;
+
+pub use aggregate::{mean_std, Accumulator};
+pub use ranking::{
+    map_at_k, ndcg_at_k, precision_at_k, ranking_metrics, RankingMetrics, ScoredPair,
+};

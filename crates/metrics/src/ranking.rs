@@ -1,0 +1,205 @@
+//! Ranking metrics: Precision@k, NDCG@k, MAP@k.
+//!
+//! Following § VI-A of the paper: *"Top k actual rating values sorted by
+//! predicted rating values are used to calculate the above metrics"* — a
+//! ranking unit is one cold entity's query set; items are ordered by the
+//! predicted rating and the metrics are computed over the actual ratings in
+//! that order. Precision and MAP binarize relevance at a threshold; NDCG
+//! uses graded relevance.
+
+/// A scored query pair: the model's prediction and the ground-truth rating.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoredPair {
+    /// Predicted rating.
+    pub predicted: f32,
+    /// Actual (ground-truth) rating.
+    pub actual: f32,
+}
+
+impl ScoredPair {
+    /// Convenience constructor.
+    pub fn new(predicted: f32, actual: f32) -> Self {
+        ScoredPair { predicted, actual }
+    }
+}
+
+/// Sorts actual ratings by descending predicted rating (stable on ties).
+fn actual_in_predicted_order(pairs: &[ScoredPair]) -> Vec<f32> {
+    let mut ix: Vec<usize> = (0..pairs.len()).collect();
+    ix.sort_by(|&a, &b| {
+        pairs[b]
+            .predicted
+            .partial_cmp(&pairs[a].predicted)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    ix.into_iter().map(|i| pairs[i].actual).collect()
+}
+
+/// Precision@k with binary relevance at `threshold` (actual >= threshold).
+///
+/// When fewer than `k` pairs exist, the denominator is the number of pairs.
+pub fn precision_at_k(pairs: &[ScoredPair], k: usize, threshold: f32) -> f32 {
+    assert!(k > 0, "k must be positive");
+    if pairs.is_empty() {
+        return 0.0;
+    }
+    let ordered = actual_in_predicted_order(pairs);
+    let depth = k.min(ordered.len());
+    let relevant = ordered[..depth].iter().filter(|&&a| a >= threshold).count();
+    relevant as f32 / depth as f32
+}
+
+/// NDCG@k with graded relevance (the actual rating) and the standard
+/// `rel / log2(pos + 2)` discount. Returns 1.0 when the predicted order is
+/// ideal, and 0 when there are no pairs or all gains are zero.
+pub fn ndcg_at_k(pairs: &[ScoredPair], k: usize) -> f32 {
+    assert!(k > 0, "k must be positive");
+    if pairs.is_empty() {
+        return 0.0;
+    }
+    let ordered = actual_in_predicted_order(pairs);
+    let depth = k.min(ordered.len());
+    let dcg: f64 = ordered[..depth]
+        .iter()
+        .enumerate()
+        .map(|(i, &rel)| rel as f64 / ((i + 2) as f64).log2())
+        .sum();
+    let mut ideal = ordered.clone();
+    ideal.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+    let idcg: f64 = ideal[..depth]
+        .iter()
+        .enumerate()
+        .map(|(i, &rel)| rel as f64 / ((i + 2) as f64).log2())
+        .sum();
+    if idcg <= 0.0 {
+        0.0
+    } else {
+        (dcg / idcg) as f32
+    }
+}
+
+/// MAP@k (mean average precision truncated at `k`) with binary relevance at
+/// `threshold`. Average precision is normalized by `min(k, #relevant)`.
+pub fn map_at_k(pairs: &[ScoredPair], k: usize, threshold: f32) -> f32 {
+    assert!(k > 0, "k must be positive");
+    if pairs.is_empty() {
+        return 0.0;
+    }
+    let ordered = actual_in_predicted_order(pairs);
+    let depth = k.min(ordered.len());
+    let total_relevant = ordered.iter().filter(|&&a| a >= threshold).count();
+    if total_relevant == 0 {
+        return 0.0;
+    }
+    let mut hits = 0usize;
+    let mut sum_precision = 0.0f64;
+    for (i, &a) in ordered[..depth].iter().enumerate() {
+        if a >= threshold {
+            hits += 1;
+            sum_precision += hits as f64 / (i + 1) as f64;
+        }
+    }
+    (sum_precision / total_relevant.min(depth) as f64) as f32
+}
+
+/// All three metrics at one cutoff.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RankingMetrics {
+    /// Precision@k.
+    pub precision: f32,
+    /// NDCG@k.
+    pub ndcg: f32,
+    /// MAP@k.
+    pub map: f32,
+}
+
+/// Computes Precision/NDCG/MAP at `k` in one pass.
+pub fn ranking_metrics(pairs: &[ScoredPair], k: usize, threshold: f32) -> RankingMetrics {
+    RankingMetrics {
+        precision: precision_at_k(pairs, k, threshold),
+        ndcg: ndcg_at_k(pairs, k),
+        map: map_at_k(pairs, k, threshold),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pairs(data: &[(f32, f32)]) -> Vec<ScoredPair> {
+        data.iter().map(|&(p, a)| ScoredPair::new(p, a)).collect()
+    }
+
+    #[test]
+    fn perfect_ranking_scores_one() {
+        // predictions perfectly ordered, all top-k relevant
+        let p = pairs(&[(5.0, 5.0), (4.0, 5.0), (3.0, 4.0), (2.0, 1.0), (1.0, 1.0)]);
+        assert_eq!(precision_at_k(&p, 3, 4.0), 1.0);
+        assert!((ndcg_at_k(&p, 3) - 1.0).abs() < 1e-6);
+        assert!((map_at_k(&p, 3, 4.0) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn inverted_ranking_scores_low() {
+        let p = pairs(&[(1.0, 5.0), (2.0, 5.0), (4.0, 1.0), (5.0, 1.0)]);
+        // top-2 predicted are the 1-rated items
+        assert_eq!(precision_at_k(&p, 2, 4.0), 0.0);
+        assert!(ndcg_at_k(&p, 2) < 0.5);
+        assert_eq!(map_at_k(&p, 2, 4.0), 0.0);
+    }
+
+    #[test]
+    fn precision_counts_relevant_fraction() {
+        let p = pairs(&[(5.0, 5.0), (4.0, 2.0), (3.0, 4.0), (2.0, 2.0)]);
+        // predicted order: 5,2,4,2 → top3 relevant = {5,4} → 2/3
+        assert!((precision_at_k(&p, 3, 4.0) - 2.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn short_lists_use_available_depth() {
+        let p = pairs(&[(1.0, 5.0), (2.0, 1.0)]);
+        // k = 10 but only 2 pairs; predicted order: 1, 5
+        assert_eq!(precision_at_k(&p, 10, 4.0), 0.5);
+        assert!(ndcg_at_k(&p, 10) > 0.0);
+    }
+
+    #[test]
+    fn empty_input_is_zero() {
+        assert_eq!(precision_at_k(&[], 5, 4.0), 0.0);
+        assert_eq!(ndcg_at_k(&[], 5), 0.0);
+        assert_eq!(map_at_k(&[], 5, 4.0), 0.0);
+    }
+
+    #[test]
+    fn map_known_value() {
+        // predicted order fixed by descending predictions
+        // actual relevance (threshold 4): [R, N, R, N, R]
+        let p = pairs(&[(5.0, 5.0), (4.0, 1.0), (3.0, 4.0), (2.0, 1.0), (1.0, 5.0)]);
+        // AP@5 = (1/1 + 2/3 + 3/5) / 3
+        let expect = (1.0 + 2.0 / 3.0 + 3.0 / 5.0) / 3.0;
+        assert!((map_at_k(&p, 5, 4.0) - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ndcg_prefers_better_order() {
+        let good = pairs(&[(3.0, 5.0), (2.0, 3.0), (1.0, 1.0)]);
+        let bad = pairs(&[(1.0, 5.0), (2.0, 3.0), (3.0, 1.0)]);
+        assert!(ndcg_at_k(&good, 3) > ndcg_at_k(&bad, 3));
+    }
+
+    #[test]
+    fn all_irrelevant_map_is_zero() {
+        let p = pairs(&[(5.0, 1.0), (4.0, 2.0)]);
+        assert_eq!(map_at_k(&p, 2, 4.0), 0.0);
+        assert_eq!(precision_at_k(&p, 2, 4.0), 0.0);
+    }
+
+    #[test]
+    fn combined_struct_matches_parts() {
+        let p = pairs(&[(5.0, 5.0), (4.0, 2.0), (3.0, 4.0)]);
+        let m = ranking_metrics(&p, 3, 4.0);
+        assert_eq!(m.precision, precision_at_k(&p, 3, 4.0));
+        assert_eq!(m.ndcg, ndcg_at_k(&p, 3));
+        assert_eq!(m.map, map_at_k(&p, 3, 4.0));
+    }
+}

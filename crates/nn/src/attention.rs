@@ -1,0 +1,222 @@
+//! Multi-head self-attention (Eq. (1)-(4) of the paper) with batched
+//! parameter sharing — the building block of the Heterogeneous Interaction
+//! Module.
+
+use crate::module::Module;
+use hire_tensor::{init, NdArray, Tensor};
+use rand::Rng;
+
+/// Multi-head self-attention over the second-to-last axis.
+///
+/// Input `[batch, t, d]` (or `[t, d]`, treated as batch 1); output has the
+/// same shape. All batch elements share parameters — exactly the
+/// "parameter-sharing MHSA processed in parallel" of Eq. (10), (12), (14).
+pub struct MultiHeadSelfAttention {
+    w_q: Tensor,
+    w_k: Tensor,
+    w_v: Tensor,
+    w_o: Tensor,
+    heads: usize,
+    head_dim: usize,
+    model_dim: usize,
+}
+
+/// Output of a forward pass that also exposes the attention weights.
+pub struct AttentionOutput {
+    /// Fused embeddings, same shape as the input.
+    pub output: Tensor,
+    /// Attention weights `[batch, heads, t, t]` (detached values).
+    pub weights: NdArray,
+}
+
+impl MultiHeadSelfAttention {
+    /// Creates an MHSA layer with `heads` heads of `head_dim` dims each.
+    ///
+    /// The paper's default is 8 heads x 16 dims on a 128-dim model.
+    pub fn new(model_dim: usize, heads: usize, head_dim: usize, rng: &mut impl Rng) -> Self {
+        assert!(heads > 0 && head_dim > 0 && model_dim > 0);
+        let inner = heads * head_dim;
+        MultiHeadSelfAttention {
+            w_q: Tensor::parameter(init::xavier_uniform(model_dim, inner, rng)),
+            w_k: Tensor::parameter(init::xavier_uniform(model_dim, inner, rng)),
+            w_v: Tensor::parameter(init::xavier_uniform(model_dim, inner, rng)),
+            w_o: Tensor::parameter(init::xavier_uniform(inner, model_dim, rng)),
+            heads,
+            head_dim,
+            model_dim,
+        }
+    }
+
+    /// Number of attention heads.
+    pub fn heads(&self) -> usize {
+        self.heads
+    }
+
+    /// Model (input/output) dimension.
+    pub fn model_dim(&self) -> usize {
+        self.model_dim
+    }
+
+    /// Applies self-attention; see [`Self::forward_with_weights`] for the
+    /// variant that exposes attention matrices.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        self.run(x, false).output
+    }
+
+    /// Applies self-attention and returns the per-head attention weights
+    /// (used by the paper's case study, Fig. 9).
+    pub fn forward_with_weights(&self, x: &Tensor) -> AttentionOutput {
+        self.run(x, true)
+    }
+
+    fn run(&self, x: &Tensor, keep_weights: bool) -> AttentionOutput {
+        let dims = x.dims();
+        assert!(
+            dims.len() == 2 || dims.len() == 3,
+            "MHSA input must be [t, d] or [batch, t, d], got {dims:?}"
+        );
+        let squeeze = dims.len() == 2;
+        let (b, t, d) = if squeeze {
+            (1, dims[0], dims[1])
+        } else {
+            (dims[0], dims[1], dims[2])
+        };
+        assert_eq!(d, self.model_dim, "MHSA expected dim {}, got {d}", self.model_dim);
+
+        let x3 = if squeeze { x.reshape([1, t, d]) } else { x.clone() };
+        let l = self.heads;
+        let dk = self.head_dim;
+
+        // [b, t, l*dk] -> [b, l, t, dk] -> [b*l, t, dk]
+        let split = |proj: Tensor| -> Tensor {
+            proj.reshape([b, t, l, dk])
+                .permute(&[0, 2, 1, 3])
+                .reshape([b * l, t, dk])
+        };
+        let q = split(x3.linear(&self.w_q));
+        let k = split(x3.linear(&self.w_k));
+        let v = split(x3.linear(&self.w_v));
+
+        // A = softmax(Q K^T / sqrt(dk))  : [b*l, t, t]
+        let scores = q
+            .matmul(&k.transpose_last2())
+            .mul_scalar(1.0 / (dk as f32).sqrt());
+        let attn = scores.softmax_last();
+        let weights = if keep_weights {
+            attn.value().reshaped([b, l, t, t])
+        } else {
+            NdArray::zeros([0])
+        };
+
+        // [b*l, t, dk] -> [b, t, l*dk] -> W_O -> [b, t, d]
+        let fused = attn
+            .matmul(&v)
+            .reshape([b, l, t, dk])
+            .permute(&[0, 2, 1, 3])
+            .reshape([b, t, l * dk]);
+        let out = fused.linear(&self.w_o);
+        let output = if squeeze { out.reshape([t, d]) } else { out };
+        AttentionOutput { output, weights }
+    }
+}
+
+impl Module for MultiHeadSelfAttention {
+    fn parameters(&self) -> Vec<Tensor> {
+        vec![
+            self.w_q.clone(),
+            self.w_k.clone(),
+            self.w_v.clone(),
+            self.w_o.clone(),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn output_shape_matches_input() {
+        let mut r = rng();
+        let mhsa = MultiHeadSelfAttention::new(8, 2, 4, &mut r);
+        let x = Tensor::constant(NdArray::randn([3, 5, 8], 0.0, 1.0, &mut r));
+        assert_eq!(mhsa.forward(&x).dims(), vec![3, 5, 8]);
+        let x2 = Tensor::constant(NdArray::randn([5, 8], 0.0, 1.0, &mut r));
+        assert_eq!(mhsa.forward(&x2).dims(), vec![5, 8]);
+    }
+
+    #[test]
+    fn attention_rows_sum_to_one() {
+        let mut r = rng();
+        let mhsa = MultiHeadSelfAttention::new(8, 2, 4, &mut r);
+        let x = Tensor::constant(NdArray::randn([2, 4, 8], 0.0, 1.0, &mut r));
+        let out = mhsa.forward_with_weights(&x);
+        assert_eq!(out.weights.dims(), &[2, 2, 4, 4]);
+        for row in 0..(2 * 2 * 4) {
+            let s: f32 = out.weights.as_slice()[row * 4..(row + 1) * 4].iter().sum();
+            assert!((s - 1.0).abs() < 1e-5, "row {row} sums to {s}");
+        }
+    }
+
+    /// Eq. (5): MHSA is equivariant to token permutation.
+    #[test]
+    fn permutation_equivariance() {
+        let mut r = rng();
+        let mhsa = MultiHeadSelfAttention::new(6, 3, 2, &mut r);
+        let x = NdArray::randn([4, 6], 0.0, 1.0, &mut r);
+        let y = mhsa.forward(&Tensor::constant(x.clone())).value();
+
+        // permute tokens (rows) by [2, 0, 3, 1]
+        let perm = [2usize, 0, 3, 1];
+        let mut xp = NdArray::zeros([4, 6]);
+        for (i, &p) in perm.iter().enumerate() {
+            for j in 0..6 {
+                *xp.at_mut(&[i, j]) = x.at(&[p, j]);
+            }
+        }
+        let yp = mhsa.forward(&Tensor::constant(xp)).value();
+        for (i, &p) in perm.iter().enumerate() {
+            for j in 0..6 {
+                assert!(
+                    (yp.at(&[i, j]) - y.at(&[p, j])).abs() < 1e-4,
+                    "mismatch at ({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_elements_are_independent() {
+        let mut r = rng();
+        let mhsa = MultiHeadSelfAttention::new(6, 2, 3, &mut r);
+        let a = NdArray::randn([4, 6], 0.0, 1.0, &mut r);
+        let b = NdArray::randn([4, 6], 0.0, 1.0, &mut r);
+        let stacked = {
+            let mut buf = a.as_slice().to_vec();
+            buf.extend_from_slice(b.as_slice());
+            NdArray::from_vec([2, 4, 6], buf)
+        };
+        let y_batch = mhsa.forward(&Tensor::constant(stacked)).value();
+        let ya = mhsa.forward(&Tensor::constant(a)).value();
+        let yb = mhsa.forward(&Tensor::constant(b)).value();
+        assert!(NdArray::from_vec([4, 6], y_batch.as_slice()[..24].to_vec()).allclose(&ya, 1e-5));
+        assert!(NdArray::from_vec([4, 6], y_batch.as_slice()[24..].to_vec()).allclose(&yb, 1e-5));
+    }
+
+    #[test]
+    fn gradients_flow_to_all_parameters() {
+        let mut r = rng();
+        let mhsa = MultiHeadSelfAttention::new(4, 2, 2, &mut r);
+        let x = Tensor::constant(NdArray::randn([2, 3, 4], 0.0, 1.0, &mut r));
+        mhsa.forward(&x).square().sum().backward();
+        for (i, p) in mhsa.parameters().iter().enumerate() {
+            let g = p.grad().expect("missing grad");
+            assert!(g.norm_l2() > 0.0, "param {i} has zero grad");
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Global-norm gradient clipping.
+
+use hire_tensor::Tensor;
+
+/// Clips gradients so their joint L2 norm is at most `max_norm`.
+///
+/// Returns the pre-clip global norm (the paper uses threshold 1.0).
+pub fn clip_grad_norm(params: &[Tensor], max_norm: f32) -> f32 {
+    assert!(max_norm > 0.0, "max_norm must be positive");
+    let mut sq_sum = 0.0f64;
+    for p in params {
+        p.with_grad(|g| {
+            if let Some(g) = g {
+                let n = g.norm_l2() as f64;
+                sq_sum += n * n;
+            }
+        });
+    }
+    let total = sq_sum.sqrt() as f32;
+    if total > max_norm && total > 0.0 {
+        let scale = max_norm / total;
+        for p in params {
+            p.update_grad(|g| g.scale_inplace(scale));
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hire_tensor::NdArray;
+
+    fn param_with_grad(values: &[f32]) -> Tensor {
+        let t = Tensor::parameter(NdArray::from_vec([values.len()], values.to_vec()));
+        let loss = t.mul(&Tensor::constant(NdArray::from_vec(
+            [values.len()],
+            values.to_vec(),
+        )))
+        .sum();
+        loss.backward();
+        t
+    }
+
+    #[test]
+    fn clips_large_gradients() {
+        let p = param_with_grad(&[3.0, 4.0]); // grad = [3, 4], norm 5
+        let pre = clip_grad_norm(&[p.clone()], 1.0);
+        assert!((pre - 5.0).abs() < 1e-5);
+        let g = p.grad().unwrap();
+        assert!((g.norm_l2() - 1.0).abs() < 1e-5);
+        // direction preserved
+        assert!((g.as_slice()[0] / g.as_slice()[1] - 0.75).abs() < 1e-5);
+    }
+
+    #[test]
+    fn leaves_small_gradients_alone() {
+        let p = param_with_grad(&[0.3, 0.4]); // norm 0.5
+        let pre = clip_grad_norm(&[p.clone()], 1.0);
+        assert!((pre - 0.5).abs() < 1e-5);
+        assert!((p.grad().unwrap().norm_l2() - 0.5).abs() < 1e-5);
+    }
+
+    #[test]
+    fn joint_norm_across_params() {
+        let a = param_with_grad(&[3.0]);
+        let b = param_with_grad(&[4.0]);
+        let pre = clip_grad_norm(&[a.clone(), b.clone()], 2.5);
+        assert!((pre - 5.0).abs() < 1e-5);
+        let joint = (a.grad().unwrap().norm_l2().powi(2) + b.grad().unwrap().norm_l2().powi(2)).sqrt();
+        assert!((joint - 2.5).abs() < 1e-4);
+    }
+}

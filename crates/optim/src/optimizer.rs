@@ -1,0 +1,309 @@
+//! First-order optimizers: SGD, Adam, LAMB, and the Lookahead wrapper —
+//! the exact training stack described in the paper's implementation details
+//! (LAMB with β=(0.9, 0.999), ε=1e-6, wrapped in Lookahead with α=0.5, k=6).
+
+use hire_tensor::{NdArray, Tensor};
+
+/// A gradient-descent style optimizer over a fixed parameter list.
+pub trait Optimizer {
+    /// Applies one update using the gradients currently stored on the
+    /// parameters. Parameters without a gradient are skipped.
+    fn step(&mut self, lr: f32);
+
+    /// The parameters this optimizer updates.
+    fn params(&self) -> &[Tensor];
+
+    /// Clears gradients on all parameters.
+    fn zero_grad(&self) {
+        for p in self.params() {
+            p.zero_grad();
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// SGD
+// ----------------------------------------------------------------------
+
+/// Stochastic gradient descent with optional classical momentum.
+pub struct Sgd {
+    params: Vec<Tensor>,
+    momentum: f32,
+    velocity: Vec<Option<NdArray>>,
+}
+
+impl Sgd {
+    /// Plain SGD.
+    pub fn new(params: Vec<Tensor>) -> Self {
+        Self::with_momentum(params, 0.0)
+    }
+
+    /// SGD with momentum `mu ∈ [0, 1)`.
+    pub fn with_momentum(params: Vec<Tensor>, momentum: f32) -> Self {
+        assert!((0.0..1.0).contains(&momentum));
+        let n = params.len();
+        Sgd { params, momentum, velocity: vec![None; n] }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, lr: f32) {
+        for (i, p) in self.params.iter().enumerate() {
+            let Some(g) = p.grad() else { continue };
+            let update = if self.momentum > 0.0 {
+                let v = self.velocity[i].get_or_insert_with(|| NdArray::zeros(g.shape().clone()));
+                v.scale_inplace(self.momentum);
+                v.add_assign(&g);
+                v.clone()
+            } else {
+                g
+            };
+            p.update_value(|v| {
+                for (vi, ui) in v.as_mut_slice().iter_mut().zip(update.as_slice()) {
+                    *vi -= lr * ui;
+                }
+            });
+        }
+    }
+
+    fn params(&self) -> &[Tensor] {
+        &self.params
+    }
+}
+
+// ----------------------------------------------------------------------
+// Adam
+// ----------------------------------------------------------------------
+
+/// Adam (Kingma & Ba) with optional decoupled weight decay (AdamW-style).
+pub struct Adam {
+    params: Vec<Tensor>,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    weight_decay: f32,
+    m: Vec<Option<NdArray>>,
+    v: Vec<Option<NdArray>>,
+    t: u32,
+}
+
+impl Adam {
+    /// Adam with β=(0.9, 0.999), ε=1e-8, no weight decay.
+    pub fn new(params: Vec<Tensor>) -> Self {
+        Self::with_config(params, 0.9, 0.999, 1e-8, 0.0)
+    }
+
+    /// Fully configured Adam.
+    pub fn with_config(
+        params: Vec<Tensor>,
+        beta1: f32,
+        beta2: f32,
+        eps: f32,
+        weight_decay: f32,
+    ) -> Self {
+        let n = params.len();
+        Adam {
+            params,
+            beta1,
+            beta2,
+            eps,
+            weight_decay,
+            m: vec![None; n],
+            v: vec![None; n],
+            t: 0,
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, lr: f32) {
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (i, p) in self.params.iter().enumerate() {
+            let Some(g) = p.grad() else { continue };
+            let m = self.m[i].get_or_insert_with(|| NdArray::zeros(g.shape().clone()));
+            let v = self.v[i].get_or_insert_with(|| NdArray::zeros(g.shape().clone()));
+            for ((mi, vi), &gi) in m
+                .as_mut_slice()
+                .iter_mut()
+                .zip(v.as_mut_slice())
+                .zip(g.as_slice())
+            {
+                *mi = self.beta1 * *mi + (1.0 - self.beta1) * gi;
+                *vi = self.beta2 * *vi + (1.0 - self.beta2) * gi * gi;
+            }
+            let (beta_eps, wd) = (self.eps, self.weight_decay);
+            let (m_ref, v_ref) = (&*m, &*v);
+            p.update_value(|val| {
+                for ((x, &mi), &vi) in val
+                    .as_mut_slice()
+                    .iter_mut()
+                    .zip(m_ref.as_slice())
+                    .zip(v_ref.as_slice())
+                {
+                    let m_hat = mi / bc1;
+                    let v_hat = vi / bc2;
+                    let mut upd = m_hat / (v_hat.sqrt() + beta_eps);
+                    if wd > 0.0 {
+                        upd += wd * *x;
+                    }
+                    *x -= lr * upd;
+                }
+            });
+        }
+    }
+
+    fn params(&self) -> &[Tensor] {
+        &self.params
+    }
+}
+
+// ----------------------------------------------------------------------
+// LAMB
+// ----------------------------------------------------------------------
+
+/// LAMB (You et al., "Large Batch Optimization for Deep Learning"):
+/// Adam-style moments with a per-parameter-tensor trust ratio
+/// `‖w‖ / ‖update‖` rescaling the step.
+pub struct Lamb {
+    params: Vec<Tensor>,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    weight_decay: f32,
+    m: Vec<Option<NdArray>>,
+    v: Vec<Option<NdArray>>,
+    t: u32,
+}
+
+impl Lamb {
+    /// The paper's configuration: β=(0.9, 0.999), ε=1e-6.
+    pub fn paper_default(params: Vec<Tensor>) -> Self {
+        Self::with_config(params, 0.9, 0.999, 1e-6, 0.0)
+    }
+
+    /// Fully configured LAMB.
+    pub fn with_config(
+        params: Vec<Tensor>,
+        beta1: f32,
+        beta2: f32,
+        eps: f32,
+        weight_decay: f32,
+    ) -> Self {
+        let n = params.len();
+        Lamb {
+            params,
+            beta1,
+            beta2,
+            eps,
+            weight_decay,
+            m: vec![None; n],
+            v: vec![None; n],
+            t: 0,
+        }
+    }
+}
+
+impl Optimizer for Lamb {
+    fn step(&mut self, lr: f32) {
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (i, p) in self.params.iter().enumerate() {
+            let Some(g) = p.grad() else { continue };
+            let m = self.m[i].get_or_insert_with(|| NdArray::zeros(g.shape().clone()));
+            let v = self.v[i].get_or_insert_with(|| NdArray::zeros(g.shape().clone()));
+            for ((mi, vi), &gi) in m
+                .as_mut_slice()
+                .iter_mut()
+                .zip(v.as_mut_slice())
+                .zip(g.as_slice())
+            {
+                *mi = self.beta1 * *mi + (1.0 - self.beta1) * gi;
+                *vi = self.beta2 * *vi + (1.0 - self.beta2) * gi * gi;
+            }
+            // r = m_hat / (sqrt(v_hat) + eps) (+ wd * w)
+            let value = p.value();
+            let mut update = NdArray::zeros(g.shape().clone());
+            for (((ui, &mi), &vi), &wi) in update
+                .as_mut_slice()
+                .iter_mut()
+                .zip(m.as_slice())
+                .zip(v.as_slice())
+                .zip(value.as_slice())
+            {
+                let m_hat = mi / bc1;
+                let v_hat = vi / bc2;
+                *ui = m_hat / (v_hat.sqrt() + self.eps) + self.weight_decay * wi;
+            }
+            let w_norm = value.norm_l2();
+            let u_norm = update.norm_l2();
+            let trust = if w_norm > 0.0 && u_norm > 0.0 { w_norm / u_norm } else { 1.0 };
+            p.update_value(|val| {
+                for (x, &ui) in val.as_mut_slice().iter_mut().zip(update.as_slice()) {
+                    *x -= lr * trust * ui;
+                }
+            });
+        }
+    }
+
+    fn params(&self) -> &[Tensor] {
+        &self.params
+    }
+}
+
+// ----------------------------------------------------------------------
+// Lookahead
+// ----------------------------------------------------------------------
+
+/// Lookahead (Zhang et al.): maintains slow weights; every `k` inner steps
+/// moves them `alpha` of the way toward the fast weights and resets the fast
+/// weights to the slow weights.
+pub struct Lookahead<O: Optimizer> {
+    inner: O,
+    alpha: f32,
+    k: u32,
+    step_count: u32,
+    slow: Vec<NdArray>,
+}
+
+impl<O: Optimizer> Lookahead<O> {
+    /// The paper's configuration: α=0.5, k=6.
+    pub fn paper_default(inner: O) -> Self {
+        Self::new(inner, 0.5, 6)
+    }
+
+    /// Fully configured Lookahead.
+    pub fn new(inner: O, alpha: f32, k: u32) -> Self {
+        assert!(k >= 1, "lookahead k must be >= 1");
+        assert!((0.0..=1.0).contains(&alpha));
+        let slow = inner.params().iter().map(|p| p.value()).collect();
+        Lookahead { inner, alpha, k, step_count: 0, slow }
+    }
+
+    /// Access to the wrapped optimizer.
+    pub fn inner(&self) -> &O {
+        &self.inner
+    }
+}
+
+impl<O: Optimizer> Optimizer for Lookahead<O> {
+    fn step(&mut self, lr: f32) {
+        self.inner.step(lr);
+        self.step_count += 1;
+        if self.step_count % self.k == 0 {
+            for (p, slow) in self.inner.params().iter().zip(&mut self.slow) {
+                let fast = p.value();
+                for (s, &f) in slow.as_mut_slice().iter_mut().zip(fast.as_slice()) {
+                    *s += self.alpha * (f - *s);
+                }
+                p.set_value(slow.clone());
+            }
+        }
+    }
+
+    fn params(&self) -> &[Tensor] {
+        self.inner.params()
+    }
+}

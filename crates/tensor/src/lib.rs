@@ -1,0 +1,38 @@
+//! # hire-tensor
+//!
+//! Dense `f32` tensor library with reverse-mode automatic differentiation,
+//! purpose-built as the numerical substrate of the HIRE reproduction
+//! (ICDE 2025, *All-in-One: Heterogeneous Interaction Modeling for
+//! Cold-Start Rating Prediction*).
+//!
+//! Components:
+//! - [`Shape`] — dimension bookkeeping, strides, broadcasting rules.
+//! - [`NdArray`] — contiguous row-major value type with numeric kernels
+//!   ([`linalg`]): broadcast arithmetic, batched matmul, permutation,
+//!   softmax, reductions, gather/scatter.
+//! - [`Tensor`] — autograd graph node; every op records a backward closure
+//!   and [`Tensor::backward`] accumulates gradients in topological order.
+//! - [`gradcheck`] — finite-difference validation used throughout the test
+//!   suite.
+//! - [`init`] — Xavier/Kaiming/embedding initializers.
+//!
+//! ```
+//! use hire_tensor::{NdArray, Tensor};
+//!
+//! let w = Tensor::parameter(NdArray::from_vec([2, 1], vec![0.5, -0.5]));
+//! let x = Tensor::constant(NdArray::from_vec([1, 2], vec![1.0, 2.0]));
+//! let y = x.matmul(&w).sum();
+//! y.backward();
+//! assert_eq!(w.grad().unwrap().as_slice(), &[1.0, 2.0]);
+//! ```
+
+pub mod autograd;
+pub mod gradcheck;
+pub mod init;
+pub mod linalg;
+pub mod ndarray;
+pub mod shape;
+
+pub use autograd::Tensor;
+pub use ndarray::NdArray;
+pub use shape::Shape;

@@ -1,0 +1,493 @@
+//! Numeric kernels on [`NdArray`]: broadcast arithmetic, (batched) matrix
+//! multiplication, axis permutation, concatenation, softmax and reductions.
+//!
+//! All kernels allocate their output; in-place variants exist only where the
+//! training loop needs them ([`NdArray::add_assign`] and friends).
+
+use crate::ndarray::NdArray;
+use crate::shape::Shape;
+
+/// Element-wise binary op with numpy-style broadcasting.
+pub fn broadcast_zip(a: &NdArray, b: &NdArray, f: impl Fn(f32, f32) -> f32) -> NdArray {
+    if a.shape() == b.shape() {
+        return a.zip(b, f);
+    }
+    let out_shape = a
+        .shape()
+        .broadcast(b.shape())
+        .unwrap_or_else(|| panic!("cannot broadcast {} with {}", a.shape(), b.shape()));
+    let rank = out_shape.rank();
+    let out_dims = out_shape.dims().to_vec();
+    let a_strides = padded_broadcast_strides(a.shape(), rank, &out_dims);
+    let b_strides = padded_broadcast_strides(b.shape(), rank, &out_dims);
+
+    let n = out_shape.numel();
+    let mut out = vec![0.0f32; n];
+    let mut index = vec![0usize; rank];
+    let a_data = a.as_slice();
+    let b_data = b.as_slice();
+    let mut a_off = 0usize;
+    let mut b_off = 0usize;
+    for slot in out.iter_mut() {
+        *slot = f(a_data[a_off], b_data[b_off]);
+        // Increment the multi-index, updating offsets incrementally.
+        for axis in (0..rank).rev() {
+            index[axis] += 1;
+            a_off += a_strides[axis];
+            b_off += b_strides[axis];
+            if index[axis] < out_dims[axis] {
+                break;
+            }
+            // carry: reset this axis
+            a_off -= a_strides[axis] * out_dims[axis];
+            b_off -= b_strides[axis] * out_dims[axis];
+            index[axis] = 0;
+        }
+    }
+    NdArray::from_vec(out_shape, out)
+}
+
+/// Broadcast-aware strides for `shape` viewed as an array of rank `rank`
+/// with output dims `out_dims`; broadcast axes get stride 0.
+fn padded_broadcast_strides(shape: &Shape, rank: usize, out_dims: &[usize]) -> Vec<usize> {
+    let strides = shape.strides();
+    let offset = rank - shape.rank();
+    let mut out = vec![0usize; rank];
+    for i in 0..shape.rank() {
+        let axis = offset + i;
+        if shape.dims()[i] == out_dims[axis] {
+            out[axis] = strides[i];
+        } else {
+            debug_assert_eq!(shape.dims()[i], 1, "invalid broadcast");
+            out[axis] = 0;
+        }
+    }
+    out
+}
+
+/// Reduces `grad` (shaped like a broadcast output) back to `target` by
+/// summing over the broadcast axes. Used by autograd backward passes.
+pub fn reduce_to_shape(grad: &NdArray, target: &Shape) -> NdArray {
+    if grad.shape() == target {
+        return grad.clone();
+    }
+    assert!(
+        target.broadcasts_to(grad.shape()),
+        "cannot reduce {} to {target}",
+        grad.shape()
+    );
+    let g_rank = grad.shape().rank();
+    let t_rank = target.rank();
+    let offset = g_rank - t_rank;
+    let g_dims = grad.shape().dims().to_vec();
+
+    let mut out = NdArray::zeros(target.clone());
+    let t_strides = target.strides();
+    let n = grad.numel();
+    let g_strides = grad.shape().strides();
+    let out_slice_ptr = out.as_mut_slice();
+    let g = grad.as_slice();
+    for flat in 0..n {
+        // Map the flat grad offset to a target offset, collapsing broadcast axes.
+        let mut t_off = 0usize;
+        for axis in 0..t_rank {
+            let g_axis = axis + offset;
+            let ix = (flat / g_strides[g_axis]) % g_dims[g_axis];
+            let t_ix = if target.dims()[axis] == 1 { 0 } else { ix };
+            t_off += t_ix * t_strides[axis];
+        }
+        out_slice_ptr[t_off] += g[flat];
+    }
+    out
+}
+
+/// 2-D matrix multiply: `[n,k] x [k,m] -> [n,m]`.
+pub fn matmul2d(a: &NdArray, b: &NdArray) -> NdArray {
+    assert_eq!(a.shape().rank(), 2, "matmul2d lhs must be 2-D, got {}", a.shape());
+    assert_eq!(b.shape().rank(), 2, "matmul2d rhs must be 2-D, got {}", b.shape());
+    let (n, k) = (a.dims()[0], a.dims()[1]);
+    let (k2, m) = (b.dims()[0], b.dims()[1]);
+    assert_eq!(k, k2, "matmul2d inner dims mismatch: {} vs {}", a.shape(), b.shape());
+    let mut out = vec![0.0f32; n * m];
+    matmul_kernel(a.as_slice(), b.as_slice(), &mut out, n, k, m);
+    NdArray::from_vec([n, m], out)
+}
+
+/// The inner i-k-j loop: `out[n,m] += a[n,k] * b[k,m]`.
+///
+/// The k-in-the-middle order keeps the `b` row access contiguous, which
+/// vectorizes well without any unsafe code.
+fn matmul_kernel(a: &[f32], b: &[f32], out: &mut [f32], n: usize, k: usize, m: usize) {
+    for i in 0..n {
+        let a_row = &a[i * k..(i + 1) * k];
+        let out_row = &mut out[i * m..(i + 1) * m];
+        for (kk, &a_ik) in a_row.iter().enumerate() {
+            if a_ik == 0.0 {
+                continue;
+            }
+            let b_row = &b[kk * m..(kk + 1) * m];
+            for (o, &b_kj) in out_row.iter_mut().zip(b_row) {
+                *o += a_ik * b_kj;
+            }
+        }
+    }
+}
+
+/// Batched matrix multiply.
+///
+/// Accepts `a: [..., n, k]` and `b: [..., k, m]` where the batch dimensions
+/// are identical, or where `b` is a single `[k, m]` matrix shared across the
+/// batch. Returns `[..., n, m]`.
+pub fn bmm(a: &NdArray, b: &NdArray) -> NdArray {
+    if a.shape().rank() == 2 && b.shape().rank() == 2 {
+        return matmul2d(a, b);
+    }
+    let (a_batch, [n, k]) = a.shape().split_batch();
+    if b.shape().rank() == 2 {
+        // Shared rhs: flatten the batch into rows.
+        let (k2, m) = (b.dims()[0], b.dims()[1]);
+        assert_eq!(k, k2, "bmm inner dims mismatch: {} vs {}", a.shape(), b.shape());
+        let rows: usize = a_batch.iter().product::<usize>() * n;
+        let mut out = vec![0.0f32; rows * m];
+        matmul_kernel(a.as_slice(), b.as_slice(), &mut out, rows, k, m);
+        let mut dims = a_batch.to_vec();
+        dims.push(n);
+        dims.push(m);
+        return NdArray::from_vec(dims, out);
+    }
+    let (b_batch, [k2, m]) = b.shape().split_batch();
+    assert_eq!(a_batch, b_batch, "bmm batch dims mismatch: {} vs {}", a.shape(), b.shape());
+    assert_eq!(k, k2, "bmm inner dims mismatch: {} vs {}", a.shape(), b.shape());
+    let batch: usize = a_batch.iter().product();
+    let mut out = vec![0.0f32; batch * n * m];
+    for bi in 0..batch {
+        matmul_kernel(
+            &a.as_slice()[bi * n * k..(bi + 1) * n * k],
+            &b.as_slice()[bi * k * m..(bi + 1) * k * m],
+            &mut out[bi * n * m..(bi + 1) * n * m],
+            n,
+            k,
+            m,
+        );
+    }
+    let mut dims = a_batch.to_vec();
+    dims.push(n);
+    dims.push(m);
+    NdArray::from_vec(dims, out)
+}
+
+/// Permutes axes: `out[index] = a[index[perm]]` in numpy `transpose(perm)`
+/// semantics — output axis `i` is input axis `perm[i]`.
+pub fn permute(a: &NdArray, perm: &[usize]) -> NdArray {
+    let rank = a.shape().rank();
+    assert_eq!(perm.len(), rank, "perm rank mismatch");
+    let mut seen = vec![false; rank];
+    for &p in perm {
+        assert!(p < rank && !seen[p], "invalid permutation {perm:?}");
+        seen[p] = true;
+    }
+    let in_dims = a.dims();
+    let in_strides = a.shape().strides();
+    let out_dims: Vec<usize> = perm.iter().map(|&p| in_dims[p]).collect();
+    // stride in the input for each output axis
+    let strides: Vec<usize> = perm.iter().map(|&p| in_strides[p]).collect();
+
+    let n = a.numel();
+    let mut out = vec![0.0f32; n];
+    let src = a.as_slice();
+    let mut index = vec![0usize; rank];
+    let mut src_off = 0usize;
+    for slot in out.iter_mut() {
+        *slot = src[src_off];
+        for axis in (0..rank).rev() {
+            index[axis] += 1;
+            src_off += strides[axis];
+            if index[axis] < out_dims[axis] {
+                break;
+            }
+            src_off -= strides[axis] * out_dims[axis];
+            index[axis] = 0;
+        }
+    }
+    NdArray::from_vec(out_dims, out)
+}
+
+/// Swaps the last two axes (batched matrix transpose).
+pub fn transpose_last2(a: &NdArray) -> NdArray {
+    let rank = a.shape().rank();
+    assert!(rank >= 2, "transpose_last2 needs rank >= 2");
+    let mut perm: Vec<usize> = (0..rank).collect();
+    perm.swap(rank - 1, rank - 2);
+    permute(a, &perm)
+}
+
+/// Inverse permutation: `inv[perm[i]] = i`.
+pub fn inverse_permutation(perm: &[usize]) -> Vec<usize> {
+    let mut inv = vec![0usize; perm.len()];
+    for (i, &p) in perm.iter().enumerate() {
+        inv[p] = i;
+    }
+    inv
+}
+
+/// Concatenates arrays along the last axis. All other dims must match.
+pub fn concat_last(parts: &[&NdArray]) -> NdArray {
+    assert!(!parts.is_empty(), "concat of zero arrays");
+    let rank = parts[0].shape().rank();
+    assert!(rank >= 1, "concat needs rank >= 1");
+    let lead = &parts[0].dims()[..rank - 1];
+    let mut last_total = 0usize;
+    for p in parts {
+        assert_eq!(p.shape().rank(), rank, "concat rank mismatch");
+        assert_eq!(&p.dims()[..rank - 1], lead, "concat leading dims mismatch");
+        last_total += p.dims()[rank - 1];
+    }
+    let rows: usize = lead.iter().product();
+    let mut out = Vec::with_capacity(rows * last_total);
+    for r in 0..rows {
+        for p in parts {
+            let w = p.dims()[rank - 1];
+            out.extend_from_slice(&p.as_slice()[r * w..(r + 1) * w]);
+        }
+    }
+    let mut dims = lead.to_vec();
+    dims.push(last_total);
+    NdArray::from_vec(dims, out)
+}
+
+/// Slices `[start, start+len)` of the last axis.
+pub fn slice_last(a: &NdArray, start: usize, len: usize) -> NdArray {
+    let rank = a.shape().rank();
+    assert!(rank >= 1);
+    let w = a.dims()[rank - 1];
+    assert!(start + len <= w, "slice [{start}, {}) out of last dim {w}", start + len);
+    let rows = a.numel() / w;
+    let mut out = Vec::with_capacity(rows * len);
+    for r in 0..rows {
+        out.extend_from_slice(&a.as_slice()[r * w + start..r * w + start + len]);
+    }
+    let mut dims = a.dims().to_vec();
+    dims[rank - 1] = len;
+    NdArray::from_vec(dims, out)
+}
+
+/// Numerically stable softmax along the last axis.
+pub fn softmax_last(a: &NdArray) -> NdArray {
+    let rank = a.shape().rank();
+    assert!(rank >= 1, "softmax needs rank >= 1");
+    let w = a.dims()[rank - 1];
+    let rows = a.numel() / w.max(1);
+    let mut out = vec![0.0f32; a.numel()];
+    let src = a.as_slice();
+    for r in 0..rows {
+        let row = &src[r * w..(r + 1) * w];
+        let dst = &mut out[r * w..(r + 1) * w];
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f64;
+        for (d, &x) in dst.iter_mut().zip(row) {
+            let e = (x - max).exp();
+            *d = e;
+            sum += e as f64;
+        }
+        let inv = (1.0 / sum) as f32;
+        for d in dst.iter_mut() {
+            *d *= inv;
+        }
+    }
+    NdArray::from_vec(a.shape().clone(), out)
+}
+
+/// Sum along the last axis: `[..., w] -> [...]`.
+pub fn sum_last(a: &NdArray) -> NdArray {
+    let rank = a.shape().rank();
+    assert!(rank >= 1);
+    let w = a.dims()[rank - 1];
+    let rows = a.numel() / w.max(1);
+    let mut out = vec![0.0f32; rows];
+    for (r, o) in out.iter_mut().enumerate() {
+        *o = a.as_slice()[r * w..(r + 1) * w]
+            .iter()
+            .map(|&x| x as f64)
+            .sum::<f64>() as f32;
+    }
+    NdArray::from_vec(a.dims()[..rank - 1].to_vec(), out)
+}
+
+/// Mean along the last axis.
+pub fn mean_last(a: &NdArray) -> NdArray {
+    let rank = a.shape().rank();
+    let w = a.dims()[rank - 1].max(1);
+    let mut s = sum_last(a);
+    s.scale_inplace(1.0 / w as f32);
+    s
+}
+
+/// Gathers rows of a 2-D `table` `[v, f]` by `indices`, producing `[n, f]`.
+pub fn gather_rows(table: &NdArray, indices: &[usize]) -> NdArray {
+    assert_eq!(table.shape().rank(), 2, "gather_rows table must be 2-D");
+    let (v, f) = (table.dims()[0], table.dims()[1]);
+    let mut out = Vec::with_capacity(indices.len() * f);
+    for &ix in indices {
+        assert!(ix < v, "gather index {ix} out of range {v}");
+        out.extend_from_slice(&table.as_slice()[ix * f..(ix + 1) * f]);
+    }
+    NdArray::from_vec([indices.len(), f], out)
+}
+
+/// Scatter-add of rows: `out[indices[i], :] += rows[i, :]` into a `[v, f]`
+/// zero array. The backward of [`gather_rows`].
+pub fn scatter_add_rows(rows: &NdArray, indices: &[usize], v: usize) -> NdArray {
+    assert_eq!(rows.shape().rank(), 2);
+    let f = rows.dims()[1];
+    assert_eq!(rows.dims()[0], indices.len());
+    let mut out = NdArray::zeros([v, f]);
+    let dst = out.as_mut_slice();
+    for (i, &ix) in indices.iter().enumerate() {
+        let src = &rows.as_slice()[i * f..(i + 1) * f];
+        for (d, &s) in dst[ix * f..(ix + 1) * f].iter_mut().zip(src) {
+            *d += s;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn broadcast_add_matrix_vector() {
+        let a = NdArray::from_vec([2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        let b = NdArray::from_vec([3], vec![10., 20., 30.]);
+        let c = broadcast_zip(&a, &b, |x, y| x + y);
+        assert_eq!(c.as_slice(), &[11., 22., 33., 14., 25., 36.]);
+    }
+
+    #[test]
+    fn broadcast_with_ones_axis() {
+        let a = NdArray::from_vec([2, 1], vec![1., 2.]);
+        let b = NdArray::from_vec([1, 3], vec![10., 20., 30.]);
+        let c = broadcast_zip(&a, &b, |x, y| x * y);
+        assert_eq!(c.dims(), &[2, 3]);
+        assert_eq!(c.as_slice(), &[10., 20., 30., 20., 40., 60.]);
+    }
+
+    #[test]
+    fn broadcast_scalar() {
+        let a = NdArray::from_vec([2, 2], vec![1., 2., 3., 4.]);
+        let s = NdArray::scalar(2.0);
+        let c = broadcast_zip(&a, &s, |x, y| x * y);
+        assert_eq!(c.as_slice(), &[2., 4., 6., 8.]);
+    }
+
+    #[test]
+    fn reduce_to_shape_sums_broadcast_axes() {
+        let g = NdArray::ones([2, 3]);
+        let r = reduce_to_shape(&g, &Shape::from([3]));
+        assert_eq!(r.as_slice(), &[2., 2., 2.]);
+        let r2 = reduce_to_shape(&g, &Shape::from([2, 1]));
+        assert_eq!(r2.as_slice(), &[3., 3.]);
+        let r3 = reduce_to_shape(&g, &Shape::scalar());
+        assert_eq!(r3.item(), 6.0);
+    }
+
+    #[test]
+    fn matmul_2d_known_values() {
+        let a = NdArray::from_vec([2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        let b = NdArray::from_vec([3, 2], vec![7., 8., 9., 10., 11., 12.]);
+        let c = matmul2d(&a, &b);
+        assert_eq!(c.as_slice(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = NdArray::from_vec([2, 2], vec![3., 1., 4., 1.]);
+        let c = matmul2d(&a, &NdArray::eye(2));
+        assert_eq!(c.as_slice(), a.as_slice());
+    }
+
+    #[test]
+    fn bmm_batched_matches_per_matrix() {
+        let a = NdArray::from_vec([2, 2, 3], (0..12).map(|x| x as f32).collect());
+        let b = NdArray::from_vec([2, 3, 2], (0..12).map(|x| (x as f32) * 0.5).collect());
+        let c = bmm(&a, &b);
+        assert_eq!(c.dims(), &[2, 2, 2]);
+        // check batch 1 manually against matmul2d
+        let a1 = NdArray::from_vec([2, 3], a.as_slice()[6..12].to_vec());
+        let b1 = NdArray::from_vec([3, 2], b.as_slice()[6..12].to_vec());
+        let c1 = matmul2d(&a1, &b1);
+        assert_eq!(&c.as_slice()[4..8], c1.as_slice());
+    }
+
+    #[test]
+    fn bmm_shared_rhs() {
+        let a = NdArray::from_vec([2, 2, 3], (0..12).map(|x| x as f32).collect());
+        let w = NdArray::from_vec([3, 4], (0..12).map(|x| x as f32 * 0.1).collect());
+        let c = bmm(&a, &w);
+        assert_eq!(c.dims(), &[2, 2, 4]);
+        let a0 = NdArray::from_vec([2, 3], a.as_slice()[..6].to_vec());
+        let expect = matmul2d(&a0, &w);
+        assert!(NdArray::from_vec([2, 4], c.as_slice()[..8].to_vec()).allclose(&expect, 1e-6));
+    }
+
+    #[test]
+    fn permute_roundtrip() {
+        let a = NdArray::from_vec([2, 3, 4], (0..24).map(|x| x as f32).collect());
+        let p = permute(&a, &[2, 0, 1]);
+        assert_eq!(p.dims(), &[4, 2, 3]);
+        assert_eq!(p.at(&[3, 1, 2]), a.at(&[1, 2, 3]));
+        let back = permute(&p, &inverse_permutation(&[2, 0, 1]));
+        assert_eq!(back.as_slice(), a.as_slice());
+    }
+
+    #[test]
+    fn transpose_last2_matrix() {
+        let a = NdArray::from_vec([2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        let t = transpose_last2(&a);
+        assert_eq!(t.dims(), &[3, 2]);
+        assert_eq!(t.as_slice(), &[1., 4., 2., 5., 3., 6.]);
+    }
+
+    #[test]
+    fn concat_and_slice_roundtrip() {
+        let a = NdArray::from_vec([2, 2], vec![1., 2., 3., 4.]);
+        let b = NdArray::from_vec([2, 3], vec![5., 6., 7., 8., 9., 10.]);
+        let c = concat_last(&[&a, &b]);
+        assert_eq!(c.dims(), &[2, 5]);
+        assert_eq!(c.as_slice(), &[1., 2., 5., 6., 7., 3., 4., 8., 9., 10.]);
+        assert_eq!(slice_last(&c, 0, 2).as_slice(), a.as_slice());
+        assert_eq!(slice_last(&c, 2, 3).as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let a = NdArray::from_vec([2, 3], vec![1., 2., 3., 1000., 1000., 1000.]);
+        let s = softmax_last(&a);
+        for r in 0..2 {
+            let sum: f32 = s.as_slice()[r * 3..(r + 1) * 3].iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+        }
+        // large-value stability
+        assert!((s.at(&[1, 0]) - 1.0 / 3.0).abs() < 1e-5);
+        // monotone within row
+        assert!(s.at(&[0, 2]) > s.at(&[0, 1]));
+    }
+
+    #[test]
+    fn sum_mean_last() {
+        let a = NdArray::from_vec([2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        assert_eq!(sum_last(&a).as_slice(), &[6., 15.]);
+        assert_eq!(mean_last(&a).as_slice(), &[2., 5.]);
+    }
+
+    #[test]
+    fn gather_scatter_are_adjoint() {
+        let table = NdArray::from_vec([4, 2], (0..8).map(|x| x as f32).collect());
+        let idx = [2usize, 0, 2];
+        let g = gather_rows(&table, &idx);
+        assert_eq!(g.as_slice(), &[4., 5., 0., 1., 4., 5.]);
+        let rows = NdArray::ones([3, 2]);
+        let s = scatter_add_rows(&rows, &idx, 4);
+        assert_eq!(s.as_slice(), &[1., 1., 0., 0., 2., 2., 0., 0.]);
+    }
+}

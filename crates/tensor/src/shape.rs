@@ -1,0 +1,218 @@
+//! Shape arithmetic: dimension bookkeeping, row-major strides and
+//! numpy-style broadcasting rules.
+
+use std::fmt;
+
+/// The shape of a dense, row-major tensor.
+///
+/// A scalar is represented by an empty dimension list. Dimensions of size
+/// zero are permitted (the tensor then holds no elements).
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Shape {
+    dims: Vec<usize>,
+}
+
+impl Shape {
+    /// Creates a shape from a dimension list.
+    pub fn new(dims: Vec<usize>) -> Self {
+        Shape { dims }
+    }
+
+    /// The scalar shape `[]`.
+    pub fn scalar() -> Self {
+        Shape { dims: Vec::new() }
+    }
+
+    /// Number of dimensions (rank).
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Dimension sizes as a slice.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Size of dimension `axis`. Panics if out of range.
+    pub fn dim(&self, axis: usize) -> usize {
+        self.dims[axis]
+    }
+
+    /// Total number of elements.
+    pub fn numel(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Row-major (C order) strides, in elements.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![0; self.dims.len()];
+        let mut acc = 1usize;
+        for (i, &d) in self.dims.iter().enumerate().rev() {
+            strides[i] = acc;
+            acc *= d;
+        }
+        strides
+    }
+
+    /// Converts a multi-dimensional index to a flat offset.
+    ///
+    /// Panics in debug builds if the index is out of bounds.
+    pub fn offset(&self, index: &[usize]) -> usize {
+        debug_assert_eq!(index.len(), self.rank(), "index rank mismatch");
+        let mut off = 0usize;
+        let mut acc = 1usize;
+        for (i, &d) in self.dims.iter().enumerate().rev() {
+            let ix = index[i];
+            debug_assert!(ix < d, "index {ix} out of bounds for dim {i} of size {d}");
+            off += ix * acc;
+            acc *= d;
+        }
+        off
+    }
+
+    /// The broadcast of two shapes following numpy rules, or `None` when the
+    /// shapes are incompatible.
+    ///
+    /// Shapes align from the trailing dimension; a dimension broadcasts when
+    /// the two sizes are equal or one of them is 1 (or missing).
+    pub fn broadcast(&self, other: &Shape) -> Option<Shape> {
+        let rank = self.rank().max(other.rank());
+        let mut dims = vec![0usize; rank];
+        for i in 0..rank {
+            let a = dim_from_end(&self.dims, i);
+            let b = dim_from_end(&other.dims, i);
+            let d = match (a, b) {
+                (x, y) if x == y => x,
+                (1, y) => y,
+                (x, 1) => x,
+                _ => return None,
+            };
+            dims[rank - 1 - i] = d;
+        }
+        Some(Shape::new(dims))
+    }
+
+    /// Whether every element of `self` maps onto `target` by broadcasting.
+    pub fn broadcasts_to(&self, target: &Shape) -> bool {
+        if self.rank() > target.rank() {
+            return false;
+        }
+        for i in 0..self.rank() {
+            let a = dim_from_end(&self.dims, i);
+            let b = dim_from_end(target.dims(), i);
+            if a != b && a != 1 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Splits the shape into `(batch_dims, last_two)` for batched matrix
+    /// operations. Panics if rank < 2.
+    pub fn split_batch(&self) -> (&[usize], [usize; 2]) {
+        assert!(self.rank() >= 2, "need rank >= 2, got {self:?}");
+        let r = self.rank();
+        (&self.dims[..r - 2], [self.dims[r - 2], self.dims[r - 1]])
+    }
+}
+
+fn dim_from_end(dims: &[usize], i: usize) -> usize {
+    if i < dims.len() {
+        dims[dims.len() - 1 - i]
+    } else {
+        1
+    }
+}
+
+impl fmt::Debug for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.dims)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.dims)
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims.to_vec())
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(dims: [usize; N]) -> Self {
+        Shape::new(dims.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numel_and_rank() {
+        let s = Shape::from([2, 3, 4]);
+        assert_eq!(s.rank(), 3);
+        assert_eq!(s.numel(), 24);
+        assert_eq!(Shape::scalar().numel(), 1);
+        assert_eq!(Shape::from([5, 0, 2]).numel(), 0);
+    }
+
+    #[test]
+    fn strides_row_major() {
+        assert_eq!(Shape::from([2, 3, 4]).strides(), vec![12, 4, 1]);
+        assert_eq!(Shape::from([7]).strides(), vec![1]);
+        assert!(Shape::scalar().strides().is_empty());
+    }
+
+    #[test]
+    fn offset_math() {
+        let s = Shape::from([2, 3, 4]);
+        assert_eq!(s.offset(&[0, 0, 0]), 0);
+        assert_eq!(s.offset(&[1, 2, 3]), 23);
+        assert_eq!(s.offset(&[0, 1, 2]), 6);
+    }
+
+    #[test]
+    fn broadcast_rules() {
+        let a = Shape::from([3, 1, 5]);
+        let b = Shape::from([4, 5]);
+        assert_eq!(a.broadcast(&b).unwrap().dims(), &[3, 4, 5]);
+
+        let a = Shape::from([2, 3]);
+        let b = Shape::from([3]);
+        assert_eq!(a.broadcast(&b).unwrap().dims(), &[2, 3]);
+
+        let a = Shape::scalar();
+        let b = Shape::from([2, 2]);
+        assert_eq!(a.broadcast(&b).unwrap().dims(), &[2, 2]);
+
+        assert!(Shape::from([2, 3]).broadcast(&Shape::from([4, 3])).is_none());
+    }
+
+    #[test]
+    fn broadcasts_to_checks() {
+        assert!(Shape::from([1, 5]).broadcasts_to(&Shape::from([3, 5])));
+        assert!(Shape::from([5]).broadcasts_to(&Shape::from([3, 5])));
+        assert!(Shape::scalar().broadcasts_to(&Shape::from([3, 5])));
+        assert!(!Shape::from([2, 5]).broadcasts_to(&Shape::from([3, 5])));
+        assert!(!Shape::from([3, 5, 1]).broadcasts_to(&Shape::from([3, 5])));
+    }
+
+    #[test]
+    fn split_batch_dims() {
+        let s = Shape::from([2, 3, 4, 5]);
+        let (batch, mat) = s.split_batch();
+        assert_eq!(batch, &[2, 3]);
+        assert_eq!(mat, [4, 5]);
+    }
+}

@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Regenerates every table and figure of the paper's evaluation section.
+# Usage: scripts/run_all_experiments.sh [tier] (smoke|fast|full; default fast)
+set -euo pipefail
+tier="${1:-fast}"
+cd "$(dirname "$0")/.."
+cargo build -p hire-bench --release
+mkdir -p results
+for b in table2_profiles table3_movielens table4_bookcrossing table5_douban \
+         fig6_efficiency fig7_sensitivity table6_ablation fig8_sampling fig9_case_study; do
+  echo "=== $b ($tier) ==="
+  ./target/release/$b --tier "$tier" --out "results/$b.json" | tee "results/$b.txt"
+done

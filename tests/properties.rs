@@ -1,0 +1,215 @@
+//! Property-based tests (proptest) over the core invariants:
+//! permutation equivariance (Property 5.1), metric ranges, sampler
+//! contracts, and autograd linearity.
+
+use hire::prelude::*;
+use hire_tensor::linalg;
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+// ----------------------------------------------------------------------
+// Ranking metric invariants
+// ----------------------------------------------------------------------
+
+fn scored_pairs() -> impl Strategy<Value = Vec<ScoredPair>> {
+    proptest::collection::vec((0.0f32..6.0, 1.0f32..=5.0), 1..30)
+        .prop_map(|v| v.into_iter().map(|(p, a)| ScoredPair::new(p, a)).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn metrics_are_bounded(pairs in scored_pairs(), k in 1usize..12) {
+        let m = ranking_metrics(&pairs, k, 4.0);
+        prop_assert!((0.0..=1.0).contains(&m.precision));
+        prop_assert!((0.0..=1.0 + 1e-6).contains(&m.ndcg));
+        prop_assert!((0.0..=1.0 + 1e-6).contains(&m.map));
+    }
+
+    #[test]
+    fn perfect_ranking_maximizes_ndcg(mut pairs in scored_pairs(), k in 1usize..12) {
+        // Set predictions equal to actuals: predicted order == ideal order.
+        for p in &mut pairs {
+            p.predicted = p.actual;
+        }
+        let ndcg = ndcg_at_k(&pairs, k);
+        // NDCG of the ideal order is 1 (or 0 when all gains are 0 — ratings
+        // here are >= 1 so gains are positive).
+        prop_assert!((ndcg - 1.0).abs() < 1e-5, "ndcg {ndcg}");
+    }
+
+    #[test]
+    fn ndcg_is_invariant_to_pair_order(pairs in scored_pairs(), k in 1usize..12) {
+        let mut shuffled = pairs.clone();
+        shuffled.reverse();
+        // Reversal can only change results via tie-breaking among equal
+        // predictions; nudge predictions to be unique.
+        for (i, p) in shuffled.iter_mut().enumerate() {
+            p.predicted += i as f32 * 1e-6;
+        }
+        let mut original = pairs.clone();
+        original.reverse();
+        for (i, p) in original.iter_mut().enumerate() {
+            p.predicted += i as f32 * 1e-6;
+        }
+        prop_assert!((ndcg_at_k(&original, k) - ndcg_at_k(&shuffled, k)).abs() < 1e-5);
+    }
+
+    #[test]
+    fn precision_monotone_in_threshold(pairs in scored_pairs(), k in 1usize..12) {
+        let lo = precision_at_k(&pairs, k, 2.0);
+        let hi = precision_at_k(&pairs, k, 4.5);
+        prop_assert!(hi <= lo + 1e-6, "raising the threshold cannot add relevant items");
+    }
+}
+
+// ----------------------------------------------------------------------
+// Sampler contracts
+// ----------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn samplers_fill_exact_budgets(
+        seed in 0u64..1000,
+        n in 2usize..10,
+        m in 2usize..10,
+    ) {
+        let dataset = SyntheticConfig::movielens_like().scaled(20, 20, (3, 8)).generate(seed);
+        let graph = dataset.graph();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for sampler in [&NeighborhoodSampler as &dyn ContextSampler, &RandomSampler] {
+            let sel = sampler.sample(&graph, &[0], &[0], n, m, &mut rng);
+            prop_assert_eq!(sel.users.len(), n);
+            prop_assert_eq!(sel.items.len(), m);
+            // uniqueness
+            let mut us = sel.users.clone();
+            us.sort_unstable();
+            us.dedup();
+            prop_assert_eq!(us.len(), n);
+            // seeds kept first
+            prop_assert_eq!(sel.users[0], 0);
+            prop_assert_eq!(sel.items[0], 0);
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Property 5.1: full-model permutation equivariance on random contexts
+// ----------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn hire_prediction_is_permutation_equivariant(seed in 0u64..100) {
+        let dataset = SyntheticConfig::movielens_like().scaled(25, 20, (6, 12)).generate(seed);
+        let graph = dataset.graph();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let config = HireConfig {
+            attr_dim: 4, num_blocks: 1, heads: 2, head_dim: 4,
+            context_users: 5, context_items: 4, input_ratio: 0.2,
+            enable_mbu: true, enable_mbi: true, enable_mba: true,
+            residual: true, layer_norm: true,
+        };
+        let model = HireModel::new(&dataset, &config, &mut rng);
+        let ctx = training_context(
+            &graph, &NeighborhoodSampler, dataset.ratings[0], 5, 4, 0.2, &mut rng,
+        );
+        let pred = model.predict(&ctx, &dataset);
+
+        // random permutations derived from the seed
+        let mut perm_rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xABCD);
+        let user_perm = random_perm(5, &mut perm_rng);
+        let item_perm = random_perm(4, &mut perm_rng);
+
+        let permuted = PredictionContext {
+            users: user_perm.iter().map(|&r| ctx.users[r]).collect(),
+            items: item_perm.iter().map(|&c| ctx.items[c]).collect(),
+            ratings: permute2(&ctx.ratings, &user_perm, &item_perm),
+            input_mask: permute2(&ctx.input_mask, &user_perm, &item_perm),
+            target_mask: permute2(&ctx.target_mask, &user_perm, &item_perm),
+        };
+        let pred_p = model.predict(&permuted, &dataset);
+        for (r, &pr) in user_perm.iter().enumerate() {
+            for (c, &pc) in item_perm.iter().enumerate() {
+                let a = pred_p.at(&[r, c]);
+                let b = pred.at(&[pr, pc]);
+                prop_assert!((a - b).abs() < 2e-3, "({r},{c}): {a} vs {b}");
+            }
+        }
+    }
+}
+
+fn random_perm(n: usize, rng: &mut rand::rngs::StdRng) -> Vec<usize> {
+    use rand::seq::SliceRandom;
+    let mut v: Vec<usize> = (0..n).collect();
+    v.shuffle(rng);
+    v
+}
+
+fn permute2(a: &NdArray, rows: &[usize], cols: &[usize]) -> NdArray {
+    let mut out = NdArray::zeros([rows.len(), cols.len()]);
+    for (r, &pr) in rows.iter().enumerate() {
+        for (c, &pc) in cols.iter().enumerate() {
+            *out.at_mut(&[r, c]) = a.at(&[pr, pc]);
+        }
+    }
+    out
+}
+
+// ----------------------------------------------------------------------
+// Tensor algebra properties
+// ----------------------------------------------------------------------
+
+fn small_array(rows: usize, cols: usize) -> impl Strategy<Value = NdArray> {
+    proptest::collection::vec(-3.0f32..3.0, rows * cols)
+        .prop_map(move |v| NdArray::from_vec([rows, cols], v))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn matmul_distributes_over_addition(
+        a in small_array(3, 4),
+        b in small_array(3, 4),
+        c in small_array(4, 2),
+    ) {
+        // (A + B) C == A C + B C
+        let lhs = linalg::matmul2d(&a.zip(&b, |x, y| x + y), &c);
+        let rhs_a = linalg::matmul2d(&a, &c);
+        let rhs_b = linalg::matmul2d(&b, &c);
+        let rhs = rhs_a.zip(&rhs_b, |x, y| x + y);
+        prop_assert!(lhs.allclose(&rhs, 1e-3), "max diff {}", lhs.max_abs_diff(&rhs));
+    }
+
+    #[test]
+    fn transpose_is_involutive(a in small_array(4, 3)) {
+        let t2 = linalg::transpose_last2(&linalg::transpose_last2(&a));
+        prop_assert_eq!(t2.as_slice(), a.as_slice());
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(a in small_array(3, 5)) {
+        let s = linalg::softmax_last(&a);
+        for r in 0..3 {
+            let row = &s.as_slice()[r * 5..(r + 1) * 5];
+            let sum: f32 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(row.iter().all(|&x| x >= 0.0));
+        }
+    }
+
+    #[test]
+    fn autograd_linear_in_seed(v in proptest::collection::vec(-2.0f32..2.0, 4)) {
+        // d(sum(c * x))/dx == c for arbitrary x
+        let x = Tensor::parameter(NdArray::from_vec([4], v));
+        let c = 2.5f32;
+        x.mul_scalar(c).sum().backward();
+        let g = x.grad().unwrap();
+        prop_assert!(g.as_slice().iter().all(|&gi| (gi - c).abs() < 1e-6));
+    }
+}
