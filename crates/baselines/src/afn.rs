@@ -29,7 +29,12 @@ struct State {
 impl Afn {
     /// AFN with the given embedding width and logarithmic-neuron count.
     pub fn new(field_dim: usize, log_neurons: usize, config: EdgeTrainConfig) -> Self {
-        Afn { field_dim, log_neurons, config, state: None }
+        Afn {
+            field_dim,
+            log_neurons,
+            config,
+            state: None,
+        }
     }
 
     fn score(&self, dataset: &Dataset, pairs: &[(usize, usize)]) -> Tensor {
@@ -38,12 +43,14 @@ impl Afn {
         let _nf = s.fields.num_fields();
         let f = s.fields.field_dim();
         let fields = s.fields.fields(dataset, pairs); // [b, nf, f]
-        // ln|v| per element (sign-safe), then mix across fields per
-        // embedding dim: treat dims as batch -> [b, f, nf] @ [nf, L]
+                                                      // ln|v| per element (sign-safe), then mix across fields per
+                                                      // embedding dim: treat dims as batch -> [b, f, nf] @ [nf, L]
         let ln = fields.ln_abs_eps(1e-4).permute(&[0, 2, 1]); // [b, f, nf]
         let mixed = s.log_layer.forward(&ln); // [b, f, L]
         let crossed = mixed.exp(); // learned products, [b, f, L]
-        let flat = crossed.permute(&[0, 2, 1]).reshape([b, self.log_neurons * f]);
+        let flat = crossed
+            .permute(&[0, 2, 1])
+            .reshape([b, self.log_neurons * f]);
         s.head.forward(&flat).reshape([b])
     }
 }
@@ -71,8 +78,7 @@ impl RatingModel for Afn {
         train_on_edges(dataset, train, params, self.config, rng, |d, batch| {
             let pairs: Vec<(usize, usize)> = batch.iter().map(|r| (r.user, r.item)).collect();
             let pred = scale_to_rating(&this.score(d, &pairs), d);
-            let target =
-                NdArray::from_vec([batch.len()], batch.iter().map(|r| r.value).collect());
+            let target = NdArray::from_vec([batch.len()], batch.iter().map(|r| r.value).collect());
             hire_nn::mse_loss(&pred, &target)
         });
     }
@@ -97,10 +103,19 @@ mod tests {
 
     #[test]
     fn learns_training_signal() {
-        let d = SyntheticConfig::movielens_like().scaled(25, 20, (8, 12)).generate(8);
+        let d = SyntheticConfig::movielens_like()
+            .scaled(25, 20, (8, 12))
+            .generate(8);
         let g = d.graph();
         let mut rng = StdRng::seed_from_u64(0);
-        let mut m = Afn::new(4, 8, EdgeTrainConfig { epochs: 10, ..Default::default() });
+        let mut m = Afn::new(
+            4,
+            8,
+            EdgeTrainConfig {
+                epochs: 10,
+                ..Default::default()
+            },
+        );
         m.fit(&d, &g, &mut rng);
         let pairs: Vec<(usize, usize)> = d.ratings.iter().map(|r| (r.user, r.item)).collect();
         let preds = m.predict(&d, &g, &pairs);
@@ -112,10 +127,19 @@ mod tests {
 
     #[test]
     fn finite_outputs_despite_log_layer() {
-        let d = SyntheticConfig::bookcrossing_like().scaled(12, 12, (3, 6)).generate(9);
+        let d = SyntheticConfig::bookcrossing_like()
+            .scaled(12, 12, (3, 6))
+            .generate(9);
         let g = d.graph();
         let mut rng = StdRng::seed_from_u64(1);
-        let mut m = Afn::new(4, 4, EdgeTrainConfig { epochs: 2, ..Default::default() });
+        let mut m = Afn::new(
+            4,
+            4,
+            EdgeTrainConfig {
+                epochs: 2,
+                ..Default::default()
+            },
+        );
         m.fit(&d, &g, &mut rng);
         for p in m.predict(&d, &g, &[(0, 0), (11, 11)]) {
             assert!(p.is_finite());

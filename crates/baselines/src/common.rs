@@ -162,7 +162,11 @@ pub struct EdgeTrainConfig {
 
 impl Default for EdgeTrainConfig {
     fn default() -> Self {
-        EdgeTrainConfig { epochs: 8, batch_size: 128, lr: 1e-2 }
+        EdgeTrainConfig {
+            epochs: 8,
+            batch_size: 128,
+            lr: 1e-2,
+        }
     }
 }
 
@@ -237,7 +241,9 @@ mod tests {
 
     #[test]
     fn field_shapes() {
-        let d = SyntheticConfig::movielens_like().scaled(10, 10, (3, 5)).generate(1);
+        let d = SyntheticConfig::movielens_like()
+            .scaled(10, 10, (3, 5))
+            .generate(1);
         let mut rng = StdRng::seed_from_u64(0);
         let fe = FieldEmbedder::new(&d, 4, &mut rng);
         // 4 user attrs + id + 4 item attrs + id = 10 fields
@@ -251,7 +257,9 @@ mod tests {
 
     #[test]
     fn id_only_dataset_has_only_id_fields() {
-        let d = SyntheticConfig::douban_like().scaled(8, 9, (2, 4)).generate(2);
+        let d = SyntheticConfig::douban_like()
+            .scaled(8, 9, (2, 4))
+            .generate(2);
         let mut rng = StdRng::seed_from_u64(1);
         let fe = FieldEmbedder::new(&d, 4, &mut rng);
         assert_eq!(fe.num_fields(), 2);
@@ -259,7 +267,9 @@ mod tests {
 
     #[test]
     fn train_on_edges_decreases_loss() {
-        let d = SyntheticConfig::movielens_like().scaled(30, 25, (8, 15)).generate(3);
+        let d = SyntheticConfig::movielens_like()
+            .scaled(30, 25, (8, 15))
+            .generate(3);
         let g = d.graph();
         let mut rng = StdRng::seed_from_u64(2);
         let fe = FieldEmbedder::new(&d, 4, &mut rng);
@@ -272,7 +282,11 @@ mod tests {
             &d,
             &g,
             params,
-            EdgeTrainConfig { epochs: 6, batch_size: 64, lr: 1e-2 },
+            EdgeTrainConfig {
+                epochs: 6,
+                batch_size: 64,
+                lr: 1e-2,
+            },
             &mut rng,
             |dataset, batch| {
                 let pairs: Vec<(usize, usize)> = batch.iter().map(|r| (r.user, r.item)).collect();

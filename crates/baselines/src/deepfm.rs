@@ -24,7 +24,11 @@ struct State {
 impl DeepFM {
     /// DeepFM with `field_dim`-wide shared embeddings.
     pub fn new(field_dim: usize, config: EdgeTrainConfig) -> Self {
-        DeepFM { field_dim, config, state: None }
+        DeepFM {
+            field_dim,
+            config,
+            state: None,
+        }
     }
 
     /// Second-order FM interaction: `0.5 * ((Σv)² - Σv²)` summed over the
@@ -79,8 +83,7 @@ impl RatingModel for DeepFM {
         train_on_edges(dataset, train, params, self.config, rng, |d, batch| {
             let pairs: Vec<(usize, usize)> = batch.iter().map(|r| (r.user, r.item)).collect();
             let pred = scale_to_rating(&this.score(d, &pairs), d);
-            let target =
-                NdArray::from_vec([batch.len()], batch.iter().map(|r| r.value).collect());
+            let target = NdArray::from_vec([batch.len()], batch.iter().map(|r| r.value).collect());
             hire_nn::mse_loss(&pred, &target)
         });
     }
@@ -114,10 +117,18 @@ mod tests {
 
     #[test]
     fn learns_training_signal() {
-        let d = SyntheticConfig::movielens_like().scaled(25, 20, (8, 12)).generate(7);
+        let d = SyntheticConfig::movielens_like()
+            .scaled(25, 20, (8, 12))
+            .generate(7);
         let g = d.graph();
         let mut rng = StdRng::seed_from_u64(0);
-        let mut m = DeepFM::new(4, EdgeTrainConfig { epochs: 10, ..Default::default() });
+        let mut m = DeepFM::new(
+            4,
+            EdgeTrainConfig {
+                epochs: 10,
+                ..Default::default()
+            },
+        );
         m.fit(&d, &g, &mut rng);
         let pairs: Vec<(usize, usize)> = d.ratings.iter().map(|r| (r.user, r.item)).collect();
         let preds = m.predict(&d, &g, &pairs);

@@ -4,7 +4,9 @@
 //! DESIGN.md §2). Only applicable to datasets with a social graph (Douban),
 //! exactly as in the paper.
 
-use crate::common::{scale_to_rating, segment_mean_pool, train_on_edges, EdgeTrainConfig, FieldEmbedder, RatingModel};
+use crate::common::{
+    scale_to_rating, segment_mean_pool, train_on_edges, EdgeTrainConfig, FieldEmbedder, RatingModel,
+};
 use hire_data::Dataset;
 use hire_graph::BipartiteGraph;
 use hire_nn::{Activation, Embedding, Linear, Mlp, Module};
@@ -37,7 +39,12 @@ struct State {
 impl GraphRec {
     /// GraphRec with `field_dim`-wide embeddings.
     pub fn new(field_dim: usize, config: EdgeTrainConfig) -> Self {
-        GraphRec { field_dim, neighbor_cap: 10, config, state: None }
+        GraphRec {
+            field_dim,
+            neighbor_cap: 10,
+            config,
+            state: None,
+        }
     }
 
     /// User latent in "item space": aggregate the user's rated items with
@@ -146,12 +153,7 @@ impl GraphRec {
         own.add(&agg).relu()
     }
 
-    fn score(
-        &self,
-        dataset: &Dataset,
-        graph: &BipartiteGraph,
-        pairs: &[(usize, usize)],
-    ) -> Tensor {
+    fn score(&self, dataset: &Dataset, graph: &BipartiteGraph, pairs: &[(usize, usize)]) -> Tensor {
         let s = self.state.as_ref().expect("fit before predict");
         let users: Vec<usize> = pairs.iter().map(|&(u, _)| u).collect();
         let items: Vec<usize> = pairs.iter().map(|&(_, i)| i).collect();
@@ -199,8 +201,7 @@ impl RatingModel for GraphRec {
         train_on_edges(dataset, train, params, self.config, rng, |d, batch| {
             let pairs: Vec<(usize, usize)> = batch.iter().map(|r| (r.user, r.item)).collect();
             let pred = scale_to_rating(&this.score(d, train, &pairs), d);
-            let target =
-                NdArray::from_vec([batch.len()], batch.iter().map(|r| r.value).collect());
+            let target = NdArray::from_vec([batch.len()], batch.iter().map(|r| r.value).collect());
             hire_nn::mse_loss(&pred, &target)
         });
     }
@@ -225,11 +226,19 @@ mod tests {
 
     #[test]
     fn trains_on_social_dataset() {
-        let d = SyntheticConfig::douban_like().scaled(25, 25, (6, 10)).generate(17);
+        let d = SyntheticConfig::douban_like()
+            .scaled(25, 25, (6, 10))
+            .generate(17);
         assert!(d.social.is_some());
         let g = d.graph();
         let mut rng = StdRng::seed_from_u64(0);
-        let mut m = GraphRec::new(4, EdgeTrainConfig { epochs: 3, ..Default::default() });
+        let mut m = GraphRec::new(
+            4,
+            EdgeTrainConfig {
+                epochs: 3,
+                ..Default::default()
+            },
+        );
         m.fit(&d, &g, &mut rng);
         let preds = m.predict(&d, &g, &[(0, 0), (1, 1)]);
         for p in preds {
@@ -241,16 +250,27 @@ mod tests {
     fn cold_user_benefits_from_support_edges() {
         // With support edges visible, the aggregation must change the
         // prediction relative to an isolated user.
-        let d = SyntheticConfig::douban_like().scaled(20, 20, (5, 8)).generate(18);
+        let d = SyntheticConfig::douban_like()
+            .scaled(20, 20, (5, 8))
+            .generate(18);
         let g = d.graph();
         let mut rng = StdRng::seed_from_u64(1);
-        let mut m = GraphRec::new(4, EdgeTrainConfig { epochs: 3, ..Default::default() });
+        let mut m = GraphRec::new(
+            4,
+            EdgeTrainConfig {
+                epochs: 3,
+                ..Default::default()
+            },
+        );
         m.fit(&d, &g, &mut rng);
         let empty = BipartiteGraph::empty(20, 20);
         let with_support = BipartiteGraph::from_ratings(
             20,
             20,
-            &[hire_graph::Rating::new(0, 3, 5.0), hire_graph::Rating::new(0, 4, 5.0)],
+            &[
+                hire_graph::Rating::new(0, 3, 5.0),
+                hire_graph::Rating::new(0, 4, 5.0),
+            ],
         );
         let p_cold = m.predict(&d, &empty, &[(0, 10)])[0];
         let p_support = m.predict(&d, &with_support, &[(0, 10)])[0];

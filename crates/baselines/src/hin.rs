@@ -5,7 +5,9 @@
 //! same-attribute paths). Only applicable to attribute-rich datasets
 //! (MovieLens), as in the paper. Lite variant — see DESIGN.md §2.
 
-use crate::common::{scale_to_rating, segment_mean_pool, train_on_edges, EdgeTrainConfig, FieldEmbedder, RatingModel};
+use crate::common::{
+    scale_to_rating, segment_mean_pool, train_on_edges, EdgeTrainConfig, FieldEmbedder, RatingModel,
+};
 use hire_data::Dataset;
 use hire_graph::BipartiteGraph;
 use hire_nn::{Activation, Linear, Mlp, Module};
@@ -143,12 +145,7 @@ impl HinNeighbor {
         segment_mean_pool(&feats, &segments)
     }
 
-    fn score(
-        &self,
-        dataset: &Dataset,
-        graph: &BipartiteGraph,
-        pairs: &[(usize, usize)],
-    ) -> Tensor {
+    fn score(&self, dataset: &Dataset, graph: &BipartiteGraph, pairs: &[(usize, usize)]) -> Tensor {
         let s = self.state.as_ref().expect("fit before predict");
         let users: Vec<usize> = pairs.iter().map(|&(u, _)| u).collect();
         let items: Vec<usize> = pairs.iter().map(|&(_, i)| i).collect();
@@ -206,7 +203,14 @@ impl RatingModel for HinNeighbor {
         self.state = Some(state);
         let s = self.state.as_ref().unwrap();
         let mut params = s.fields.parameters();
-        for l in [&s.user_proj, &s.item_proj, &s.uiu_proj, &s.iui_proj, &s.uau_proj, &s.iai_proj] {
+        for l in [
+            &s.user_proj,
+            &s.item_proj,
+            &s.uiu_proj,
+            &s.iui_proj,
+            &s.uau_proj,
+            &s.iai_proj,
+        ] {
             params.extend(l.parameters());
         }
         params.extend(s.head.parameters());
@@ -214,8 +218,7 @@ impl RatingModel for HinNeighbor {
         train_on_edges(dataset, train, params, self.config, rng, |d, batch| {
             let pairs: Vec<(usize, usize)> = batch.iter().map(|r| (r.user, r.item)).collect();
             let pred = scale_to_rating(&this.score(d, train, &pairs), d);
-            let target =
-                NdArray::from_vec([batch.len()], batch.iter().map(|r| r.value).collect());
+            let target = NdArray::from_vec([batch.len()], batch.iter().map(|r| r.value).collect());
             hire_nn::mse_loss(&pred, &target)
         });
     }
@@ -240,7 +243,9 @@ mod tests {
 
     #[test]
     fn attr_paths_group_by_first_attribute() {
-        let d = SyntheticConfig::movielens_like().scaled(30, 20, (5, 8)).generate(19);
+        let d = SyntheticConfig::movielens_like()
+            .scaled(30, 20, (5, 8))
+            .generate(19);
         let (uau, _) = HinNeighbor::build_attr_paths(&d, 5);
         assert_eq!(uau.len(), 30);
         for (u, neighbors) in uau.iter().enumerate() {
@@ -253,10 +258,18 @@ mod tests {
 
     #[test]
     fn trains_and_predicts() {
-        let d = SyntheticConfig::movielens_like().scaled(20, 18, (6, 10)).generate(20);
+        let d = SyntheticConfig::movielens_like()
+            .scaled(20, 18, (6, 10))
+            .generate(20);
         let g = d.graph();
         let mut rng = StdRng::seed_from_u64(0);
-        let mut m = HinNeighbor::new(4, EdgeTrainConfig { epochs: 3, ..Default::default() });
+        let mut m = HinNeighbor::new(
+            4,
+            EdgeTrainConfig {
+                epochs: 3,
+                ..Default::default()
+            },
+        );
         m.fit(&d, &g, &mut rng);
         for p in m.predict(&d, &g, &[(0, 0), (19, 17)]) {
             assert!(p >= 0.0 && p <= d.max_rating());
@@ -265,7 +278,9 @@ mod tests {
 
     #[test]
     fn id_only_dataset_yields_empty_attr_paths() {
-        let d = SyntheticConfig::douban_like().scaled(10, 10, (3, 5)).generate(21);
+        let d = SyntheticConfig::douban_like()
+            .scaled(10, 10, (3, 5))
+            .generate(21);
         let (uau, iai) = HinNeighbor::build_attr_paths(&d, 5);
         assert!(uau.iter().all(Vec::is_empty));
         assert!(iai.iter().all(Vec::is_empty));

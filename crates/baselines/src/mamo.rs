@@ -38,14 +38,19 @@ struct State {
 impl Mamo {
     /// MAMO with `field_dim`-wide embeddings and `prototypes` memory rows.
     pub fn new(field_dim: usize, prototypes: usize, config: MetaTrainConfig) -> Self {
-        Mamo { field_dim, prototypes, config, state: None }
+        Mamo {
+            field_dim,
+            prototypes,
+            config,
+            state: None,
+        }
     }
 
     fn raw_score(&self, dataset: &Dataset, pairs: &[(usize, usize)]) -> Tensor {
         let s = self.state.as_ref().expect("fit before predict");
         let users: Vec<usize> = pairs.iter().map(|&(u, _)| u).collect();
         let x = s.fields.flat(dataset, pairs); // [b, in]
-        // memory bias from the user profile
+                                               // memory bias from the user profile
         let profile = s.fields.user_flat(dataset, &users); // [b, uw]
         let attn = s.profile_key.forward(&profile).softmax_last(); // [b, P]
         let bias = attn.matmul(&s.memory); // [b, hidden]
@@ -106,8 +111,14 @@ impl RatingModel for Mamo {
         );
         let mut outer = Adam::new(all.clone());
         for _ in 0..self.config.outer_steps {
-            let mut tasks =
-                sample_tasks(train, true, self.config.support_ratio, 4, self.config.task_batch / 2 + 1, rng);
+            let mut tasks = sample_tasks(
+                train,
+                true,
+                self.config.support_ratio,
+                4,
+                self.config.task_batch / 2 + 1,
+                rng,
+            );
             tasks.extend(sample_tasks(
                 train,
                 false,
@@ -166,10 +177,19 @@ mod tests {
 
     #[test]
     fn trains_and_predicts() {
-        let d = SyntheticConfig::movielens_like().scaled(25, 20, (8, 12)).generate(13);
+        let d = SyntheticConfig::movielens_like()
+            .scaled(25, 20, (8, 12))
+            .generate(13);
         let g = d.graph();
         let mut rng = StdRng::seed_from_u64(0);
-        let mut m = Mamo::new(4, 4, MetaTrainConfig { outer_steps: 4, ..Default::default() });
+        let mut m = Mamo::new(
+            4,
+            4,
+            MetaTrainConfig {
+                outer_steps: 4,
+                ..Default::default()
+            },
+        );
         m.fit(&d, &g, &mut rng);
         let preds = m.predict(&d, &g, &[(0, 0), (5, 5)]);
         assert_eq!(preds.len(), 2);
@@ -180,10 +200,19 @@ mod tests {
 
     #[test]
     fn memory_receives_gradient_during_training() {
-        let d = SyntheticConfig::movielens_like().scaled(20, 15, (6, 10)).generate(14);
+        let d = SyntheticConfig::movielens_like()
+            .scaled(20, 15, (6, 10))
+            .generate(14);
         let g = d.graph();
         let mut rng = StdRng::seed_from_u64(1);
-        let mut m = Mamo::new(4, 4, MetaTrainConfig { outer_steps: 1, ..Default::default() });
+        let mut m = Mamo::new(
+            4,
+            4,
+            MetaTrainConfig {
+                outer_steps: 1,
+                ..Default::default()
+            },
+        );
         m.fit(&d, &g, &mut rng);
         // after training, memory should have moved away from init — proxy:
         // predictions differ when we zero the memory

@@ -57,7 +57,11 @@ struct State {
 impl MeLU {
     /// MeLU with `field_dim`-wide embeddings.
     pub fn new(field_dim: usize, config: MetaTrainConfig) -> Self {
-        MeLU { field_dim, config, state: None }
+        MeLU {
+            field_dim,
+            config,
+            state: None,
+        }
     }
 
     fn raw_score(&self, dataset: &Dataset, pairs: &[(usize, usize)]) -> Tensor {
@@ -84,7 +88,12 @@ impl MeLU {
         p
     }
 
-    fn meta_train(&self, dataset: &Dataset, tasks_fn: impl Fn(&mut StdRng) -> Vec<Task>, rng: &mut StdRng) {
+    fn meta_train(
+        &self,
+        dataset: &Dataset,
+        tasks_fn: impl Fn(&mut StdRng) -> Vec<Task>,
+        rng: &mut StdRng,
+    ) {
         let all = self.all_params();
         let mut fomaml = FoMaml::new(
             self.head_params(),
@@ -130,8 +139,22 @@ impl RatingModel for MeLU {
             |rng| {
                 // alternate user-tasks and item-tasks so all three cold-start
                 // scenarios benefit from adaptation
-                let mut t = sample_tasks(train, true, cfg.support_ratio, 4, cfg.task_batch / 2 + 1, rng);
-                t.extend(sample_tasks(train, false, cfg.support_ratio, 4, cfg.task_batch / 2, rng));
+                let mut t = sample_tasks(
+                    train,
+                    true,
+                    cfg.support_ratio,
+                    4,
+                    cfg.task_batch / 2 + 1,
+                    rng,
+                );
+                t.extend(sample_tasks(
+                    train,
+                    false,
+                    cfg.support_ratio,
+                    4,
+                    cfg.task_batch / 2,
+                    rng,
+                ));
                 t
             },
             rng,
@@ -171,10 +194,18 @@ mod tests {
 
     #[test]
     fn meta_training_runs_and_predicts_in_range() {
-        let d = SyntheticConfig::movielens_like().scaled(25, 20, (8, 12)).generate(10);
+        let d = SyntheticConfig::movielens_like()
+            .scaled(25, 20, (8, 12))
+            .generate(10);
         let g = d.graph();
         let mut rng = StdRng::seed_from_u64(0);
-        let mut m = MeLU::new(4, MetaTrainConfig { outer_steps: 5, ..Default::default() });
+        let mut m = MeLU::new(
+            4,
+            MetaTrainConfig {
+                outer_steps: 5,
+                ..Default::default()
+            },
+        );
         m.fit(&d, &g, &mut rng);
         let preds = m.predict(&d, &g, &[(0, 0), (1, 1), (2, 2)]);
         assert_eq!(preds.len(), 3);
@@ -185,16 +216,27 @@ mod tests {
 
     #[test]
     fn predict_restores_parameters() {
-        let d = SyntheticConfig::movielens_like().scaled(20, 15, (6, 10)).generate(11);
+        let d = SyntheticConfig::movielens_like()
+            .scaled(20, 15, (6, 10))
+            .generate(11);
         let g = d.graph();
         let mut rng = StdRng::seed_from_u64(1);
-        let mut m = MeLU::new(4, MetaTrainConfig { outer_steps: 2, ..Default::default() });
+        let mut m = MeLU::new(
+            4,
+            MetaTrainConfig {
+                outer_steps: 2,
+                ..Default::default()
+            },
+        );
         m.fit(&d, &g, &mut rng);
         let before: Vec<NdArray> = m.all_params().iter().map(|p| p.value()).collect();
         let _ = m.predict(&d, &g, &[(0, 0), (3, 4)]);
         let after: Vec<NdArray> = m.all_params().iter().map(|p| p.value()).collect();
         for (b, a) in before.iter().zip(&after) {
-            assert!(b.allclose(a, 1e-7), "adaptation leaked into meta-parameters");
+            assert!(
+                b.allclose(a, 1e-7),
+                "adaptation leaked into meta-parameters"
+            );
         }
     }
 
@@ -202,10 +244,19 @@ mod tests {
     fn adaptation_moves_predictions_toward_support() {
         // After meta-training, feeding a support set of all-5 ratings should
         // push predictions up relative to a support set of all-1 ratings.
-        let d = SyntheticConfig::movielens_like().scaled(25, 20, (8, 12)).generate(12);
+        let d = SyntheticConfig::movielens_like()
+            .scaled(25, 20, (8, 12))
+            .generate(12);
         let g = d.graph();
         let mut rng = StdRng::seed_from_u64(2);
-        let mut m = MeLU::new(4, MetaTrainConfig { outer_steps: 8, inner_steps: 3, ..Default::default() });
+        let mut m = MeLU::new(
+            4,
+            MetaTrainConfig {
+                outer_steps: 8,
+                inner_steps: 3,
+                ..Default::default()
+            },
+        );
         m.fit(&d, &g, &mut rng);
         let pairs = [(0usize, 5usize)];
         let high: Vec<Rating> = (0..4).map(|i| Rating::new(0, i, 5.0)).collect();

@@ -34,10 +34,18 @@ pub fn sample_tasks(
     count: usize,
     rng: &mut StdRng,
 ) -> Vec<Task> {
-    let num_entities = if by_user { graph.num_users() } else { graph.num_items() };
+    let num_entities = if by_user {
+        graph.num_users()
+    } else {
+        graph.num_items()
+    };
     let eligible: Vec<usize> = (0..num_entities)
         .filter(|&e| {
-            let deg = if by_user { graph.user_degree(e) } else { graph.item_degree(e) };
+            let deg = if by_user {
+                graph.user_degree(e)
+            } else {
+                graph.item_degree(e)
+            };
             deg >= min_edges
         })
         .collect();
@@ -61,8 +69,8 @@ pub fn sample_tasks(
                 .collect()
         };
         edges.shuffle(rng);
-        let n_support = ((edges.len() as f32 * support_ratio).round() as usize)
-            .clamp(1, edges.len() - 1);
+        let n_support =
+            ((edges.len() as f32 * support_ratio).round() as usize).clamp(1, edges.len() - 1);
         let support = edges[..n_support].to_vec();
         let query = edges[n_support..].to_vec();
         tasks.push(Task { support, query });
@@ -149,7 +157,13 @@ impl FoMaml {
         inner_steps: usize,
     ) -> Self {
         let stash = vec![None; all_params.len()];
-        FoMaml { local_params, all_params, inner_lr, inner_steps, stash }
+        FoMaml {
+            local_params,
+            all_params,
+            inner_lr,
+            inner_steps,
+            stash,
+        }
     }
 
     /// Snapshot of the local parameter values.
@@ -291,9 +305,7 @@ mod tests {
         let mut fm = FoMaml::new(vec![w.clone()], vec![w.clone()], 0.1, 3);
         let saved = fm.save();
         // minimize (w - 3)^2: inner steps move w toward 3
-        fm.adapt(|| {
-            w.sub(&Tensor::scalar(3.0)).square().sum()
-        });
+        fm.adapt(|| w.sub(&Tensor::scalar(3.0)).square().sum());
         assert!(w.value().item() > 1.0);
         // fake query loss grad, stash, restore
         w.square().sum().backward();

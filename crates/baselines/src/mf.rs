@@ -26,7 +26,11 @@ struct State {
 impl MatrixFactorization {
     /// MF with the given latent dimensionality.
     pub fn new(factors: usize, config: EdgeTrainConfig) -> Self {
-        MatrixFactorization { factors, config, state: None }
+        MatrixFactorization {
+            factors,
+            config,
+            state: None,
+        }
     }
 
     fn score(&self, dataset: &Dataset, pairs: &[(usize, usize)]) -> Tensor {
@@ -66,8 +70,7 @@ impl RatingModel for MatrixFactorization {
         train_on_edges(dataset, train, params, self.config, rng, |d, batch| {
             let pairs: Vec<(usize, usize)> = batch.iter().map(|r| (r.user, r.item)).collect();
             let pred = this.score(d, &pairs);
-            let target =
-                NdArray::from_vec([batch.len()], batch.iter().map(|r| r.value).collect());
+            let target = NdArray::from_vec([batch.len()], batch.iter().map(|r| r.value).collect());
             hire_nn::mse_loss(&pred, &target)
         });
     }
@@ -96,10 +99,18 @@ mod tests {
 
     #[test]
     fn fits_warm_ratings() {
-        let d = SyntheticConfig::movielens_like().scaled(25, 20, (8, 12)).generate(1);
+        let d = SyntheticConfig::movielens_like()
+            .scaled(25, 20, (8, 12))
+            .generate(1);
         let g = d.graph();
         let mut rng = StdRng::seed_from_u64(0);
-        let mut mf = MatrixFactorization::new(8, EdgeTrainConfig { epochs: 20, ..Default::default() });
+        let mut mf = MatrixFactorization::new(
+            8,
+            EdgeTrainConfig {
+                epochs: 20,
+                ..Default::default()
+            },
+        );
         mf.fit(&d, &g, &mut rng);
         // training-set RMSE should beat the global-mean predictor
         let pairs: Vec<(usize, usize)> = d.ratings.iter().map(|r| (r.user, r.item)).collect();
@@ -113,10 +124,18 @@ mod tests {
 
     #[test]
     fn predictions_clamped_to_scale() {
-        let d = SyntheticConfig::movielens_like().scaled(15, 12, (4, 8)).generate(2);
+        let d = SyntheticConfig::movielens_like()
+            .scaled(15, 12, (4, 8))
+            .generate(2);
         let g = d.graph();
         let mut rng = StdRng::seed_from_u64(1);
-        let mut mf = MatrixFactorization::new(4, EdgeTrainConfig { epochs: 2, ..Default::default() });
+        let mut mf = MatrixFactorization::new(
+            4,
+            EdgeTrainConfig {
+                epochs: 2,
+                ..Default::default()
+            },
+        );
         mf.fit(&d, &g, &mut rng);
         let preds = mf.predict(&d, &g, &[(0, 0), (1, 1)]);
         for p in preds {

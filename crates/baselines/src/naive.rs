@@ -87,9 +87,7 @@ impl RatingModel for EntityMean {
                 } else {
                     let item_edges = visible.item_neighbors(i);
                     if !item_edges.is_empty() {
-                        item_edges.iter().map(|&(v, _)| v as f32).count() as f32 * 0.0
-                            + item_edges.iter().map(|&(_, v)| v).sum::<f32>()
-                                / item_edges.len() as f32
+                        item_edges.iter().map(|&(_, v)| v).sum::<f32>() / item_edges.len() as f32
                     } else {
                         self.global
                     }
@@ -108,7 +106,9 @@ mod tests {
 
     #[test]
     fn global_mean_predicts_mean() {
-        let d = SyntheticConfig::movielens_like().scaled(10, 10, (3, 5)).generate(22);
+        let d = SyntheticConfig::movielens_like()
+            .scaled(10, 10, (3, 5))
+            .generate(22);
         let g = d.graph();
         let mut rng = StdRng::seed_from_u64(0);
         let mut m = GlobalMean::new();
@@ -120,16 +120,15 @@ mod tests {
 
     #[test]
     fn entity_mean_uses_visible_user_edges() {
-        let d = SyntheticConfig::movielens_like().scaled(10, 10, (3, 5)).generate(23);
+        let d = SyntheticConfig::movielens_like()
+            .scaled(10, 10, (3, 5))
+            .generate(23);
         let g = d.graph();
         let mut rng = StdRng::seed_from_u64(0);
         let mut m = EntityMean::new();
         m.fit(&d, &g, &mut rng);
-        let visible = BipartiteGraph::from_ratings(
-            10,
-            10,
-            &[Rating::new(0, 1, 5.0), Rating::new(0, 2, 3.0)],
-        );
+        let visible =
+            BipartiteGraph::from_ratings(10, 10, &[Rating::new(0, 1, 5.0), Rating::new(0, 2, 3.0)]);
         let p = m.predict(&d, &visible, &[(0, 7)])[0];
         assert!((p - 4.0).abs() < 1e-6);
         // user with no visible edges falls back to item mean

@@ -28,7 +28,11 @@ struct State {
 impl NeuMF {
     /// NeuMF with `field_dim`-wide embeddings.
     pub fn new(field_dim: usize, config: EdgeTrainConfig) -> Self {
-        NeuMF { field_dim, config, state: None }
+        NeuMF {
+            field_dim,
+            config,
+            state: None,
+        }
     }
 
     fn score(&self, dataset: &Dataset, pairs: &[(usize, usize)]) -> Tensor {
@@ -37,9 +41,9 @@ impl NeuMF {
         let items: Vec<usize> = pairs.iter().map(|&(_, i)| i).collect();
         let u = s.user_proj.forward(&s.fields.user_flat(dataset, &users)); // [b, d]
         let i = s.item_proj.forward(&s.fields.item_flat(dataset, &items)); // [b, d]
-        // GMF branch: element-wise product
+                                                                           // GMF branch: element-wise product
         let gmf = u.mul(&i); // [b, d]
-        // MLP branch on concatenation
+                             // MLP branch on concatenation
         let mlp_out = s.mlp.forward(&Tensor::concat_last(&[u, i])); // [b, d]
         let b = pairs.len();
         s.fuse
@@ -76,8 +80,7 @@ impl RatingModel for NeuMF {
         train_on_edges(dataset, train, params, self.config, rng, |d, batch| {
             let pairs: Vec<(usize, usize)> = batch.iter().map(|r| (r.user, r.item)).collect();
             let pred = scale_to_rating(&this.score(d, &pairs), d);
-            let target =
-                NdArray::from_vec([batch.len()], batch.iter().map(|r| r.value).collect());
+            let target = NdArray::from_vec([batch.len()], batch.iter().map(|r| r.value).collect());
             hire_nn::mse_loss(&pred, &target)
         });
     }
@@ -102,10 +105,18 @@ mod tests {
 
     #[test]
     fn learns_training_signal() {
-        let d = SyntheticConfig::movielens_like().scaled(25, 20, (8, 12)).generate(4);
+        let d = SyntheticConfig::movielens_like()
+            .scaled(25, 20, (8, 12))
+            .generate(4);
         let g = d.graph();
         let mut rng = StdRng::seed_from_u64(0);
-        let mut m = NeuMF::new(4, EdgeTrainConfig { epochs: 12, ..Default::default() });
+        let mut m = NeuMF::new(
+            4,
+            EdgeTrainConfig {
+                epochs: 12,
+                ..Default::default()
+            },
+        );
         m.fit(&d, &g, &mut rng);
         let pairs: Vec<(usize, usize)> = d.ratings.iter().map(|r| (r.user, r.item)).collect();
         let preds = m.predict(&d, &g, &pairs);
@@ -117,10 +128,18 @@ mod tests {
 
     #[test]
     fn output_in_rating_range() {
-        let d = SyntheticConfig::douban_like().scaled(10, 12, (3, 6)).generate(5);
+        let d = SyntheticConfig::douban_like()
+            .scaled(10, 12, (3, 6))
+            .generate(5);
         let g = d.graph();
         let mut rng = StdRng::seed_from_u64(1);
-        let mut m = NeuMF::new(4, EdgeTrainConfig { epochs: 1, ..Default::default() });
+        let mut m = NeuMF::new(
+            4,
+            EdgeTrainConfig {
+                epochs: 1,
+                ..Default::default()
+            },
+        );
         m.fit(&d, &g, &mut rng);
         for p in m.predict(&d, &g, &[(0, 0), (9, 11)]) {
             assert!(p >= 0.0 && p <= d.max_rating());

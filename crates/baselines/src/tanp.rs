@@ -31,7 +31,13 @@ pub struct TanpConfig {
 
 impl Default for TanpConfig {
     fn default() -> Self {
-        TanpConfig { steps: 80, task_batch: 6, lr: 5e-3, support_ratio: 0.1, z_dim: 16 }
+        TanpConfig {
+            steps: 80,
+            task_batch: 6,
+            lr: 5e-3,
+            support_ratio: 0.1,
+            z_dim: 16,
+        }
     }
 }
 
@@ -54,7 +60,11 @@ struct State {
 impl Tanp {
     /// TaNP with `field_dim`-wide embeddings.
     pub fn new(field_dim: usize, config: TanpConfig) -> Self {
-        Tanp { field_dim, config, state: None }
+        Tanp {
+            field_dim,
+            config,
+            state: None,
+        }
     }
 
     /// Encodes a support set into the task embedding `z` (zeros when the
@@ -75,11 +85,8 @@ impl Tanp {
         );
         let enc_in = Tensor::concat_last(&[x, Tensor::constant(ratings)]);
         let per_edge = s.encoder.forward(&enc_in); // [k, z]
-        // mean-pool over the support set -> [1, z]
-        per_edge
-            .permute(&[1, 0])
-            .mean_last()
-            .reshape([1, s.z_dim])
+                                                   // mean-pool over the support set -> [1, z]
+        per_edge.permute(&[1, 0]).mean_last().reshape([1, s.z_dim])
     }
 
     fn decode(&self, dataset: &Dataset, z: &Tensor, pairs: &[(usize, usize)]) -> Tensor {
@@ -190,10 +197,18 @@ mod tests {
 
     #[test]
     fn trains_and_predicts_in_range() {
-        let d = SyntheticConfig::movielens_like().scaled(25, 20, (8, 12)).generate(15);
+        let d = SyntheticConfig::movielens_like()
+            .scaled(25, 20, (8, 12))
+            .generate(15);
         let g = d.graph();
         let mut rng = StdRng::seed_from_u64(0);
-        let mut m = Tanp::new(4, TanpConfig { steps: 10, ..Default::default() });
+        let mut m = Tanp::new(
+            4,
+            TanpConfig {
+                steps: 10,
+                ..Default::default()
+            },
+        );
         m.fit(&d, &g, &mut rng);
         let preds = m.predict(&d, &g, &[(0, 0), (1, 2)]);
         for p in preds {
@@ -203,16 +218,27 @@ mod tests {
 
     #[test]
     fn task_embedding_depends_on_support() {
-        let d = SyntheticConfig::movielens_like().scaled(20, 15, (6, 10)).generate(16);
+        let d = SyntheticConfig::movielens_like()
+            .scaled(20, 15, (6, 10))
+            .generate(16);
         let g = d.graph();
         let mut rng = StdRng::seed_from_u64(1);
-        let mut m = Tanp::new(4, TanpConfig { steps: 5, ..Default::default() });
+        let mut m = Tanp::new(
+            4,
+            TanpConfig {
+                steps: 5,
+                ..Default::default()
+            },
+        );
         m.fit(&d, &g, &mut rng);
         let high: Vec<Rating> = (0..3).map(|i| Rating::new(0, i, 5.0)).collect();
         let low: Vec<Rating> = (0..3).map(|i| Rating::new(0, i, 1.0)).collect();
         let z_high = m.encode_task(&d, &high).value();
         let z_low = m.encode_task(&d, &low).value();
-        assert!(z_high.max_abs_diff(&z_low) > 1e-6, "z insensitive to support");
+        assert!(
+            z_high.max_abs_diff(&z_low) > 1e-6,
+            "z insensitive to support"
+        );
         // empty support falls back to the zero prior
         let z_prior = m.encode_task(&d, &[]).value();
         assert_eq!(z_prior.norm_l2(), 0.0);

@@ -27,7 +27,11 @@ struct State {
 impl WideDeep {
     /// Wide&Deep with `field_dim`-wide embeddings on the deep side.
     pub fn new(field_dim: usize, config: EdgeTrainConfig) -> Self {
-        WideDeep { field_dim, config, state: None }
+        WideDeep {
+            field_dim,
+            config,
+            state: None,
+        }
     }
 
     fn wide_score(&self, dataset: &Dataset, pairs: &[(usize, usize)]) -> Tensor {
@@ -56,7 +60,7 @@ impl WideDeep {
         let flat_positions: Vec<usize> = rows.iter().flatten().copied().collect();
         let counts: Vec<usize> = rows.iter().map(Vec::len).collect();
         let gathered = s.wide_weights.gather_rows(&flat_positions); // [total, 1]
-        // Sum per pair with a fixed block-diagonal pooling matrix.
+                                                                    // Sum per pair with a fixed block-diagonal pooling matrix.
         let total: usize = counts.iter().sum();
         let b = pairs.len();
         let mut pool = NdArray::zeros([b, total]);
@@ -104,7 +108,11 @@ impl RatingModel for WideDeep {
         let state = State {
             wide_weights: Tensor::parameter(NdArray::zeros([wide_total, 1])),
             wide_bias: Tensor::parameter(NdArray::zeros([1])),
-            deep: Mlp::new(&[deep_in, 2 * deep_in.min(64), 16, 1], Activation::Relu, rng),
+            deep: Mlp::new(
+                &[deep_in, 2 * deep_in.min(64), 16, 1],
+                Activation::Relu,
+                rng,
+            ),
             wide_user_width,
             fields,
         };
@@ -118,8 +126,7 @@ impl RatingModel for WideDeep {
         train_on_edges(dataset, train, params, self.config, rng, |d, batch| {
             let pairs: Vec<(usize, usize)> = batch.iter().map(|r| (r.user, r.item)).collect();
             let pred = scale_to_rating(&this.score(d, &pairs), d);
-            let target =
-                NdArray::from_vec([batch.len()], batch.iter().map(|r| r.value).collect());
+            let target = NdArray::from_vec([batch.len()], batch.iter().map(|r| r.value).collect());
             hire_nn::mse_loss(&pred, &target)
         });
     }
@@ -144,10 +151,18 @@ mod tests {
 
     #[test]
     fn learns_training_signal() {
-        let d = SyntheticConfig::movielens_like().scaled(25, 20, (8, 12)).generate(6);
+        let d = SyntheticConfig::movielens_like()
+            .scaled(25, 20, (8, 12))
+            .generate(6);
         let g = d.graph();
         let mut rng = StdRng::seed_from_u64(0);
-        let mut m = WideDeep::new(4, EdgeTrainConfig { epochs: 10, ..Default::default() });
+        let mut m = WideDeep::new(
+            4,
+            EdgeTrainConfig {
+                epochs: 10,
+                ..Default::default()
+            },
+        );
         m.fit(&d, &g, &mut rng);
         let pairs: Vec<(usize, usize)> = d.ratings.iter().map(|r| (r.user, r.item)).collect();
         let preds = m.predict(&d, &g, &pairs);

@@ -3,7 +3,6 @@
 //! a full model forward, and context sampling.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use hire_core::{HimBlock, HireConfig, HireModel};
 use hire_data::{training_context, SyntheticConfig};
 use hire_graph::{ContextSampler, NeighborhoodSampler, RandomSampler};
@@ -11,10 +10,14 @@ use hire_nn::MultiHeadSelfAttention;
 use hire_tensor::{linalg, NdArray, Tensor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::time::Duration;
 
 fn bench_matmul(c: &mut Criterion) {
     let mut group = c.benchmark_group("matmul");
-    group.sample_size(20).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
     let mut rng = StdRng::seed_from_u64(0);
     for &size in &[32usize, 64, 128] {
         let a = NdArray::randn([size, size], 0.0, 1.0, &mut rng);
@@ -34,7 +37,10 @@ fn bench_matmul(c: &mut Criterion) {
 
 fn bench_mhsa(c: &mut Criterion) {
     let mut group = c.benchmark_group("mhsa_forward");
-    group.sample_size(20).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
     let mut rng = StdRng::seed_from_u64(1);
     for &(tokens, dim) in &[(16usize, 72usize), (32, 72), (32, 144)] {
         let mhsa = MultiHeadSelfAttention::new(dim, 4, 8, &mut rng);
@@ -52,7 +58,10 @@ fn bench_mhsa(c: &mut Criterion) {
 
 fn bench_him_block(c: &mut Criterion) {
     let mut group = c.benchmark_group("him_block");
-    group.sample_size(15).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500));
+    group
+        .sample_size(15)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
     let mut rng = StdRng::seed_from_u64(2);
     let config = HireConfig::fast();
     for &(n, m) in &[(8usize, 8usize), (16, 16), (32, 32)] {
@@ -73,7 +82,10 @@ fn bench_him_block(c: &mut Criterion) {
 
 fn bench_model_forward_backward(c: &mut Criterion) {
     let mut group = c.benchmark_group("hire_model");
-    group.sample_size(10).measurement_time(Duration::from_secs(5)).warm_up_time(Duration::from_secs(1));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5))
+        .warm_up_time(Duration::from_secs(1));
     let dataset = SyntheticConfig::movielens_like()
         .scaled(80, 60, (15, 30))
         .generate(3);
@@ -89,7 +101,8 @@ fn bench_model_forward_backward(c: &mut Criterion) {
         config.context_items,
         0.1,
         &mut rng,
-    );
+    )
+    .expect("training context");
     group.bench_function("forward_16x16", |bench| {
         bench.iter(|| model.predict(&ctx, &dataset));
     });
@@ -104,7 +117,10 @@ fn bench_model_forward_backward(c: &mut Criterion) {
 
 fn bench_sampling(c: &mut Criterion) {
     let mut group = c.benchmark_group("context_sampling");
-    group.sample_size(30).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    group
+        .sample_size(30)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
     let dataset = SyntheticConfig::movielens_like()
         .scaled(300, 200, (30, 60))
         .generate(4);

@@ -21,7 +21,10 @@ fn main() {
     let mut records = Vec::new();
 
     println!("## (a-c) Number of HIM blocks");
-    println!("{:<10}{:<8}{:>10}{:>10}{:>10}", "Scenario", "K", "Pre@5", "NDCG@5", "MAP@5");
+    println!(
+        "{:<10}{:<8}{:>10}{:>10}{:>10}",
+        "Scenario", "K", "Pre@5", "NDCG@5", "MAP@5"
+    );
     for scenario in ColdStartScenario::ALL {
         let split = ColdStartSplit::new(
             &dataset,
@@ -38,7 +41,11 @@ fn main() {
             let at5 = &r.at_k[0];
             println!(
                 "{:<10}{:<8}{:>10.4}{:>10.4}{:>10.4}",
-                scenario.label(), k, at5.precision, at5.ndcg, at5.map
+                scenario.label(),
+                k,
+                at5.precision,
+                at5.ndcg,
+                at5.map
             );
             records.push(serde_json::json!({
                 "sweep": "him_blocks", "scenario": scenario.label(), "value": k,
@@ -48,7 +55,10 @@ fn main() {
     }
 
     println!("\n## (d-f) Context size (n = m)");
-    println!("{:<10}{:<8}{:>10}{:>10}{:>10}", "Scenario", "size", "Pre@5", "NDCG@5", "MAP@5");
+    println!(
+        "{:<10}{:<8}{:>10}{:>10}{:>10}",
+        "Scenario", "size", "Pre@5", "NDCG@5", "MAP@5"
+    );
     let sizes: &[usize] = match args.tier {
         SpeedTier::Smoke => &[8, 16],
         SpeedTier::Fast => &[8, 16, 24, 32],
@@ -75,7 +85,11 @@ fn main() {
             let at5 = &r.at_k[0];
             println!(
                 "{:<10}{:<8}{:>10.4}{:>10.4}{:>10.4}",
-                scenario.label(), size, at5.precision, at5.ndcg, at5.map
+                scenario.label(),
+                size,
+                at5.precision,
+                at5.ndcg,
+                at5.map
             );
             records.push(serde_json::json!({
                 "sweep": "context_size", "scenario": scenario.label(), "value": size,

@@ -17,8 +17,12 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn feature_sampler(dataset: &Dataset) -> FeatureSimilaritySampler {
-    let uf: Vec<Vec<f32>> = (0..dataset.num_users).map(|u| dataset.user_feature(u)).collect();
-    let itf: Vec<Vec<f32>> = (0..dataset.num_items).map(|i| dataset.item_feature(i)).collect();
+    let uf: Vec<Vec<f32>> = (0..dataset.num_users)
+        .map(|u| dataset.user_feature(u))
+        .collect();
+    let itf: Vec<Vec<f32>> = (0..dataset.num_items)
+        .map(|i| dataset.item_feature(i))
+        .collect();
     FeatureSimilaritySampler::new(uf, itf)
 }
 
@@ -51,7 +55,15 @@ fn main() {
             let mut rng = StdRng::seed_from_u64(args.seed);
             let model = HireModel::new(&dataset, &hire_cfg, &mut rng);
             eprintln!("  [{} / {}] training ...", scenario.label(), sampler.name());
-            train(&model, &dataset, &train_graph, sampler, &train_cfg, &mut rng);
+            train(
+                &model,
+                &dataset,
+                &train_graph,
+                sampler,
+                &train_cfg,
+                &mut rng,
+            )
+            .expect("training");
 
             let threshold = dataset.relevance_threshold();
             let mut accs: [Accumulator; 3] = Default::default();
@@ -73,7 +85,8 @@ fn main() {
                     hire_cfg.context_users,
                     hire_cfg.context_items,
                     &mut rng,
-                );
+                )
+                .expect("test context");
                 let pred = model.predict(&ctx, &dataset);
                 let scored: Vec<ScoredPair> = ctx
                     .targets()

@@ -78,7 +78,8 @@ fn main() {
         &NeighborhoodSampler,
         &args.tier.hire_train_config(),
         &mut rng,
-    );
+    )
+    .expect("training");
 
     // Pick the first cold user with enough queries.
     let (entity, queries) = split
@@ -87,24 +88,42 @@ fn main() {
         .find(|(_, q)| q.len() >= 5)
         .expect("a cold user with >= 5 queries");
     let visible = split.visible_graph(&dataset);
-    let ctx = test_context(&visible, &NeighborhoodSampler, &queries[..5], 16, 16, &mut rng);
+    let ctx = test_context(
+        &visible,
+        &NeighborhoodSampler,
+        &queries[..5],
+        16,
+        16,
+        &mut rng,
+    )
+    .expect("test context");
     let (pred, attns) = model.forward_with_attention(&ctx, &dataset);
     let pred = pred.value();
 
     println!("# Fig. 9: Case study — learned attention of the last HIM block");
-    println!("cold user: u{entity}; context: {} users x {} items", ctx.n(), ctx.m());
+    println!(
+        "cold user: u{entity}; context: {} users x {} items",
+        ctx.n(),
+        ctx.m()
+    );
 
     let last = attns.last().expect("at least one HIM block");
     let user_labels: Vec<String> = ctx.users.iter().map(|u| format!("u{u}")).collect();
     let item_labels: Vec<String> = ctx.items.iter().map(|i| format!("i{i}")).collect();
     heatmap(
-        &format!("(a) MBU: attention among users, view of item {}", item_labels[0]),
+        &format!(
+            "(a) MBU: attention among users, view of item {}",
+            item_labels[0]
+        ),
         &last.mbu,
         0,
         &user_labels,
     );
     heatmap(
-        &format!("(b) MBI: attention among items, view of user {}", user_labels[0]),
+        &format!(
+            "(b) MBI: attention among items, view of user {}",
+            user_labels[0]
+        ),
         &last.mbi,
         0,
         &item_labels,
@@ -113,12 +132,24 @@ fn main() {
     if dataset.user_schema.is_id_only() {
         attr_labels.push("u:ID".into());
     } else {
-        attr_labels.extend(dataset.user_schema.attributes().iter().map(|a| format!("u:{}", a.name)));
+        attr_labels.extend(
+            dataset
+                .user_schema
+                .attributes()
+                .iter()
+                .map(|a| format!("u:{}", a.name)),
+        );
     }
     if dataset.item_schema.is_id_only() {
         attr_labels.push("i:ID".into());
     } else {
-        attr_labels.extend(dataset.item_schema.attributes().iter().map(|a| format!("i:{}", a.name)));
+        attr_labels.extend(
+            dataset
+                .item_schema
+                .attributes()
+                .iter()
+                .map(|a| format!("i:{}", a.name)),
+        );
     }
     attr_labels.push("rating".into());
     heatmap(

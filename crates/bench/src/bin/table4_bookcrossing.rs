@@ -4,5 +4,8 @@
 use hire_bench::{run_overall_table, DatasetKind};
 
 fn main() {
-    run_overall_table(DatasetKind::Bookcrossing, "Table IV (Bookcrossing synthetic)");
+    run_overall_table(
+        DatasetKind::Bookcrossing,
+        "Table IV (Bookcrossing synthetic)",
+    );
 }

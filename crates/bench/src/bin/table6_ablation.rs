@@ -43,13 +43,19 @@ fn main() {
             eprintln!("  [{label} / {}] training ...", scenario.label());
             let r = evaluate_model(&mut model, &dataset, &split, &cfg);
             let at5 = &r.at_k[0];
-            cells.push(format!("{:.3}/{:.3}/{:.3}", at5.precision, at5.ndcg, at5.map));
+            cells.push(format!(
+                "{:.3}/{:.3}/{:.3}",
+                at5.precision, at5.ndcg, at5.map
+            ));
             records.push(serde_json::json!({
                 "variant": label, "scenario": scenario.label(),
                 "precision": at5.precision, "ndcg": at5.ndcg, "map": at5.map,
             }));
         }
-        println!("{:<24}{:>22}{:>22}{:>22}", label, cells[0], cells[1], cells[2]);
+        println!(
+            "{:<24}{:>22}{:>22}{:>22}",
+            label, cells[0], cells[1], cells[2]
+        );
     }
     maybe_write_json(&args, &records);
 }

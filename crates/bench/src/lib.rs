@@ -11,9 +11,13 @@
 //! 32×32 / 3-HIM configuration.
 
 use hire_data::{ColdStartScenario, ColdStartSplit, Dataset, SyntheticConfig};
-use hire_eval::{evaluate_model, EvalConfig, ModelResult, SpeedTier};
+use hire_error::{HireError, HireResult};
+use hire_eval::{evaluate_model_isolated, EvalConfig, ModelResult, ModelSpec, SpeedTier};
 use serde::Serialize;
-use std::io::Write;
+use std::time::Duration;
+
+const USAGE: &str =
+    "usage: [--tier smoke|fast|full] [--seed N] [--max-entities N] [--model-budget SECS] [--out FILE]";
 
 /// Parsed command-line options.
 #[derive(Debug, Clone)]
@@ -24,49 +28,90 @@ pub struct HarnessArgs {
     pub seed: u64,
     /// Cold entities per scenario.
     pub max_entities: usize,
+    /// Optional per-model wall-clock budget in seconds; models exceeding it
+    /// are recorded as timed out and the run continues.
+    pub model_budget: Option<f64>,
     /// Optional JSON output path.
     pub out: Option<String>,
 }
 
 impl HarnessArgs {
-    /// Parses `std::env::args`, panicking with a usage message on errors.
+    /// Parses `std::env::args`; prints usage and exits on `--help` or a
+    /// parse error (exit code 2).
     pub fn parse() -> Self {
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        if argv.iter().any(|a| a == "--help" || a == "-h") {
+            eprintln!("{USAGE}");
+            std::process::exit(0);
+        }
+        match Self::parse_from(&argv) {
+            Ok(args) => args,
+            Err(err) => {
+                eprintln!("error: {err}");
+                eprintln!("{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Parses an explicit argument list (without the program name),
+    /// returning a typed error instead of panicking or exiting — the
+    /// testable core of [`HarnessArgs::parse`].
+    pub fn parse_from(argv: &[String]) -> HireResult<Self> {
         let mut args = HarnessArgs {
             tier: SpeedTier::Fast,
             seed: 7,
             max_entities: 25,
+            model_budget: None,
             out: None,
         };
-        let mut it = std::env::args().skip(1);
+        let mut it = argv.iter();
         while let Some(flag) = it.next() {
             let mut value = || {
                 it.next()
-                    .unwrap_or_else(|| panic!("flag {flag} needs a value"))
+                    .ok_or_else(|| HireError::invalid_argument(flag.clone(), "missing a value"))
             };
             match flag.as_str() {
                 "--tier" => {
-                    args.tier = match value().as_str() {
+                    args.tier = match value()?.as_str() {
                         "smoke" => SpeedTier::Smoke,
                         "fast" => SpeedTier::Fast,
                         "full" => SpeedTier::Full,
-                        other => panic!("unknown tier {other} (smoke|fast|full)"),
+                        other => {
+                            return Err(HireError::invalid_argument(
+                                "--tier",
+                                format!("unknown tier `{other}` (smoke|fast|full)"),
+                            ))
+                        }
                     }
                 }
-                "--seed" => args.seed = value().parse().expect("--seed takes a u64"),
+                "--seed" => {
+                    args.seed = value()?
+                        .parse()
+                        .map_err(|_| HireError::invalid_argument("--seed", "expected a u64"))?
+                }
                 "--max-entities" => {
-                    args.max_entities = value().parse().expect("--max-entities takes a usize")
+                    args.max_entities = value()?.parse().map_err(|_| {
+                        HireError::invalid_argument("--max-entities", "expected a usize")
+                    })?
                 }
-                "--out" => args.out = Some(value()),
-                "--help" | "-h" => {
-                    eprintln!(
-                        "usage: [--tier smoke|fast|full] [--seed N] [--max-entities N] [--out FILE]"
-                    );
-                    std::process::exit(0);
+                "--model-budget" => {
+                    let secs: f64 = value()?.parse().map_err(|_| {
+                        HireError::invalid_argument("--model-budget", "expected seconds (f64)")
+                    })?;
+                    if !secs.is_finite() || secs <= 0.0 {
+                        return Err(HireError::invalid_argument(
+                            "--model-budget",
+                            "seconds must be positive and finite",
+                        ));
+                    }
+                    args.model_budget = Some(secs);
                 }
-                other => panic!("unknown flag {other}"),
+                "--out" => args.out = Some(value()?.clone()),
+                other => return Err(HireError::invalid_argument(other, "unknown flag")),
             }
         }
-        args
+        Ok(args)
     }
 
     /// Evaluation config at these settings.
@@ -126,6 +171,42 @@ pub struct ScenarioReport {
     pub results: Vec<ModelResult>,
 }
 
+/// Runs a comparison over explicit model specs for one scenario. Every
+/// model is evaluated in panic/timeout isolation
+/// ([`evaluate_model_isolated`]): a crashing or hanging model yields a
+/// `failed`/`timeout` entry in the report and the remaining models still
+/// run.
+pub fn run_scenario_with_specs(
+    dataset: &Dataset,
+    kind: DatasetKind,
+    scenario: ColdStartScenario,
+    args: &HarnessArgs,
+    specs: Vec<ModelSpec>,
+) -> ScenarioReport {
+    let split = ColdStartSplit::new(dataset, scenario, cold_frac(kind), 0.1, args.seed);
+    let cfg = args.eval_config();
+    let budget = args.model_budget.map(Duration::from_secs_f64);
+    let mut results = Vec::new();
+    for spec in specs {
+        let name = spec.name.clone();
+        eprintln!("  [{}] training {} ...", scenario.label(), name);
+        let result = evaluate_model_isolated(spec, dataset, &split, &cfg, budget);
+        if !result.status.is_ok() {
+            eprintln!(
+                "  [{}] {} did not finish: {:?}",
+                scenario.label(),
+                name,
+                result.status
+            );
+        }
+        results.push(result);
+    }
+    ScenarioReport {
+        scenario: scenario.label().to_string(),
+        results,
+    }
+}
+
 /// Runs the full comparison (all baselines + HIRE) for one scenario.
 pub fn run_scenario(
     dataset: &Dataset,
@@ -133,26 +214,32 @@ pub fn run_scenario(
     scenario: ColdStartScenario,
     args: &HarnessArgs,
 ) -> ScenarioReport {
-    let split = ColdStartSplit::new(dataset, scenario, cold_frac(kind), 0.1, args.seed);
-    let cfg = args.eval_config();
-    let mut results = Vec::new();
-    for mut model in hire_eval::baselines(dataset, args.tier) {
-        eprintln!("  [{}] training {} ...", scenario.label(), model.name());
-        results.push(evaluate_model(model.as_mut(), dataset, &split, &cfg));
-    }
-    let mut hire = hire_eval::hire(args.tier);
-    eprintln!("  [{}] training HIRE ...", scenario.label());
-    results.push(evaluate_model(hire.as_mut(), dataset, &split, &cfg));
-    ScenarioReport { scenario: scenario.label().to_string(), results }
+    let mut specs = hire_eval::baseline_specs(dataset, args.tier);
+    specs.push(hire_eval::hire_spec(args.tier));
+    run_scenario_with_specs(dataset, kind, scenario, args, specs)
 }
 
-/// Writes reports as JSON when `--out` was given.
+/// Serializes `value` and writes it to `path` atomically: the JSON goes to
+/// a `<path>.tmp` sibling first and is renamed over the target, so a crash
+/// mid-write can never leave a truncated result file.
+pub fn write_json_atomic<T: Serialize>(path: &str, value: &T) -> HireResult<()> {
+    let json =
+        serde_json::to_string_pretty(value).map_err(|e| HireError::Serialization(e.to_string()))?;
+    let tmp = format!("{path}.tmp");
+    std::fs::write(&tmp, json.as_bytes()).map_err(|e| HireError::io(&tmp, e))?;
+    std::fs::rename(&tmp, path).map_err(|e| HireError::io(path, e))?;
+    Ok(())
+}
+
+/// Writes reports as JSON when `--out` was given. Write errors are
+/// reported to stderr, not panicked on — the tables already printed are
+/// worth keeping.
 pub fn maybe_write_json<T: Serialize>(args: &HarnessArgs, value: &T) {
     if let Some(path) = &args.out {
-        let json = serde_json::to_string_pretty(value).expect("serializable results");
-        let mut f = std::fs::File::create(path).expect("create output file");
-        f.write_all(json.as_bytes()).expect("write results");
-        eprintln!("wrote {path}");
+        match write_json_atomic(path, value) {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(err) => eprintln!("could not write results: {err}"),
+        }
     }
 }
 
@@ -160,6 +247,23 @@ pub fn maybe_write_json<T: Serialize>(args: &HarnessArgs, value: &T) {
 /// scenario) — the layout of Tables III-V.
 pub fn run_overall_table(kind: DatasetKind, title: &str) {
     let args = HarnessArgs::parse();
+    run_overall_table_with(kind, title, &args, |dataset, args| {
+        let mut specs = hire_eval::baseline_specs(dataset, args.tier);
+        specs.push(hire_eval::hire_spec(args.tier));
+        specs
+    });
+}
+
+/// [`run_overall_table`] with explicit args and a model-spec factory
+/// (called once per scenario). The JSON output is flushed after **every**
+/// scenario, so even if a later scenario dies the finished ones are on
+/// disk.
+pub fn run_overall_table_with(
+    kind: DatasetKind,
+    title: &str,
+    args: &HarnessArgs,
+    specs_for: impl Fn(&Dataset, &HarnessArgs) -> Vec<ModelSpec>,
+) {
     let dataset = dataset_for(kind, args.tier, args.seed);
     println!("# {title}");
     println!(
@@ -171,15 +275,96 @@ pub fn run_overall_table(kind: DatasetKind, title: &str) {
     );
     let mut reports = Vec::new();
     for scenario in ColdStartScenario::ALL {
-        let report = run_scenario(&dataset, kind, scenario, &args);
+        let specs = specs_for(&dataset, args);
+        let report = run_scenario_with_specs(&dataset, kind, scenario, args, specs);
         println!(
             "{}",
-            hire_eval::format_table(
-                &format!("{title} — {}", report.scenario),
-                &report.results
-            )
+            hire_eval::format_table(&format!("{title} — {}", report.scenario), &report.results)
         );
         reports.push(report);
+        // Partial flush: finished scenarios survive a crash in a later one.
+        maybe_write_json(args, &reports);
     }
-    maybe_write_json(&args, &reports);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_from_accepts_all_flags() {
+        let args = HarnessArgs::parse_from(&argv(&[
+            "--tier",
+            "smoke",
+            "--seed",
+            "11",
+            "--max-entities",
+            "9",
+            "--model-budget",
+            "2.5",
+            "--out",
+            "results.json",
+        ]))
+        .expect("valid args");
+        assert_eq!(args.tier, SpeedTier::Smoke);
+        assert_eq!(args.seed, 11);
+        assert_eq!(args.max_entities, 9);
+        assert_eq!(args.model_budget, Some(2.5));
+        assert_eq!(args.out.as_deref(), Some("results.json"));
+    }
+
+    #[test]
+    fn parse_from_defaults_with_no_flags() {
+        let args = HarnessArgs::parse_from(&[]).expect("empty argv");
+        assert_eq!(args.tier, SpeedTier::Fast);
+        assert_eq!(args.seed, 7);
+        assert!(args.out.is_none());
+        assert!(args.model_budget.is_none());
+    }
+
+    #[test]
+    fn parse_from_rejects_unknown_flag() {
+        let err = HarnessArgs::parse_from(&argv(&["--frobnicate"])).expect_err("unknown flag");
+        assert!(err.to_string().contains("--frobnicate"));
+    }
+
+    #[test]
+    fn parse_from_rejects_missing_value() {
+        let err = HarnessArgs::parse_from(&argv(&["--seed"])).expect_err("missing value");
+        assert!(err.to_string().contains("--seed"));
+        assert!(err.to_string().contains("missing"));
+    }
+
+    #[test]
+    fn parse_from_rejects_bad_tier_and_numbers() {
+        let err = HarnessArgs::parse_from(&argv(&["--tier", "warp9"])).expect_err("bad tier");
+        assert!(err.to_string().contains("warp9"));
+        let err = HarnessArgs::parse_from(&argv(&["--seed", "minus-one"])).expect_err("bad seed");
+        assert!(err.to_string().contains("u64"));
+        let err =
+            HarnessArgs::parse_from(&argv(&["--model-budget", "-3"])).expect_err("negative budget");
+        assert!(err.to_string().contains("positive"));
+    }
+
+    #[test]
+    fn atomic_json_write_round_trips_and_cleans_tmp() {
+        let path = std::env::temp_dir().join("hire_bench_write_test.json");
+        let path = path.to_str().unwrap().to_string();
+        write_json_atomic(&path, &vec![1usize, 2, 3]).expect("write");
+        let body = std::fs::read_to_string(&path).expect("read back");
+        assert!(body.contains('1') && body.contains('3'));
+        assert!(!std::path::Path::new(&format!("{path}.tmp")).exists());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn atomic_json_write_reports_io_errors() {
+        let err = write_json_atomic("/nonexistent-dir/deep/out.json", &vec![1usize])
+            .expect_err("unwritable path");
+        assert!(matches!(err, HireError::Io { .. }), "{err}");
+    }
 }

@@ -93,7 +93,10 @@ impl HireConfig {
 
     /// Toggles attention layers (ablation study, Table VI).
     pub fn with_layers(mut self, mbu: bool, mbi: bool, mba: bool) -> Self {
-        assert!(mbu || mbi || mba, "at least one attention layer must remain");
+        assert!(
+            mbu || mbi || mba,
+            "at least one attention layer must remain"
+        );
         self.enable_mbu = mbu;
         self.enable_mbi = mbi;
         self.enable_mba = mba;

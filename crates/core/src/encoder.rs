@@ -200,15 +200,9 @@ mod tests {
         let graph = dataset.graph();
         let mut rng = rand::rngs::StdRng::seed_from_u64(0);
         let seed = dataset.ratings[0];
-        let ctx = hire_data::training_context(
-            &graph,
-            &NeighborhoodSampler,
-            seed,
-            6,
-            5,
-            0.3,
-            &mut rng,
-        );
+        let ctx =
+            hire_data::training_context(&graph, &NeighborhoodSampler, seed, 6, 5, 0.3, &mut rng)
+                .expect("training context");
         let encoder = ContextEncoder::new(&dataset, 4, &mut rng);
         (dataset, ctx, encoder)
     }
@@ -261,7 +255,11 @@ mod tests {
         for d in 0..hu_f {
             let a = h.at(&[0, 0, d]);
             for col in 1..ctx.m() {
-                assert_eq!(h.at(&[0, col, d]), a, "user features must tile across items");
+                assert_eq!(
+                    h.at(&[0, col, d]),
+                    a,
+                    "user features must tile across items"
+                );
             }
         }
     }
@@ -285,7 +283,8 @@ mod tests {
             4,
             0.2,
             &mut rng,
-        );
+        )
+        .expect("training context");
         let h = encoder.encode(&ctx, &dataset);
         assert_eq!(h.dims(), vec![4, 4, 12]);
     }
@@ -299,7 +298,11 @@ mod tests {
         // receives grad only if some input cell is visible
         let params = encoder.parameters();
         let with_grad = params.iter().filter(|p| p.grad().is_some()).count();
-        assert!(with_grad >= params.len() - 1, "{with_grad}/{}", params.len());
+        assert!(
+            with_grad >= params.len() - 1,
+            "{with_grad}/{}",
+            params.len()
+        );
     }
 
     #[test]
@@ -319,7 +322,8 @@ mod tests {
             3,
             3,
             &mut rng,
-        );
+        )
+        .expect("test context");
         let h = encoder.encode(&ctx, &dataset);
         h.square().sum().backward();
         if let Some(g) = encoder.rating_embedding.table().grad() {

@@ -48,9 +48,21 @@ impl HimBlock {
             mba: config
                 .enable_mba
                 .then(|| MultiHeadSelfAttention::new(config.attr_dim, heads, head_dim, rng)),
-            norm_mbu: if config.enable_mbu { norm(config.layer_norm, e) } else { None },
-            norm_mbi: if config.enable_mbi { norm(config.layer_norm, e) } else { None },
-            norm_mba: if config.enable_mba { norm(config.layer_norm, e) } else { None },
+            norm_mbu: if config.enable_mbu {
+                norm(config.layer_norm, e)
+            } else {
+                None
+            },
+            norm_mbi: if config.enable_mbi {
+                norm(config.layer_norm, e)
+            } else {
+                None
+            },
+            norm_mba: if config.enable_mba {
+                norm(config.layer_norm, e)
+            } else {
+                None
+            },
             residual: config.residual,
             num_attrs,
             attr_dim: config.attr_dim,
@@ -79,10 +91,18 @@ impl HimBlock {
         let dims = h.dims();
         assert_eq!(dims.len(), 3, "HIM input must be [n, m, e]");
         let (n, m, e) = (dims[0], dims[1], dims[2]);
-        assert_eq!(e, self.num_attrs * self.attr_dim, "embedding width mismatch");
+        assert_eq!(
+            e,
+            self.num_attrs * self.attr_dim,
+            "embedding width mismatch"
+        );
 
         let empty = NdArray::zeros([0]);
-        let mut attn = HimAttention { mbu: empty.clone(), mbi: empty.clone(), mba: empty };
+        let mut attn = HimAttention {
+            mbu: empty.clone(),
+            mbi: empty.clone(),
+            mba: empty,
+        };
 
         // MBU: tokens = users, batch = items. H[:, j, :] per item view.
         let mut x = h.clone();
@@ -186,8 +206,16 @@ mod tests {
         let block = HimBlock::new(&config(), 5, &mut rng);
         let h = input(4, 3, 20, 2);
         let (_, attn) = block.forward_with_attention(&h);
-        assert_eq!(attn.mbu.dims(), &[3, 2, 4, 4], "item views x heads x users^2");
-        assert_eq!(attn.mbi.dims(), &[4, 2, 3, 3], "user views x heads x items^2");
+        assert_eq!(
+            attn.mbu.dims(),
+            &[3, 2, 4, 4],
+            "item views x heads x users^2"
+        );
+        assert_eq!(
+            attn.mbi.dims(),
+            &[4, 2, 3, 3],
+            "user views x heads x items^2"
+        );
         assert_eq!(attn.mba.dims(), &[12, 2, 5, 5], "pairs x heads x attrs^2");
     }
 
@@ -243,7 +271,10 @@ mod tests {
                 for d in 0..20 {
                     let a = out_p.at(&[r, c, d]);
                     let b = out.at(&[pr, pc, d]);
-                    assert!((a - b).abs() < 1e-3, "mismatch at ({r},{c},{d}): {a} vs {b}");
+                    assert!(
+                        (a - b).abs() < 1e-3,
+                        "mismatch at ({r},{c},{d}): {a} vs {b}"
+                    );
                 }
             }
         }

@@ -17,12 +17,17 @@
 
 pub mod config;
 pub mod encoder;
+pub mod guard;
 pub mod him;
 pub mod model;
 pub mod trainer;
 
 pub use config::HireConfig;
 pub use encoder::ContextEncoder;
+pub use guard::{
+    DivergenceReason, GuardConfig, NumericalGuard, ParameterCheckpoint, RecoveryEvent,
+    TrainOutcome, TrainReport,
+};
 pub use him::{HimAttention, HimBlock};
 pub use model::HireModel;
-pub use trainer::{train, StepStats, TrainConfig};
+pub use trainer::{train, train_guarded, StepStats, TrainConfig};

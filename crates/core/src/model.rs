@@ -146,7 +146,8 @@ mod tests {
             4,
             0.2,
             &mut rng,
-        );
+        )
+        .expect("training context");
         let model = HireModel::new(&dataset, &small_config(), &mut rng);
         (dataset, ctx, model)
     }
@@ -176,7 +177,8 @@ mod tests {
                 m,
                 0.2,
                 &mut rng,
-            );
+            )
+            .expect("training context");
             let pred = model.predict(&ctx, &dataset);
             assert_eq!(pred.dims(), &[n, m]);
         }
@@ -202,7 +204,10 @@ mod tests {
             .filter(|p| p.grad().is_some())
             .count();
         // rating embedding may legitimately see no visible cell
-        assert!(with_grad >= total - 1, "{with_grad}/{total} params got grads");
+        assert!(
+            with_grad >= total - 1,
+            "{with_grad}/{total} params got grads"
+        );
     }
 
     #[test]

@@ -1,8 +1,13 @@
 //! Training loop implementing Algorithm 1 with the paper's optimizer stack
-//! (LAMB + Lookahead, flat-then-anneal LR, gradient clipping at 1.0).
+//! (LAMB + Lookahead, flat-then-anneal LR, gradient clipping at 1.0),
+//! supervised by a numerical-health guard (see [`crate::guard`]).
 
+use crate::guard::{
+    GuardConfig, NumericalGuard, ParameterCheckpoint, RecoveryEvent, TrainOutcome, TrainReport,
+};
 use crate::model::HireModel;
 use hire_data::{training_context, Dataset};
+use hire_error::{HireError, HireResult};
 use hire_graph::{BipartiteGraph, ContextSampler, Rating};
 use hire_nn::Module;
 use hire_optim::{clip_grad_norm, FlatThenAnneal, Lamb, Lookahead, LrSchedule, Optimizer};
@@ -27,12 +32,22 @@ pub struct TrainConfig {
 impl TrainConfig {
     /// The paper's published training hyper-parameters.
     pub fn paper_default() -> Self {
-        TrainConfig { steps: 1000, batch_size: 8, base_lr: 1e-3, grad_clip: 1.0 }
+        TrainConfig {
+            steps: 1000,
+            batch_size: 8,
+            base_lr: 1e-3,
+            grad_clip: 1.0,
+        }
     }
 
     /// A quick configuration for tests and smoke benchmarks.
     pub fn fast() -> Self {
-        TrainConfig { steps: 120, batch_size: 4, base_lr: 3e-3, grad_clip: 1.0 }
+        TrainConfig {
+            steps: 120,
+            batch_size: 4,
+            base_lr: 3e-3,
+            grad_clip: 1.0,
+        }
     }
 }
 
@@ -50,7 +65,8 @@ pub struct StepStats {
 }
 
 /// Trains `model` on contexts sampled from `graph` (the training-visible
-/// graph), returning per-step statistics. Deterministic under a fixed `rng`.
+/// graph) with the default [`GuardConfig`], returning a [`TrainReport`].
+/// Deterministic under a fixed `rng`.
 pub fn train(
     model: &HireModel,
     dataset: &Dataset,
@@ -58,9 +74,44 @@ pub fn train(
     sampler: &dyn ContextSampler,
     config: &TrainConfig,
     rng: &mut impl Rng,
-) -> Vec<StepStats> {
+) -> HireResult<TrainReport> {
+    train_guarded(
+        model,
+        dataset,
+        graph,
+        sampler,
+        config,
+        &GuardConfig::default(),
+        rng,
+    )
+}
+
+/// [`train`] with explicit guard settings.
+///
+/// Each step the guard inspects the mini-batch loss and the gradient
+/// statistics. On divergence (non-finite loss/gradients, or a sustained
+/// loss explosion relative to the EMA baseline) the parameters are rolled
+/// back to the last healthy checkpoint, the learning rate is scaled by
+/// `guard.lr_backoff`, and the optimizer state is rebuilt. After
+/// `guard.max_recoveries` rollbacks the run stops with
+/// [`TrainOutcome::Aborted`] — the weights stay at the last good snapshot,
+/// so callers always receive a usable (finite) model.
+pub fn train_guarded(
+    model: &HireModel,
+    dataset: &Dataset,
+    graph: &BipartiteGraph,
+    sampler: &dyn ContextSampler,
+    config: &TrainConfig,
+    guard_config: &GuardConfig,
+    rng: &mut impl Rng,
+) -> HireResult<TrainReport> {
     let edges: Vec<Rating> = graph.edges().collect();
-    assert!(!edges.is_empty(), "training graph has no edges");
+    if edges.is_empty() {
+        return Err(HireError::invalid_data(
+            "train",
+            "training graph has no edges",
+        ));
+    }
     let params = model.parameters();
     let mut optimizer = Lookahead::paper_default(Lamb::paper_default(params.clone()));
     let schedule = FlatThenAnneal {
@@ -72,14 +123,20 @@ pub fn train(
     let m = model.config().context_items;
     let input_ratio = model.config().input_ratio;
 
-    let mut history = Vec::with_capacity(config.steps);
+    let mut guard = NumericalGuard::new(guard_config.clone());
+    let mut checkpoint = ParameterCheckpoint::capture(0, &params);
+    let mut lr_scale = 1.0f32;
+    let mut steps = Vec::with_capacity(config.steps);
+    let mut recoveries: Vec<RecoveryEvent> = Vec::new();
+    let mut outcome = TrainOutcome::Completed;
+
     for step in 0..config.steps {
         optimizer.zero_grad();
         // Algorithm 1 line 4: draw a mini-batch of prediction contexts.
         let mut batch_loss: Option<hire_tensor::Tensor> = None;
         for _ in 0..config.batch_size {
             let seed = *edges.choose(rng).expect("non-empty edges");
-            let ctx = training_context(graph, sampler, seed, n, m, input_ratio, rng);
+            let ctx = training_context(graph, sampler, seed, n, m, input_ratio, rng)?;
             if ctx.num_targets() == 0 {
                 continue;
             }
@@ -93,12 +150,45 @@ pub fn train(
         let loss = total.mul_scalar(1.0 / config.batch_size as f32);
         let loss_value = loss.item();
         loss.backward();
-        let grad_norm = clip_grad_norm(&params, config.grad_clip);
-        let lr = schedule.lr(step);
+        let clip = clip_grad_norm(&params, config.grad_clip);
+        let lr = schedule.lr(step) * lr_scale;
+        steps.push(StepStats {
+            step,
+            loss: loss_value,
+            grad_norm: clip.pre_clip_norm,
+            lr,
+        });
+
+        if let Some(reason) = guard.observe(loss_value, clip.nonfinite_entries) {
+            // Roll back, shrink the LR, and rebuild the optimizer: its
+            // moment estimates were computed from the diverged trajectory.
+            checkpoint.restore(&params);
+            lr_scale *= guard_config.lr_backoff;
+            optimizer = Lookahead::paper_default(Lamb::paper_default(params.clone()));
+            guard.reset();
+            recoveries.push(RecoveryEvent {
+                step,
+                reason,
+                restored_step: checkpoint.step(),
+                lr_scale,
+            });
+            if recoveries.len() > guard_config.max_recoveries {
+                outcome = TrainOutcome::Aborted { step };
+                break;
+            }
+            continue;
+        }
+
         optimizer.step(lr);
-        history.push(StepStats { step, loss: loss_value, grad_norm, lr });
+        if (step + 1) % guard_config.checkpoint_every == 0 {
+            checkpoint = ParameterCheckpoint::capture(step + 1, &params);
+        }
     }
-    history
+    Ok(TrainReport {
+        steps,
+        recoveries,
+        outcome,
+    })
 }
 
 #[cfg(test)]
@@ -131,8 +221,24 @@ mod tests {
             layer_norm: true,
         };
         let model = HireModel::new(&dataset, &config, &mut rng);
-        let tc = TrainConfig { steps: 60, batch_size: 2, base_lr: 3e-3, grad_clip: 1.0 };
-        let history = train(&model, &dataset, &graph, &NeighborhoodSampler, &tc, &mut rng);
+        let tc = TrainConfig {
+            steps: 60,
+            batch_size: 2,
+            base_lr: 3e-3,
+            grad_clip: 1.0,
+        };
+        let report = train(
+            &model,
+            &dataset,
+            &graph,
+            &NeighborhoodSampler,
+            &tc,
+            &mut rng,
+        )
+        .expect("training");
+        assert_eq!(report.outcome, crate::guard::TrainOutcome::Completed);
+        assert!(report.recoveries.is_empty(), "healthy run must not recover");
+        let history = report.steps;
         assert!(!history.is_empty());
         let first: f32 = history[..10].iter().map(|s| s.loss).sum::<f32>() / 10.0;
         let last: f32 = history[history.len() - 10..]
@@ -170,16 +276,113 @@ mod tests {
             residual: true,
             layer_norm: true,
         };
-        let tc = TrainConfig { steps: 10, batch_size: 2, base_lr: 1e-3, grad_clip: 1.0 };
+        let tc = TrainConfig {
+            steps: 10,
+            batch_size: 2,
+            base_lr: 1e-3,
+            grad_clip: 1.0,
+        };
         let run = |seed: u64| {
             let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
             let model = HireModel::new(&dataset, &config, &mut rng);
-            train(&model, &dataset, &graph, &NeighborhoodSampler, &tc, &mut rng)
-                .iter()
-                .map(|s| s.loss)
-                .collect::<Vec<_>>()
+            train(
+                &model,
+                &dataset,
+                &graph,
+                &NeighborhoodSampler,
+                &tc,
+                &mut rng,
+            )
+            .expect("training")
+            .steps
+            .iter()
+            .map(|s| s.loss)
+            .collect::<Vec<_>>()
         };
         assert_eq!(run(7), run(7));
         assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn empty_training_graph_is_a_typed_error() {
+        let dataset = SyntheticConfig::movielens_like()
+            .scaled(10, 10, (3, 5))
+            .generate(0);
+        let empty = hire_graph::BipartiteGraph::empty(10, 10);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let config = HireConfig::fast();
+        let model = HireModel::new(&dataset, &config, &mut rng);
+        let err = train(
+            &model,
+            &dataset,
+            &empty,
+            &NeighborhoodSampler,
+            &TrainConfig::fast(),
+            &mut rng,
+        )
+        .expect_err("empty graph must error");
+        assert!(err.to_string().contains("no edges"));
+    }
+
+    #[test]
+    fn absurd_learning_rate_triggers_recovery_and_stays_finite() {
+        // The divergence-recovery acceptance test: an absurd base LR blows
+        // up training; the guard must roll back at least once and the model
+        // must come out with finite weights and a finite loss.
+        let dataset = SyntheticConfig::movielens_like()
+            .scaled(40, 30, (10, 20))
+            .generate(2);
+        let graph = dataset.graph();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let config = HireConfig {
+            attr_dim: 4,
+            num_blocks: 1,
+            heads: 2,
+            head_dim: 4,
+            context_users: 6,
+            context_items: 6,
+            input_ratio: 0.2,
+            enable_mbu: true,
+            enable_mbi: true,
+            enable_mba: true,
+            residual: true,
+            layer_norm: true,
+        };
+        let model = HireModel::new(&dataset, &config, &mut rng);
+        let tc = TrainConfig {
+            steps: 60,
+            batch_size: 2,
+            base_lr: 50.0,
+            grad_clip: 1.0,
+        };
+        let report = train(
+            &model,
+            &dataset,
+            &graph,
+            &NeighborhoodSampler,
+            &tc,
+            &mut rng,
+        )
+        .expect("guarded training must not error out");
+        assert!(
+            !report.recoveries.is_empty(),
+            "LR 50 must trigger at least one recovery; outcome {:?}",
+            report.outcome
+        );
+        for (a, b) in report
+            .recoveries
+            .iter()
+            .zip(report.recoveries.iter().skip(1))
+        {
+            assert!(b.lr_scale < a.lr_scale, "LR must shrink across recoveries");
+        }
+        let final_loss = report.final_loss().expect("at least one finite-loss step");
+        assert!(final_loss.is_finite());
+        for p in model.parameters() {
+            assert!(
+                !p.value().has_non_finite(),
+                "weights poisoned after recovery"
+            );
+        }
     }
 }

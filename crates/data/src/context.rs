@@ -1,6 +1,7 @@
 //! Prediction contexts: the `n x m` rating blocks consumed by HIRE
 //! (§ IV-B) and the mask bookkeeping for training and testing.
 
+use hire_error::{HireError, HireResult};
 use hire_graph::{BipartiteGraph, ContextSampler, Rating};
 use hire_tensor::NdArray;
 use rand::seq::SliceRandom;
@@ -36,7 +37,11 @@ impl PredictionContext {
 
     /// Number of target cells.
     pub fn num_targets(&self) -> usize {
-        self.target_mask.as_slice().iter().filter(|&&x| x == 1.0).count()
+        self.target_mask
+            .as_slice()
+            .iter()
+            .filter(|&&x| x == 1.0)
+            .count()
     }
 
     /// Iterates over target cells as `(row, col, true_rating)`.
@@ -61,12 +66,15 @@ impl PredictionContext {
     }
 
     /// Sanity-checks mask disjointness and value consistency.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> HireResult<()> {
         let n = self.n();
         let m = self.m();
         for a in [&self.ratings, &self.input_mask, &self.target_mask] {
             if a.dims() != [n, m] {
-                return Err(format!("array dims {:?} != [{n}, {m}]", a.dims()));
+                return Err(HireError::invalid_data(
+                    "PredictionContext",
+                    format!("array dims {:?} != [{n}, {m}]", a.dims()),
+                ));
             }
         }
         for ((&inp, &tgt), &r) in self
@@ -77,10 +85,16 @@ impl PredictionContext {
             .zip(self.ratings.as_slice())
         {
             if inp == 1.0 && tgt == 1.0 {
-                return Err("cell is both input and target".into());
+                return Err(HireError::invalid_data(
+                    "PredictionContext",
+                    "cell is both input and target",
+                ));
             }
             if (inp == 1.0 || tgt == 1.0) && r == 0.0 {
-                return Err("masked-in cell has no rating value".into());
+                return Err(HireError::invalid_data(
+                    "PredictionContext",
+                    "masked-in cell has no rating value",
+                ));
             }
         }
         Ok(())
@@ -94,8 +108,7 @@ fn block_ratings(
     users: &[usize],
     items: &[usize],
 ) -> Vec<(usize, usize, f32)> {
-    let col_of: HashMap<usize, usize> =
-        items.iter().enumerate().map(|(j, &i)| (i, j)).collect();
+    let col_of: HashMap<usize, usize> = items.iter().enumerate().map(|(j, &i)| (i, j)).collect();
     let mut out = Vec::new();
     for (row, &u) in users.iter().enumerate() {
         for &(item, value) in graph.user_neighbors(u) {
@@ -111,6 +124,10 @@ fn block_ratings(
 /// `sampler`, then reveals `input_ratio` of the block's observed ratings as
 /// input and marks the rest as targets (the paper's 10 % / 90 % protocol).
 /// The seed edge itself is always a target.
+///
+/// Returns [`HireError::InvalidData`] when `input_ratio` is outside `[0, 1)`
+/// or the block budget is degenerate — previously these were panics, which
+/// aborted whole benchmark runs on one bad configuration.
 pub fn training_context(
     graph: &BipartiteGraph,
     sampler: &dyn ContextSampler,
@@ -119,8 +136,19 @@ pub fn training_context(
     m: usize,
     input_ratio: f32,
     rng: &mut dyn rand::RngCore,
-) -> PredictionContext {
-    assert!((0.0..1.0).contains(&input_ratio));
+) -> HireResult<PredictionContext> {
+    if !(0.0..1.0).contains(&input_ratio) {
+        return Err(HireError::invalid_data(
+            "training_context",
+            format!("input_ratio {input_ratio} outside [0, 1)"),
+        ));
+    }
+    if n == 0 || m == 0 {
+        return Err(HireError::invalid_data(
+            "training_context",
+            format!("context budget {n}x{m} must be at least 1x1"),
+        ));
+    }
     let sel = sampler.sample(graph, &[seed.user], &[seed.item], n, m, rng);
     let mut cells = block_ratings(graph, &sel.users, &sel.items);
     cells.shuffle(rng);
@@ -145,13 +173,13 @@ pub fn training_context(
             target_mask.as_mut_slice()[flat] = 1.0;
         }
     }
-    PredictionContext {
+    Ok(PredictionContext {
         users: sel.users,
         items: sel.items,
         ratings,
         input_mask,
         target_mask,
-    }
+    })
 }
 
 /// Builds a **test** context for one cold entity.
@@ -169,7 +197,7 @@ pub fn test_context(
     n: usize,
     m: usize,
     rng: &mut dyn rand::RngCore,
-) -> PredictionContext {
+) -> HireResult<PredictionContext> {
     test_context_with_ratio(visible, sampler, queries, n, m, 1.0, rng)
 }
 
@@ -189,9 +217,19 @@ pub fn test_context_with_ratio(
     m: usize,
     keep_ratio: f32,
     rng: &mut dyn rand::RngCore,
-) -> PredictionContext {
-    assert!((0.0..=1.0).contains(&keep_ratio));
-    assert!(!queries.is_empty(), "test context needs at least one query");
+) -> HireResult<PredictionContext> {
+    if !(0.0..=1.0).contains(&keep_ratio) {
+        return Err(HireError::invalid_data(
+            "test_context",
+            format!("keep_ratio {keep_ratio} outside [0, 1]"),
+        ));
+    }
+    if queries.is_empty() {
+        return Err(HireError::invalid_data(
+            "test_context",
+            "test context needs at least one query",
+        ));
+    }
     let mut seed_users: Vec<usize> = Vec::new();
     let mut seed_items: Vec<usize> = Vec::new();
     for q in queries {
@@ -257,13 +295,13 @@ pub fn test_context_with_ratio(
         input_mask.as_mut_slice()[flat] = 0.0;
         target_mask.as_mut_slice()[flat] = 1.0;
     }
-    PredictionContext {
+    Ok(PredictionContext {
         users: sel.users,
         items: sel.items,
         ratings,
         input_mask,
         target_mask,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -297,7 +335,8 @@ mod tests {
             4,
             0.1,
             &mut rng,
-        );
+        )
+        .expect("training context");
         ctx.validate().expect("valid context");
         assert_eq!(ctx.n(), 4);
         assert_eq!(ctx.m(), 4);
@@ -319,12 +358,16 @@ mod tests {
         let g = graph();
         // hide edge (0,0) from the visible graph; it is the query
         let visible = {
-            let edges: Vec<Rating> = g.edges().filter(|r| !(r.user == 0 && r.item == 0)).collect();
+            let edges: Vec<Rating> = g
+                .edges()
+                .filter(|r| !(r.user == 0 && r.item == 0))
+                .collect();
             BipartiteGraph::from_ratings(6, 6, &edges)
         };
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
         let queries = [Rating::new(0, 0, 5.0)];
-        let ctx = test_context(&visible, &NeighborhoodSampler, &queries, 4, 4, &mut rng);
+        let ctx = test_context(&visible, &NeighborhoodSampler, &queries, 4, 4, &mut rng)
+            .expect("test context");
         ctx.validate().expect("valid context");
         assert_eq!(ctx.target_mask.at(&[0, 0]), 1.0);
         assert_eq!(ctx.input_mask.at(&[0, 0]), 0.0);
@@ -339,7 +382,8 @@ mod tests {
         let visible = BipartiteGraph::empty(6, 6);
         let mut rng = rand::rngs::StdRng::seed_from_u64(2);
         let queries = [Rating::new(1, 1, 3.0), Rating::new(1, 3, 4.0)];
-        let ctx = test_context(&visible, &NeighborhoodSampler, &queries, 3, 3, &mut rng);
+        let ctx = test_context(&visible, &NeighborhoodSampler, &queries, 3, 3, &mut rng)
+            .expect("test context");
         let targets: Vec<_> = ctx.targets().collect();
         assert_eq!(targets.len(), 2);
         let values: Vec<f32> = targets.iter().map(|&(_, _, v)| v).collect();
@@ -352,9 +396,29 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(3);
         // 6 query items but m = 3
         let queries: Vec<Rating> = (0..6).map(|i| Rating::new(0, i, 2.0)).collect();
-        let ctx = test_context(&g, &NeighborhoodSampler, &queries, 3, 3, &mut rng);
+        let ctx =
+            test_context(&g, &NeighborhoodSampler, &queries, 3, 3, &mut rng).expect("test context");
         assert_eq!(ctx.m(), 3);
         assert!(ctx.num_targets() <= 3);
         assert!(ctx.num_targets() > 0);
+    }
+
+    #[test]
+    fn bad_configurations_yield_typed_errors_not_panics() {
+        let g = graph();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let seed = Rating::new(0, 0, 1.0);
+        let err = training_context(&g, &NeighborhoodSampler, seed, 4, 4, 1.5, &mut rng)
+            .expect_err("input_ratio out of range must error");
+        assert!(err.to_string().contains("input_ratio"));
+        let err = training_context(&g, &NeighborhoodSampler, seed, 0, 4, 0.1, &mut rng)
+            .expect_err("zero budget must error");
+        assert!(err.to_string().contains("budget"));
+        let err = test_context(&g, &NeighborhoodSampler, &[], 3, 3, &mut rng)
+            .expect_err("empty query set must error");
+        assert!(err.to_string().contains("query"));
+        let err = test_context_with_ratio(&g, &NeighborhoodSampler, &[seed], 3, 3, -0.5, &mut rng)
+            .expect_err("negative keep_ratio must error");
+        assert!(err.to_string().contains("keep_ratio"));
     }
 }

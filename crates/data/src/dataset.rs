@@ -2,6 +2,7 @@
 //! social relations.
 
 use crate::schema::EntitySchema;
+use hire_error::{HireError, HireResult};
 use hire_graph::{BipartiteGraph, Rating, SocialGraph};
 
 /// A rating-prediction dataset.
@@ -142,44 +143,50 @@ impl Dataset {
         }
     }
 
-    /// Validates internal consistency; returns a description of the first
-    /// problem found, if any.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Validates internal consistency; returns a typed error describing the
+    /// first problem found, if any.
+    pub fn validate(&self) -> HireResult<()> {
+        let err =
+            |message: String| HireError::invalid_data(format!("Dataset `{}`", self.name), message);
         if self.user_attrs.len() != self.num_users {
-            return Err(format!(
+            return Err(err(format!(
                 "user_attrs has {} rows, expected {}",
                 self.user_attrs.len(),
                 self.num_users
-            ));
+            )));
         }
         if self.item_attrs.len() != self.num_items {
-            return Err(format!(
+            return Err(err(format!(
                 "item_attrs has {} rows, expected {}",
                 self.item_attrs.len(),
                 self.num_items
-            ));
+            )));
         }
         for (u, codes) in self.user_attrs.iter().enumerate() {
             if !self.user_schema.validate(codes) {
-                return Err(format!("user {u} has invalid attribute codes {codes:?}"));
+                return Err(err(format!(
+                    "user {u} has invalid attribute codes {codes:?}"
+                )));
             }
         }
         for (i, codes) in self.item_attrs.iter().enumerate() {
             if !self.item_schema.validate(codes) {
-                return Err(format!("item {i} has invalid attribute codes {codes:?}"));
+                return Err(err(format!(
+                    "item {i} has invalid attribute codes {codes:?}"
+                )));
             }
         }
         for r in &self.ratings {
             if r.user >= self.num_users || r.item >= self.num_items {
-                return Err(format!("rating {r:?} out of range"));
+                return Err(err(format!("rating {r:?} out of range")));
             }
             if r.value < self.min_rating || r.value > self.max_rating() {
-                return Err(format!("rating {r:?} outside the rating scale"));
+                return Err(err(format!("rating {r:?} outside the rating scale")));
             }
         }
         if let Some(social) = &self.social {
             if social.num_users() != self.num_users {
-                return Err("social graph user count mismatch".into());
+                return Err(err("social graph user count mismatch".into()));
             }
         }
         Ok(())

@@ -13,7 +13,10 @@ impl Attribute {
     /// Convenience constructor.
     pub fn new(name: impl Into<String>, cardinality: usize) -> Self {
         assert!(cardinality > 0, "attribute cardinality must be positive");
-        Attribute { name: name.into(), cardinality }
+        Attribute {
+            name: name.into(),
+            cardinality,
+        }
     }
 }
 
@@ -34,7 +37,9 @@ impl EntitySchema {
 
     /// Schema with no side information (ID-only).
     pub fn id_only() -> Self {
-        EntitySchema { attributes: Vec::new() }
+        EntitySchema {
+            attributes: Vec::new(),
+        }
     }
 
     /// Whether the schema is ID-only.

@@ -110,7 +110,10 @@ impl SyntheticConfig {
             popularity_skew: 1.0,
             item_bias_std: 0.4,
             user_bias_std: 0.3,
-            social: Some(SocialConfig { friends_per_user: 12, homophily: 0.8 }),
+            social: Some(SocialConfig {
+                friends_per_user: 12,
+                homophily: 0.8,
+            }),
         }
     }
 
@@ -238,10 +241,22 @@ impl SyntheticConfig {
         let item_bias_dist = Normal::new(0.0f32, self.item_bias_std.max(0.0)).unwrap();
         let user_bias_dist = Normal::new(0.0f32, self.user_bias_std.max(0.0)).unwrap();
         let item_bias: Vec<f32> = (0..self.num_items)
-            .map(|_| if self.item_bias_std > 0.0 { item_bias_dist.sample(&mut rng) } else { 0.0 })
+            .map(|_| {
+                if self.item_bias_std > 0.0 {
+                    item_bias_dist.sample(&mut rng)
+                } else {
+                    0.0
+                }
+            })
             .collect();
         let user_bias: Vec<f32> = (0..self.num_users)
-            .map(|_| if self.user_bias_std > 0.0 { user_bias_dist.sample(&mut rng) } else { 0.0 })
+            .map(|_| {
+                if self.user_bias_std > 0.0 {
+                    user_bias_dist.sample(&mut rng)
+                } else {
+                    0.0
+                }
+            })
             .collect();
 
         // Ratings.
@@ -262,7 +277,9 @@ impl SyntheticConfig {
             while chosen.len() < degree && guard < degree * 50 {
                 guard += 1;
                 let x = rng.gen::<f64>() * total_weight;
-                let item = cumulative.partition_point(|&c| c < x).min(self.num_items - 1);
+                let item = cumulative
+                    .partition_point(|&c| c < x)
+                    .min(self.num_items - 1);
                 chosen.insert(item);
             }
             // HashSet iteration order is randomized; sort for determinism.
@@ -384,13 +401,25 @@ mod tests {
         assert_eq!(a.ratings.len(), b.ratings.len());
         assert_eq!(a.user_attrs, b.user_attrs);
         assert_eq!(
-            a.ratings.iter().map(|r| (r.user, r.item)).collect::<Vec<_>>(),
-            b.ratings.iter().map(|r| (r.user, r.item)).collect::<Vec<_>>()
+            a.ratings
+                .iter()
+                .map(|r| (r.user, r.item))
+                .collect::<Vec<_>>(),
+            b.ratings
+                .iter()
+                .map(|r| (r.user, r.item))
+                .collect::<Vec<_>>()
         );
         let c = cfg.generate(8);
         assert_ne!(
-            a.ratings.iter().map(|r| (r.user, r.item)).collect::<Vec<_>>(),
-            c.ratings.iter().map(|r| (r.user, r.item)).collect::<Vec<_>>()
+            a.ratings
+                .iter()
+                .map(|r| (r.user, r.item))
+                .collect::<Vec<_>>(),
+            c.ratings
+                .iter()
+                .map(|r| (r.user, r.item))
+                .collect::<Vec<_>>()
         );
     }
 

@@ -50,14 +50,19 @@ impl RatingModel for HireRatingModel {
 
     fn fit(&mut self, dataset: &Dataset, train_graph: &BipartiteGraph, rng: &mut StdRng) {
         let model = HireModel::new(dataset, &self.config, rng);
-        train(
+        if let Err(err) = train(
             &model,
             dataset,
             train_graph,
             &NeighborhoodSampler,
             &self.train_config,
             rng,
-        );
+        ) {
+            // Keep the (partially trained or fresh) model: the guard rolls
+            // weights back to the last finite snapshot, so predictions stay
+            // usable even when training could not run.
+            eprintln!("HIRE training failed: {err}; continuing with current weights");
+        }
         self.fallback = train_graph.mean_rating().unwrap_or(0.0);
         self.model = Some(model);
     }
@@ -112,7 +117,7 @@ impl RatingModel for HireRatingModel {
             // Match the training input density (§ VI-A masks 90 % of the
             // observed ratings at test time too); the cold entity's own
             // support edges are always kept.
-            let ctx = test_context_with_ratio(
+            let Ok(ctx) = test_context_with_ratio(
                 visible,
                 &NeighborhoodSampler,
                 &queries,
@@ -120,7 +125,12 @@ impl RatingModel for HireRatingModel {
                 full_m,
                 self.config.input_ratio,
                 &mut rng,
-            );
+            ) else {
+                // Context construction rejected the configuration; leave the
+                // chunk's predictions at the training-mean fallback.
+                remaining = rest;
+                continue;
+            };
             let pred = model.predict(&ctx, dataset);
             for &(ix, (u, i)) in &chunk {
                 if let (Some(row), Some(col)) = (ctx.user_row(u), ctx.item_col(i)) {
@@ -159,7 +169,12 @@ mod tests {
             residual: true,
             layer_norm: true,
         };
-        let tc = hire_core::TrainConfig { steps: 15, batch_size: 2, base_lr: 2e-3, grad_clip: 1.0 };
+        let tc = hire_core::TrainConfig {
+            steps: 15,
+            batch_size: 2,
+            base_lr: 2e-3,
+            grad_clip: 1.0,
+        };
         let mut m = HireRatingModel::new(config, tc);
         m.fit(&dataset, &graph, &mut rng);
         let preds = m.predict(&dataset, &graph, &[(0, 0), (1, 2), (3, 4)]);
@@ -190,7 +205,12 @@ mod tests {
             residual: true,
             layer_norm: true,
         };
-        let tc = hire_core::TrainConfig { steps: 5, batch_size: 1, base_lr: 2e-3, grad_clip: 1.0 };
+        let tc = hire_core::TrainConfig {
+            steps: 5,
+            batch_size: 1,
+            base_lr: 2e-3,
+            grad_clip: 1.0,
+        };
         let mut m = HireRatingModel::new(config, tc);
         m.fit(&dataset, &graph, &mut rng);
         // 10 distinct items for one user exceed the m=4 budget -> chunking

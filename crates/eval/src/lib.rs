@@ -3,14 +3,19 @@
 //! Experiment harness for the HIRE reproduction: the [`RatingModel`]
 //! adapter for HIRE ([`HireRatingModel`]), the per-scenario evaluation
 //! runner ([`evaluate_model`]) producing the paper's Precision/NDCG/MAP @
-//! {5, 7, 10} tables, and the model zoo ([`zoo`]) that instantiates every
-//! method applicable to a dataset.
+//! {5, 7, 10} tables, the panic/timeout-isolated variant
+//! ([`evaluate_model_isolated`]), and the model zoo ([`zoo`]) that
+//! instantiates every method applicable to a dataset.
 
+pub mod fault;
 pub mod hire_adapter;
 pub mod runner;
 pub mod zoo;
 
+pub use fault::{evaluate_model_isolated, EvalStatus, ModelSpec};
 pub use hire_adapter::HireRatingModel;
 pub use hire_baselines::RatingModel;
-pub use runner::{evaluate_model, format_table, format_timing, EvalConfig, MetricsAtK, ModelResult, PAPER_KS};
-pub use zoo::{baselines, hire, matrix_factorization, SpeedTier};
+pub use runner::{
+    evaluate_model, format_table, format_timing, EvalConfig, MetricsAtK, ModelResult, PAPER_KS,
+};
+pub use zoo::{baseline_specs, baselines, hire, hire_spec, matrix_factorization, SpeedTier};

@@ -26,6 +26,9 @@ pub struct ModelResult {
     pub test_seconds: f64,
     /// Number of cold entities evaluated.
     pub entities: usize,
+    /// How the evaluation ended (always `Ok` from [`evaluate_model`];
+    /// [`crate::fault::evaluate_model_isolated`] records panics/timeouts).
+    pub status: crate::fault::EvalStatus,
 }
 
 /// Mean/std of each ranking metric at one cutoff.
@@ -64,7 +67,12 @@ pub struct EvalConfig {
 
 impl Default for EvalConfig {
     fn default() -> Self {
-        EvalConfig { ks: PAPER_KS.to_vec(), max_entities: 40, min_queries: 3, seed: 7 }
+        EvalConfig {
+            ks: PAPER_KS.to_vec(),
+            max_entities: 40,
+            min_queries: 3,
+            seed: 7,
+        }
     }
 }
 
@@ -133,6 +141,7 @@ pub fn evaluate_model(
         fit_seconds,
         test_seconds: test_time.as_secs_f64(),
         entities,
+        status: crate::fault::EvalStatus::Ok,
     }
 }
 
@@ -157,13 +166,23 @@ pub fn format_table(title: &str, results: &[ModelResult]) -> String {
     out.push('\n');
     for r in results {
         out.push_str(&format!("{:<12}", r.model));
-        for at in &r.at_k {
-            out.push_str(&format!(
-                "{:>12}{:>12}{:>12}",
-                format!("{:.4}", at.precision),
-                format!("{:.4}", at.ndcg),
-                format!("{:.4}", at.map)
-            ));
+        match &r.status {
+            crate::fault::EvalStatus::Ok => {
+                for at in &r.at_k {
+                    out.push_str(&format!(
+                        "{:>12}{:>12}{:>12}",
+                        format!("{:.4}", at.precision),
+                        format!("{:.4}", at.ndcg),
+                        format!("{:.4}", at.map)
+                    ));
+                }
+            }
+            crate::fault::EvalStatus::Failed { message } => {
+                out.push_str(&format!("  [failed: {message}]"));
+            }
+            crate::fault::EvalStatus::TimedOut { budget_seconds } => {
+                out.push_str(&format!("  [timed out after {budget_seconds:.0}s]"));
+            }
         }
         out.push('\n');
     }
@@ -204,7 +223,10 @@ mod tests {
     #[test]
     fn evaluates_naive_models() {
         let (d, s) = setup();
-        let cfg = EvalConfig { max_entities: 10, ..Default::default() };
+        let cfg = EvalConfig {
+            max_entities: 10,
+            ..Default::default()
+        };
         let mut gm = GlobalMean::new();
         let r = evaluate_model(&mut gm, &d, &s, &cfg);
         assert_eq!(r.model, "GlobalMean");
@@ -222,7 +244,10 @@ mod tests {
         // EntityMean uses support edges; it must produce valid metrics and
         // nonzero NDCG on this data.
         let (d, s) = setup();
-        let cfg = EvalConfig { max_entities: 10, ..Default::default() };
+        let cfg = EvalConfig {
+            max_entities: 10,
+            ..Default::default()
+        };
         let mut em = EntityMean::new();
         let r = evaluate_model(&mut em, &d, &s, &cfg);
         assert!(r.at_k[0].ndcg > 0.0);
@@ -231,7 +256,10 @@ mod tests {
     #[test]
     fn table_formatting_contains_all_models() {
         let (d, s) = setup();
-        let cfg = EvalConfig { max_entities: 5, ..Default::default() };
+        let cfg = EvalConfig {
+            max_entities: 5,
+            ..Default::default()
+        };
         let mut gm = GlobalMean::new();
         let r = evaluate_model(&mut gm, &d, &s, &cfg);
         let table = format_table("Test Table", &[r.clone()]);

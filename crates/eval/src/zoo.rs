@@ -25,25 +25,55 @@ pub enum SpeedTier {
 impl SpeedTier {
     fn edge_config(self) -> EdgeTrainConfig {
         match self {
-            SpeedTier::Smoke => EdgeTrainConfig { epochs: 2, batch_size: 128, lr: 1e-2 },
-            SpeedTier::Fast => EdgeTrainConfig { epochs: 8, batch_size: 128, lr: 1e-2 },
-            SpeedTier::Full => EdgeTrainConfig { epochs: 20, batch_size: 128, lr: 5e-3 },
+            SpeedTier::Smoke => EdgeTrainConfig {
+                epochs: 2,
+                batch_size: 128,
+                lr: 1e-2,
+            },
+            SpeedTier::Fast => EdgeTrainConfig {
+                epochs: 8,
+                batch_size: 128,
+                lr: 1e-2,
+            },
+            SpeedTier::Full => EdgeTrainConfig {
+                epochs: 20,
+                batch_size: 128,
+                lr: 5e-3,
+            },
         }
     }
 
     fn meta_config(self) -> MetaTrainConfig {
         match self {
-            SpeedTier::Smoke => MetaTrainConfig { outer_steps: 5, ..Default::default() },
-            SpeedTier::Fast => MetaTrainConfig { outer_steps: 40, ..Default::default() },
-            SpeedTier::Full => MetaTrainConfig { outer_steps: 150, ..Default::default() },
+            SpeedTier::Smoke => MetaTrainConfig {
+                outer_steps: 5,
+                ..Default::default()
+            },
+            SpeedTier::Fast => MetaTrainConfig {
+                outer_steps: 40,
+                ..Default::default()
+            },
+            SpeedTier::Full => MetaTrainConfig {
+                outer_steps: 150,
+                ..Default::default()
+            },
         }
     }
 
     fn tanp_config(self) -> TanpConfig {
         match self {
-            SpeedTier::Smoke => TanpConfig { steps: 8, ..Default::default() },
-            SpeedTier::Fast => TanpConfig { steps: 60, ..Default::default() },
-            SpeedTier::Full => TanpConfig { steps: 200, ..Default::default() },
+            SpeedTier::Smoke => TanpConfig {
+                steps: 8,
+                ..Default::default()
+            },
+            SpeedTier::Fast => TanpConfig {
+                steps: 60,
+                ..Default::default()
+            },
+            SpeedTier::Full => TanpConfig {
+                steps: 200,
+                ..Default::default()
+            },
         }
     }
 
@@ -59,8 +89,18 @@ impl SpeedTier {
     /// The HIRE training configuration at this tier.
     pub fn hire_train_config(self) -> TrainConfig {
         match self {
-            SpeedTier::Smoke => TrainConfig { steps: 20, batch_size: 2, base_lr: 3e-3, grad_clip: 1.0 },
-            SpeedTier::Fast => TrainConfig { steps: 150, batch_size: 4, base_lr: 3e-3, grad_clip: 1.0 },
+            SpeedTier::Smoke => TrainConfig {
+                steps: 20,
+                batch_size: 2,
+                base_lr: 3e-3,
+                grad_clip: 1.0,
+            },
+            SpeedTier::Fast => TrainConfig {
+                steps: 150,
+                batch_size: 4,
+                base_lr: 3e-3,
+                grad_clip: 1.0,
+            },
             SpeedTier::Full => TrainConfig::paper_default(),
         }
     }
@@ -75,7 +115,10 @@ impl SpeedTier {
 
 /// Builds HIRE at the given tier.
 pub fn hire(tier: SpeedTier) -> Box<dyn RatingModel> {
-    Box::new(HireRatingModel::new(tier.hire_config(), tier.hire_train_config()))
+    Box::new(HireRatingModel::new(
+        tier.hire_config(),
+        tier.hire_train_config(),
+    ))
 }
 
 /// Builds every baseline applicable to `dataset` (paper's Tables III-V
@@ -110,6 +153,52 @@ pub fn matrix_factorization(tier: SpeedTier) -> Box<dyn RatingModel> {
     Box::new(MatrixFactorization::new(16, tier.edge_config()))
 }
 
+/// Deferred-construction variant of [`baselines`] for the fault-isolated
+/// harness: each entry carries a `Send` builder closure so the model can be
+/// constructed on its evaluation worker thread (models hold non-`Send`
+/// tensors and cannot cross threads themselves).
+pub fn baseline_specs(dataset: &Dataset, tier: SpeedTier) -> Vec<crate::fault::ModelSpec> {
+    use crate::fault::ModelSpec;
+    let ec = tier.edge_config();
+    let f = tier.field_dim();
+    let mut specs = vec![
+        ModelSpec::new("NeuMF", move || Box::new(NeuMF::new(f, ec)) as _),
+        ModelSpec::new("Wide&Deep", move || Box::new(WideDeep::new(f, ec)) as _),
+        ModelSpec::new("DeepFM", move || Box::new(DeepFM::new(f, ec)) as _),
+        ModelSpec::new("AFN", move || Box::new(Afn::new(f, 2 * f, ec)) as _),
+    ];
+    if dataset.social.is_some() {
+        specs.push(ModelSpec::new("GraphRec", move || {
+            Box::new(GraphRec::new(f, ec)) as _
+        }));
+    }
+    let rich_attrs =
+        dataset.user_schema.num_attributes() >= 2 && dataset.item_schema.num_attributes() >= 2;
+    if rich_attrs {
+        specs.push(ModelSpec::new("HIN", move || {
+            Box::new(HinNeighbor::new(f, ec)) as _
+        }));
+    }
+    let mc = tier.meta_config();
+    let tc = tier.tanp_config();
+    specs.push(ModelSpec::new("MAMO", move || {
+        Box::new(Mamo::new(f, 4, mc)) as _
+    }));
+    specs.push(ModelSpec::new("TaNP", move || {
+        Box::new(Tanp::new(f, tc)) as _
+    }));
+    let mc = tier.meta_config();
+    specs.push(ModelSpec::new("MeLU", move || {
+        Box::new(MeLU::new(f, mc)) as _
+    }));
+    specs
+}
+
+/// [`hire`] as a deferred spec for the fault-isolated harness.
+pub fn hire_spec(tier: SpeedTier) -> crate::fault::ModelSpec {
+    crate::fault::ModelSpec::new("HIRE", move || hire(tier))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -117,8 +206,13 @@ mod tests {
 
     #[test]
     fn movielens_gets_hin_but_not_graphrec() {
-        let d = SyntheticConfig::movielens_like().scaled(20, 20, (4, 8)).generate(1);
-        let names: Vec<&str> = baselines(&d, SpeedTier::Smoke).iter().map(|m| m.name()).collect();
+        let d = SyntheticConfig::movielens_like()
+            .scaled(20, 20, (4, 8))
+            .generate(1);
+        let names: Vec<&str> = baselines(&d, SpeedTier::Smoke)
+            .iter()
+            .map(|m| m.name())
+            .collect();
         assert!(names.contains(&"HIN"));
         assert!(!names.contains(&"GraphRec"));
         assert!(names.contains(&"NeuMF"));
@@ -127,16 +221,26 @@ mod tests {
 
     #[test]
     fn douban_gets_graphrec_but_not_hin() {
-        let d = SyntheticConfig::douban_like().scaled(20, 20, (4, 8)).generate(2);
-        let names: Vec<&str> = baselines(&d, SpeedTier::Smoke).iter().map(|m| m.name()).collect();
+        let d = SyntheticConfig::douban_like()
+            .scaled(20, 20, (4, 8))
+            .generate(2);
+        let names: Vec<&str> = baselines(&d, SpeedTier::Smoke)
+            .iter()
+            .map(|m| m.name())
+            .collect();
         assert!(names.contains(&"GraphRec"));
         assert!(!names.contains(&"HIN"));
     }
 
     #[test]
     fn bookcrossing_gets_neither() {
-        let d = SyntheticConfig::bookcrossing_like().scaled(20, 20, (4, 8)).generate(3);
-        let names: Vec<&str> = baselines(&d, SpeedTier::Smoke).iter().map(|m| m.name()).collect();
+        let d = SyntheticConfig::bookcrossing_like()
+            .scaled(20, 20, (4, 8))
+            .generate(3);
+        let names: Vec<&str> = baselines(&d, SpeedTier::Smoke)
+            .iter()
+            .map(|m| m.name())
+            .collect();
         assert!(!names.contains(&"GraphRec"));
         assert!(!names.contains(&"HIN"));
         // CF + meta methods remain

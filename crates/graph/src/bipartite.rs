@@ -39,8 +39,16 @@ impl BipartiteGraph {
         let mut user_adj: Vec<Vec<(usize, f32)>> = vec![Vec::new(); num_users];
         let mut item_adj: Vec<Vec<(usize, f32)>> = vec![Vec::new(); num_items];
         for r in ratings {
-            assert!(r.user < num_users, "user {} out of range {num_users}", r.user);
-            assert!(r.item < num_items, "item {} out of range {num_items}", r.item);
+            assert!(
+                r.user < num_users,
+                "user {} out of range {num_users}",
+                r.user
+            );
+            assert!(
+                r.item < num_items,
+                "item {} out of range {num_items}",
+                r.item
+            );
             user_adj[r.user].push((r.item, r.value));
             item_adj[r.item].push((r.user, r.value));
         }
@@ -54,7 +62,13 @@ impl BipartiteGraph {
             adj.sort_by_key(|&(u, _)| u);
             adj.dedup_by_key(|&mut (u, _)| u);
         }
-        BipartiteGraph { num_users, num_items, user_adj, item_adj, num_ratings }
+        BipartiteGraph {
+            num_users,
+            num_items,
+            user_adj,
+            item_adj,
+            num_ratings,
+        }
     }
 
     /// Empty graph with the given vertex counts.
@@ -130,9 +144,10 @@ impl BipartiteGraph {
 
     /// Iterates over all rated edges.
     pub fn edges(&self) -> impl Iterator<Item = Rating> + '_ {
-        self.user_adj.iter().enumerate().flat_map(|(u, adj)| {
-            adj.iter().map(move |&(i, r)| Rating::new(u, i, r))
-        })
+        self.user_adj
+            .iter()
+            .enumerate()
+            .flat_map(|(u, adj)| adj.iter().map(move |&(i, r)| Rating::new(u, i, r)))
     }
 
     /// Returns a new graph containing this graph's edges plus `extra`.
@@ -223,11 +238,8 @@ mod tests {
 
     #[test]
     fn duplicate_edges_deduped() {
-        let g = BipartiteGraph::from_ratings(
-            1,
-            1,
-            &[Rating::new(0, 0, 1.0), Rating::new(0, 0, 5.0)],
-        );
+        let g =
+            BipartiteGraph::from_ratings(1, 1, &[Rating::new(0, 0, 1.0), Rating::new(0, 0, 5.0)]);
         assert_eq!(g.num_ratings(), 1);
     }
 

@@ -14,6 +14,5 @@ pub mod sampler;
 
 pub use bipartite::{BipartiteGraph, Rating, SocialGraph};
 pub use sampler::{
-    ContextSampler, ContextSelection, FeatureSimilaritySampler, NeighborhoodSampler,
-    RandomSampler,
+    ContextSampler, ContextSelection, FeatureSimilaritySampler, NeighborhoodSampler, RandomSampler,
 };

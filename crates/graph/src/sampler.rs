@@ -203,7 +203,10 @@ pub struct FeatureSimilaritySampler {
 impl FeatureSimilaritySampler {
     /// Creates the sampler from per-entity feature vectors.
     pub fn new(user_features: Vec<Vec<f32>>, item_features: Vec<Vec<f32>>) -> Self {
-        FeatureSimilaritySampler { user_features, item_features }
+        FeatureSimilaritySampler {
+            user_features,
+            item_features,
+        }
     }
 
     fn top_similar(

@@ -44,8 +44,7 @@ impl Accumulator {
 
     /// Formats as the paper's `0.1234(.0056)` convention.
     pub fn paper_format(&self) -> String {
-        format!("{:.4}({:.4})", self.mean(), self.std())
-            .replace("(0.", "(.")
+        format!("{:.4}({:.4})", self.mean(), self.std()).replace("(0.", "(.")
     }
 }
 

@@ -202,4 +202,58 @@ mod tests {
         assert_eq!(m.ndcg, ndcg_at_k(&p, 3));
         assert_eq!(m.map, map_at_k(&p, 3, 4.0));
     }
+
+    fn assert_unit_interval(m: RankingMetrics, label: &str) {
+        for (name, v) in [("precision", m.precision), ("ndcg", m.ndcg), ("map", m.map)] {
+            assert!(
+                (0.0..=1.0).contains(&v),
+                "{label}: {name}={v} outside [0, 1]"
+            );
+        }
+    }
+
+    #[test]
+    fn edge_cases_stay_in_unit_interval_without_panicking() {
+        // empty list
+        assert_eq!(ranking_metrics(&[], 5, 4.0), RankingMetrics::default());
+        // k far beyond the list length
+        let short = pairs(&[(2.0, 5.0), (1.0, 1.0)]);
+        assert_unit_interval(ranking_metrics(&short, 1000, 4.0), "k >> len");
+        // single pair, relevant and irrelevant
+        assert_unit_interval(
+            ranking_metrics(&pairs(&[(3.0, 5.0)]), 5, 4.0),
+            "single relevant",
+        );
+        assert_unit_interval(
+            ranking_metrics(&pairs(&[(3.0, 1.0)]), 5, 4.0),
+            "single irrelevant",
+        );
+        // all pairs irrelevant: binary metrics are zero; NDCG still grades
+        // the (nonzero) actual ratings, so it only has to stay in [0, 1]
+        let none = pairs(&[(5.0, 1.0), (4.0, 2.0), (3.0, 1.0)]);
+        let m = ranking_metrics(&none, 3, 4.0);
+        assert_eq!((m.precision, m.map), (0.0, 0.0));
+        assert_unit_interval(m, "all irrelevant");
+        // all actuals zero: NDCG's ideal gain is zero, must not divide by it
+        let zeros = pairs(&[(5.0, 0.0), (4.0, 0.0)]);
+        assert_eq!(ndcg_at_k(&zeros, 2), 0.0);
+    }
+
+    #[test]
+    fn tied_predictions_are_handled_stably() {
+        // every prediction identical: order is the input order (stable sort)
+        let tied = pairs(&[(3.0, 5.0), (3.0, 1.0), (3.0, 4.0), (3.0, 2.0)]);
+        assert_unit_interval(ranking_metrics(&tied, 4, 4.0), "all tied");
+        // with all items counted, precision is the overall relevant fraction
+        assert!((precision_at_k(&tied, 4, 4.0) - 0.5).abs() < 1e-6);
+        // tied metrics must be deterministic across calls
+        assert_eq!(
+            ranking_metrics(&tied, 4, 4.0),
+            ranking_metrics(&tied, 4, 4.0)
+        );
+        // NaN predictions compare as equal (Ordering::Equal fallback) and
+        // must not panic or escape the unit interval
+        let with_nan = pairs(&[(f32::NAN, 5.0), (3.0, 1.0), (f32::NAN, 4.0)]);
+        assert_unit_interval(ranking_metrics(&with_nan, 3, 4.0), "NaN predictions");
+    }
 }

@@ -41,8 +41,14 @@ mod tests {
     #[test]
     fn each_variant_runs() {
         let x = Tensor::constant(NdArray::from_vec([3], vec![-1.0, 0.0, 2.0]));
-        assert_eq!(Activation::Identity.apply(&x).value().as_slice(), &[-1.0, 0.0, 2.0]);
-        assert_eq!(Activation::Relu.apply(&x).value().as_slice(), &[0.0, 0.0, 2.0]);
+        assert_eq!(
+            Activation::Identity.apply(&x).value().as_slice(),
+            &[-1.0, 0.0, 2.0]
+        );
+        assert_eq!(
+            Activation::Relu.apply(&x).value().as_slice(),
+            &[0.0, 0.0, 2.0]
+        );
         let leaky = Activation::LeakyRelu(0.1).apply(&x).value();
         assert!((leaky.as_slice()[0] + 0.1).abs() < 1e-6);
         assert!(Activation::Sigmoid.apply(&x).value().as_slice()[2] > 0.8);

@@ -81,9 +81,17 @@ impl MultiHeadSelfAttention {
         } else {
             (dims[0], dims[1], dims[2])
         };
-        assert_eq!(d, self.model_dim, "MHSA expected dim {}, got {d}", self.model_dim);
+        assert_eq!(
+            d, self.model_dim,
+            "MHSA expected dim {}, got {d}",
+            self.model_dim
+        );
 
-        let x3 = if squeeze { x.reshape([1, t, d]) } else { x.clone() };
+        let x3 = if squeeze {
+            x.reshape([1, t, d])
+        } else {
+            x.clone()
+        };
         let l = self.heads;
         let dk = self.head_dim;
 

@@ -16,7 +16,10 @@ pub struct Dropout {
 impl Dropout {
     /// Creates a dropout layer with drop probability `p ∈ [0, 1)`.
     pub fn new(p: f32) -> Self {
-        assert!((0.0..1.0).contains(&p), "dropout p must be in [0,1), got {p}");
+        assert!(
+            (0.0..1.0).contains(&p),
+            "dropout p must be in [0,1), got {p}"
+        );
         Dropout { p }
     }
 
@@ -33,7 +36,13 @@ impl Dropout {
         let keep = 1.0 - self.p;
         let shape = x.shape();
         let mask_data: Vec<f32> = (0..shape.numel())
-            .map(|_| if rng.gen::<f32>() < keep { 1.0 / keep } else { 0.0 })
+            .map(|_| {
+                if rng.gen::<f32>() < keep {
+                    1.0 / keep
+                } else {
+                    0.0
+                }
+            })
             .collect();
         x.mask(&NdArray::from_vec(shape, mask_data))
     }
@@ -73,7 +82,10 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(0);
         let d = Dropout::new(0.0);
         let x = Tensor::constant(NdArray::ones([3]));
-        assert_eq!(d.forward_train(&x, &mut rng).value().as_slice(), &[1.0, 1.0, 1.0]);
+        assert_eq!(
+            d.forward_train(&x, &mut rng).value().as_slice(),
+            &[1.0, 1.0, 1.0]
+        );
     }
 
     #[test]

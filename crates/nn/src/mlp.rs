@@ -17,7 +17,10 @@ impl Mlp {
     /// Builds an MLP from a width list, e.g. `[64, 32, 1]` produces
     /// `Linear(64→32) → act → Linear(32→1)`.
     pub fn new(widths: &[usize], activation: Activation, rng: &mut impl Rng) -> Self {
-        assert!(widths.len() >= 2, "MLP needs at least input and output widths");
+        assert!(
+            widths.len() >= 2,
+            "MLP needs at least input and output widths"
+        );
         let layers = widths
             .windows(2)
             .map(|w| Linear::new(w[0], w[1], rng))

@@ -51,7 +51,10 @@ mod tests {
     #[test]
     fn normalizes_rows() {
         let ln = LayerNorm::new(4);
-        let x = Tensor::constant(NdArray::from_vec([2, 4], vec![1., 2., 3., 4., 10., 10., 10., 10.]));
+        let x = Tensor::constant(NdArray::from_vec(
+            [2, 4],
+            vec![1., 2., 3., 4., 10., 10., 10., 10.],
+        ));
         let y = ln.forward(&x).value();
         // first row: mean 0, unit variance
         let row: Vec<f32> = y.as_slice()[..4].to_vec();

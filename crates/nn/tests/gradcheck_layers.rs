@@ -46,10 +46,14 @@ fn linear_layer_param_grads() {
     let mut r = rng(0);
     let layer = Linear::new(3, 2, &mut r);
     let x = NdArray::randn([4, 3], 0.0, 1.0, &mut r);
-    check_module_grads(&layer.parameters(), || {
-        layer.parameters().iter().for_each(|p| p.zero_grad());
-        layer.forward(&Tensor::constant(x.clone())).square().sum()
-    }, 3e-2);
+    check_module_grads(
+        &layer.parameters(),
+        || {
+            layer.parameters().iter().for_each(|p| p.zero_grad());
+            layer.forward(&Tensor::constant(x.clone())).square().sum()
+        },
+        3e-2,
+    );
 }
 
 #[test]
@@ -57,10 +61,14 @@ fn mlp_param_grads() {
     let mut r = rng(1);
     let mlp = Mlp::new(&[3, 4, 1], Activation::Tanh, &mut r);
     let x = NdArray::randn([3, 3], 0.0, 1.0, &mut r);
-    check_module_grads(&mlp.parameters(), || {
-        mlp.parameters().iter().for_each(|p| p.zero_grad());
-        mlp.forward(&Tensor::constant(x.clone())).square().sum()
-    }, 5e-2);
+    check_module_grads(
+        &mlp.parameters(),
+        || {
+            mlp.parameters().iter().for_each(|p| p.zero_grad());
+            mlp.forward(&Tensor::constant(x.clone())).square().sum()
+        },
+        5e-2,
+    );
 }
 
 #[test]
@@ -69,12 +77,16 @@ fn layer_norm_param_grads() {
     let ln = LayerNorm::new(4);
     let x = NdArray::randn([3, 4], 0.0, 1.0, &mut r);
     let w = NdArray::randn([3, 4], 0.0, 1.0, &mut r);
-    check_module_grads(&ln.parameters(), || {
-        ln.parameters().iter().for_each(|p| p.zero_grad());
-        ln.forward(&Tensor::constant(x.clone()))
-            .mul(&Tensor::constant(w.clone()))
-            .sum()
-    }, 5e-2);
+    check_module_grads(
+        &ln.parameters(),
+        || {
+            ln.parameters().iter().for_each(|p| p.zero_grad());
+            ln.forward(&Tensor::constant(x.clone()))
+                .mul(&Tensor::constant(w.clone()))
+                .sum()
+        },
+        5e-2,
+    );
 }
 
 #[test]
@@ -82,10 +94,14 @@ fn mhsa_param_grads() {
     let mut r = rng(3);
     let mhsa = MultiHeadSelfAttention::new(4, 2, 2, &mut r);
     let x = NdArray::randn([3, 4], 0.0, 0.5, &mut r);
-    check_module_grads(&mhsa.parameters(), || {
-        mhsa.parameters().iter().for_each(|p| p.zero_grad());
-        mhsa.forward(&Tensor::constant(x.clone())).square().sum()
-    }, 8e-2);
+    check_module_grads(
+        &mhsa.parameters(),
+        || {
+            mhsa.parameters().iter().for_each(|p| p.zero_grad());
+            mhsa.forward(&Tensor::constant(x.clone())).square().sum()
+        },
+        8e-2,
+    );
 }
 
 #[test]
@@ -94,11 +110,6 @@ fn mhsa_input_grads_via_gradcheck() {
     let mut r = rng(4);
     let mhsa = MultiHeadSelfAttention::new(4, 2, 2, &mut r);
     let x = NdArray::randn([3, 4], 0.0, 0.5, &mut r);
-    let report = gradcheck(
-        |p| mhsa.forward(&p[0]).square().sum(),
-        &[x],
-        0,
-        1e-2,
-    );
+    let report = gradcheck(|p| mhsa.forward(&p[0]).square().sum(), &[x], 0, 1e-2);
     assert!(report.ok(8e-2), "{report:?}");
 }

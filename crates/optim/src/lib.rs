@@ -14,6 +14,6 @@ pub mod clip;
 pub mod optimizer;
 pub mod schedule;
 
-pub use clip::clip_grad_norm;
+pub use clip::{clip_grad_norm, GradClipStats};
 pub use optimizer::{Adam, Lamb, Lookahead, Optimizer, Sgd};
 pub use schedule::{ConstantLr, FlatThenAnneal, LrSchedule, StepDecay, Warmup};

@@ -42,7 +42,11 @@ impl Sgd {
     pub fn with_momentum(params: Vec<Tensor>, momentum: f32) -> Self {
         assert!((0.0..1.0).contains(&momentum));
         let n = params.len();
-        Sgd { params, momentum, velocity: vec![None; n] }
+        Sgd {
+            params,
+            momentum,
+            velocity: vec![None; n],
+        }
     }
 }
 
@@ -237,9 +241,27 @@ impl Optimizer for Lamb {
                 let v_hat = vi / bc2;
                 *ui = m_hat / (v_hat.sqrt() + self.eps) + self.weight_decay * wi;
             }
+            // Non-finite guard: a poisoned moment entry must not leak into the
+            // weights — zero it so that coordinate skips this step.
+            if update.has_non_finite() {
+                for ui in update.as_mut_slice() {
+                    if !ui.is_finite() {
+                        *ui = 0.0;
+                    }
+                }
+            }
             let w_norm = value.norm_l2();
             let u_norm = update.norm_l2();
-            let trust = if w_norm > 0.0 && u_norm > 0.0 { w_norm / u_norm } else { 1.0 };
+            let mut trust = if w_norm > 0.0 && u_norm > 0.0 {
+                w_norm / u_norm
+            } else {
+                1.0
+            };
+            // A degenerate ratio (u_norm ~ 0 with huge w_norm, or overflow)
+            // would scale the step to Inf/NaN; fall back to the neutral 1.0.
+            if !trust.is_finite() {
+                trust = 1.0;
+            }
             p.update_value(|val| {
                 for (x, &ui) in val.as_mut_slice().iter_mut().zip(update.as_slice()) {
                     *x -= lr * trust * ui;
@@ -279,7 +301,13 @@ impl<O: Optimizer> Lookahead<O> {
         assert!(k >= 1, "lookahead k must be >= 1");
         assert!((0.0..=1.0).contains(&alpha));
         let slow = inner.params().iter().map(|p| p.value()).collect();
-        Lookahead { inner, alpha, k, step_count: 0, slow }
+        Lookahead {
+            inner,
+            alpha,
+            k,
+            step_count: 0,
+            slow,
+        }
     }
 
     /// Access to the wrapped optimizer.
@@ -292,9 +320,16 @@ impl<O: Optimizer> Optimizer for Lookahead<O> {
     fn step(&mut self, lr: f32) {
         self.inner.step(lr);
         self.step_count += 1;
-        if self.step_count % self.k == 0 {
+        if self.step_count.is_multiple_of(self.k) {
             for (p, slow) in self.inner.params().iter().zip(&mut self.slow) {
                 let fast = p.value();
+                if fast.has_non_finite() {
+                    // Non-finite guard: never pull the slow weights toward a
+                    // diverged fast iterate — reset the fast weights from the
+                    // last good slow copy instead.
+                    p.set_value(slow.clone());
+                    continue;
+                }
                 for (s, &f) in slow.as_mut_slice().iter_mut().zip(fast.as_slice()) {
                     *s += self.alpha * (f - *s);
                 }

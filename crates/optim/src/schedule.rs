@@ -31,7 +31,11 @@ pub struct FlatThenAnneal {
 impl FlatThenAnneal {
     /// Schedule with the paper's defaults for a given run length.
     pub fn paper_default(total_steps: usize) -> Self {
-        FlatThenAnneal { base_lr: 1e-3, total_steps, flat_frac: 0.7 }
+        FlatThenAnneal {
+            base_lr: 1e-3,
+            total_steps,
+            flat_frac: 0.7,
+        }
     }
 }
 
@@ -102,7 +106,11 @@ mod tests {
 
     #[test]
     fn step_decay_profile() {
-        let s = StepDecay { base_lr: 1.0, every: 10, gamma: 0.5 };
+        let s = StepDecay {
+            base_lr: 1.0,
+            every: 10,
+            gamma: 0.5,
+        };
         assert_eq!(s.lr(0), 1.0);
         assert_eq!(s.lr(9), 1.0);
         assert_eq!(s.lr(10), 0.5);
@@ -111,7 +119,10 @@ mod tests {
 
     #[test]
     fn warmup_ramps_linearly() {
-        let s = Warmup { warmup_steps: 10, inner: ConstantLr(1.0) };
+        let s = Warmup {
+            warmup_steps: 10,
+            inner: ConstantLr(1.0),
+        };
         assert!((s.lr(0) - 0.1).abs() < 1e-6);
         assert!((s.lr(4) - 0.5).abs() < 1e-6);
         assert_eq!(s.lr(10), 1.0);

@@ -265,7 +265,8 @@ impl Tensor {
 
     /// Element-wise sum with broadcasting.
     pub fn add(&self, other: &Tensor) -> Tensor {
-        let value = self.with_value(|a| other.with_value(|b| linalg::broadcast_zip(a, b, |x, y| x + y)));
+        let value =
+            self.with_value(|a| other.with_value(|b| linalg::broadcast_zip(a, b, |x, y| x + y)));
         Tensor::from_op(
             value,
             vec![self.clone(), other.clone()],
@@ -280,7 +281,8 @@ impl Tensor {
 
     /// Element-wise difference with broadcasting.
     pub fn sub(&self, other: &Tensor) -> Tensor {
-        let value = self.with_value(|a| other.with_value(|b| linalg::broadcast_zip(a, b, |x, y| x - y)));
+        let value =
+            self.with_value(|a| other.with_value(|b| linalg::broadcast_zip(a, b, |x, y| x - y)));
         Tensor::from_op(
             value,
             vec![self.clone(), other.clone()],
@@ -297,7 +299,8 @@ impl Tensor {
 
     /// Element-wise product with broadcasting.
     pub fn mul(&self, other: &Tensor) -> Tensor {
-        let value = self.with_value(|a| other.with_value(|b| linalg::broadcast_zip(a, b, |x, y| x * y)));
+        let value =
+            self.with_value(|a| other.with_value(|b| linalg::broadcast_zip(a, b, |x, y| x * y)));
         Tensor::from_op(
             value,
             vec![self.clone(), other.clone()],
@@ -316,7 +319,8 @@ impl Tensor {
 
     /// Element-wise quotient with broadcasting.
     pub fn div(&self, other: &Tensor) -> Tensor {
-        let value = self.with_value(|a| other.with_value(|b| linalg::broadcast_zip(a, b, |x, y| x / y)));
+        let value =
+            self.with_value(|a| other.with_value(|b| linalg::broadcast_zip(a, b, |x, y| x / y)));
         Tensor::from_op(
             value,
             vec![self.clone(), other.clone()],
@@ -404,7 +408,9 @@ impl Tensor {
             vec![self.clone()],
             Box::new(move |g, parents| {
                 let x = parents[0].value();
-                vec![Some(g.zip(&x, |gi, xi| gi * xi.signum() / (xi.abs() + eps)))]
+                vec![Some(
+                    g.zip(&x, |gi, xi| gi * xi.signum() / (xi.abs() + eps)),
+                )]
             }),
         )
     }
@@ -450,10 +456,9 @@ impl Tensor {
 
     /// Gaussian error linear unit (tanh approximation).
     pub fn gelu(&self) -> Tensor {
-        const C: f32 = 0.797_884_56; // sqrt(2/pi)
-        let value = self.with_value(|a| {
-            a.map(|x| 0.5 * x * (1.0 + (C * (x + 0.044715 * x * x * x)).tanh()))
-        });
+        const C: f32 = 0.797_884_6; // sqrt(2/pi)
+        let value = self
+            .with_value(|a| a.map(|x| 0.5 * x * (1.0 + (C * (x + 0.044715 * x * x * x)).tanh())));
         Tensor::from_op(
             value,
             vec![self.clone()],
@@ -477,7 +482,9 @@ impl Tensor {
             vec![self.clone()],
             Box::new(move |g, parents| {
                 let x = parents[0].value();
-                vec![Some(g.zip(&x, |gi, xi| if xi > 0.0 { gi } else { alpha * gi }))]
+                vec![Some(
+                    g.zip(&x, |gi, xi| if xi > 0.0 { gi } else { alpha * gi }),
+                )]
             }),
         )
     }
@@ -505,7 +512,10 @@ impl Tensor {
             value,
             vec![self.clone()],
             Box::new(move |g, _| {
-                vec![Some(linalg::permute(g, &linalg::inverse_permutation(&perm_owned)))]
+                vec![Some(linalg::permute(
+                    g,
+                    &linalg::inverse_permutation(&perm_owned),
+                ))]
             }),
         )
     }

@@ -31,7 +31,10 @@ pub fn gradcheck(
     eps: f32,
 ) -> GradCheckReport {
     // Analytic gradient.
-    let params: Vec<Tensor> = inputs.iter().map(|v| Tensor::parameter(v.clone())).collect();
+    let params: Vec<Tensor> = inputs
+        .iter()
+        .map(|v| Tensor::parameter(v.clone()))
+        .collect();
     let out = f(&params);
     assert_eq!(out.shape().numel(), 1, "gradcheck requires a scalar output");
     out.backward();
@@ -45,8 +48,7 @@ pub fn gradcheck(
         let eval = |delta: f32| -> f32 {
             let mut perturbed: Vec<NdArray> = inputs.to_vec();
             perturbed[target].as_mut_slice()[i] += delta;
-            let params: Vec<Tensor> =
-                perturbed.into_iter().map(Tensor::parameter).collect();
+            let params: Vec<Tensor> = perturbed.into_iter().map(Tensor::parameter).collect();
             f(&params).item()
         };
         let plus = eval(eps);
@@ -62,5 +64,8 @@ pub fn gradcheck(
         max_abs = max_abs.max(abs);
         max_rel = max_rel.max(rel);
     }
-    GradCheckReport { max_abs_err: max_abs, max_rel_err: max_rel }
+    GradCheckReport {
+        max_abs_err: max_abs,
+        max_rel_err: max_rel,
+    }
 }

@@ -53,10 +53,10 @@ fn padded_broadcast_strides(shape: &Shape, rank: usize, out_dims: &[usize]) -> V
     let strides = shape.strides();
     let offset = rank - shape.rank();
     let mut out = vec![0usize; rank];
-    for i in 0..shape.rank() {
+    for (i, &stride) in strides.iter().enumerate().take(shape.rank()) {
         let axis = offset + i;
         if shape.dims()[i] == out_dims[axis] {
-            out[axis] = strides[i];
+            out[axis] = stride;
         } else {
             debug_assert_eq!(shape.dims()[i], 1, "invalid broadcast");
             out[axis] = 0;
@@ -87,27 +87,43 @@ pub fn reduce_to_shape(grad: &NdArray, target: &Shape) -> NdArray {
     let g_strides = grad.shape().strides();
     let out_slice_ptr = out.as_mut_slice();
     let g = grad.as_slice();
-    for flat in 0..n {
+    for (flat, &grad_value) in g.iter().enumerate().take(n) {
         // Map the flat grad offset to a target offset, collapsing broadcast axes.
         let mut t_off = 0usize;
-        for axis in 0..t_rank {
+        for (axis, &t_stride) in t_strides.iter().enumerate().take(t_rank) {
             let g_axis = axis + offset;
             let ix = (flat / g_strides[g_axis]) % g_dims[g_axis];
             let t_ix = if target.dims()[axis] == 1 { 0 } else { ix };
-            t_off += t_ix * t_strides[axis];
+            t_off += t_ix * t_stride;
         }
-        out_slice_ptr[t_off] += g[flat];
+        out_slice_ptr[t_off] += grad_value;
     }
     out
 }
 
 /// 2-D matrix multiply: `[n,k] x [k,m] -> [n,m]`.
 pub fn matmul2d(a: &NdArray, b: &NdArray) -> NdArray {
-    assert_eq!(a.shape().rank(), 2, "matmul2d lhs must be 2-D, got {}", a.shape());
-    assert_eq!(b.shape().rank(), 2, "matmul2d rhs must be 2-D, got {}", b.shape());
+    assert_eq!(
+        a.shape().rank(),
+        2,
+        "matmul2d lhs must be 2-D, got {}",
+        a.shape()
+    );
+    assert_eq!(
+        b.shape().rank(),
+        2,
+        "matmul2d rhs must be 2-D, got {}",
+        b.shape()
+    );
     let (n, k) = (a.dims()[0], a.dims()[1]);
     let (k2, m) = (b.dims()[0], b.dims()[1]);
-    assert_eq!(k, k2, "matmul2d inner dims mismatch: {} vs {}", a.shape(), b.shape());
+    assert_eq!(
+        k,
+        k2,
+        "matmul2d inner dims mismatch: {} vs {}",
+        a.shape(),
+        b.shape()
+    );
     let mut out = vec![0.0f32; n * m];
     matmul_kernel(a.as_slice(), b.as_slice(), &mut out, n, k, m);
     NdArray::from_vec([n, m], out)
@@ -146,7 +162,13 @@ pub fn bmm(a: &NdArray, b: &NdArray) -> NdArray {
     if b.shape().rank() == 2 {
         // Shared rhs: flatten the batch into rows.
         let (k2, m) = (b.dims()[0], b.dims()[1]);
-        assert_eq!(k, k2, "bmm inner dims mismatch: {} vs {}", a.shape(), b.shape());
+        assert_eq!(
+            k,
+            k2,
+            "bmm inner dims mismatch: {} vs {}",
+            a.shape(),
+            b.shape()
+        );
         let rows: usize = a_batch.iter().product::<usize>() * n;
         let mut out = vec![0.0f32; rows * m];
         matmul_kernel(a.as_slice(), b.as_slice(), &mut out, rows, k, m);
@@ -156,8 +178,20 @@ pub fn bmm(a: &NdArray, b: &NdArray) -> NdArray {
         return NdArray::from_vec(dims, out);
     }
     let (b_batch, [k2, m]) = b.shape().split_batch();
-    assert_eq!(a_batch, b_batch, "bmm batch dims mismatch: {} vs {}", a.shape(), b.shape());
-    assert_eq!(k, k2, "bmm inner dims mismatch: {} vs {}", a.shape(), b.shape());
+    assert_eq!(
+        a_batch,
+        b_batch,
+        "bmm batch dims mismatch: {} vs {}",
+        a.shape(),
+        b.shape()
+    );
+    assert_eq!(
+        k,
+        k2,
+        "bmm inner dims mismatch: {} vs {}",
+        a.shape(),
+        b.shape()
+    );
     let batch: usize = a_batch.iter().product();
     let mut out = vec![0.0f32; batch * n * m];
     for bi in 0..batch {
@@ -260,7 +294,11 @@ pub fn slice_last(a: &NdArray, start: usize, len: usize) -> NdArray {
     let rank = a.shape().rank();
     assert!(rank >= 1);
     let w = a.dims()[rank - 1];
-    assert!(start + len <= w, "slice [{start}, {}) out of last dim {w}", start + len);
+    assert!(
+        start + len <= w,
+        "slice [{start}, {}) out of last dim {w}",
+        start + len
+    );
     let rows = a.numel() / w;
     let mut out = Vec::with_capacity(rows * len);
     for r in 0..rows {

@@ -32,7 +32,10 @@ impl NdArray {
     pub fn zeros(shape: impl Into<Shape>) -> Self {
         let shape = shape.into();
         let n = shape.numel();
-        NdArray { shape, data: vec![0.0; n] }
+        NdArray {
+            shape,
+            data: vec![0.0; n],
+        }
     }
 
     /// All-ones array.
@@ -44,12 +47,18 @@ impl NdArray {
     pub fn full(shape: impl Into<Shape>, value: f32) -> Self {
         let shape = shape.into();
         let n = shape.numel();
-        NdArray { shape, data: vec![value; n] }
+        NdArray {
+            shape,
+            data: vec![value; n],
+        }
     }
 
     /// Scalar (rank-0) array.
     pub fn scalar(value: f32) -> Self {
-        NdArray { shape: Shape::scalar(), data: vec![value] }
+        NdArray {
+            shape: Shape::scalar(),
+            data: vec![value],
+        }
     }
 
     /// Identity matrix of size `n`.
@@ -138,13 +147,21 @@ impl NdArray {
             "cannot reshape {} to {shape}",
             self.shape
         );
-        NdArray { shape, data: self.data.clone() }
+        NdArray {
+            shape,
+            data: self.data.clone(),
+        }
     }
 
     /// In-place reshape without copying.
     pub fn reshaped(mut self, shape: impl Into<Shape>) -> NdArray {
         let shape = shape.into();
-        assert_eq!(shape.numel(), self.numel(), "cannot reshape {} to {shape}", self.shape);
+        assert_eq!(
+            shape.numel(),
+            self.numel(),
+            "cannot reshape {} to {shape}",
+            self.shape
+        );
         self.shape = shape;
         self
     }
@@ -227,7 +244,12 @@ impl NdArray {
 
     /// L2 norm of the flattened array.
     pub fn norm_l2(&self) -> f32 {
-        (self.data.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>()).sqrt() as f32
+        (self
+            .data
+            .iter()
+            .map(|&x| (x as f64) * (x as f64))
+            .sum::<f64>())
+        .sqrt() as f32
     }
 
     /// True when any element is NaN or infinite.

@@ -196,7 +196,9 @@ mod tests {
         let b = Shape::from([2, 2]);
         assert_eq!(a.broadcast(&b).unwrap().dims(), &[2, 2]);
 
-        assert!(Shape::from([2, 3]).broadcast(&Shape::from([4, 3])).is_none());
+        assert!(Shape::from([2, 3])
+            .broadcast(&Shape::from([4, 3]))
+            .is_none());
     }
 
     #[test]

@@ -19,7 +19,12 @@ const TOL: f32 = 2e-2;
 fn grad_add_broadcast() {
     let a = randn(&[3, 4], 1);
     let b = randn(&[4], 2);
-    let r = gradcheck(|p| p[0].add(&p[1]).square().sum(), &[a.clone(), b.clone()], 0, EPS);
+    let r = gradcheck(
+        |p| p[0].add(&p[1]).square().sum(),
+        &[a.clone(), b.clone()],
+        0,
+        EPS,
+    );
     assert!(r.ok(TOL), "lhs: {r:?}");
     let r = gradcheck(|p| p[0].add(&p[1]).square().sum(), &[a, b], 1, EPS);
     assert!(r.ok(TOL), "rhs: {r:?}");
@@ -30,11 +35,26 @@ fn grad_sub_mul_div() {
     let a = randn(&[2, 3], 3);
     let b = randn(&[2, 3], 4).map(|x| x + 3.0); // keep divisor away from 0
     for target in 0..2 {
-        let r = gradcheck(|p| p[0].sub(&p[1]).square().sum(), &[a.clone(), b.clone()], target, EPS);
+        let r = gradcheck(
+            |p| p[0].sub(&p[1]).square().sum(),
+            &[a.clone(), b.clone()],
+            target,
+            EPS,
+        );
         assert!(r.ok(TOL), "sub[{target}]: {r:?}");
-        let r = gradcheck(|p| p[0].mul(&p[1]).sum(), &[a.clone(), b.clone()], target, EPS);
+        let r = gradcheck(
+            |p| p[0].mul(&p[1]).sum(),
+            &[a.clone(), b.clone()],
+            target,
+            EPS,
+        );
         assert!(r.ok(TOL), "mul[{target}]: {r:?}");
-        let r = gradcheck(|p| p[0].div(&p[1]).sum(), &[a.clone(), b.clone()], target, EPS);
+        let r = gradcheck(
+            |p| p[0].div(&p[1]).sum(),
+            &[a.clone(), b.clone()],
+            target,
+            EPS,
+        );
         assert!(r.ok(TOL), "div[{target}]: {r:?}");
     }
 }
@@ -44,7 +64,12 @@ fn grad_matmul_2d() {
     let a = randn(&[3, 4], 5);
     let b = randn(&[4, 2], 6);
     for target in 0..2 {
-        let r = gradcheck(|p| p[0].matmul(&p[1]).square().sum(), &[a.clone(), b.clone()], target, EPS);
+        let r = gradcheck(
+            |p| p[0].matmul(&p[1]).square().sum(),
+            &[a.clone(), b.clone()],
+            target,
+            EPS,
+        );
         assert!(r.ok(TOL), "matmul[{target}]: {r:?}");
     }
 }
@@ -54,7 +79,12 @@ fn grad_bmm_batched() {
     let a = randn(&[2, 3, 4], 7);
     let b = randn(&[2, 4, 2], 8);
     for target in 0..2 {
-        let r = gradcheck(|p| p[0].matmul(&p[1]).square().sum(), &[a.clone(), b.clone()], target, EPS);
+        let r = gradcheck(
+            |p| p[0].matmul(&p[1]).square().sum(),
+            &[a.clone(), b.clone()],
+            target,
+            EPS,
+        );
         assert!(r.ok(TOL), "bmm[{target}]: {r:?}");
     }
 }
@@ -64,7 +94,12 @@ fn grad_linear_shared_weight() {
     let x = randn(&[2, 3, 4], 9);
     let w = randn(&[4, 5], 10);
     for target in 0..2 {
-        let r = gradcheck(|p| p[0].linear(&p[1]).square().sum(), &[x.clone(), w.clone()], target, EPS);
+        let r = gradcheck(
+            |p| p[0].linear(&p[1]).square().sum(),
+            &[x.clone(), w.clone()],
+            target,
+            EPS,
+        );
         assert!(r.ok(TOL), "linear[{target}]: {r:?}");
     }
 }
@@ -73,7 +108,10 @@ fn grad_linear_shared_weight() {
 fn grad_activations() {
     let x = randn(&[2, 5], 11);
     for (name, f) in [
-        ("sigmoid", (|p: &[Tensor]| p[0].sigmoid().sum()) as fn(&[Tensor]) -> Tensor),
+        (
+            "sigmoid",
+            (|p: &[Tensor]| p[0].sigmoid().sum()) as fn(&[Tensor]) -> Tensor,
+        ),
         ("tanh", |p| p[0].tanh().sum()),
         ("gelu", |p| p[0].gelu().sum()),
         ("exp", |p| p[0].exp().sum()),
@@ -138,17 +176,36 @@ fn grad_layer_norm() {
 #[test]
 fn grad_reshape_permute_concat_slice() {
     let x = randn(&[2, 3, 4], 18);
-    let r = gradcheck(|p| p[0].reshape([6, 4]).square().sum(), &[x.clone()], 0, EPS);
+    let r = gradcheck(
+        |p| p[0].reshape([6, 4]).square().sum(),
+        &[x.clone()],
+        0,
+        EPS,
+    );
     assert!(r.ok(TOL), "reshape: {r:?}");
-    let r = gradcheck(|p| p[0].permute(&[2, 0, 1]).square().sum(), &[x.clone()], 0, EPS);
+    let r = gradcheck(
+        |p| p[0].permute(&[2, 0, 1]).square().sum(),
+        &[x.clone()],
+        0,
+        EPS,
+    );
     assert!(r.ok(TOL), "permute: {r:?}");
-    let r = gradcheck(|p| p[0].slice_last(1, 2).square().sum(), &[x.clone()], 0, EPS);
+    let r = gradcheck(
+        |p| p[0].slice_last(1, 2).square().sum(),
+        &[x.clone()],
+        0,
+        EPS,
+    );
     assert!(r.ok(TOL), "slice: {r:?}");
 
     let y = randn(&[2, 3, 2], 19);
     for target in 0..2 {
         let r = gradcheck(
-            |p| Tensor::concat_last(&[p[0].clone(), p[1].clone()]).square().sum(),
+            |p| {
+                Tensor::concat_last(&[p[0].clone(), p[1].clone()])
+                    .square()
+                    .sum()
+            },
             &[x.clone(), y.clone()],
             target,
             EPS,

@@ -24,9 +24,15 @@ fn main() {
         &dataset,
         &split.train_graph(&dataset),
         &NeighborhoodSampler,
-        &TrainConfig { steps: 150, batch_size: 4, base_lr: 3e-3, grad_clip: 1.0 },
+        &TrainConfig {
+            steps: 150,
+            batch_size: 4,
+            base_lr: 3e-3,
+            grad_clip: 1.0,
+        },
         &mut rng,
-    );
+    )
+    .expect("training");
 
     // Build a test context for the first eligible cold user.
     let (cold_user, queries) = split
@@ -35,12 +41,23 @@ fn main() {
         .find(|(_, q)| q.len() >= 4)
         .expect("cold user with queries");
     let visible = split.visible_graph(&dataset);
-    let ctx = test_context(&visible, &NeighborhoodSampler, &queries[..4], 10, 10, &mut rng);
+    let ctx = test_context(
+        &visible,
+        &NeighborhoodSampler,
+        &queries[..4],
+        10,
+        10,
+        &mut rng,
+    )
+    .expect("test context");
     let (_, attns) = model.forward_with_attention(&ctx, &dataset);
     let last = attns.last().unwrap();
 
     // Strongest user-user interactions for the first item view (MBU).
-    println!("\n## strongest user-user attention (MBU, item i{} view)", ctx.items[0]);
+    println!(
+        "\n## strongest user-user attention (MBU, item i{} view)",
+        ctx.items[0]
+    );
     let heads = last.mbu.dims()[1];
     let n = ctx.n();
     let mut edges: Vec<(f32, usize, usize)> = Vec::new();
@@ -49,8 +66,7 @@ fn main() {
             if r == c {
                 continue;
             }
-            let w: f32 =
-                (0..heads).map(|h| last.mbu.at(&[0, h, r, c])).sum::<f32>() / heads as f32;
+            let w: f32 = (0..heads).map(|h| last.mbu.at(&[0, h, r, c])).sum::<f32>() / heads as f32;
             edges.push((w, r, c));
         }
     }
@@ -82,14 +98,23 @@ fn main() {
     }
 
     // Attribute-attribute attention for the (cold user, first item) pair.
-    println!("\n## attribute attention (MBA) for (u{cold_user}, i{})", ctx.items[0]);
+    println!(
+        "\n## attribute attention (MBA) for (u{cold_user}, i{})",
+        ctx.items[0]
+    );
     let mut labels: Vec<String> = dataset
         .user_schema
         .attributes()
         .iter()
         .map(|a| format!("u:{}", a.name))
         .collect();
-    labels.extend(dataset.item_schema.attributes().iter().map(|a| format!("i:{}", a.name)));
+    labels.extend(
+        dataset
+            .item_schema
+            .attributes()
+            .iter()
+            .map(|a| format!("i:{}", a.name)),
+    );
     labels.push("rating".into());
     let h_attrs = labels.len();
     let pair_view = cold_row * m; // pair (cold_row, item column 0)

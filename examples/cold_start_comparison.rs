@@ -22,7 +22,10 @@ fn main() {
         dataset.ratings.len()
     );
 
-    let eval_cfg = EvalConfig { max_entities: 15, ..Default::default() };
+    let eval_cfg = EvalConfig {
+        max_entities: 15,
+        ..Default::default()
+    };
     println!(
         "{:<10}{:<12}{:>10}{:>10}{:>10}",
         "Scenario", "Method", "Pre@5", "NDCG@5", "MAP@5"
@@ -34,7 +37,12 @@ fn main() {
             Box::new(MeLU::new(8, MetaTrainConfig::default())),
             Box::new(HireRatingModel::new(
                 HireConfig::fast(),
-                TrainConfig { steps: 150, batch_size: 4, base_lr: 3e-3, grad_clip: 1.0 },
+                TrainConfig {
+                    steps: 150,
+                    batch_size: 4,
+                    base_lr: 3e-3,
+                    grad_clip: 1.0,
+                },
             )),
         ];
         for model in &mut models {

@@ -37,18 +37,25 @@ fn main() {
     let model = HireModel::new(&dataset, &config, &mut rng);
     let train_graph = split.train_graph(&dataset);
     println!("training HIRE ({} parameters) ...", model.num_parameters());
-    let history = hire::core::train(
+    let report = hire::core::train(
         &model,
         &dataset,
         &train_graph,
         &NeighborhoodSampler,
-        &TrainConfig { steps: 120, batch_size: 4, base_lr: 3e-3, grad_clip: 1.0 },
+        &TrainConfig {
+            steps: 120,
+            batch_size: 4,
+            base_lr: 3e-3,
+            grad_clip: 1.0,
+        },
         &mut rng,
-    );
+    )
+    .expect("training");
     println!(
-        "loss: {:.3} -> {:.3}",
-        history.first().unwrap().loss,
-        history.last().unwrap().loss
+        "loss: {:.3} -> {:.3} ({} recoveries)",
+        report.steps.first().unwrap().loss,
+        report.steps.last().unwrap().loss,
+        report.recoveries.len()
     );
 
     // 4. Predict one cold user's query ratings. The prediction context is
@@ -60,7 +67,8 @@ fn main() {
         .into_iter()
         .max_by_key(|(_, q)| q.len())
         .expect("cold user with queries");
-    let ctx = test_context(&visible, &NeighborhoodSampler, &queries, 12, 12, &mut rng);
+    let ctx = test_context(&visible, &NeighborhoodSampler, &queries, 12, 12, &mut rng)
+        .expect("test context");
     let pred = model.predict(&ctx, &dataset);
 
     println!("\ncold user u{cold_user}:");
@@ -68,7 +76,10 @@ fn main() {
     for (row, col, actual) in ctx.targets() {
         if ctx.users[row] == cold_user {
             let p = pred.at(&[row, col]);
-            println!("  item i{:<5} predicted {:.2}  actual {:.1}", ctx.items[col], p, actual);
+            println!(
+                "  item i{:<5} predicted {:.2}  actual {:.1}",
+                ctx.items[col], p, actual
+            );
             scored.push(ScoredPair::new(p, actual));
         }
     }

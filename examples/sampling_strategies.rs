@@ -26,8 +26,12 @@ fn main() {
     );
 
     let feature_sampler = FeatureSimilaritySampler::new(
-        (0..dataset.num_users).map(|u| dataset.user_feature(u)).collect(),
-        (0..dataset.num_items).map(|i| dataset.item_feature(i)).collect(),
+        (0..dataset.num_users)
+            .map(|u| dataset.user_feature(u))
+            .collect(),
+        (0..dataset.num_items)
+            .map(|i| dataset.item_feature(i))
+            .collect(),
     );
     let samplers: Vec<&dyn ContextSampler> =
         vec![&NeighborhoodSampler, &RandomSampler, &feature_sampler];

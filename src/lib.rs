@@ -27,15 +27,18 @@
 //! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
 //! let config = HireConfig::fast().with_blocks(1).with_context_size(6, 6);
 //! let model = HireModel::new(&dataset, &config, &mut rng);
-//! let stats = hire::core::train(
+//! let report = hire::core::train(
 //!     &model, &dataset, &split.train_graph(&dataset), &NeighborhoodSampler,
-//!     &TrainConfig { steps: 5, batch_size: 2, base_lr: 1e-3, grad_clip: 1.0 }, &mut rng);
-//! assert_eq!(stats.len(), 5);
+//!     &TrainConfig { steps: 5, batch_size: 2, base_lr: 1e-3, grad_clip: 1.0 }, &mut rng)
+//!     .expect("training");
+//! assert_eq!(report.steps.len(), 5);
+//! assert!(report.recoveries.is_empty());
 //! ```
 
 pub use hire_baselines as baselines;
 pub use hire_core as core;
 pub use hire_data as data;
+pub use hire_error as error;
 pub use hire_eval as eval;
 pub use hire_graph as graph;
 pub use hire_metrics as metrics;
@@ -45,7 +48,10 @@ pub use hire_tensor as tensor;
 
 /// One-stop imports for the common workflow.
 pub mod prelude {
-    pub use hire_core::{train, HireConfig, HireModel, TrainConfig};
+    pub use hire_core::{
+        train, train_guarded, GuardConfig, HireConfig, HireModel, TrainConfig, TrainOutcome,
+        TrainReport,
+    };
     pub use hire_data::{
         test_context, training_context, ColdStartScenario, ColdStartSplit, Dataset,
         PredictionContext, SyntheticConfig,

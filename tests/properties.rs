@@ -117,7 +117,7 @@ proptest! {
         let model = HireModel::new(&dataset, &config, &mut rng);
         let ctx = training_context(
             &graph, &NeighborhoodSampler, dataset.ratings[0], 5, 4, 0.2, &mut rng,
-        );
+        ).expect("training context");
         let pred = model.predict(&ctx, &dataset);
 
         // random permutations derived from the seed

@@ -1,0 +1,262 @@
+//! Vendored offline stand-in for `proptest`.
+//!
+//! Implements the subset this workspace's property tests use: the
+//! [`Strategy`] trait with `prop_map`, range and tuple strategies,
+//! [`collection::vec`], [`ProptestConfig`], and the `proptest!` /
+//! `prop_assert!` / `prop_assert_eq!` macros. Cases are generated from a
+//! deterministic per-case seed, so failures are reproducible; there is **no
+//! shrinking** — a failing case reports its inputs via the assertion message
+//! only.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Per-test configuration; only `cases` is honored.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Creates the deterministic generator for one test case.
+/// Public for use by the `proptest!` macro expansion.
+pub fn case_rng(case: u64) -> StdRng {
+    StdRng::seed_from_u64(0x9E37_79B9_7F4A_7C15 ^ (case.wrapping_mul(0x2545_F491_4F6C_DD1D)))
+}
+
+/// A generator of random values, mirroring `proptest::strategy::Strategy`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn new_value(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn new_value(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(usize, u32, u64, i32, i64, f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident / $idx:tt),+)),+) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn new_value(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.new_value(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy!(
+    (A / 0, B / 1),
+    (A / 0, B / 1, C / 2),
+    (A / 0, B / 1, C / 2, D / 3)
+);
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Sizes accepted by [`vec`]: an exact `usize` or a `Range<usize>`.
+    pub trait IntoSizeRange {
+        /// Draws a concrete length.
+        fn pick_len(&self, rng: &mut StdRng) -> usize;
+    }
+
+    impl IntoSizeRange for usize {
+        fn pick_len(&self, _rng: &mut StdRng) -> usize {
+            *self
+        }
+    }
+
+    impl IntoSizeRange for core::ops::Range<usize> {
+        fn pick_len(&self, rng: &mut StdRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl IntoSizeRange for core::ops::RangeInclusive<usize> {
+        fn pick_len(&self, rng: &mut StdRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    /// A strategy producing `Vec`s whose elements come from `element`.
+    pub struct VecStrategy<S, L> {
+        element: S,
+        len: L,
+    }
+
+    /// `proptest::collection::vec(element, size)`.
+    pub fn vec<S: Strategy, L: IntoSizeRange>(element: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy, L: IntoSizeRange> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = self.len.pick_len(rng);
+            (0..n).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop imports, mirroring `proptest::prelude::*`.
+    pub use crate::{prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
+}
+
+/// Defines property tests: each `fn` runs `config.cases` times with inputs
+/// drawn from the given strategies. No shrinking is performed.
+#[macro_export]
+macro_rules! proptest {
+    // Entry with an inner config attribute.
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@tests($cfg) $($rest)*);
+    };
+    // Test functions under a given config.
+    (@tests($cfg:expr) $( $(#[$meta:meta])* fn $name:ident ( $($params:tt)* ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                for case in 0..config.cases {
+                    let mut proptest_case_rng = $crate::case_rng(case as u64);
+                    $crate::proptest!(@bind proptest_case_rng, $($params)*);
+                    $body
+                }
+            }
+        )*
+    };
+    // Parameter binding: `pat in strategy` comma-separated, optional trailing comma.
+    (@bind $rng:ident $(,)?) => {};
+    (@bind $rng:ident, $pat:pat in $strat:expr, $($rest:tt)*) => {
+        let $pat = $crate::Strategy::new_value(&$strat, &mut $rng);
+        $crate::proptest!(@bind $rng, $($rest)*);
+    };
+    (@bind $rng:ident, $pat:pat in $strat:expr) => {
+        let $pat = $crate::Strategy::new_value(&$strat, &mut $rng);
+    };
+    // Entry without a config attribute.
+    ($($rest:tt)*) => {
+        $crate::proptest!(@tests($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_eq!($left, $right, $($fmt)+) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_maps_compose(
+            x in 2usize..10,
+            y in 0.0f32..1.0,
+            v in crate::collection::vec((0u64..5, 1.0f32..=2.0), 1..8),
+        ) {
+            prop_assert!((2..10).contains(&x));
+            prop_assert!((0.0..1.0).contains(&y));
+            prop_assert!(!v.is_empty() && v.len() < 8);
+            for (a, b) in v {
+                prop_assert!(a < 5);
+                prop_assert!((1.0..=2.0).contains(&b));
+            }
+        }
+
+        #[test]
+        fn mapped_strategy_applies_function(n in (1usize..5).prop_map(|k| k * 10)) {
+            prop_assert_eq!(n % 10, 0);
+            prop_assert!((10..50).contains(&n));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_works(flag in 0u32..2) {
+            prop_assert!(flag < 2);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        use crate::Strategy;
+        let a: Vec<usize> = (0..5)
+            .map(|c| (0usize..100).new_value(&mut crate::case_rng(c)))
+            .collect();
+        let b: Vec<usize> = (0..5)
+            .map(|c| (0usize..100).new_value(&mut crate::case_rng(c)))
+            .collect();
+        assert_eq!(a, b);
+    }
+}

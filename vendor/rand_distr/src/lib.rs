@@ -1,0 +1,166 @@
+//! Vendored offline stand-in for `rand_distr` (0.4 API subset): the
+//! [`Distribution`] trait plus [`Normal`] (Box–Muller) and [`Uniform`]
+//! distributions over `f32`/`f64`, which is everything this workspace uses.
+
+use rand::Rng;
+
+/// Types that can be sampled from a distribution, mirroring
+/// `rand_distr::Distribution`.
+pub trait Distribution<T> {
+    /// Draws one value from `rng`.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Minimal float abstraction so `Normal`/`Uniform` work for `f32` and `f64`.
+pub trait Float: Copy + PartialOrd {
+    /// Lossless-enough widening for internal math.
+    fn to_f64(self) -> f64;
+    /// Narrowing back to the concrete type.
+    fn from_f64(x: f64) -> Self;
+    /// `self.is_finite()`.
+    fn is_finite_val(self) -> bool;
+}
+
+impl Float for f32 {
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+    fn from_f64(x: f64) -> Self {
+        x as f32
+    }
+    fn is_finite_val(self) -> bool {
+        self.is_finite()
+    }
+}
+
+impl Float for f64 {
+    fn to_f64(self) -> f64 {
+        self
+    }
+    fn from_f64(x: f64) -> Self {
+        x
+    }
+    fn is_finite_val(self) -> bool {
+        self.is_finite()
+    }
+}
+
+/// Error from invalid `Normal` parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NormalError {
+    /// The mean was non-finite.
+    MeanTooSmall,
+    /// The standard deviation was negative or non-finite.
+    BadVariance,
+}
+
+impl core::fmt::Display for NormalError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            NormalError::MeanTooSmall => write!(f, "normal mean is non-finite"),
+            NormalError::BadVariance => write!(f, "normal std dev is negative or non-finite"),
+        }
+    }
+}
+
+impl std::error::Error for NormalError {}
+
+/// The normal distribution `N(mean, std^2)`, sampled via Box–Muller.
+#[derive(Debug, Clone, Copy)]
+pub struct Normal<F: Float> {
+    mean: F,
+    std: F,
+}
+
+impl<F: Float> Normal<F> {
+    /// Creates a normal distribution; `std` must be finite and non-negative.
+    pub fn new(mean: F, std: F) -> Result<Self, NormalError> {
+        if !mean.is_finite_val() {
+            return Err(NormalError::MeanTooSmall);
+        }
+        if !std.is_finite_val() || std.to_f64() < 0.0 {
+            return Err(NormalError::BadVariance);
+        }
+        Ok(Normal { mean, std })
+    }
+}
+
+impl<F: Float> Distribution<F> for Normal<F> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> F {
+        // Box–Muller; discard the second variate for simplicity. u1 is mapped
+        // away from 0 so ln(u1) is finite.
+        let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        let u2: f64 = rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (core::f64::consts::TAU * u2).cos();
+        F::from_f64(self.mean.to_f64() + self.std.to_f64() * z)
+    }
+}
+
+/// The uniform distribution over a closed interval `[lo, hi]`.
+#[derive(Debug, Clone, Copy)]
+pub struct Uniform<F: Float> {
+    lo: F,
+    hi: F,
+}
+
+impl<F: Float> Uniform<F> {
+    /// Uniform over the closed interval `[lo, hi]`.
+    ///
+    /// # Panics
+    /// Panics if `lo > hi`, matching upstream behavior.
+    pub fn new_inclusive(lo: F, hi: F) -> Self {
+        assert!(lo <= hi, "Uniform::new_inclusive called with lo > hi");
+        Uniform { lo, hi }
+    }
+}
+
+impl<F: Float> Distribution<F> for Uniform<F> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> F {
+        let u: f64 = rng.gen();
+        F::from_f64(self.lo.to_f64() + u * (self.hi.to_f64() - self.lo.to_f64()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments_are_roughly_right() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let dist = Normal::new(2.0f32, 3.0).unwrap();
+        let n = 20_000;
+        let samples: Vec<f32> = (0..n).map(|_| dist.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f32>() / n as f32;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f32>() / n as f32;
+        assert!((mean - 2.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 9.0).abs() < 0.5, "var {var}");
+    }
+
+    #[test]
+    fn zero_std_is_constant() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let dist = Normal::new(5.0f32, 0.0).unwrap();
+        for _ in 0..50 {
+            assert_eq!(dist.sample(&mut rng), 5.0);
+        }
+    }
+
+    #[test]
+    fn negative_std_is_rejected() {
+        assert!(Normal::new(0.0f32, -1.0).is_err());
+        assert!(Normal::new(f32::NAN, 1.0).is_err());
+    }
+
+    #[test]
+    fn uniform_stays_in_interval() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let dist = Uniform::new_inclusive(-0.5f32, 0.5);
+        for _ in 0..1000 {
+            let x = dist.sample(&mut rng);
+            assert!((-0.5..=0.5).contains(&x), "{x}");
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Vendored offline stand-in for `serde`.
+//!
+//! Real `serde` abstracts over serializer backends; this workspace only ever
+//! serializes to JSON for benchmark reports, so the facade is a simple
+//! value-tree: [`Serialize`] converts any supported type to a [`Value`], and
+//! the vendored `serde_json` crate renders `Value` to text. The `derive`
+//! feature re-exports `#[derive(Serialize)]` from the vendored `serde_derive`.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::Serialize;
+
+/// A JSON-shaped value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Integer-valued number, rendered without a decimal point.
+    Int(i64),
+    /// Floating-point number. Non-finite values render as `null`.
+    Float(f64),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object with insertion-ordered keys.
+    Object(Vec<(String, Value)>),
+}
+
+/// Conversion into a [`Value`] tree; the single-backend analogue of
+/// `serde::Serialize`.
+pub trait Serialize {
+    /// Converts `self` to a JSON-shaped value.
+    fn to_value(&self) -> Value;
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+macro_rules! impl_serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+    )*};
+}
+
+impl_serialize_int!(i8, i16, i32, i64, isize, u8, u16, u32);
+
+impl Serialize for usize {
+    fn to_value(&self) -> Value {
+        if *self <= i64::MAX as usize {
+            Value::Int(*self as i64)
+        } else {
+            Value::Float(*self as f64)
+        }
+    }
+}
+
+impl Serialize for u64 {
+    fn to_value(&self) -> Value {
+        if *self <= i64::MAX as u64 {
+            Value::Int(*self as i64)
+        } else {
+            Value::Float(*self as f64)
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self as f64)
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![
+            self.0.to_value(),
+            self.1.to_value(),
+            self.2.to_value(),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_map_to_expected_variants() {
+        assert_eq!(3usize.to_value(), Value::Int(3));
+        assert_eq!(true.to_value(), Value::Bool(true));
+        assert_eq!("hi".to_value(), Value::String("hi".into()));
+        assert_eq!(1.5f32.to_value(), Value::Float(1.5));
+        assert_eq!(None::<u32>.to_value(), Value::Null);
+    }
+
+    #[test]
+    fn collections_nest() {
+        let v = vec![("a".to_string(), 1.0f64)].to_value();
+        assert_eq!(
+            v,
+            Value::Array(vec![Value::Array(vec![
+                Value::String("a".into()),
+                Value::Float(1.0)
+            ])])
+        );
+    }
+}

@@ -1,0 +1,156 @@
+//! Vendored offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` against the workspace's vendored `serde`
+//! facade (whose `Serialize` trait is `fn to_value(&self) -> serde::Value`).
+//! Supports exactly the shapes this repo derives on: non-generic structs with
+//! named fields, and non-generic enums with unit variants. Anything fancier
+//! fails loudly at compile time rather than silently mis-serializing.
+//!
+//! Deliberately written without `syn`/`quote` (unavailable offline): the input
+//! `TokenStream` is walked by hand and the impl is emitted as a source string.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes (`#[...]`) and visibility up to `struct`/`enum`.
+    let kind = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => break "struct",
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => break "enum",
+            Some(_) => i += 1,
+            None => panic!("derive(Serialize): expected `struct` or `enum`"),
+        }
+    };
+    i += 1;
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("derive(Serialize): expected type name, got {other:?}"),
+    };
+    i += 1;
+
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("derive(Serialize): generic types are not supported by the vendored serde_derive");
+    }
+
+    // The body is the first brace group after the name (skips where-clauses,
+    // which this workspace doesn't use on serialized types).
+    let body = tokens[i..]
+        .iter()
+        .find_map(|t| match t {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => Some(g.stream()),
+            _ => None,
+        })
+        .unwrap_or_else(|| {
+            panic!("derive(Serialize): `{name}` must have a braced body (named fields or unit variants)")
+        });
+
+    let generated = match kind {
+        "struct" => struct_impl(&name, &field_names(body)),
+        _ => enum_impl(&name, &variant_names(&name, body)),
+    };
+    generated
+        .parse()
+        .expect("derive(Serialize): generated impl failed to parse")
+}
+
+/// Extracts field identifiers from a named-field struct body.
+fn field_names(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut depth = 0usize; // < > nesting inside types
+    let mut at_field_start = true;
+    let mut pending: Option<String> = None;
+
+    for tok in body {
+        match &tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth = depth.saturating_sub(1),
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                at_field_start = true;
+                pending = None;
+            }
+            TokenTree::Punct(p) if p.as_char() == ':' && depth == 0 => {
+                if let Some(name) = pending.take() {
+                    fields.push(name);
+                }
+                at_field_start = false;
+            }
+            TokenTree::Punct(p) if p.as_char() == '#' => {} // attribute start
+            TokenTree::Group(_) => {}                       // attribute body or pub(...) scope
+            TokenTree::Ident(id) if at_field_start => {
+                let s = id.to_string();
+                if s != "pub" {
+                    pending = Some(s);
+                }
+            }
+            _ => {}
+        }
+    }
+    fields
+}
+
+/// Extracts variant identifiers from an enum body, rejecting data-carrying
+/// variants (those need a hand-written `Serialize` impl).
+fn variant_names(enum_name: &str, body: TokenStream) -> Vec<String> {
+    let mut variants = Vec::new();
+    let mut expecting_name = true;
+    for tok in body {
+        match &tok {
+            TokenTree::Punct(p) if p.as_char() == ',' => expecting_name = true,
+            TokenTree::Punct(p) if p.as_char() == '#' => {}
+            TokenTree::Group(g)
+                if matches!(g.delimiter(), Delimiter::Parenthesis | Delimiter::Brace) =>
+            {
+                panic!(
+                    "derive(Serialize): enum `{enum_name}` has a data-carrying variant; \
+                     write a manual Serialize impl instead"
+                );
+            }
+            TokenTree::Group(_) => {} // attribute body
+            TokenTree::Ident(id) if expecting_name => {
+                variants.push(id.to_string());
+                expecting_name = false;
+            }
+            _ => {}
+        }
+    }
+    variants
+}
+
+fn struct_impl(name: &str, fields: &[String]) -> String {
+    let entries: String = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f})),"
+            )
+        })
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Object(::std::vec![{entries}])\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn enum_impl(name: &str, variants: &[String]) -> String {
+    let arms: String = variants
+        .iter()
+        .map(|v| {
+            format!("{name}::{v} => ::serde::Value::String(::std::string::String::from(\"{v}\")),")
+        })
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 match self {{ {arms} }}\n\
+             }}\n\
+         }}"
+    )
+}

@@ -1,0 +1,183 @@
+//! Vendored offline stand-in for `serde_json`: serialization of the vendored
+//! `serde` [`Value`] tree to JSON text (`to_string`/`to_string_pretty`) and a
+//! `json!` macro covering the flat object/array shapes this workspace emits.
+//! No deserializer — nothing in the repo parses JSON back.
+
+use serde::Serialize;
+
+pub use serde::Value;
+
+/// Serialization error. The value-tree design makes rendering infallible, but
+/// the `Result` signatures mirror upstream so call sites stay portable.
+#[derive(Debug)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "json error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Converts any serializable value to a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Renders `value` as compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Renders `value` as 2-space-indented JSON.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+fn write_value(out: &mut String, value: &Value, indent: Option<usize>, level: usize) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::Float(x) => {
+            if x.is_finite() {
+                // Always include a decimal point or exponent so floats
+                // round-trip as floats downstream.
+                let s = format!("{x:?}");
+                out.push_str(&s);
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::String(s) => write_escaped(out, s),
+        Value::Array(items) => write_seq(out, indent, level, items.len(), '[', ']', |out, i| {
+            write_value(out, &items[i], indent, level + 1)
+        }),
+        Value::Object(entries) => {
+            write_seq(out, indent, level, entries.len(), '{', '}', |out, i| {
+                let (k, v) = &entries[i];
+                write_escaped(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, v, indent, level + 1)
+            })
+        }
+    }
+}
+
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    level: usize,
+    len: usize,
+    open: char,
+    close: char,
+    mut write_item: impl FnMut(&mut String, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(width) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat_n(' ', width * (level + 1)));
+        }
+        write_item(out, i);
+    }
+    if let Some(width) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', width * level));
+    }
+    out.push(close);
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Builds a [`Value`] from JSON-ish syntax. Covers the shapes used in this
+/// workspace: flat objects with string-literal keys, arrays, `null`, and plain
+/// expressions — no nested object/array *literals* as values (pass a computed
+/// `Value` instead).
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({ $($key:literal : $value:expr),* $(,)? }) => {
+        $crate::Value::Object(::std::vec![
+            $( (::std::string::String::from($key), $crate::to_value(&$value)) ),*
+        ])
+    };
+    ([ $($value:expr),* $(,)? ]) => {
+        $crate::Value::Array(::std::vec![ $( $crate::to_value(&$value) ),* ])
+    };
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_object_rendering() {
+        let v = json!({"name": "x", "k": 5usize, "score": 0.5f32});
+        assert_eq!(to_string(&v).unwrap(), r#"{"name":"x","k":5,"score":0.5}"#);
+    }
+
+    #[test]
+    fn pretty_rendering_is_indented() {
+        let v = json!({"a": 1usize});
+        assert_eq!(to_string_pretty(&v).unwrap(), "{\n  \"a\": 1\n}");
+    }
+
+    #[test]
+    fn arrays_tuples_and_nulls() {
+        let pairs: Vec<(String, f64)> = vec![("m".into(), 1.25)];
+        let v = json!({"pairs": pairs, "missing": None::<u32>});
+        assert_eq!(
+            to_string(&v).unwrap(),
+            r#"{"pairs":[["m",1.25]],"missing":null}"#
+        );
+    }
+
+    #[test]
+    fn non_finite_floats_render_null() {
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+        assert_eq!(to_string(&f32::INFINITY).unwrap(), "null");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(to_string(&"a\"b\\c\nd").unwrap(), r#""a\"b\\c\nd""#);
+    }
+
+    #[test]
+    fn floats_keep_a_decimal_marker() {
+        assert_eq!(to_string(&2.0f64).unwrap(), "2.0");
+    }
+}
