@@ -5,6 +5,11 @@
 //! - `--seed <u64>` — base RNG seed (default 7)
 //! - `--max-entities <n>` — cold entities evaluated per scenario
 //! - `--out <path>` — also write machine-readable JSON results
+//! - `--checkpoint-dir <dir>` — durable per-scenario progress (and HIRE
+//!   training snapshots) for crash-safe benchmark runs
+//! - `--resume` — continue a run from `--checkpoint-dir`: scenario results
+//!   whose status is `ok` are reused, `failed`/`timeout`/missing ones are
+//!   re-run
 //!
 //! `smoke` finishes in seconds (sanity only); `fast` reproduces the paper's
 //! qualitative shape in minutes on a laptop CPU; `full` uses the paper's
@@ -13,11 +18,12 @@
 use hire_data::{ColdStartScenario, ColdStartSplit, Dataset, SyntheticConfig};
 use hire_error::{HireError, HireResult};
 use hire_eval::{evaluate_model_isolated, EvalConfig, ModelResult, ModelSpec, SpeedTier};
-use serde::Serialize;
+use serde::{Serialize, Value};
+use std::path::{Path, PathBuf};
 use std::time::Duration;
 
-const USAGE: &str =
-    "usage: [--tier smoke|fast|full] [--seed N] [--max-entities N] [--model-budget SECS] [--out FILE]";
+const USAGE: &str = "usage: [--tier smoke|fast|full] [--seed N] [--max-entities N] \
+[--model-budget SECS] [--out FILE] [--checkpoint-dir DIR] [--resume]";
 
 /// Parsed command-line options.
 #[derive(Debug, Clone)]
@@ -33,6 +39,12 @@ pub struct HarnessArgs {
     pub model_budget: Option<f64>,
     /// Optional JSON output path.
     pub out: Option<String>,
+    /// Directory for durable benchmark progress (per-scenario results plus
+    /// HIRE training snapshots).
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Resume from `checkpoint_dir`: reuse `ok` scenario results, re-run
+    /// the rest.
+    pub resume: bool,
 }
 
 impl HarnessArgs {
@@ -64,6 +76,8 @@ impl HarnessArgs {
             max_entities: 25,
             model_budget: None,
             out: None,
+            checkpoint_dir: None,
+            resume: false,
         };
         let mut it = argv.iter();
         while let Some(flag) = it.next() {
@@ -108,8 +122,16 @@ impl HarnessArgs {
                     args.model_budget = Some(secs);
                 }
                 "--out" => args.out = Some(value()?.clone()),
+                "--checkpoint-dir" => args.checkpoint_dir = Some(PathBuf::from(value()?)),
+                "--resume" => args.resume = true,
                 other => return Err(HireError::invalid_argument(other, "unknown flag")),
             }
+        }
+        if args.resume && args.checkpoint_dir.is_none() {
+            return Err(HireError::invalid_argument(
+                "--resume",
+                "requires --checkpoint-dir to know where the previous run's progress lives",
+            ));
         }
         Ok(args)
     }
@@ -222,12 +244,21 @@ pub fn run_scenario(
 /// Serializes `value` and writes it to `path` atomically: the JSON goes to
 /// a `<path>.tmp` sibling first and is renamed over the target, so a crash
 /// mid-write can never leave a truncated result file.
-pub fn write_json_atomic<T: Serialize>(path: &str, value: &T) -> HireResult<()> {
+///
+/// Accepts any path — including non-UTF-8 ones — and reports failures as
+/// typed [`HireError::Io`] values instead of panicking.
+pub fn write_json_atomic<T: Serialize>(path: impl AsRef<Path>, value: &T) -> HireResult<()> {
+    let path = path.as_ref();
     let json =
         serde_json::to_string_pretty(value).map_err(|e| HireError::Serialization(e.to_string()))?;
-    let tmp = format!("{path}.tmp");
-    std::fs::write(&tmp, json.as_bytes()).map_err(|e| HireError::io(&tmp, e))?;
-    std::fs::rename(&tmp, path).map_err(|e| HireError::io(path, e))?;
+    let tmp = {
+        let mut os = path.as_os_str().to_os_string();
+        os.push(".tmp");
+        PathBuf::from(os)
+    };
+    std::fs::write(&tmp, json.as_bytes())
+        .map_err(|e| HireError::io(tmp.display().to_string(), e))?;
+    std::fs::rename(&tmp, path).map_err(|e| HireError::io(path.display().to_string(), e))?;
     Ok(())
 }
 
@@ -243,27 +274,136 @@ pub fn maybe_write_json<T: Serialize>(args: &HarnessArgs, value: &T) {
     }
 }
 
+impl ScenarioReport {
+    /// Parses a report back out of its serialized [`Value`] form; `None`
+    /// for malformed input.
+    fn from_value(v: &Value) -> Option<Self> {
+        let results = v
+            .get("results")?
+            .as_array()?
+            .iter()
+            .map(ModelResult::from_value)
+            .collect::<Option<Vec<_>>>()?;
+        Some(ScenarioReport {
+            scenario: v.get("scenario")?.as_str()?.to_string(),
+            results,
+        })
+    }
+}
+
+/// Path of the durable per-scenario progress file inside a checkpoint dir.
+fn progress_path(dir: &Path) -> PathBuf {
+    dir.join("progress.json")
+}
+
+/// Re-reads the per-scenario progress file flushed by a previous run.
+/// Returns an empty list when the file does not exist; malformed content
+/// (e.g. a torn write from a kernel crash — the atomic rename makes this
+/// unlikely but not impossible on all filesystems) degrades to a fresh
+/// start with a warning rather than an abort.
+fn load_progress(dir: &Path) -> Vec<ScenarioReport> {
+    let path = progress_path(dir);
+    let Ok(body) = std::fs::read_to_string(&path) else {
+        return Vec::new();
+    };
+    let parsed = serde_json::from_str(&body).ok().and_then(|v| {
+        v.as_array()?
+            .iter()
+            .map(ScenarioReport::from_value)
+            .collect::<Option<Vec<_>>>()
+    });
+    match parsed {
+        Some(reports) => reports,
+        None => {
+            eprintln!(
+                "warning: could not parse {}; starting the sweep from scratch",
+                path.display()
+            );
+            Vec::new()
+        }
+    }
+}
+
+/// A scenario result is reusable on resume only if every model finished
+/// cleanly; `failed`/`timeout` entries mean the scenario must re-run.
+fn all_ok(report: &ScenarioReport) -> bool {
+    report.results.iter().all(|r| r.status.is_ok())
+}
+
+/// Sanitized directory name for a scenario's training checkpoints.
+fn scenario_slug(label: &str) -> String {
+    label
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
 /// Prints the standard comparison tables for a whole dataset (one table per
 /// scenario) — the layout of Tables III-V.
 pub fn run_overall_table(kind: DatasetKind, title: &str) {
     let args = HarnessArgs::parse();
-    run_overall_table_with(kind, title, &args, |dataset, args| {
-        let mut specs = hire_eval::baseline_specs(dataset, args.tier);
-        specs.push(hire_eval::hire_spec(args.tier));
-        specs
-    });
+    run_standard_sweep(kind, title, &args);
+}
+
+/// The standard model roster: every applicable baseline plus HIRE. When a
+/// training checkpoint directory is given, the HIRE fit itself becomes
+/// durable and resume-aware (see `hire_core::resume_from`).
+pub fn default_specs(
+    dataset: &Dataset,
+    args: &HarnessArgs,
+    train_ckpt_dir: Option<PathBuf>,
+) -> Vec<ModelSpec> {
+    let mut specs = hire_eval::baseline_specs(dataset, args.tier);
+    match train_ckpt_dir {
+        Some(dir) => {
+            let tc = hire_core::TrainConfig {
+                checkpoint_dir: Some(dir),
+                resume: args.resume,
+                ..args.tier.hire_train_config()
+            };
+            specs.push(hire_eval::hire_spec_with_train_config(args.tier, tc));
+        }
+        None => specs.push(hire_eval::hire_spec(args.tier)),
+    }
+    specs
 }
 
 /// [`run_overall_table`] with explicit args and a model-spec factory
 /// (called once per scenario). The JSON output is flushed after **every**
 /// scenario, so even if a later scenario dies the finished ones are on
-/// disk.
+/// disk. With `--checkpoint-dir`, progress is additionally persisted for
+/// `--resume`; see [`run_sweep`].
 pub fn run_overall_table_with(
     kind: DatasetKind,
     title: &str,
     args: &HarnessArgs,
     specs_for: impl Fn(&Dataset, &HarnessArgs) -> Vec<ModelSpec>,
 ) {
+    run_sweep(kind, title, args, |d, a, _| specs_for(d, a), None);
+}
+
+/// Runs all cold-start scenarios with crash-safe progress tracking.
+///
+/// When `args.checkpoint_dir` is set, the accumulated per-scenario reports
+/// are flushed atomically to `<dir>/progress.json` after every scenario.
+/// With `args.resume`, that file is re-read first: scenarios whose every
+/// model finished with status `ok` are reused without re-running, while
+/// `failed`/`timeout`/missing ones run again. Without `resume`, stale
+/// progress from an earlier run is cleared.
+///
+/// `crash_after` is deterministic fault injection for tests: the sweep
+/// stops (as if the process died) after that many scenarios have *run* in
+/// this invocation — reused scenarios do not count.
+///
+/// The spec factory additionally receives the scenario, so HIRE training
+/// checkpoints can live in a per-scenario subdirectory.
+pub fn run_sweep(
+    kind: DatasetKind,
+    title: &str,
+    args: &HarnessArgs,
+    mut specs_for: impl FnMut(&Dataset, &HarnessArgs, ColdStartScenario) -> Vec<ModelSpec>,
+    crash_after: Option<usize>,
+) -> Vec<ScenarioReport> {
     let dataset = dataset_for(kind, args.tier, args.seed);
     println!("# {title}");
     println!(
@@ -273,18 +413,74 @@ pub fn run_overall_table_with(
         dataset.num_items,
         dataset.ratings.len()
     );
-    let mut reports = Vec::new();
+    let previous: Vec<ScenarioReport> = match &args.checkpoint_dir {
+        Some(dir) if args.resume => load_progress(dir),
+        Some(dir) => {
+            // A fresh (non-resume) run must not inherit stale progress.
+            let _ = std::fs::remove_file(progress_path(dir));
+            Vec::new()
+        }
+        None => Vec::new(),
+    };
+
+    let mut reports: Vec<ScenarioReport> = Vec::new();
+    let mut ran = 0usize;
     for scenario in ColdStartScenario::ALL {
-        let specs = specs_for(&dataset, args);
-        let report = run_scenario_with_specs(&dataset, kind, scenario, args, specs);
+        if let Some(prev) = previous
+            .iter()
+            .find(|r| r.scenario == scenario.label() && all_ok(r))
+        {
+            eprintln!(
+                "  [{}] finished in a previous run; reusing its results",
+                scenario.label()
+            );
+            reports.push(prev.clone());
+        } else {
+            if crash_after.is_some_and(|n| ran >= n) {
+                eprintln!("  injected crash: stopping before [{}]", scenario.label());
+                break;
+            }
+            let specs = specs_for(&dataset, args, scenario);
+            let report = run_scenario_with_specs(&dataset, kind, scenario, args, specs);
+            reports.push(report);
+            ran += 1;
+        }
+        let report = reports.last().expect("just pushed");
         println!(
             "{}",
             hire_eval::format_table(&format!("{title} — {}", report.scenario), &report.results)
         );
-        reports.push(report);
         // Partial flush: finished scenarios survive a crash in a later one.
+        if let Some(dir) = &args.checkpoint_dir {
+            if let Err(err) = std::fs::create_dir_all(dir)
+                .map_err(|e| HireError::io(dir.display().to_string(), e))
+                .and_then(|()| write_json_atomic(progress_path(dir), &reports))
+            {
+                eprintln!("could not persist progress: {err}");
+            }
+        }
         maybe_write_json(args, &reports);
     }
+    reports
+}
+
+/// [`run_sweep`] with the standard model roster ([`default_specs`]); HIRE
+/// training checkpoints land in a per-scenario subdirectory of
+/// `--checkpoint-dir`.
+pub fn run_standard_sweep(kind: DatasetKind, title: &str, args: &HarnessArgs) {
+    run_sweep(
+        kind,
+        title,
+        args,
+        |dataset, args, scenario| {
+            let train_dir = args
+                .checkpoint_dir
+                .as_ref()
+                .map(|d| d.join(format!("train-{}", scenario_slug(scenario.label()))));
+            default_specs(dataset, args, train_dir)
+        },
+        None,
+    );
 }
 
 #[cfg(test)]
@@ -351,13 +547,116 @@ mod tests {
     }
 
     #[test]
+    fn parse_from_accepts_checkpoint_dir_and_resume() {
+        let args =
+            HarnessArgs::parse_from(&argv(&["--checkpoint-dir", "/tmp/bench-ckpt", "--resume"]))
+                .expect("valid args");
+        assert_eq!(args.checkpoint_dir, Some(PathBuf::from("/tmp/bench-ckpt")));
+        assert!(args.resume);
+    }
+
+    #[test]
+    fn parse_from_rejects_resume_without_checkpoint_dir() {
+        let err = HarnessArgs::parse_from(&argv(&["--resume"])).expect_err("lonely --resume");
+        assert!(err.to_string().contains("--checkpoint-dir"), "{err}");
+    }
+
+    #[test]
+    fn parse_from_rejects_checkpoint_dir_without_value() {
+        let err = HarnessArgs::parse_from(&argv(&["--checkpoint-dir"])).expect_err("missing value");
+        assert!(err.to_string().contains("missing"));
+    }
+
+    #[test]
     fn atomic_json_write_round_trips_and_cleans_tmp() {
         let path = std::env::temp_dir().join("hire_bench_write_test.json");
-        let path = path.to_str().unwrap().to_string();
         write_json_atomic(&path, &vec![1usize, 2, 3]).expect("write");
         let body = std::fs::read_to_string(&path).expect("read back");
         assert!(body.contains('1') && body.contains('3'));
-        assert!(!std::path::Path::new(&format!("{path}.tmp")).exists());
+        let mut tmp = path.as_os_str().to_os_string();
+        tmp.push(".tmp");
+        assert!(!PathBuf::from(tmp).exists());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn scenario_report_value_round_trip() {
+        use hire_eval::{EvalStatus, MetricsAtK};
+        let report = ScenarioReport {
+            scenario: "UC".to_string(),
+            results: vec![
+                ModelResult {
+                    model: "GlobalMean".to_string(),
+                    at_k: vec![MetricsAtK {
+                        k: 5,
+                        precision: 0.25,
+                        precision_std: 0.5,
+                        ndcg: 0.75,
+                        ndcg_std: 0.125,
+                        map: 0.375,
+                        map_std: 0.0625,
+                    }],
+                    fit_seconds: 1.5,
+                    test_seconds: 0.25,
+                    entities: 12,
+                    status: EvalStatus::Ok,
+                },
+                ModelResult {
+                    model: "Flaky".to_string(),
+                    at_k: vec![],
+                    fit_seconds: 0.0,
+                    test_seconds: 0.0,
+                    entities: 0,
+                    status: EvalStatus::Failed {
+                        message: "boom".to_string(),
+                    },
+                },
+            ],
+        };
+        let json = serde_json::to_string_pretty(&vec![&report]).unwrap();
+        let value = serde_json::from_str(&json).expect("parse back");
+        let arr = value.as_array().expect("array");
+        let parsed = ScenarioReport::from_value(&arr[0]).expect("round trip");
+        assert_eq!(parsed.scenario, "UC");
+        assert_eq!(parsed.results.len(), 2);
+        assert_eq!(parsed.results[0].model, "GlobalMean");
+        assert_eq!(parsed.results[0].at_k[0].k, 5);
+        assert_eq!(parsed.results[0].at_k[0].precision, 0.25);
+        assert_eq!(parsed.results[0].entities, 12);
+        assert!(parsed.results[0].status.is_ok());
+        assert!(matches!(
+            &parsed.results[1].status,
+            EvalStatus::Failed { message } if message == "boom"
+        ));
+        assert!(all_ok(&ScenarioReport {
+            scenario: "x".into(),
+            results: vec![parsed.results[0].clone()]
+        }));
+        assert!(!all_ok(&parsed));
+    }
+
+    #[test]
+    fn load_progress_tolerates_missing_and_garbage_files() {
+        let dir = std::env::temp_dir().join(format!("hire_bench_progress_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(load_progress(&dir).is_empty(), "missing file is empty");
+        std::fs::write(progress_path(&dir), b"{ not json").unwrap();
+        assert!(load_progress(&dir).is_empty(), "garbage degrades to empty");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn atomic_json_write_handles_non_utf8_paths() {
+        use std::os::unix::ffi::OsStringExt;
+        // 0xFF is invalid UTF-8, so Path::to_str() would return None here —
+        // the old &str-based API could not even express this path.
+        let name = std::ffi::OsString::from_vec(b"hire_bench_non_utf8_\xFF.json".to_vec());
+        let path = std::env::temp_dir().join(name);
+        write_json_atomic(&path, &vec![42usize]).expect("non-UTF-8 path must not panic");
+        let body = std::fs::read_to_string(&path).expect("read back");
+        assert!(body.contains("42"));
         let _ = std::fs::remove_file(&path);
     }
 

@@ -32,6 +32,8 @@ fn smoke_args(out: Option<String>) -> HarnessArgs {
         max_entities: 3,
         model_budget: None,
         out,
+        checkpoint_dir: None,
+        resume: false,
     }
 }
 

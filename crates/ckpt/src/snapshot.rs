@@ -1,0 +1,352 @@
+//! The training snapshot: everything a killed run needs to resume
+//! bit-exactly.
+//!
+//! A [`TrainSnapshot`] captures, at a completed-step boundary:
+//! - the live model parameters and the in-memory rollback checkpoint the
+//!   divergence guard would restore on a loss explosion,
+//! - the LAMB first/second moments and step counter, and the Lookahead slow
+//!   weights and inner-step counter,
+//! - the numerical guard's EMA baseline and streak counters, the current
+//!   learning-rate scale, and the recovery budget already spent,
+//! - the RNG's internal state words (the mini-batch sampling stream), and
+//! - a fingerprint of the training configuration, so a snapshot is never
+//!   resumed under different hyper-parameters.
+//!
+//! The scheduler needs no extra state: it is a pure function of the
+//! absolute step index, which `completed_steps` preserves.
+
+use crate::format::{decode_container, encode_container, PayloadReader, PayloadWriter};
+use hire_error::{HireError, HireResult};
+use hire_tensor::NdArray;
+
+/// Optimizer state mirrored as plain data (decoupled from the optimizer
+/// types; `hire-core` converts both ways).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimizerSnapshot {
+    /// LAMB first moments, one slot per parameter (`None` = never updated).
+    pub lamb_m: Vec<Option<NdArray>>,
+    /// LAMB second moments.
+    pub lamb_v: Vec<Option<NdArray>>,
+    /// LAMB step counter (drives bias correction).
+    pub lamb_t: u32,
+    /// Lookahead slow weights, one per parameter.
+    pub slow_weights: Vec<NdArray>,
+    /// Lookahead inner-step counter (drives the every-`k` sync).
+    pub lookahead_steps: u32,
+}
+
+/// Divergence-guard and recovery-policy state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GuardSnapshot {
+    /// EMA loss baseline (`None` before the first healthy step).
+    pub ema: Option<f32>,
+    /// Healthy steps observed since the last reset.
+    pub healthy_steps: u64,
+    /// Consecutive suspicious (explosion-candidate) steps.
+    pub suspicious_streak: u64,
+    /// Learning-rate scale after the recoveries so far.
+    pub lr_scale: f32,
+    /// Recoveries already performed (counts against `max_recoveries`).
+    pub recoveries: u32,
+}
+
+/// A complete, resumable picture of a training run at a step boundary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainSnapshot {
+    /// Steps fully completed; resume starts at this step index.
+    pub completed_steps: u64,
+    /// Fingerprint of the training configuration (see
+    /// [`fingerprint`]); resume refuses a mismatch.
+    pub config_fingerprint: u64,
+    /// Live model parameter values, in `model.parameters()` order.
+    pub params: Vec<NdArray>,
+    /// Step at which the in-memory rollback checkpoint was captured.
+    pub rollback_step: u64,
+    /// The rollback checkpoint's parameter values.
+    pub rollback_params: Vec<NdArray>,
+    /// LAMB + Lookahead state.
+    pub optimizer: OptimizerSnapshot,
+    /// Guard + recovery state.
+    pub guard: GuardSnapshot,
+    /// RNG internal state words (exact stream resume).
+    pub rng_words: Vec<u64>,
+}
+
+/// FNV-1a over a word sequence — the configuration fingerprint embedded in
+/// every snapshot.
+pub fn fingerprint(words: impl IntoIterator<Item = u64>) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for w in words {
+        for b in w.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+    h
+}
+
+fn put_array(w: &mut PayloadWriter, a: &NdArray) {
+    let dims = a.dims();
+    w.put_u32(dims.len() as u32);
+    for &d in dims {
+        w.put_u64(d as u64);
+    }
+    w.put_f32_slice(a.as_slice());
+}
+
+fn take_array(r: &mut PayloadReader, path: &str, what: &str) -> HireResult<NdArray> {
+    let rank = r.take_u32(what)? as usize;
+    if rank > 16 {
+        return Err(HireError::corrupt_checkpoint(
+            path,
+            format!("implausible rank {rank} for {what}"),
+        ));
+    }
+    let mut dims = Vec::with_capacity(rank);
+    let mut numel: usize = 1;
+    for _ in 0..rank {
+        let d = r.take_u64(what)? as usize;
+        numel = numel
+            .checked_mul(d)
+            .ok_or_else(|| HireError::corrupt_checkpoint(path, format!("{what} shape overflow")))?;
+        dims.push(d);
+    }
+    let data = r.take_f32_vec(what)?;
+    if data.len() != numel {
+        return Err(HireError::corrupt_checkpoint(
+            path,
+            format!(
+                "{what}: shape {dims:?} needs {numel} values, payload holds {}",
+                data.len()
+            ),
+        ));
+    }
+    Ok(NdArray::from_vec(dims, data))
+}
+
+fn put_arrays(w: &mut PayloadWriter, arrays: &[NdArray]) {
+    w.put_u64(arrays.len() as u64);
+    for a in arrays {
+        put_array(w, a);
+    }
+}
+
+fn take_arrays(r: &mut PayloadReader, path: &str, what: &str) -> HireResult<Vec<NdArray>> {
+    let n = r.take_len(what)?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(take_array(r, path, what)?);
+    }
+    Ok(out)
+}
+
+fn put_opt_arrays(w: &mut PayloadWriter, arrays: &[Option<NdArray>]) {
+    w.put_u64(arrays.len() as u64);
+    for a in arrays {
+        match a {
+            None => w.put_u8(0),
+            Some(a) => {
+                w.put_u8(1);
+                put_array(w, a);
+            }
+        }
+    }
+}
+
+fn take_opt_arrays(
+    r: &mut PayloadReader,
+    path: &str,
+    what: &str,
+) -> HireResult<Vec<Option<NdArray>>> {
+    let n = r.take_len(what)?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        match r.take_u8(what)? {
+            0 => out.push(None),
+            1 => out.push(Some(take_array(r, path, what)?)),
+            other => {
+                return Err(HireError::corrupt_checkpoint(
+                    path,
+                    format!("{what}: invalid option tag {other}"),
+                ))
+            }
+        }
+    }
+    Ok(out)
+}
+
+impl TrainSnapshot {
+    /// Serializes to the complete container file bytes (header + payload +
+    /// CRC trailer).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = PayloadWriter::new();
+        w.put_u64(self.completed_steps);
+        w.put_u64(self.config_fingerprint);
+        put_arrays(&mut w, &self.params);
+        w.put_u64(self.rollback_step);
+        put_arrays(&mut w, &self.rollback_params);
+        put_opt_arrays(&mut w, &self.optimizer.lamb_m);
+        put_opt_arrays(&mut w, &self.optimizer.lamb_v);
+        w.put_u32(self.optimizer.lamb_t);
+        put_arrays(&mut w, &self.optimizer.slow_weights);
+        w.put_u32(self.optimizer.lookahead_steps);
+        match self.guard.ema {
+            None => w.put_u8(0),
+            Some(ema) => {
+                w.put_u8(1);
+                w.put_f32(ema);
+            }
+        }
+        w.put_u64(self.guard.healthy_steps);
+        w.put_u64(self.guard.suspicious_streak);
+        w.put_f32(self.guard.lr_scale);
+        w.put_u32(self.guard.recoveries);
+        w.put_u64_slice(&self.rng_words);
+        encode_container(&w.finish())
+    }
+
+    /// Parses and validates container file bytes. `path` labels errors.
+    pub fn decode(bytes: &[u8], path: &str) -> HireResult<Self> {
+        let payload = decode_container(bytes, path)?;
+        let mut r = PayloadReader::new(payload, path);
+        let completed_steps = r.take_u64("completed_steps")?;
+        let config_fingerprint = r.take_u64("config_fingerprint")?;
+        let params = take_arrays(&mut r, path, "params")?;
+        let rollback_step = r.take_u64("rollback_step")?;
+        let rollback_params = take_arrays(&mut r, path, "rollback_params")?;
+        let lamb_m = take_opt_arrays(&mut r, path, "lamb_m")?;
+        let lamb_v = take_opt_arrays(&mut r, path, "lamb_v")?;
+        let lamb_t = r.take_u32("lamb_t")?;
+        let slow_weights = take_arrays(&mut r, path, "slow_weights")?;
+        let lookahead_steps = r.take_u32("lookahead_steps")?;
+        let ema = match r.take_u8("ema tag")? {
+            0 => None,
+            1 => Some(r.take_f32("ema")?),
+            other => {
+                return Err(HireError::corrupt_checkpoint(
+                    path,
+                    format!("invalid ema tag {other}"),
+                ))
+            }
+        };
+        let healthy_steps = r.take_u64("healthy_steps")?;
+        let suspicious_streak = r.take_u64("suspicious_streak")?;
+        let lr_scale = r.take_f32("lr_scale")?;
+        let recoveries = r.take_u32("recoveries")?;
+        let rng_words = r.take_u64_vec("rng_words")?;
+        r.expect_exhausted()?;
+        Ok(TrainSnapshot {
+            completed_steps,
+            config_fingerprint,
+            params,
+            rollback_step,
+            rollback_params,
+            optimizer: OptimizerSnapshot {
+                lamb_m,
+                lamb_v,
+                lamb_t,
+                slow_weights,
+                lookahead_steps,
+            },
+            guard: GuardSnapshot {
+                ema,
+                healthy_steps,
+                suspicious_streak,
+                lr_scale,
+                recoveries,
+            },
+            rng_words,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn sample_snapshot(step: u64) -> TrainSnapshot {
+        let p = |vals: &[f32]| NdArray::from_vec(vec![vals.len()], vals.to_vec());
+        TrainSnapshot {
+            completed_steps: step,
+            config_fingerprint: fingerprint([1, 2, 3]),
+            params: vec![p(&[1.0, -2.0]), p(&[0.5])],
+            rollback_step: step.saturating_sub(3),
+            rollback_params: vec![p(&[0.9, -1.9]), p(&[0.4])],
+            optimizer: OptimizerSnapshot {
+                lamb_m: vec![Some(p(&[0.1, 0.2])), None],
+                lamb_v: vec![Some(p(&[0.01, 0.02])), None],
+                lamb_t: step as u32,
+                slow_weights: vec![p(&[1.0, -2.0]), p(&[0.5])],
+                lookahead_steps: step as u32,
+            },
+            guard: GuardSnapshot {
+                ema: Some(0.75),
+                healthy_steps: step,
+                suspicious_streak: 1,
+                lr_scale: 0.5,
+                recoveries: 2,
+            },
+            rng_words: vec![0xDEAD, 0xBEEF, 7, u64::MAX],
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trip_is_exact() {
+        let snap = sample_snapshot(40);
+        let bytes = snap.encode();
+        let back = TrainSnapshot::decode(&bytes, "t").unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn snapshot_with_empty_and_none_fields_round_trips() {
+        let snap = TrainSnapshot {
+            completed_steps: 0,
+            config_fingerprint: 0,
+            params: vec![],
+            rollback_step: 0,
+            rollback_params: vec![],
+            optimizer: OptimizerSnapshot {
+                lamb_m: vec![None],
+                lamb_v: vec![None],
+                lamb_t: 0,
+                slow_weights: vec![],
+                lookahead_steps: 0,
+            },
+            guard: GuardSnapshot {
+                ema: None,
+                healthy_steps: 0,
+                suspicious_streak: 0,
+                lr_scale: 1.0,
+                recoveries: 0,
+            },
+            rng_words: vec![],
+        };
+        let back = TrainSnapshot::decode(&snap.encode(), "t").unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn fingerprint_discriminates() {
+        assert_ne!(fingerprint([1, 2, 3]), fingerprint([1, 2, 4]));
+        assert_ne!(fingerprint([1, 2]), fingerprint([2, 1]));
+        assert_eq!(fingerprint([5, 6]), fingerprint([5, 6]));
+    }
+
+    #[test]
+    fn trailing_payload_bytes_are_rejected() {
+        let snap = sample_snapshot(1);
+        let mut w = PayloadWriter::new();
+        // Re-encode the valid payload and append junk, re-checksummed so
+        // only the layout check can catch it.
+        let valid = snap.encode();
+        let payload = decode_container(&valid, "t").unwrap();
+        for &b in payload {
+            w.put_u8(b);
+        }
+        w.put_u8(0xAA);
+        let bad = encode_container(&w.finish());
+        let err = TrainSnapshot::decode(&bad, "t").unwrap_err();
+        assert!(err.to_string().contains("unread bytes"), "{err}");
+    }
+}

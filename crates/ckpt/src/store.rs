@@ -1,0 +1,317 @@
+//! Directory-backed checkpoint store: crash-safe writes, retention, and a
+//! loader that survives corrupt files.
+//!
+//! Write discipline: the snapshot is written to a `.tmp` sibling, fsynced,
+//! atomically renamed to `ckpt-<steps>.hckpt`, and the directory is fsynced
+//! so the rename itself is durable. A crash at any point leaves either the
+//! previous file set or the new one — never a half-written snapshot under a
+//! valid name.
+//!
+//! Read discipline: [`CheckpointStore::load_latest`] scans the directory
+//! newest-first and returns the first snapshot that passes magic, version,
+//! length, and CRC validation. Truncated or bit-flipped files are reported
+//! in [`LoadOutcome::rejected`] (and logged to stderr) but never abort the
+//! load — the run falls back to the newest *valid* state.
+
+use crate::snapshot::TrainSnapshot;
+use hire_error::{HireError, HireResult};
+use std::fs::{self, File};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// File extension for snapshot files.
+pub const SNAPSHOT_EXT: &str = "hckpt";
+
+/// A snapshot store rooted at one directory.
+#[derive(Debug, Clone)]
+pub struct CheckpointStore {
+    dir: PathBuf,
+    keep_last: usize,
+}
+
+/// What a directory scan found.
+#[derive(Debug)]
+pub struct LoadOutcome {
+    /// The newest valid snapshot, if any file validated.
+    pub snapshot: TrainSnapshot,
+    /// The file it came from.
+    pub path: PathBuf,
+    /// Newer files that failed validation, with the reason each was
+    /// skipped.
+    pub rejected: Vec<(PathBuf, HireError)>,
+}
+
+impl CheckpointStore {
+    /// Opens (creating if needed) a store keeping the last `keep_last`
+    /// snapshots. `keep_last` is clamped to at least 1.
+    pub fn open(dir: impl Into<PathBuf>, keep_last: usize) -> HireResult<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir).map_err(|e| HireError::io(dir.display().to_string(), e))?;
+        Ok(CheckpointStore {
+            dir,
+            keep_last: keep_last.max(1),
+        })
+    }
+
+    /// The store's directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn file_name(steps: u64) -> String {
+        format!("ckpt-{steps:012}.{SNAPSHOT_EXT}")
+    }
+
+    /// Parses the step count out of a snapshot file name.
+    fn steps_of(path: &Path) -> Option<u64> {
+        let name = path.file_name()?.to_str()?;
+        let stem = name
+            .strip_prefix("ckpt-")?
+            .strip_suffix(&format!(".{SNAPSHOT_EXT}"))?;
+        stem.parse().ok()
+    }
+
+    /// Snapshot files in the store, sorted oldest → newest by step count.
+    pub fn list(&self) -> HireResult<Vec<PathBuf>> {
+        let entries = fs::read_dir(&self.dir)
+            .map_err(|e| HireError::io(self.dir.display().to_string(), e))?;
+        let mut files: Vec<(u64, PathBuf)> = Vec::new();
+        for entry in entries {
+            let entry = entry.map_err(|e| HireError::io(self.dir.display().to_string(), e))?;
+            let path = entry.path();
+            if let Some(steps) = Self::steps_of(&path) {
+                files.push((steps, path));
+            }
+        }
+        files.sort();
+        Ok(files.into_iter().map(|(_, p)| p).collect())
+    }
+
+    /// Writes `snapshot` crash-safely and prunes old files down to the
+    /// retention limit. Returns the snapshot's final path.
+    pub fn save(&self, snapshot: &TrainSnapshot) -> HireResult<PathBuf> {
+        let final_path = self.dir.join(Self::file_name(snapshot.completed_steps));
+        let tmp_path = {
+            let mut os = final_path.as_os_str().to_os_string();
+            os.push(".tmp");
+            PathBuf::from(os)
+        };
+        let bytes = snapshot.encode();
+        {
+            let mut tmp = File::create(&tmp_path)
+                .map_err(|e| HireError::io(tmp_path.display().to_string(), e))?;
+            tmp.write_all(&bytes)
+                .map_err(|e| HireError::io(tmp_path.display().to_string(), e))?;
+            // Flush file contents to stable storage before the rename makes
+            // the snapshot visible under its real name.
+            tmp.sync_all()
+                .map_err(|e| HireError::io(tmp_path.display().to_string(), e))?;
+        }
+        fs::rename(&tmp_path, &final_path)
+            .map_err(|e| HireError::io(final_path.display().to_string(), e))?;
+        // Persist the rename (the directory entry) as well; without this a
+        // power loss can roll back to a state where neither name exists.
+        if let Ok(dir) = File::open(&self.dir) {
+            let _ = dir.sync_all();
+        }
+        self.prune()?;
+        Ok(final_path)
+    }
+
+    /// Deletes all but the newest `keep_last` snapshots. Leftover `.tmp`
+    /// files from interrupted writes are removed too.
+    fn prune(&self) -> HireResult<()> {
+        let files = self.list()?;
+        if files.len() > self.keep_last {
+            for old in &files[..files.len() - self.keep_last] {
+                let _ = fs::remove_file(old);
+            }
+        }
+        if let Ok(entries) = fs::read_dir(&self.dir) {
+            for entry in entries.flatten() {
+                let path = entry.path();
+                if path.extension().is_some_and(|e| e == "tmp") {
+                    let _ = fs::remove_file(&path);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Scans for the newest snapshot that passes validation. Returns
+    /// `Ok(None)` for an empty (or snapshot-free) store. Corrupt files are
+    /// skipped with a stderr warning and reported in
+    /// [`LoadOutcome::rejected`].
+    pub fn load_latest(&self) -> HireResult<Option<LoadOutcome>> {
+        if !self.dir.exists() {
+            return Ok(None);
+        }
+        let mut files = self.list()?;
+        files.reverse(); // newest first
+        let mut rejected = Vec::new();
+        for path in files {
+            let label = path.display().to_string();
+            let result = fs::read(&path)
+                .map_err(|e| HireError::io(label.clone(), e))
+                .and_then(|bytes| TrainSnapshot::decode(&bytes, &label));
+            match result {
+                Ok(snapshot) => {
+                    return Ok(Some(LoadOutcome {
+                        snapshot,
+                        path,
+                        rejected,
+                    }));
+                }
+                Err(err) => {
+                    eprintln!("checkpoint: skipping invalid snapshot: {err}");
+                    rejected.push((path, err));
+                }
+            }
+        }
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::{GuardSnapshot, OptimizerSnapshot};
+    use hire_tensor::NdArray;
+
+    /// Self-cleaning temp dir for checkpoint tests.
+    pub struct TempDir(pub PathBuf);
+
+    impl TempDir {
+        pub fn new(tag: &str) -> Self {
+            let dir = std::env::temp_dir().join(format!(
+                "hire_ckpt_{tag}_{}_{:?}",
+                std::process::id(),
+                std::thread::current().id()
+            ));
+            let _ = fs::remove_dir_all(&dir);
+            TempDir(dir)
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn snap(step: u64) -> TrainSnapshot {
+        TrainSnapshot {
+            completed_steps: step,
+            config_fingerprint: 99,
+            params: vec![NdArray::from_vec(vec![2], vec![step as f32, 1.0])],
+            rollback_step: step,
+            rollback_params: vec![NdArray::from_vec(vec![2], vec![step as f32, 1.0])],
+            optimizer: OptimizerSnapshot {
+                lamb_m: vec![None],
+                lamb_v: vec![None],
+                lamb_t: 0,
+                slow_weights: vec![NdArray::from_vec(vec![2], vec![0.0, 0.0])],
+                lookahead_steps: 0,
+            },
+            guard: GuardSnapshot {
+                ema: None,
+                healthy_steps: 0,
+                suspicious_streak: 0,
+                lr_scale: 1.0,
+                recoveries: 0,
+            },
+            rng_words: vec![step, step],
+        }
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let tmp = TempDir::new("round_trip");
+        let store = CheckpointStore::open(&tmp.0, 3).unwrap();
+        assert!(store.load_latest().unwrap().is_none(), "empty store");
+        store.save(&snap(10)).unwrap();
+        store.save(&snap(20)).unwrap();
+        let loaded = store.load_latest().unwrap().expect("snapshot present");
+        assert_eq!(loaded.snapshot.completed_steps, 20);
+        assert!(loaded.rejected.is_empty());
+        assert!(loaded.path.to_string_lossy().contains("ckpt-000000000020"));
+    }
+
+    #[test]
+    fn retention_keeps_only_the_newest_n() {
+        let tmp = TempDir::new("retention");
+        let store = CheckpointStore::open(&tmp.0, 2).unwrap();
+        for step in [1, 2, 3, 4, 5] {
+            store.save(&snap(step)).unwrap();
+        }
+        let files = store.list().unwrap();
+        assert_eq!(files.len(), 2);
+        assert_eq!(CheckpointStore::steps_of(&files[0]), Some(4));
+        assert_eq!(CheckpointStore::steps_of(&files[1]), Some(5));
+    }
+
+    #[test]
+    fn corrupt_newest_falls_back_to_previous_valid() {
+        let tmp = TempDir::new("fallback");
+        let store = CheckpointStore::open(&tmp.0, 5).unwrap();
+        store.save(&snap(10)).unwrap();
+        let newest = store.save(&snap(20)).unwrap();
+        // Flip a payload byte in the newest snapshot.
+        let mut bytes = fs::read(&newest).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        fs::write(&newest, &bytes).unwrap();
+
+        let loaded = store.load_latest().unwrap().expect("older snapshot valid");
+        assert_eq!(loaded.snapshot.completed_steps, 10, "fell back to step 10");
+        assert_eq!(loaded.rejected.len(), 1);
+        assert!(loaded.rejected[0].0.ends_with("ckpt-000000000020.hckpt"));
+    }
+
+    #[test]
+    fn truncated_snapshot_is_skipped() {
+        let tmp = TempDir::new("truncated");
+        let store = CheckpointStore::open(&tmp.0, 5).unwrap();
+        store.save(&snap(5)).unwrap();
+        let newest = store.save(&snap(9)).unwrap();
+        let bytes = fs::read(&newest).unwrap();
+        fs::write(&newest, &bytes[..bytes.len() / 3]).unwrap();
+        let loaded = store.load_latest().unwrap().unwrap();
+        assert_eq!(loaded.snapshot.completed_steps, 5);
+    }
+
+    #[test]
+    fn all_snapshots_corrupt_means_none() {
+        let tmp = TempDir::new("all_corrupt");
+        let store = CheckpointStore::open(&tmp.0, 5).unwrap();
+        let p = store.save(&snap(3)).unwrap();
+        fs::write(&p, b"not a checkpoint at all").unwrap();
+        assert!(store.load_latest().unwrap().is_none());
+    }
+
+    #[test]
+    fn tmp_leftovers_are_cleaned_and_ignored() {
+        let tmp = TempDir::new("tmp_leftover");
+        let store = CheckpointStore::open(&tmp.0, 5).unwrap();
+        // Simulate a crash mid-write: a dangling .tmp from a dead process.
+        fs::write(tmp.0.join("ckpt-000000000099.hckpt.tmp"), b"half-written").unwrap();
+        store.save(&snap(1)).unwrap();
+        let loaded = store.load_latest().unwrap().unwrap();
+        assert_eq!(loaded.snapshot.completed_steps, 1);
+        let leftover: Vec<_> = fs::read_dir(&tmp.0)
+            .unwrap()
+            .flatten()
+            .filter(|e| e.path().extension().is_some_and(|x| x == "tmp"))
+            .collect();
+        assert!(leftover.is_empty(), "tmp files must be pruned");
+    }
+
+    #[test]
+    fn open_clamps_keep_last_to_one() {
+        let tmp = TempDir::new("clamp");
+        let store = CheckpointStore::open(&tmp.0, 0).unwrap();
+        store.save(&snap(1)).unwrap();
+        store.save(&snap(2)).unwrap();
+        assert_eq!(store.list().unwrap().len(), 1);
+    }
+}

@@ -1,0 +1,125 @@
+//! Property tests for the snapshot container: round-trip fidelity, and
+//! detection of truncation and bit-flip corruption. The decoder must never
+//! panic and must never silently return a snapshot different from the one
+//! that was written.
+
+use hire_ckpt::{fingerprint, GuardSnapshot, OptimizerSnapshot, TrainSnapshot};
+use hire_tensor::NdArray;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Builds a snapshot from flat random draws. Parameter tensors get assorted
+/// ranks so the shape codec is exercised, and the optimizer slots mix
+/// `Some`/`None` moments.
+fn build_snapshot(
+    step: u64,
+    values: Vec<f32>,
+    rng_words: Vec<u64>,
+    ema: f32,
+    with_ema: bool,
+) -> TrainSnapshot {
+    let mut params = Vec::new();
+    let mut rest = values.as_slice();
+    let mut toggle = false;
+    while !rest.is_empty() {
+        let take = rest.len().min(if toggle { 4 } else { 3 });
+        let (head, tail) = rest.split_at(take);
+        params.push(if toggle && take == 4 {
+            NdArray::from_vec(vec![2, 2], head.to_vec())
+        } else {
+            NdArray::from_vec(vec![take], head.to_vec())
+        });
+        rest = tail;
+        toggle = !toggle;
+    }
+    let lamb_m: Vec<Option<NdArray>> = params
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (i % 2 == 0).then(|| p.clone()))
+        .collect();
+    let lamb_v: Vec<Option<NdArray>> = params
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (i % 3 != 0).then(|| p.clone()))
+        .collect();
+    TrainSnapshot {
+        completed_steps: step,
+        config_fingerprint: fingerprint([step, values.len() as u64]),
+        params: params.clone(),
+        rollback_step: step / 2,
+        rollback_params: params.clone(),
+        optimizer: OptimizerSnapshot {
+            lamb_m,
+            lamb_v,
+            lamb_t: (step % 1000) as u32,
+            slow_weights: params,
+            lookahead_steps: (step % 7) as u32,
+        },
+        guard: GuardSnapshot {
+            ema: with_ema.then_some(ema),
+            healthy_steps: step.wrapping_mul(3),
+            suspicious_streak: step % 5,
+            lr_scale: 1.0 / (1.0 + step as f32 / 100.0),
+            recoveries: (step % 4) as u32,
+        },
+        rng_words,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn encode_decode_round_trips(
+        step in 0u64..1_000_000,
+        values in vec(-1.0e6f32..1.0e6, 1..24),
+        rng_words in vec(0u64..u64::MAX, 4..8),
+        ema in 0.0f32..100.0,
+        with_ema in 0u32..2,
+    ) {
+        let snap = build_snapshot(step, values, rng_words, ema, with_ema == 1);
+        let decoded = TrainSnapshot::decode(&snap.encode(), "prop").expect("valid bytes decode");
+        prop_assert_eq!(decoded, snap);
+    }
+
+    #[test]
+    fn any_truncation_is_detected(
+        step in 0u64..100_000,
+        values in vec(-10.0f32..10.0, 1..12),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let snap = build_snapshot(step, values, vec![1, 2, 3, 4], 0.5, true);
+        let bytes = snap.encode();
+        // Any strict prefix must be rejected, not decoded or panicked on.
+        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        let cut = cut.min(bytes.len() - 1);
+        prop_assert!(TrainSnapshot::decode(&bytes[..cut], "prop").is_err());
+    }
+
+    #[test]
+    fn any_single_bit_flip_is_detected(
+        step in 0u64..100_000,
+        values in vec(-10.0f32..10.0, 1..12),
+        pos_frac in 0.0f64..1.0,
+        bit in 0u32..8,
+    ) {
+        let snap = build_snapshot(step, values, vec![9, 8, 7, 6], 2.5, false);
+        let mut bytes = snap.encode();
+        let pos = (((bytes.len() as f64) * pos_frac) as usize).min(bytes.len() - 1);
+        bytes[pos] ^= 1 << bit;
+        // A flipped bit anywhere — magic, version, length, payload, or CRC —
+        // must surface as a decode error, never as silently wrong state.
+        prop_assert!(TrainSnapshot::decode(&bytes, "prop").is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_is_detected(
+        step in 0u64..100_000,
+        extra in vec(0u32..256, 1..16),
+    ) {
+        let snap = build_snapshot(step, vec![1.0, 2.0, 3.0], vec![5, 6, 7, 8], 1.0, true);
+        let mut bytes = snap.encode();
+        bytes.extend(extra.iter().map(|&b| b as u8));
+        prop_assert!(TrainSnapshot::decode(&bytes, "prop").is_err());
+    }
+}

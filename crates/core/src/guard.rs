@@ -102,6 +102,13 @@ pub enum TrainOutcome {
         /// Step at which the run gave up.
         step: usize,
     },
+    /// The run stopped early because [`crate::TrainConfig::halt_after_steps`]
+    /// was reached. Training state was checkpointed and can be resumed with
+    /// [`crate::resume_from`].
+    Interrupted {
+        /// Last step executed before the halt.
+        step: usize,
+    },
 }
 
 /// Everything a training run produced: per-step statistics, the recoveries
@@ -144,6 +151,12 @@ impl ParameterCheckpoint {
         }
     }
 
+    /// Rebuilds a checkpoint from raw values (e.g. loaded from a durable
+    /// snapshot on resume).
+    pub fn from_values(step: usize, values: Vec<NdArray>) -> Self {
+        ParameterCheckpoint { step, values }
+    }
+
     /// Writes the snapshot back into the parameters.
     pub fn restore(&self, params: &[Tensor]) {
         for (p, v) in params.iter().zip(&self.values) {
@@ -154,6 +167,11 @@ impl ParameterCheckpoint {
     /// Step at which the snapshot was taken.
     pub fn step(&self) -> usize {
         self.step
+    }
+
+    /// The checkpointed parameter values.
+    pub fn values(&self) -> &[NdArray] {
+        &self.values
     }
 }
 
@@ -220,6 +238,25 @@ impl NumericalGuard {
         self.healthy_steps = 0;
         self.suspicious_streak = 0;
     }
+
+    /// Copies out `(ema, healthy_steps, suspicious_streak)` for durable
+    /// checkpointing.
+    pub fn export_state(&self) -> (Option<f32>, usize, usize) {
+        (self.ema, self.healthy_steps, self.suspicious_streak)
+    }
+
+    /// Restores state captured by [`NumericalGuard::export_state`] so a
+    /// resumed run sees the same baseline as the uninterrupted one.
+    pub fn import_state(
+        &mut self,
+        ema: Option<f32>,
+        healthy_steps: usize,
+        suspicious_streak: usize,
+    ) {
+        self.ema = ema;
+        self.healthy_steps = healthy_steps;
+        self.suspicious_streak = suspicious_streak;
+    }
 }
 
 #[cfg(test)]
@@ -284,6 +321,30 @@ mod tests {
         assert_eq!(g.ema, before, "spike folded into EMA");
         g.observe(1.0, 0); // healthy again resets the streak
         assert_eq!(g.suspicious_streak, 0);
+    }
+
+    #[test]
+    fn guard_state_export_import_round_trips() {
+        let mut g = NumericalGuard::new(GuardConfig::default());
+        for _ in 0..7 {
+            g.observe(2.0, 0);
+        }
+        let (ema, healthy, streak) = g.export_state();
+        assert_eq!(healthy, 7);
+        let mut fresh = NumericalGuard::new(GuardConfig::default());
+        fresh.import_state(ema, healthy, streak);
+        assert_eq!(fresh.export_state(), (ema, healthy, streak));
+    }
+
+    #[test]
+    fn checkpoint_from_values_round_trips() {
+        let p = Tensor::parameter(NdArray::from_vec([2], vec![5.0, 6.0]));
+        let original = ParameterCheckpoint::capture(3, &[p.clone()]);
+        let rebuilt = ParameterCheckpoint::from_values(3, original.values().to_vec());
+        p.set_value(NdArray::from_vec([2], vec![0.0, 0.0]));
+        rebuilt.restore(&[p.clone()]);
+        assert_eq!(p.value().as_slice(), &[5.0, 6.0]);
+        assert_eq!(rebuilt.step(), 3);
     }
 
     #[test]

@@ -10,6 +10,8 @@
 //! - [`HimBlock`] — § IV-C: the three stacked MHSA layers (MBU, MBI, MBA)
 //! - [`HireModel`] — encoder → K HIMs → `α · sigmoid(g(H))` decoder
 //! - [`train`] — Algorithm 1 with LAMB + Lookahead + flat-then-anneal LR
+//! - [`resume_from`] — bit-exact crash resume from durable snapshots
+//!   (see `hire-ckpt`)
 //!
 //! The model is permutation equivariant over context users and items
 //! (Property 5.1) — enforced by tests in `him.rs`/`model.rs` and the
@@ -30,4 +32,4 @@ pub use guard::{
 };
 pub use him::{HimAttention, HimBlock};
 pub use model::HireModel;
-pub use trainer::{train, train_guarded, StepStats, TrainConfig};
+pub use trainer::{resume_from, train, train_guarded, StepStats, TrainConfig};

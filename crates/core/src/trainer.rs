@@ -1,18 +1,24 @@
 //! Training loop implementing Algorithm 1 with the paper's optimizer stack
 //! (LAMB + Lookahead, flat-then-anneal LR, gradient clipping at 1.0),
-//! supervised by a numerical-health guard (see [`crate::guard`]).
+//! supervised by a numerical-health guard (see [`crate::guard`]) and — when
+//! a checkpoint directory is configured — durably snapshotted for bit-exact
+//! crash resume (see `hire-ckpt` and `DESIGN.md` §8).
 
 use crate::guard::{
     GuardConfig, NumericalGuard, ParameterCheckpoint, RecoveryEvent, TrainOutcome, TrainReport,
 };
 use crate::model::HireModel;
+use hire_ckpt::{fingerprint, CheckpointStore, GuardSnapshot, OptimizerSnapshot, TrainSnapshot};
 use hire_data::{training_context, Dataset};
 use hire_error::{HireError, HireResult};
 use hire_graph::{BipartiteGraph, ContextSampler, Rating};
 use hire_nn::Module;
 use hire_optim::{clip_grad_norm, FlatThenAnneal, Lamb, Lookahead, LrSchedule, Optimizer};
+use hire_tensor::Tensor;
 use rand::seq::SliceRandom;
-use rand::Rng;
+use rand::{Rng, StateRng};
+use std::path::PathBuf;
+use std::time::Instant;
 
 /// Training-run settings (model hyper-parameters live in
 /// [`crate::HireConfig`]).
@@ -27,6 +33,21 @@ pub struct TrainConfig {
     pub base_lr: f32,
     /// Global-norm gradient clip threshold (paper: 1.0).
     pub grad_clip: f32,
+    /// Directory for durable training snapshots. `None` (the default)
+    /// disables durable checkpointing; the in-memory rollback checkpoints
+    /// of the divergence guard are unaffected.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Minimum seconds between durable snapshots. `0.0` snapshots after
+    /// every step (useful in tests). Ignored without `checkpoint_dir`.
+    pub checkpoint_every_secs: f64,
+    /// How many snapshot files to retain in `checkpoint_dir`.
+    pub checkpoint_keep_last: usize,
+    /// When set with `checkpoint_dir`, training resumes from the newest
+    /// valid snapshot in the directory (fresh start if there is none).
+    pub resume: bool,
+    /// Stop with [`TrainOutcome::Interrupted`] after this many steps *of
+    /// this run* (deterministic interruption for crash/resume tests).
+    pub halt_after_steps: Option<usize>,
 }
 
 impl TrainConfig {
@@ -37,6 +58,11 @@ impl TrainConfig {
             batch_size: 8,
             base_lr: 1e-3,
             grad_clip: 1.0,
+            checkpoint_dir: None,
+            checkpoint_every_secs: 30.0,
+            checkpoint_keep_last: 3,
+            resume: false,
+            halt_after_steps: None,
         }
     }
 
@@ -47,8 +73,36 @@ impl TrainConfig {
             batch_size: 4,
             base_lr: 3e-3,
             grad_clip: 1.0,
+            ..Self::paper_default()
         }
     }
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// Fingerprint of the hyper-parameters a snapshot was produced under.
+/// Resuming under different hyper-parameters is refused — the trajectory
+/// would silently diverge from the uninterrupted run. Checkpoint cadence
+/// and the halt setting are deliberately excluded: they legitimately differ
+/// between an interrupted run and its resume.
+fn config_fingerprint(config: &TrainConfig, guard: &GuardConfig) -> u64 {
+    fingerprint([
+        config.steps as u64,
+        config.batch_size as u64,
+        config.base_lr.to_bits() as u64,
+        config.grad_clip.to_bits() as u64,
+        guard.ema_beta.to_bits() as u64,
+        guard.divergence_factor.to_bits() as u64,
+        guard.patience as u64,
+        guard.checkpoint_every as u64,
+        guard.max_recoveries as u64,
+        guard.lr_backoff.to_bits() as u64,
+        guard.warmup_steps as u64,
+    ])
 }
 
 /// Record of one training step.
@@ -73,7 +127,7 @@ pub fn train(
     graph: &BipartiteGraph,
     sampler: &dyn ContextSampler,
     config: &TrainConfig,
-    rng: &mut impl Rng,
+    rng: &mut (impl Rng + StateRng),
 ) -> HireResult<TrainReport> {
     train_guarded(
         model,
@@ -81,6 +135,43 @@ pub fn train(
         graph,
         sampler,
         config,
+        &GuardConfig::default(),
+        rng,
+    )
+}
+
+/// Resumes (or starts) a training run whose durable snapshots live in
+/// `dir`, using the default [`GuardConfig`].
+///
+/// The newest snapshot that passes integrity validation is loaded —
+/// truncated or bit-flipped files are skipped with a logged warning — and
+/// training continues from its exact state: parameters, optimizer moments,
+/// Lookahead slow weights, guard baseline, learning-rate scale, and RNG
+/// stream. The caller builds `model` and seeds `rng` exactly as for a fresh
+/// run; the snapshot then overwrites both, so the resumed trajectory is
+/// bit-identical to the uninterrupted one. If the directory holds no valid
+/// snapshot, training starts fresh (writing snapshots into `dir`).
+///
+/// Fails if the snapshot was produced under different hyper-parameters
+/// (config fingerprint mismatch) or does not line up with the model.
+pub fn resume_from(
+    dir: impl Into<PathBuf>,
+    model: &HireModel,
+    dataset: &Dataset,
+    graph: &BipartiteGraph,
+    sampler: &dyn ContextSampler,
+    config: &TrainConfig,
+    rng: &mut (impl Rng + StateRng),
+) -> HireResult<TrainReport> {
+    let mut config = config.clone();
+    config.checkpoint_dir = Some(dir.into());
+    config.resume = true;
+    train_guarded(
+        model,
+        dataset,
+        graph,
+        sampler,
+        &config,
         &GuardConfig::default(),
         rng,
     )
@@ -103,7 +194,7 @@ pub fn train_guarded(
     sampler: &dyn ContextSampler,
     config: &TrainConfig,
     guard_config: &GuardConfig,
-    rng: &mut impl Rng,
+    rng: &mut (impl Rng + StateRng),
 ) -> HireResult<TrainReport> {
     let edges: Vec<Rating> = graph.edges().collect();
     if edges.is_empty() {
@@ -113,6 +204,12 @@ pub fn train_guarded(
         ));
     }
     let params = model.parameters();
+    let fp = config_fingerprint(config, guard_config);
+    let store = match &config.checkpoint_dir {
+        Some(dir) => Some(CheckpointStore::open(dir, config.checkpoint_keep_last)?),
+        None => None,
+    };
+
     let mut optimizer = Lookahead::paper_default(Lamb::paper_default(params.clone()));
     let schedule = FlatThenAnneal {
         base_lr: config.base_lr,
@@ -126,11 +223,89 @@ pub fn train_guarded(
     let mut guard = NumericalGuard::new(guard_config.clone());
     let mut checkpoint = ParameterCheckpoint::capture(0, &params);
     let mut lr_scale = 1.0f32;
-    let mut steps = Vec::with_capacity(config.steps);
+    let mut prior_recoveries = 0usize;
+    let mut start_step = 0usize;
+
+    if config.resume {
+        let store = store.as_ref().ok_or_else(|| {
+            HireError::invalid_argument("resume", "resume requires checkpoint_dir to be set")
+        })?;
+        if let Some(found) = store.load_latest()? {
+            let snap = found.snapshot;
+            let label = found.path.display().to_string();
+            if snap.config_fingerprint != fp {
+                return Err(HireError::corrupt_checkpoint(
+                    label,
+                    "snapshot was produced under different hyper-parameters; refusing to resume",
+                ));
+            }
+            if snap.params.len() != params.len() {
+                return Err(HireError::corrupt_checkpoint(
+                    label,
+                    format!(
+                        "snapshot has {} parameter tensors but the model has {}",
+                        snap.params.len(),
+                        params.len()
+                    ),
+                ));
+            }
+            for (p, v) in params.iter().zip(&snap.params) {
+                if p.value().dims() != v.dims() {
+                    return Err(HireError::corrupt_checkpoint(
+                        label,
+                        "snapshot parameter shapes do not match the model",
+                    ));
+                }
+                p.set_value(v.clone());
+            }
+            checkpoint =
+                ParameterCheckpoint::from_values(snap.rollback_step as usize, snap.rollback_params);
+            optimizer.inner_mut().import_moments(
+                snap.optimizer.lamb_m,
+                snap.optimizer.lamb_v,
+                snap.optimizer.lamb_t,
+            )?;
+            optimizer.import_slow(snap.optimizer.slow_weights, snap.optimizer.lookahead_steps)?;
+            guard.import_state(
+                snap.guard.ema,
+                snap.guard.healthy_steps as usize,
+                snap.guard.suspicious_streak as usize,
+            );
+            lr_scale = snap.guard.lr_scale;
+            prior_recoveries = snap.guard.recoveries as usize;
+            if !rng.import_state(&snap.rng_words) {
+                return Err(HireError::corrupt_checkpoint(
+                    label,
+                    "snapshot RNG state does not match this generator",
+                ));
+            }
+            start_step = snap.completed_steps as usize;
+        }
+        // No valid snapshot: first run under --resume starts fresh.
+    }
+
+    let mut steps = Vec::with_capacity(config.steps.saturating_sub(start_step));
     let mut recoveries: Vec<RecoveryEvent> = Vec::new();
     let mut outcome = TrainOutcome::Completed;
+    let mut last_save = Instant::now();
 
-    for step in 0..config.steps {
+    // A durable baseline before the first step, so a crash inside step 1
+    // still leaves something to resume from.
+    if let (Some(store), 0) = (&store, start_step) {
+        store.save(&snapshot_now(
+            0,
+            fp,
+            &params,
+            &checkpoint,
+            &optimizer,
+            &guard,
+            lr_scale,
+            prior_recoveries,
+            rng,
+        ))?;
+    }
+
+    for step in start_step..config.steps {
         optimizer.zero_grad();
         // Algorithm 1 line 4: draw a mini-batch of prediction contexts.
         let mut batch_loss: Option<hire_tensor::Tensor> = None;
@@ -146,42 +321,79 @@ pub fn train_guarded(
                 Some(acc) => acc.add(&loss),
             });
         }
-        let Some(total) = batch_loss else { continue };
-        let loss = total.mul_scalar(1.0 / config.batch_size as f32);
-        let loss_value = loss.item();
-        loss.backward();
-        let clip = clip_grad_norm(&params, config.grad_clip);
-        let lr = schedule.lr(step) * lr_scale;
-        steps.push(StepStats {
-            step,
-            loss: loss_value,
-            grad_norm: clip.pre_clip_norm,
-            lr,
-        });
-
-        if let Some(reason) = guard.observe(loss_value, clip.nonfinite_entries) {
-            // Roll back, shrink the LR, and rebuild the optimizer: its
-            // moment estimates were computed from the diverged trajectory.
-            checkpoint.restore(&params);
-            lr_scale *= guard_config.lr_backoff;
-            optimizer = Lookahead::paper_default(Lamb::paper_default(params.clone()));
-            guard.reset();
-            recoveries.push(RecoveryEvent {
+        if let Some(total) = batch_loss {
+            let loss = total.mul_scalar(1.0 / config.batch_size as f32);
+            let loss_value = loss.item();
+            loss.backward();
+            let clip = clip_grad_norm(&params, config.grad_clip);
+            let lr = schedule.lr(step) * lr_scale;
+            steps.push(StepStats {
                 step,
-                reason,
-                restored_step: checkpoint.step(),
-                lr_scale,
+                loss: loss_value,
+                grad_norm: clip.pre_clip_norm,
+                lr,
             });
-            if recoveries.len() > guard_config.max_recoveries {
-                outcome = TrainOutcome::Aborted { step };
-                break;
+
+            if let Some(reason) = guard.observe(loss_value, clip.nonfinite_entries) {
+                // Roll back, shrink the LR, and rebuild the optimizer: its
+                // moment estimates were computed from the diverged trajectory.
+                checkpoint.restore(&params);
+                lr_scale *= guard_config.lr_backoff;
+                optimizer = Lookahead::paper_default(Lamb::paper_default(params.clone()));
+                guard.reset();
+                recoveries.push(RecoveryEvent {
+                    step,
+                    reason,
+                    restored_step: checkpoint.step(),
+                    lr_scale,
+                });
+                // The budget spans the whole run, including recoveries
+                // performed before an interruption.
+                if prior_recoveries + recoveries.len() > guard_config.max_recoveries {
+                    outcome = TrainOutcome::Aborted { step };
+                }
+            } else {
+                optimizer.step(lr);
+                if (step + 1) % guard_config.checkpoint_every == 0 {
+                    checkpoint = ParameterCheckpoint::capture(step + 1, &params);
+                }
             }
-            continue;
         }
 
-        optimizer.step(lr);
-        if (step + 1) % guard_config.checkpoint_every == 0 {
-            checkpoint = ParameterCheckpoint::capture(step + 1, &params);
+        let completed = step + 1;
+        if matches!(outcome, TrainOutcome::Completed) {
+            if let Some(halt) = config.halt_after_steps {
+                if completed - start_step >= halt && completed < config.steps {
+                    outcome = TrainOutcome::Interrupted { step };
+                }
+            }
+        }
+        let stopping = !matches!(outcome, TrainOutcome::Completed);
+        if let Some(store) = &store {
+            // Snapshots land at iteration boundaries — the RNG state is the
+            // one the *next* step will see, which is what makes the resumed
+            // trajectory bit-identical.
+            let due = stopping
+                || completed == config.steps
+                || config.checkpoint_every_secs <= 0.0
+                || last_save.elapsed().as_secs_f64() >= config.checkpoint_every_secs;
+            if due {
+                store.save(&snapshot_now(
+                    completed,
+                    fp,
+                    &params,
+                    &checkpoint,
+                    &optimizer,
+                    &guard,
+                    lr_scale,
+                    prior_recoveries + recoveries.len(),
+                    rng,
+                ))?;
+                last_save = Instant::now();
+            }
+        }
+        if stopping {
+            break;
         }
     }
     Ok(TrainReport {
@@ -189,6 +401,46 @@ pub fn train_guarded(
         recoveries,
         outcome,
     })
+}
+
+/// Captures the complete live training state at a step boundary.
+#[allow(clippy::too_many_arguments)]
+fn snapshot_now(
+    completed: usize,
+    fp: u64,
+    params: &[Tensor],
+    checkpoint: &ParameterCheckpoint,
+    optimizer: &Lookahead<Lamb>,
+    guard: &NumericalGuard,
+    lr_scale: f32,
+    total_recoveries: usize,
+    rng: &impl StateRng,
+) -> TrainSnapshot {
+    let (lamb_m, lamb_v, lamb_t) = optimizer.inner().export_moments();
+    let (slow_weights, lookahead_steps) = optimizer.export_slow();
+    let (ema, healthy_steps, suspicious_streak) = guard.export_state();
+    TrainSnapshot {
+        completed_steps: completed as u64,
+        config_fingerprint: fp,
+        params: params.iter().map(|p| p.value()).collect(),
+        rollback_step: checkpoint.step() as u64,
+        rollback_params: checkpoint.values().to_vec(),
+        optimizer: OptimizerSnapshot {
+            lamb_m,
+            lamb_v,
+            lamb_t,
+            slow_weights,
+            lookahead_steps,
+        },
+        guard: GuardSnapshot {
+            ema,
+            healthy_steps: healthy_steps as u64,
+            suspicious_streak: suspicious_streak as u64,
+            lr_scale,
+            recoveries: total_recoveries as u32,
+        },
+        rng_words: rng.export_state(),
+    }
 }
 
 #[cfg(test)]
@@ -226,6 +478,7 @@ mod tests {
             batch_size: 2,
             base_lr: 3e-3,
             grad_clip: 1.0,
+            ..TrainConfig::paper_default()
         };
         let report = train(
             &model,
@@ -281,6 +534,7 @@ mod tests {
             batch_size: 2,
             base_lr: 1e-3,
             grad_clip: 1.0,
+            ..TrainConfig::paper_default()
         };
         let run = |seed: u64| {
             let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
@@ -354,6 +608,7 @@ mod tests {
             batch_size: 2,
             base_lr: 50.0,
             grad_clip: 1.0,
+            ..TrainConfig::paper_default()
         };
         let report = train(
             &model,

@@ -45,6 +45,15 @@ pub enum HireError {
     },
     /// A value could not be serialized for a report.
     Serialization(String),
+    /// A durable checkpoint file failed validation (bad magic, unsupported
+    /// format version, truncation, or a CRC mismatch). The loader treats
+    /// this as "skip this file and fall back to an older snapshot".
+    CorruptCheckpoint {
+        /// The snapshot file that failed validation.
+        path: String,
+        /// What the validator found.
+        message: String,
+    },
 }
 
 impl HireError {
@@ -79,6 +88,14 @@ impl HireError {
             source,
         }
     }
+
+    /// Shorthand for an [`HireError::CorruptCheckpoint`].
+    pub fn corrupt_checkpoint(path: impl Into<String>, message: impl Into<String>) -> Self {
+        HireError::CorruptCheckpoint {
+            path: path.into(),
+            message: message.into(),
+        }
+    }
 }
 
 impl fmt::Display for HireError {
@@ -104,6 +121,9 @@ impl fmt::Display for HireError {
             }
             HireError::Io { path, source } => write!(f, "io error on `{path}`: {source}"),
             HireError::Serialization(message) => write!(f, "serialization error: {message}"),
+            HireError::CorruptCheckpoint { path, message } => {
+                write!(f, "corrupt checkpoint `{path}`: {message}")
+            }
         }
     }
 }
@@ -134,6 +154,13 @@ mod tests {
         assert!(e.to_string().contains("step 12"));
         let e = HireError::training(None, "empty training graph");
         assert!(!e.to_string().contains("step"));
+    }
+
+    #[test]
+    fn corrupt_checkpoint_names_the_file() {
+        let e = HireError::corrupt_checkpoint("/ckpt/ckpt-0000000040.hckpt", "CRC mismatch");
+        assert!(e.to_string().contains("ckpt-0000000040"));
+        assert!(e.to_string().contains("CRC mismatch"));
     }
 
     #[test]

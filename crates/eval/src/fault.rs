@@ -60,6 +60,25 @@ impl Serialize for EvalStatus {
     }
 }
 
+impl EvalStatus {
+    /// Parses a status back out of its serialized [`Value`] form (the
+    /// inverse of [`Serialize::to_value`]); `None` for malformed input.
+    /// Used by the benchmark harness to re-read partial result files on
+    /// `--resume`.
+    pub fn from_value(v: &Value) -> Option<Self> {
+        match v.get("status")?.as_str()? {
+            "ok" => Some(EvalStatus::Ok),
+            "failed" => Some(EvalStatus::Failed {
+                message: v.get("message")?.as_str()?.to_string(),
+            }),
+            "timeout" => Some(EvalStatus::TimedOut {
+                budget_seconds: v.get("budget_seconds")?.as_f64()?,
+            }),
+            _ => None,
+        }
+    }
+}
+
 /// A deferred model: a name plus a builder that constructs the model on the
 /// worker thread. Models hold non-`Send` tensors, so they cannot be built
 /// on the harness thread and moved; the builder closure (plain config data)

@@ -174,6 +174,7 @@ mod tests {
             batch_size: 2,
             base_lr: 2e-3,
             grad_clip: 1.0,
+            ..TrainConfig::paper_default()
         };
         let mut m = HireRatingModel::new(config, tc);
         m.fit(&dataset, &graph, &mut rng);
@@ -210,6 +211,7 @@ mod tests {
             batch_size: 1,
             base_lr: 2e-3,
             grad_clip: 1.0,
+            ..TrainConfig::paper_default()
         };
         let mut m = HireRatingModel::new(config, tc);
         m.fit(&dataset, &graph, &mut rng);

@@ -18,4 +18,7 @@ pub use hire_baselines::RatingModel;
 pub use runner::{
     evaluate_model, format_table, format_timing, EvalConfig, MetricsAtK, ModelResult, PAPER_KS,
 };
-pub use zoo::{baseline_specs, baselines, hire, hire_spec, matrix_factorization, SpeedTier};
+pub use zoo::{
+    baseline_specs, baselines, hire, hire_spec, hire_spec_with_train_config, matrix_factorization,
+    SpeedTier,
+};

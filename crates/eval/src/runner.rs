@@ -50,6 +50,45 @@ pub struct MetricsAtK {
     pub map_std: f32,
 }
 
+impl MetricsAtK {
+    /// Parses metrics back out of their serialized [`serde::Value`] form;
+    /// `None` for malformed input.
+    pub fn from_value(v: &serde::Value) -> Option<Self> {
+        Some(MetricsAtK {
+            k: v.get("k")?.as_i64()? as usize,
+            precision: v.get("precision")?.as_f64()? as f32,
+            precision_std: v.get("precision_std")?.as_f64()? as f32,
+            ndcg: v.get("ndcg")?.as_f64()? as f32,
+            ndcg_std: v.get("ndcg_std")?.as_f64()? as f32,
+            map: v.get("map")?.as_f64()? as f32,
+            map_std: v.get("map_std")?.as_f64()? as f32,
+        })
+    }
+}
+
+impl ModelResult {
+    /// Parses a result back out of its serialized [`serde::Value`] form
+    /// (the inverse of the `Serialize` derive); `None` for malformed input.
+    /// Used by the benchmark harness to re-read partial result files on
+    /// `--resume`.
+    pub fn from_value(v: &serde::Value) -> Option<Self> {
+        let at_k = v
+            .get("at_k")?
+            .as_array()?
+            .iter()
+            .map(MetricsAtK::from_value)
+            .collect::<Option<Vec<_>>>()?;
+        Some(ModelResult {
+            model: v.get("model")?.as_str()?.to_string(),
+            at_k,
+            fit_seconds: v.get("fit_seconds")?.as_f64()?,
+            test_seconds: v.get("test_seconds")?.as_f64()?,
+            entities: v.get("entities")?.as_i64()? as usize,
+            status: crate::fault::EvalStatus::from_value(v.get("status")?)?,
+        })
+    }
+}
+
 /// Evaluation settings.
 #[derive(Debug, Clone)]
 pub struct EvalConfig {

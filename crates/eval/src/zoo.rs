@@ -94,12 +94,14 @@ impl SpeedTier {
                 batch_size: 2,
                 base_lr: 3e-3,
                 grad_clip: 1.0,
+                ..TrainConfig::paper_default()
             },
             SpeedTier::Fast => TrainConfig {
                 steps: 150,
                 batch_size: 4,
                 base_lr: 3e-3,
                 grad_clip: 1.0,
+                ..TrainConfig::paper_default()
             },
             SpeedTier::Full => TrainConfig::paper_default(),
         }
@@ -197,6 +199,21 @@ pub fn baseline_specs(dataset: &Dataset, tier: SpeedTier) -> Vec<crate::fault::M
 /// [`hire`] as a deferred spec for the fault-isolated harness.
 pub fn hire_spec(tier: SpeedTier) -> crate::fault::ModelSpec {
     crate::fault::ModelSpec::new("HIRE", move || hire(tier))
+}
+
+/// [`hire_spec`] with an explicit [`TrainConfig`] — used by the benchmark
+/// harness to enable durable training checkpoints (`checkpoint_dir` /
+/// `resume`) for the HIRE fit while keeping the tier's model shape.
+pub fn hire_spec_with_train_config(
+    tier: SpeedTier,
+    train_config: TrainConfig,
+) -> crate::fault::ModelSpec {
+    crate::fault::ModelSpec::new("HIRE", move || {
+        Box::new(crate::hire_adapter::HireRatingModel::new(
+            tier.hire_config(),
+            train_config,
+        )) as _
+    })
 }
 
 #[cfg(test)]

@@ -29,8 +29,13 @@ impl GradClipStats {
 /// parameter through a NaN global norm and the LAMB trust ratio. The returned
 /// stats report the pre-clip norm (the paper clips at 1.0) and how many
 /// entries were sanitized.
+///
+/// A degenerate threshold (`max_norm` ≤ 0 or non-finite, e.g. from a
+/// mis-parsed config) disables rescaling rather than panicking mid-training:
+/// gradients are still sanitized, the norm is still reported, and `clipped`
+/// stays `false`.
 pub fn clip_grad_norm(params: &[Tensor], max_norm: f32) -> GradClipStats {
-    assert!(max_norm > 0.0, "max_norm must be positive");
+    let threshold_valid = max_norm.is_finite() && max_norm > 0.0;
     let mut nonfinite = 0usize;
     for p in params {
         let mut bad_here = false;
@@ -62,7 +67,7 @@ pub fn clip_grad_norm(params: &[Tensor], max_norm: f32) -> GradClipStats {
         });
     }
     let total = sq_sum.sqrt() as f32;
-    let clipped = total > max_norm && total > 0.0;
+    let clipped = threshold_valid && total > max_norm && total > 0.0;
     if clipped {
         let scale = max_norm / total;
         for p in params {
@@ -103,13 +108,22 @@ mod tests {
         t
     }
 
+    /// Gradient of `t`, with a diagnostic instead of a bare unwrap if the
+    /// test fixture failed to produce one.
+    fn grad_of(t: &Tensor) -> NdArray {
+        match t.grad() {
+            Some(g) => g,
+            None => panic!("test parameter has no gradient; backward() did not run"),
+        }
+    }
+
     #[test]
     fn clips_large_gradients() {
         let p = param_with_grad(&[3.0, 4.0]); // grad = [3, 4], norm 5
         let stats = clip_grad_norm(&[p.clone()], 1.0);
         assert!((stats.pre_clip_norm - 5.0).abs() < 1e-5);
         assert!(stats.clipped && !stats.sanitized());
-        let g = p.grad().unwrap();
+        let g = grad_of(&p);
         assert!((g.norm_l2() - 1.0).abs() < 1e-5);
         // direction preserved
         assert!((g.as_slice()[0] / g.as_slice()[1] - 0.75).abs() < 1e-5);
@@ -121,7 +135,7 @@ mod tests {
         let stats = clip_grad_norm(&[p.clone()], 1.0);
         assert!((stats.pre_clip_norm - 0.5).abs() < 1e-5);
         assert!(!stats.clipped);
-        assert!((p.grad().unwrap().norm_l2() - 0.5).abs() < 1e-5);
+        assert!((grad_of(&p).norm_l2() - 0.5).abs() < 1e-5);
     }
 
     #[test]
@@ -130,8 +144,7 @@ mod tests {
         let b = param_with_grad(&[4.0]);
         let stats = clip_grad_norm(&[a.clone(), b.clone()], 2.5);
         assert!((stats.pre_clip_norm - 5.0).abs() < 1e-5);
-        let joint =
-            (a.grad().unwrap().norm_l2().powi(2) + b.grad().unwrap().norm_l2().powi(2)).sqrt();
+        let joint = (grad_of(&a).norm_l2().powi(2) + grad_of(&b).norm_l2().powi(2)).sqrt();
         assert!((joint - 2.5).abs() < 1e-4);
     }
 
@@ -143,7 +156,7 @@ mod tests {
         assert!(stats.sanitized());
         // The finite entries survive: norm = sqrt(3^2 + 4^2) = 5, no clip at 10.
         assert!((stats.pre_clip_norm - 5.0).abs() < 1e-5);
-        let g = p.grad().unwrap();
+        let g = grad_of(&p);
         assert_eq!(g.as_slice()[0], 0.0);
         assert!(g.as_slice().iter().all(|x| x.is_finite()));
     }
@@ -156,9 +169,9 @@ mod tests {
         assert_eq!(stats.nonfinite_entries, 2);
         assert!(stats.pre_clip_norm.is_finite());
         // The good gradient is clipped by the *finite* norm (5.0), not NaN-ed.
-        let g = good.grad().unwrap();
+        let g = grad_of(&good);
         assert!((g.norm_l2() - 1.0).abs() < 1e-5);
-        assert!(bad.grad().unwrap().as_slice().iter().all(|&x| x == 0.0));
+        assert!(grad_of(&bad).as_slice().iter().all(|&x| x == 0.0));
     }
 
     #[test]
@@ -168,5 +181,19 @@ mod tests {
         assert_eq!(stats.nonfinite_entries, 2);
         assert_eq!(stats.pre_clip_norm, 0.0);
         assert!(!stats.clipped);
+    }
+
+    #[test]
+    fn degenerate_max_norm_disables_clipping_without_panicking() {
+        for bad_norm in [0.0, -1.0, f32::NAN, f32::INFINITY] {
+            let p = param_with_raw_grad(&[f32::NAN, 3.0, 4.0]);
+            let stats = clip_grad_norm(&[p.clone()], bad_norm);
+            // Sanitization still runs, the norm is still reported, but no
+            // rescale happens against a meaningless threshold.
+            assert_eq!(stats.nonfinite_entries, 1);
+            assert!((stats.pre_clip_norm - 5.0).abs() < 1e-5);
+            assert!(!stats.clipped);
+            assert!((grad_of(&p).norm_l2() - 5.0).abs() < 1e-5);
+        }
     }
 }

@@ -2,7 +2,45 @@
 //! the exact training stack described in the paper's implementation details
 //! (LAMB with β=(0.9, 0.999), ε=1e-6, wrapped in Lookahead with α=0.5, k=6).
 
+use hire_error::{HireError, HireResult};
 use hire_tensor::{NdArray, Tensor};
+
+/// Validates that a checkpointed state vector lines up with the optimizer's
+/// parameter list: same slot count, and every present entry shape-matches
+/// its parameter. Used by the `import_*` restore paths so a stale or
+/// mismatched snapshot surfaces as an error instead of a silent mis-update.
+fn check_state_alignment(
+    what: &str,
+    params: &[Tensor],
+    state: &[Option<NdArray>],
+) -> HireResult<()> {
+    if state.len() != params.len() {
+        return Err(HireError::invalid_data(
+            what,
+            format!(
+                "state has {} slots but optimizer has {} parameters",
+                state.len(),
+                params.len()
+            ),
+        ));
+    }
+    for (i, (p, s)) in params.iter().zip(state).enumerate() {
+        if let Some(s) = s {
+            let expect = p.value();
+            if s.dims() != expect.dims() {
+                return Err(HireError::invalid_data(
+                    what,
+                    format!(
+                        "slot {i} shape {:?} does not match parameter shape {:?}",
+                        s.dims(),
+                        expect.dims()
+                    ),
+                ));
+            }
+        }
+    }
+    Ok(())
+}
 
 /// A gradient-descent style optimizer over a fixed parameter list.
 pub trait Optimizer {
@@ -207,6 +245,29 @@ impl Lamb {
             t: 0,
         }
     }
+
+    /// Copies out the moment state `(m, v, t)` for checkpointing. Slots that
+    /// have never seen a gradient are `None`.
+    pub fn export_moments(&self) -> (Vec<Option<NdArray>>, Vec<Option<NdArray>>, u32) {
+        (self.m.clone(), self.v.clone(), self.t)
+    }
+
+    /// Restores moment state captured by [`Lamb::export_moments`]. Fails if
+    /// the slot count or any moment shape does not match the current
+    /// parameter list (e.g. resuming a snapshot from a different model).
+    pub fn import_moments(
+        &mut self,
+        m: Vec<Option<NdArray>>,
+        v: Vec<Option<NdArray>>,
+        t: u32,
+    ) -> HireResult<()> {
+        check_state_alignment("lamb first moment", &self.params, &m)?;
+        check_state_alignment("lamb second moment", &self.params, &v)?;
+        self.m = m;
+        self.v = v;
+        self.t = t;
+        Ok(())
+    }
 }
 
 impl Optimizer for Lamb {
@@ -314,6 +375,28 @@ impl<O: Optimizer> Lookahead<O> {
     pub fn inner(&self) -> &O {
         &self.inner
     }
+
+    /// Mutable access to the wrapped optimizer (used to restore its state
+    /// when resuming from a checkpoint).
+    pub fn inner_mut(&mut self) -> &mut O {
+        &mut self.inner
+    }
+
+    /// Copies out the slow weights and inner-step counter for checkpointing.
+    pub fn export_slow(&self) -> (Vec<NdArray>, u32) {
+        (self.slow.clone(), self.step_count)
+    }
+
+    /// Restores slow-weight state captured by [`Lookahead::export_slow`].
+    /// Fails if the slot count or any slow-weight shape does not match the
+    /// current parameter list.
+    pub fn import_slow(&mut self, slow: Vec<NdArray>, step_count: u32) -> HireResult<()> {
+        let wrapped: Vec<Option<NdArray>> = slow.into_iter().map(Some).collect();
+        check_state_alignment("lookahead slow weights", self.inner.params(), &wrapped)?;
+        self.slow = wrapped.into_iter().map(|s| s.expect("all Some")).collect();
+        self.step_count = step_count;
+        Ok(())
+    }
 }
 
 impl<O: Optimizer> Optimizer for Lookahead<O> {
@@ -340,5 +423,68 @@ impl<O: Optimizer> Optimizer for Lookahead<O> {
 
     fn params(&self) -> &[Tensor] {
         self.inner.params()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_params() -> Vec<Tensor> {
+        vec![
+            Tensor::parameter(NdArray::from_vec([2], vec![1.0, 2.0])),
+            Tensor::parameter(NdArray::from_vec([3], vec![3.0, 4.0, 5.0])),
+        ]
+    }
+
+    fn step_once(opt: &mut impl Optimizer) {
+        for p in opt.params().to_vec() {
+            let loss = p.clone().sum();
+            loss.backward();
+        }
+        opt.step(0.1);
+        opt.zero_grad();
+    }
+
+    #[test]
+    fn lamb_moments_round_trip_through_export_import() {
+        let params = two_params();
+        let mut a = Lamb::paper_default(params.clone());
+        step_once(&mut a);
+        let (m, v, t) = a.export_moments();
+        assert_eq!(t, 1);
+        assert!(m.iter().all(|s| s.is_some()));
+
+        let mut b = Lamb::paper_default(params);
+        b.import_moments(m.clone(), v.clone(), t).unwrap();
+        let (m2, v2, t2) = b.export_moments();
+        assert_eq!((m2, v2, t2), (m, v, t));
+    }
+
+    #[test]
+    fn lamb_import_rejects_misaligned_state() {
+        let mut opt = Lamb::paper_default(two_params());
+        // Wrong slot count.
+        assert!(opt.import_moments(vec![None], vec![None], 1).is_err());
+        // Wrong shape in a populated slot.
+        let bad = vec![Some(NdArray::from_vec([4], vec![0.0; 4])), None];
+        assert!(opt.import_moments(bad, vec![None, None], 1).is_err());
+    }
+
+    #[test]
+    fn lookahead_slow_state_round_trips_and_validates() {
+        let params = two_params();
+        let mut opt = Lookahead::paper_default(Lamb::paper_default(params.clone()));
+        step_once(&mut opt);
+        let (slow, count) = opt.export_slow();
+        assert_eq!(count, 1);
+
+        let mut fresh = Lookahead::paper_default(Lamb::paper_default(params));
+        fresh.import_slow(slow.clone(), count).unwrap();
+        let (slow2, count2) = fresh.export_slow();
+        assert_eq!((slow2, count2), (slow.clone(), count));
+
+        // Misaligned slow weights are rejected.
+        assert!(fresh.import_slow(vec![slow[0].clone()], 1).is_err());
     }
 }

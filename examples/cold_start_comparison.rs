@@ -42,6 +42,7 @@ fn main() {
                     batch_size: 4,
                     base_lr: 3e-3,
                     grad_clip: 1.0,
+                    ..TrainConfig::paper_default()
                 },
             )),
         ];

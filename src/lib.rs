@@ -29,7 +29,9 @@
 //! let model = HireModel::new(&dataset, &config, &mut rng);
 //! let report = hire::core::train(
 //!     &model, &dataset, &split.train_graph(&dataset), &NeighborhoodSampler,
-//!     &TrainConfig { steps: 5, batch_size: 2, base_lr: 1e-3, grad_clip: 1.0 }, &mut rng)
+//!     &TrainConfig { steps: 5, batch_size: 2, base_lr: 1e-3, grad_clip: 1.0,
+//!                    ..TrainConfig::paper_default() },
+//!     &mut rng)
 //!     .expect("training");
 //! assert_eq!(report.steps.len(), 5);
 //! assert!(report.recoveries.is_empty());

@@ -26,6 +26,7 @@ fn small_hire() -> HireRatingModel {
         batch_size: 3,
         base_lr: 3e-3,
         grad_clip: 1.0,
+        ..TrainConfig::paper_default()
     };
     HireRatingModel::new(config, tc)
 }
@@ -174,6 +175,7 @@ fn training_contexts_respect_budget_on_tiny_graphs() {
             batch_size: 2,
             base_lr: 1e-3,
             grad_clip: 1.0,
+            ..TrainConfig::paper_default()
         },
         &mut rng,
     )

@@ -28,6 +28,72 @@ pub enum Value {
     Object(Vec<(String, Value)>),
 }
 
+impl Value {
+    /// Looks up `key` in an object; `None` for other variants or a missing
+    /// key. (First match wins — serialized objects never duplicate keys.)
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a `String`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload widened to `f64` (`Int` or `Float`).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The integer payload (`Int`, or a `Float` with an exact integer value).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Float(x) if x.fract() == 0.0 && x.abs() <= i64::MAX as f64 => Some(*x as i64),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an `Array`.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The key/value entries, if this is an `Object`.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// True for `Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
 /// Conversion into a [`Value`] tree; the single-backend analogue of
 /// `serde::Serialize`.
 pub trait Serialize {
@@ -157,6 +223,27 @@ mod tests {
         assert_eq!("hi".to_value(), Value::String("hi".into()));
         assert_eq!(1.5f32.to_value(), Value::Float(1.5));
         assert_eq!(None::<u32>.to_value(), Value::Null);
+    }
+
+    #[test]
+    fn value_accessors_navigate_trees() {
+        let v = Value::Object(vec![
+            ("name".into(), Value::String("x".into())),
+            ("n".into(), Value::Int(3)),
+            ("xs".into(), Value::Array(vec![Value::Bool(true)])),
+        ]);
+        assert_eq!(v.get("name").and_then(Value::as_str), Some("x"));
+        assert_eq!(v.get("n").and_then(Value::as_i64), Some(3));
+        assert_eq!(v.get("n").and_then(Value::as_f64), Some(3.0));
+        assert_eq!(
+            v.get("xs").and_then(Value::as_array).map(|a| a.len()),
+            Some(1)
+        );
+        assert!(v.get("missing").is_none());
+        assert!(v.as_str().is_none());
+        assert!(Value::Null.is_null());
+        assert_eq!(Value::Float(2.0).as_i64(), Some(2));
+        assert_eq!(Value::Float(2.5).as_i64(), None);
     }
 
     #[test]
