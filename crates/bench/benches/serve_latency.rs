@@ -1,0 +1,81 @@
+//! Criterion comparison of single-query prediction latency: the autograd
+//! (tape) forward vs the frozen no-grad forward vs the batched no-grad
+//! forward — the per-query compute that `hire-serve` removes or amortizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hire_core::{HireConfig, HireModel};
+use hire_data::{test_context_with_ratio, Dataset, PredictionContext};
+use hire_graph::{NeighborhoodSampler, Rating};
+use hire_serve::FrozenModel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn setup() -> (Dataset, HireModel, FrozenModel, Vec<PredictionContext>) {
+    let dataset = hire_data::SyntheticConfig::movielens_like()
+        .scaled(80, 70, (10, 25))
+        .generate(13);
+    let config = HireConfig::fast();
+    let mut rng = StdRng::seed_from_u64(5);
+    let model = HireModel::new(&dataset, &config, &mut rng);
+    let frozen = FrozenModel::from_model(&model, &dataset).expect("freeze");
+    let graph = dataset.graph();
+    let ctxs: Vec<PredictionContext> = (0..8)
+        .map(|k| {
+            let seed = dataset.ratings[k * 11 % dataset.ratings.len()];
+            test_context_with_ratio(
+                &graph,
+                &NeighborhoodSampler,
+                &[Rating::new(seed.user, seed.item, seed.value)],
+                config.context_users,
+                config.context_items,
+                config.input_ratio,
+                &mut rng,
+            )
+            .expect("context")
+        })
+        .filter(|c| c.n() == 16 && c.m() == 16)
+        .collect();
+    assert!(!ctxs.is_empty(), "need full-size contexts");
+    (dataset, model, frozen, ctxs)
+}
+
+fn bench_single_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve_single_query");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
+    let (dataset, model, frozen, ctxs) = setup();
+    let ctx = &ctxs[0];
+    group.bench_function("tape_predict", |b| {
+        b.iter(|| model.predict(ctx, &dataset));
+    });
+    group.bench_function("nograd_predict", |b| {
+        b.iter(|| frozen.forward_nograd(ctx, &dataset).expect("nograd"));
+    });
+    group.finish();
+}
+
+fn bench_batched(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve_batched_nograd");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
+    let (dataset, _, frozen, ctxs) = setup();
+    for &bsz in &[1usize, 4, 8] {
+        let batch: Vec<&PredictionContext> = (0..bsz).map(|k| &ctxs[k % ctxs.len()]).collect();
+        group.bench_with_input(BenchmarkId::new("batch", bsz), &bsz, |b, _| {
+            b.iter(|| {
+                frozen
+                    .forward_nograd_batch(&batch, &dataset)
+                    .expect("batch")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_query, bench_batched);
+criterion_main!(benches);

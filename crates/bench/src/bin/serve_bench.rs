@@ -1,0 +1,465 @@
+//! Serving benchmark: replays a synthetic rating-query log against the
+//! `hire-serve` worker pool and reports latency percentiles, throughput,
+//! and context-cache hit rate.
+//!
+//! Three phases:
+//! 1. **baseline** — single-threaded, tape-based `HireModel::predict`
+//!    (context sampled per query, no cache): the pre-serve cost of one
+//!    prediction.
+//! 2. **saturation** — closed-loop clients drive the micro-batched server
+//!    as fast as it will go; the headline number is the speedup over the
+//!    baseline.
+//! 3. **paced** — open-loop submission at `--qps` for `--duration-secs`,
+//!    measuring p50/p95/p99 submit-to-answer latency.
+//!
+//! The query mix is `--cold-frac` uniform-random (cold) pairs and the rest
+//! drawn zipfian (`--zipf`) from a `--hot-pairs`-sized hot set, so the
+//! context cache sees realistic skew.
+
+use hire_bench::write_json_atomic;
+use hire_core::{HireConfig, HireModel};
+use hire_data::{test_context_with_ratio, Dataset, SyntheticConfig};
+use hire_error::{HireError, HireResult};
+use hire_graph::{BipartiteGraph, NeighborhoodSampler, Rating};
+use hire_serve::{
+    EngineConfig, FrozenModel, Predictor, RatingQuery, ServeEngine, Server, ServerConfig,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const USAGE: &str = "serve_bench — HIRE online-serving benchmark
+
+USAGE:
+    serve_bench [OPTIONS]
+
+OPTIONS:
+    --qps <f64>              open-loop target rate for the paced phase [200]
+    --duration-secs <f64>    paced-phase duration [5]
+    --workers <usize>        worker threads [4]
+    --max-batch <usize>      micro-batch size cap [8]
+    --max-queue <usize>      queue bound before Overloaded [4096]
+    --batch-timeout-ms <f64> straggler wait per batch [2]
+    --cold-frac <f64>        fraction of uniform-random (cold) queries [0.1]
+    --zipf <f64>             zipf exponent over the hot set [1.1]
+    --hot-pairs <usize>      hot-set size [64]
+    --seed <u64>             rng seed [7]
+    --out <path>             write the JSON report here
+    -h, --help               print this help";
+
+#[derive(Debug, Clone)]
+struct Args {
+    qps: f64,
+    duration_secs: f64,
+    workers: usize,
+    max_batch: usize,
+    max_queue: usize,
+    batch_timeout_ms: f64,
+    cold_frac: f64,
+    zipf: f64,
+    hot_pairs: usize,
+    seed: u64,
+    out: Option<String>,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            qps: 200.0,
+            duration_secs: 5.0,
+            workers: 4,
+            max_batch: 8,
+            max_queue: 4096,
+            batch_timeout_ms: 2.0,
+            cold_frac: 0.1,
+            zipf: 1.1,
+            hot_pairs: 64,
+            seed: 7,
+            out: None,
+        }
+    }
+}
+
+fn parse_args(argv: &[String]) -> HireResult<Args> {
+    let mut args = Args::default();
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .ok_or_else(|| HireError::invalid_argument(flag.clone(), "missing a value"))
+        };
+        fn num<T: std::str::FromStr>(flag: &str, raw: &str) -> HireResult<T> {
+            raw.parse()
+                .map_err(|_| HireError::invalid_argument(flag, format!("bad value `{raw}`")))
+        }
+        match flag.as_str() {
+            "--qps" => args.qps = num(flag, value()?)?,
+            "--duration-secs" => args.duration_secs = num(flag, value()?)?,
+            "--workers" => args.workers = num(flag, value()?)?,
+            "--max-batch" => args.max_batch = num(flag, value()?)?,
+            "--max-queue" => args.max_queue = num(flag, value()?)?,
+            "--batch-timeout-ms" => args.batch_timeout_ms = num(flag, value()?)?,
+            "--cold-frac" => args.cold_frac = num(flag, value()?)?,
+            "--zipf" => args.zipf = num(flag, value()?)?,
+            "--hot-pairs" => args.hot_pairs = num(flag, value()?)?,
+            "--seed" => args.seed = num(flag, value()?)?,
+            "--out" => args.out = Some(value()?.clone()),
+            other => {
+                return Err(HireError::invalid_argument(
+                    other,
+                    "unknown flag (see --help)",
+                ))
+            }
+        }
+    }
+    Ok(args)
+}
+
+/// Skewed query-log generator: zipfian over a hot set plus a cold tail.
+struct QueryLog {
+    hot: Vec<RatingQuery>,
+    /// Cumulative zipf weights over hot-set ranks.
+    cdf: Vec<f64>,
+    cold_frac: f64,
+    num_users: usize,
+    num_items: usize,
+}
+
+impl QueryLog {
+    fn new(dataset: &Dataset, args: &Args, rng: &mut StdRng) -> Self {
+        let hot: Vec<RatingQuery> = (0..args.hot_pairs.max(1))
+            .map(|_| RatingQuery {
+                user: rng.gen_range(0..dataset.num_users),
+                item: rng.gen_range(0..dataset.num_items),
+            })
+            .collect();
+        let mut cdf = Vec::with_capacity(hot.len());
+        let mut total = 0.0f64;
+        for rank in 0..hot.len() {
+            total += 1.0 / ((rank + 1) as f64).powf(args.zipf);
+            cdf.push(total);
+        }
+        QueryLog {
+            hot,
+            cdf,
+            cold_frac: args.cold_frac,
+            num_users: dataset.num_users,
+            num_items: dataset.num_items,
+        }
+    }
+
+    fn next(&self, rng: &mut StdRng) -> RatingQuery {
+        if rng.gen::<f64>() < self.cold_frac {
+            return RatingQuery {
+                user: rng.gen_range(0..self.num_users),
+                item: rng.gen_range(0..self.num_items),
+            };
+        }
+        let total = *self.cdf.last().expect("non-empty hot set");
+        let target = rng.gen::<f64>() * total;
+        let rank = self
+            .cdf
+            .partition_point(|&c| c < target)
+            .min(self.hot.len() - 1);
+        self.hot[rank]
+    }
+}
+
+fn percentile_ms(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p / 100.0).round() as usize;
+    sorted[idx]
+}
+
+#[derive(Serialize)]
+struct BaselineReport {
+    queries: usize,
+    elapsed_secs: f64,
+    qps: f64,
+}
+
+#[derive(Serialize)]
+struct SaturationReport {
+    clients: usize,
+    completed: u64,
+    errors: u64,
+    elapsed_secs: f64,
+    qps: f64,
+    speedup_vs_tape: f64,
+}
+
+#[derive(Serialize)]
+struct PacedReport {
+    qps_target: f64,
+    submitted: u64,
+    overloaded: u64,
+    completed: u64,
+    p50_ms: f64,
+    p95_ms: f64,
+    p99_ms: f64,
+}
+
+#[derive(Serialize)]
+struct CacheReport {
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    invalidations: u64,
+    hit_rate: f64,
+}
+
+#[derive(Serialize)]
+struct ServeBenchReport {
+    workers: usize,
+    max_batch: usize,
+    max_queue: usize,
+    batch_timeout_ms: f64,
+    cold_frac: f64,
+    zipf: f64,
+    hot_pairs: usize,
+    seed: u64,
+    baseline: BaselineReport,
+    saturation: SaturationReport,
+    paced: PacedReport,
+    cache: CacheReport,
+}
+
+/// Single-threaded tape baseline: sample a context and run the autograd
+/// forward, exactly what serving cost before this subsystem.
+fn run_baseline(
+    model: &HireModel,
+    dataset: &Dataset,
+    graph: &BipartiteGraph,
+    log: &QueryLog,
+    seed: u64,
+) -> BaselineReport {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xBA5E);
+    let budget = Duration::from_secs(2);
+    let mut queries = 0usize;
+    let start = Instant::now();
+    while start.elapsed() < budget && queries < 200 {
+        let q = log.next(&mut rng);
+        let placeholder = Rating::new(q.user, q.item, dataset.min_rating);
+        let ctx = test_context_with_ratio(
+            graph,
+            &NeighborhoodSampler,
+            &[placeholder],
+            model.config().context_users,
+            model.config().context_items,
+            model.config().input_ratio,
+            &mut rng,
+        )
+        .expect("baseline context");
+        let _ = model.predict(&ctx, dataset);
+        queries += 1;
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    BaselineReport {
+        queries,
+        elapsed_secs: elapsed,
+        qps: queries as f64 / elapsed,
+    }
+}
+
+/// Closed-loop saturation: `clients` threads drive the server flat out.
+fn run_saturation(
+    server: &Arc<Server>,
+    log: &Arc<QueryLog>,
+    args: &Args,
+    baseline_qps: f64,
+) -> SaturationReport {
+    // Enough outstanding queries to keep every worker's batch full —
+    // anything less lets one worker drain the whole queue into a partial
+    // batch while the rest idle.
+    let clients = (args.workers * args.max_batch).clamp(2, 64);
+    let stop = Arc::new(AtomicBool::new(false));
+    let start = Instant::now();
+    let threads: Vec<_> = (0..clients)
+        .map(|c| {
+            let server = server.clone();
+            let log = log.clone();
+            let stop = stop.clone();
+            let seed = args.seed ^ (0x5A7 + c as u64);
+            std::thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let (mut done, mut errs) = (0u64, 0u64);
+                while !stop.load(Ordering::Relaxed) {
+                    match server.predict(log.next(&mut rng)) {
+                        Ok(_) => done += 1,
+                        Err(_) => errs += 1,
+                    }
+                }
+                (done, errs)
+            })
+        })
+        .collect();
+    std::thread::sleep(Duration::from_secs_f64(args.duration_secs.min(3.0)));
+    stop.store(true, Ordering::Relaxed);
+    let (mut completed, mut errors) = (0u64, 0u64);
+    for t in threads {
+        let (d, e) = t.join().expect("client thread");
+        completed += d;
+        errors += e;
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let qps = completed as f64 / elapsed;
+    SaturationReport {
+        clients,
+        completed,
+        errors,
+        elapsed_secs: elapsed,
+        qps,
+        speedup_vs_tape: qps / baseline_qps,
+    }
+}
+
+/// Open-loop paced replay at `--qps` for `--duration-secs`.
+fn run_paced(server: &Arc<Server>, log: &QueryLog, args: &Args) -> PacedReport {
+    let mut rng = StdRng::seed_from_u64(args.seed ^ 0xFACED);
+    let interval = Duration::from_secs_f64(1.0 / args.qps.max(1.0));
+    let deadline = Instant::now() + Duration::from_secs_f64(args.duration_secs);
+    let mut next_send = Instant::now();
+    let mut handles = Vec::new();
+    let (mut submitted, mut overloaded) = (0u64, 0u64);
+    while Instant::now() < deadline {
+        let now = Instant::now();
+        if now < next_send {
+            std::thread::sleep(next_send - now);
+        }
+        next_send += interval;
+        match server.submit(log.next(&mut rng)) {
+            Ok(h) => {
+                submitted += 1;
+                handles.push(h);
+            }
+            Err(_) => overloaded += 1,
+        }
+    }
+    let mut latencies_ms: Vec<f64> = handles
+        .into_iter()
+        .filter_map(|h| h.wait().ok().map(|p| p.latency.as_secs_f64() * 1e3))
+        .collect();
+    latencies_ms.sort_by(|a, b| a.total_cmp(b));
+    PacedReport {
+        qps_target: args.qps,
+        submitted,
+        overloaded,
+        completed: latencies_ms.len() as u64,
+        p50_ms: percentile_ms(&latencies_ms, 50.0),
+        p95_ms: percentile_ms(&latencies_ms, 95.0),
+        p99_ms: percentile_ms(&latencies_ms, 99.0),
+    }
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("{USAGE}");
+        return;
+    }
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+    };
+
+    let dataset = Arc::new(
+        SyntheticConfig::movielens_like()
+            .scaled(150, 120, (20, 45))
+            .generate(args.seed),
+    );
+    let config = HireConfig::fast();
+    let mut rng = StdRng::seed_from_u64(args.seed);
+    let model = HireModel::new(&dataset, &config, &mut rng);
+    let frozen = FrozenModel::from_model(&model, &dataset).expect("freeze model");
+    let graph = dataset.graph();
+    let log = Arc::new(QueryLog::new(&dataset, &args, &mut rng));
+
+    eprintln!("serve_bench: baseline (single-threaded tape predict)...");
+    let baseline = run_baseline(&model, &dataset, &graph, &log, args.seed);
+    eprintln!(
+        "  {} queries in {:.2}s -> {:.1} qps",
+        baseline.queries, baseline.elapsed_secs, baseline.qps
+    );
+
+    let engine = Arc::new(ServeEngine::new(
+        frozen,
+        dataset.clone(),
+        EngineConfig::from_model_config(&config),
+    ));
+    let server = Arc::new(Server::start(
+        engine.clone(),
+        ServerConfig {
+            workers: args.workers,
+            max_batch: args.max_batch,
+            max_queue: args.max_queue,
+            batch_timeout: Duration::from_secs_f64(args.batch_timeout_ms / 1e3),
+        },
+    ));
+
+    // Warm the context cache with the hot set before measuring.
+    let _ = engine.predict_batch(&log.hot);
+
+    eprintln!(
+        "serve_bench: saturation ({} workers, closed loop)...",
+        args.workers
+    );
+    let saturation = run_saturation(&server, &log, &args, baseline.qps);
+    eprintln!(
+        "  {:.1} qps ({:.2}x tape baseline)",
+        saturation.qps, saturation.speedup_vs_tape
+    );
+
+    eprintln!("serve_bench: paced open loop at {} qps...", args.qps);
+    let paced = run_paced(&server, &log, &args);
+    eprintln!(
+        "  p50 {:.2} ms  p95 {:.2} ms  p99 {:.2} ms  ({} overloaded)",
+        paced.p50_ms, paced.p95_ms, paced.p99_ms, paced.overloaded
+    );
+
+    server.shutdown();
+    let cache_stats = engine.cache_stats();
+    let report = ServeBenchReport {
+        workers: args.workers,
+        max_batch: args.max_batch,
+        max_queue: args.max_queue,
+        batch_timeout_ms: args.batch_timeout_ms,
+        cold_frac: args.cold_frac,
+        zipf: args.zipf,
+        hot_pairs: args.hot_pairs,
+        seed: args.seed,
+        baseline,
+        saturation,
+        paced,
+        cache: CacheReport {
+            hits: cache_stats.hits,
+            misses: cache_stats.misses,
+            evictions: cache_stats.evictions,
+            invalidations: cache_stats.invalidations,
+            hit_rate: cache_stats.hit_rate(),
+        },
+    };
+    eprintln!(
+        "serve_bench: cache hit-rate {:.1}% ({} hits / {} misses)",
+        100.0 * report.cache.hit_rate,
+        report.cache.hits,
+        report.cache.misses
+    );
+    if let Some(path) = &args.out {
+        write_json_atomic(path, &report).expect("write report");
+        eprintln!("serve_bench: report written to {path}");
+    } else {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report).expect("serialize report")
+        );
+    }
+}

@@ -18,26 +18,70 @@ impl Rating {
     }
 }
 
-/// User-item bipartite graph with ratings on the edges, stored as sorted
-/// adjacency on both sides for O(log d) rating lookup and O(1) neighbor
-/// iteration.
+/// Compressed sparse row adjacency: one flat, contiguous `(neighbor,
+/// rating)` buffer plus per-node offsets. Node `v`'s neighbors live in
+/// `entries[offsets[v]..offsets[v + 1]]`, sorted by neighbor index.
+///
+/// Compared to the previous `Vec<Vec<(usize, f32)>>` layout, every
+/// neighborhood scan walks one shared allocation instead of chasing a
+/// pointer per node — the access pattern of repeated BFS context sampling
+/// (`NeighborhoodSampler`), which touches many small neighborhoods per
+/// query.
+#[derive(Debug, Clone)]
+struct CsrAdjacency {
+    offsets: Vec<usize>,
+    entries: Vec<(usize, f32)>,
+}
+
+impl CsrAdjacency {
+    /// Builds from per-node edge lists, sorting each node's neighbors and
+    /// dropping duplicate neighbors (keeping the first occurrence, matching
+    /// the pre-CSR behavior of stable sort + `dedup_by_key`).
+    fn build(num_nodes: usize, edges: impl Iterator<Item = (usize, usize, f32)>) -> Self {
+        let mut per_node: Vec<Vec<(usize, f32)>> = vec![Vec::new(); num_nodes];
+        for (node, neighbor, value) in edges {
+            per_node[node].push((neighbor, value));
+        }
+        let mut offsets = Vec::with_capacity(num_nodes + 1);
+        offsets.push(0);
+        let mut entries = Vec::new();
+        for adj in &mut per_node {
+            adj.sort_by_key(|&(x, _)| x);
+            adj.dedup_by_key(|&mut (x, _)| x);
+            entries.extend_from_slice(adj);
+            offsets.push(entries.len());
+        }
+        CsrAdjacency { offsets, entries }
+    }
+
+    fn neighbors(&self, node: usize) -> &[(usize, f32)] {
+        &self.entries[self.offsets[node]..self.offsets[node + 1]]
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+/// User-item bipartite graph with ratings on the edges, stored as CSR
+/// (compressed sparse row) adjacency on both sides for O(log d) rating
+/// lookup, O(1) neighbor-slice access, and cache-friendly repeated
+/// neighborhood scans.
 #[derive(Debug, Clone)]
 pub struct BipartiteGraph {
     num_users: usize,
     num_items: usize,
-    /// Per user: sorted `(item, rating)` pairs.
-    user_adj: Vec<Vec<(usize, f32)>>,
-    /// Per item: sorted `(user, rating)` pairs.
-    item_adj: Vec<Vec<(usize, f32)>>,
+    /// Per user: sorted `(item, rating)` pairs, CSR-packed.
+    user_adj: CsrAdjacency,
+    /// Per item: sorted `(user, rating)` pairs, CSR-packed.
+    item_adj: CsrAdjacency,
     num_ratings: usize,
 }
 
 impl BipartiteGraph {
     /// Builds a graph from an edge list. Duplicate `(user, item)` pairs keep
-    /// the last rating. Panics on out-of-range indices.
+    /// the first occurrence's rating. Panics on out-of-range indices.
     pub fn from_ratings(num_users: usize, num_items: usize, ratings: &[Rating]) -> Self {
-        let mut user_adj: Vec<Vec<(usize, f32)>> = vec![Vec::new(); num_users];
-        let mut item_adj: Vec<Vec<(usize, f32)>> = vec![Vec::new(); num_items];
         for r in ratings {
             assert!(
                 r.user < num_users,
@@ -49,19 +93,12 @@ impl BipartiteGraph {
                 "item {} out of range {num_items}",
                 r.item
             );
-            user_adj[r.user].push((r.item, r.value));
-            item_adj[r.item].push((r.user, r.value));
         }
-        let mut num_ratings = 0;
-        for adj in &mut user_adj {
-            adj.sort_by_key(|&(i, _)| i);
-            adj.dedup_by_key(|&mut (i, _)| i);
-            num_ratings += adj.len();
-        }
-        for adj in &mut item_adj {
-            adj.sort_by_key(|&(u, _)| u);
-            adj.dedup_by_key(|&mut (u, _)| u);
-        }
+        let user_adj =
+            CsrAdjacency::build(num_users, ratings.iter().map(|r| (r.user, r.item, r.value)));
+        let item_adj =
+            CsrAdjacency::build(num_items, ratings.iter().map(|r| (r.item, r.user, r.value)));
+        let num_ratings = user_adj.len();
         BipartiteGraph {
             num_users,
             num_items,
@@ -93,17 +130,17 @@ impl BipartiteGraph {
 
     /// Items rated by `user`, with ratings, sorted by item index.
     pub fn user_neighbors(&self, user: usize) -> &[(usize, f32)] {
-        &self.user_adj[user]
+        self.user_adj.neighbors(user)
     }
 
     /// Users who rated `item`, with ratings, sorted by user index.
     pub fn item_neighbors(&self, item: usize) -> &[(usize, f32)] {
-        &self.item_adj[item]
+        self.item_adj.neighbors(item)
     }
 
     /// The rating of `user` on `item`, if observed.
     pub fn rating(&self, user: usize, item: usize) -> Option<f32> {
-        let adj = &self.user_adj[user];
+        let adj = self.user_adj.neighbors(user);
         adj.binary_search_by_key(&item, |&(i, _)| i)
             .ok()
             .map(|ix| adj[ix].1)
@@ -111,12 +148,12 @@ impl BipartiteGraph {
 
     /// Degree of a user (number of rated items).
     pub fn user_degree(&self, user: usize) -> usize {
-        self.user_adj[user].len()
+        self.user_adj.neighbors(user).len()
     }
 
     /// Degree of an item (number of raters).
     pub fn item_degree(&self, item: usize) -> usize {
-        self.item_adj[item].len()
+        self.item_adj.neighbors(item).len()
     }
 
     /// Mean rating over all edges; `None` for an empty graph.
@@ -124,11 +161,7 @@ impl BipartiteGraph {
         if self.num_ratings == 0 {
             return None;
         }
-        let sum: f64 = self
-            .user_adj
-            .iter()
-            .flat_map(|adj| adj.iter().map(|&(_, r)| r as f64))
-            .sum();
+        let sum: f64 = self.user_adj.entries.iter().map(|&(_, r)| r as f64).sum();
         Some((sum / self.num_ratings as f64) as f32)
     }
 
@@ -144,10 +177,12 @@ impl BipartiteGraph {
 
     /// Iterates over all rated edges.
     pub fn edges(&self) -> impl Iterator<Item = Rating> + '_ {
-        self.user_adj
-            .iter()
-            .enumerate()
-            .flat_map(|(u, adj)| adj.iter().map(move |&(i, r)| Rating::new(u, i, r)))
+        (0..self.num_users).flat_map(move |u| {
+            self.user_adj
+                .neighbors(u)
+                .iter()
+                .map(move |&(i, r)| Rating::new(u, i, r))
+        })
     }
 
     /// Returns a new graph containing this graph's edges plus `extra`.

@@ -106,19 +106,27 @@ impl ContextSampler for NeighborhoodSampler {
         while (users.len() < n || items.len() < m)
             && (!frontier_users.is_empty() || !frontier_items.is_empty())
         {
-            // One hop: neighbors of frontier users are items, and vice versa.
+            // One hop: neighbors of frontier users are items, and vice
+            // versa. Hop membership is tracked in a HashSet (`next_*_seen`)
+            // instead of a linear scan of the hop vector, so a hop over a
+            // dense frontier costs O(neighbors) rather than O(neighbors²);
+            // the vector still records first-seen order, which keeps the
+            // shuffle inputs — and therefore the RNG stream and the sampled
+            // contexts — identical to the pre-optimization implementation.
             let mut next_items: Vec<usize> = Vec::new();
+            let mut next_items_seen: HashSet<usize> = HashSet::new();
             for &u in &frontier_users {
                 for &(i, _) in graph.user_neighbors(u) {
-                    if !item_set.contains(&i) && !next_items.contains(&i) {
+                    if !item_set.contains(&i) && next_items_seen.insert(i) {
                         next_items.push(i);
                     }
                 }
             }
             let mut next_users: Vec<usize> = Vec::new();
+            let mut next_users_seen: HashSet<usize> = HashSet::new();
             for &i in &frontier_items {
                 for &(u, _) in graph.item_neighbors(i) {
-                    if !user_set.contains(&u) && !next_users.contains(&u) {
+                    if !user_set.contains(&u) && next_users_seen.insert(u) {
                         next_users.push(u);
                     }
                 }

@@ -1,0 +1,196 @@
+//! Pins `NeighborhoodSampler` bit-for-bit against the pre-CSR, pre-HashSet
+//! implementation.
+//!
+//! Two things changed under the sampler and both must be invisible:
+//! - `BipartiteGraph` adjacency moved from `Vec<Vec<(usize, f32)>>` to a
+//!   shared CSR buffer, and
+//! - the BFS hop dedup moved from an O(frontier²) `Vec::contains` scan to a
+//!   HashSet (insertion order preserved).
+//!
+//! Neither may alter the vectors handed to `shuffle`, so the RNG stream —
+//! and therefore every sampled context — must match the legacy
+//! implementation exactly, seed for seed.
+
+use hire_graph::{BipartiteGraph, ContextSampler, ContextSelection, NeighborhoodSampler, Rating};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+// ---------------------------------------------------------------------
+// Verbatim copy of the legacy sampler (before the CSR/HashSet change),
+// kept here as the regression oracle.
+// ---------------------------------------------------------------------
+
+fn legacy_dedup_seeds(seeds: &[usize], budget: usize) -> Vec<usize> {
+    let mut seen = HashSet::new();
+    let mut out = Vec::new();
+    for &s in seeds {
+        if seen.insert(s) {
+            out.push(s);
+        }
+    }
+    assert!(out.len() <= budget);
+    out
+}
+
+fn legacy_fill_random(
+    selected: &mut Vec<usize>,
+    budget: usize,
+    total: usize,
+    rng: &mut dyn rand::RngCore,
+) {
+    if selected.len() >= budget || total == 0 {
+        return;
+    }
+    let chosen: HashSet<usize> = selected.iter().copied().collect();
+    let mut pool: Vec<usize> = (0..total).filter(|x| !chosen.contains(x)).collect();
+    pool.shuffle(rng);
+    for x in pool {
+        if selected.len() >= budget {
+            break;
+        }
+        selected.push(x);
+    }
+}
+
+fn legacy_sample(
+    graph: &BipartiteGraph,
+    seed_users: &[usize],
+    seed_items: &[usize],
+    n: usize,
+    m: usize,
+    rng: &mut dyn rand::RngCore,
+) -> ContextSelection {
+    let mut users = legacy_dedup_seeds(seed_users, n);
+    let mut items = legacy_dedup_seeds(seed_items, m);
+    let user_set: HashSet<usize> = users.iter().copied().collect();
+    let item_set: HashSet<usize> = items.iter().copied().collect();
+    let mut user_set = user_set;
+    let mut item_set = item_set;
+
+    let mut frontier_users: Vec<usize> = users.clone();
+    let mut frontier_items: Vec<usize> = items.clone();
+
+    while (users.len() < n || items.len() < m)
+        && (!frontier_users.is_empty() || !frontier_items.is_empty())
+    {
+        let mut next_items: Vec<usize> = Vec::new();
+        for &u in &frontier_users {
+            for &(i, _) in graph.user_neighbors(u) {
+                if !item_set.contains(&i) && !next_items.contains(&i) {
+                    next_items.push(i);
+                }
+            }
+        }
+        let mut next_users: Vec<usize> = Vec::new();
+        for &i in &frontier_items {
+            for &(u, _) in graph.item_neighbors(i) {
+                if !user_set.contains(&u) && !next_users.contains(&u) {
+                    next_users.push(u);
+                }
+            }
+        }
+
+        let item_budget = m - items.len();
+        if next_items.len() > item_budget {
+            next_items.shuffle(rng);
+            next_items.truncate(item_budget);
+        }
+        let user_budget = n - users.len();
+        if next_users.len() > user_budget {
+            next_users.shuffle(rng);
+            next_users.truncate(user_budget);
+        }
+
+        for &i in &next_items {
+            item_set.insert(i);
+            items.push(i);
+        }
+        for &u in &next_users {
+            user_set.insert(u);
+            users.push(u);
+        }
+        frontier_users = next_users;
+        frontier_items = next_items;
+    }
+
+    legacy_fill_random(&mut users, n, graph.num_users(), rng);
+    legacy_fill_random(&mut items, m, graph.num_items(), rng);
+    ContextSelection { users, items }
+}
+
+// ---------------------------------------------------------------------
+// Regression tests
+// ---------------------------------------------------------------------
+
+/// Random bipartite graph with `density` edge probability and ratings in
+/// 1..=5.
+fn random_graph(num_users: usize, num_items: usize, density: f64, seed: u64) -> BipartiteGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::new();
+    for u in 0..num_users {
+        for i in 0..num_items {
+            if rng.gen_bool(density) {
+                edges.push(Rating::new(u, i, rng.gen_range(1..=5) as f32));
+            }
+        }
+    }
+    BipartiteGraph::from_ratings(num_users, num_items, &edges)
+}
+
+#[test]
+fn sampled_contexts_match_legacy_bit_for_bit() {
+    for graph_seed in 0..4u64 {
+        let graph = random_graph(40, 35, 0.08, graph_seed);
+        for sample_seed in 0..16u64 {
+            let mut rng_new = StdRng::seed_from_u64(sample_seed);
+            let mut rng_old = StdRng::seed_from_u64(sample_seed);
+            let seed_user = (sample_seed as usize * 7) % 40;
+            let seed_item = (sample_seed as usize * 11) % 35;
+            let new =
+                NeighborhoodSampler.sample(&graph, &[seed_user], &[seed_item], 8, 6, &mut rng_new);
+            let old = legacy_sample(&graph, &[seed_user], &[seed_item], 8, 6, &mut rng_old);
+            assert_eq!(
+                new, old,
+                "graph seed {graph_seed}, sample seed {sample_seed}"
+            );
+        }
+    }
+}
+
+#[test]
+fn sampled_contexts_match_legacy_on_sparse_and_dense_graphs() {
+    // Sparse graph: BFS dries up and the random fill-in must consume the
+    // same RNG stream. Dense graph: every hop overflows its budget and the
+    // shuffle order must match.
+    for (density, n, m) in [(0.01, 10, 10), (0.6, 6, 5)] {
+        let graph = random_graph(30, 30, density, 99);
+        for sample_seed in 100..110u64 {
+            let mut rng_new = StdRng::seed_from_u64(sample_seed);
+            let mut rng_old = StdRng::seed_from_u64(sample_seed);
+            let new = NeighborhoodSampler.sample(&graph, &[3], &[4], n, m, &mut rng_new);
+            let old = legacy_sample(&graph, &[3], &[4], n, m, &mut rng_old);
+            assert_eq!(new, old, "density {density}, sample seed {sample_seed}");
+        }
+    }
+}
+
+#[test]
+fn rng_streams_stay_aligned_after_sampling() {
+    // Stronger than equal outputs: the samplers must consume *exactly* the
+    // same number of RNG draws, or downstream consumers sharing the rng
+    // (context construction shuffles) would diverge.
+    let graph = random_graph(25, 25, 0.15, 7);
+    let mut rng_new = StdRng::seed_from_u64(42);
+    let mut rng_old = StdRng::seed_from_u64(42);
+    for k in 0..8usize {
+        let _ = NeighborhoodSampler.sample(&graph, &[k], &[k], 7, 7, &mut rng_new);
+        let _ = legacy_sample(&graph, &[k], &[k], 7, 7, &mut rng_old);
+        assert_eq!(
+            rng_new.gen::<u64>(),
+            rng_old.gen::<u64>(),
+            "RNG streams diverged after sample {k}"
+        );
+    }
+}

@@ -7,6 +7,8 @@
 //! - [`MultiHeadSelfAttention`] — the batched, parameter-sharing MHSA that
 //!   powers the paper's Heterogeneous Interaction Module
 //! - [`Module`] — the trainable-parameter trait consumed by `hire-optim`
+//! - [`mhsa_forward`] — the tape-free MHSA mirror used by frozen-model
+//!   serving (`hire-serve`)
 //! - loss functions ([`loss`])
 
 pub mod activation;
@@ -17,6 +19,7 @@ pub mod linear;
 pub mod loss;
 pub mod mlp;
 pub mod module;
+pub mod nograd;
 pub mod norm;
 
 pub use activation::Activation;
@@ -27,4 +30,5 @@ pub use linear::Linear;
 pub use loss::{bce_loss, mae, masked_mse_loss, mse_loss, rmse};
 pub use mlp::Mlp;
 pub use module::Module;
+pub use nograd::{mhsa_forward, MhsaWeights};
 pub use norm::LayerNorm;

@@ -1,0 +1,270 @@
+//! LRU cache of sampled prediction contexts.
+//!
+//! Context sampling (BFS over the rating graph plus mask bookkeeping) is a
+//! large share of per-query serving cost; repeated queries for the same
+//! `(user, item)` under the same sampling settings can reuse the sampled
+//! block. Entries are invalidated explicitly when a new rating edge
+//! touches any user or item inside the cached block — the block's input
+//! mask would otherwise go stale.
+
+use hire_data::PredictionContext;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// What a cached context was sampled for.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Query user.
+    pub user: usize,
+    /// Query item.
+    pub item: usize,
+    /// Sampling strategy tag (e.g. `"neighborhood"`).
+    pub strategy: &'static str,
+    /// Context row budget.
+    pub n: usize,
+    /// Context column budget.
+    pub m: usize,
+}
+
+/// Monotonic hit/miss/eviction counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found a live entry.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries evicted by the capacity bound.
+    pub evictions: u64,
+    /// Entries removed by rating-edge invalidation.
+    pub invalidations: u64,
+}
+
+impl CacheStats {
+    /// Hits / lookups, or 0 when no lookups happened.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Entry {
+    ctx: Arc<PredictionContext>,
+    /// Memoized model output for this key. Valid exactly as long as the
+    /// context is: the model is frozen and sampling is deterministic, so
+    /// the prediction is a pure function of `(model, key, graph)` and is
+    /// dropped by the same invalidation that drops the context.
+    prediction: Option<f32>,
+    last_used: u64,
+}
+
+/// A cache hit: the sampled context, plus the memoized prediction if one
+/// was stored since the entry was (re)created.
+#[derive(Debug, Clone)]
+pub struct CachedContext {
+    /// The sampled prediction context.
+    pub ctx: Arc<PredictionContext>,
+    /// The memoized model output, if already computed.
+    pub prediction: Option<f32>,
+}
+
+/// Capacity-bounded LRU map from [`CacheKey`] to sampled contexts.
+///
+/// Recency is tracked with a monotonic tick instead of a linked list: at
+/// the cache's size (thousands of entries) an `O(len)` scan on eviction is
+/// cheaper and simpler than pointer surgery, and eviction only happens on
+/// inserts past capacity.
+pub struct ContextCache {
+    capacity: usize,
+    tick: u64,
+    map: HashMap<CacheKey, Entry>,
+    stats: CacheStats,
+}
+
+impl ContextCache {
+    /// Creates a cache holding at most `capacity` contexts. Capacity 0
+    /// disables caching (every lookup misses, inserts are dropped).
+    pub fn new(capacity: usize) -> Self {
+        ContextCache {
+            capacity,
+            tick: 0,
+            map: HashMap::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Looks up a context, marking it most-recently-used on hit.
+    pub fn get(&mut self, key: &CacheKey) -> Option<CachedContext> {
+        self.tick += 1;
+        match self.map.get_mut(key) {
+            Some(entry) => {
+                entry.last_used = self.tick;
+                self.stats.hits += 1;
+                Some(CachedContext {
+                    ctx: entry.ctx.clone(),
+                    prediction: entry.prediction,
+                })
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts a context, evicting the least-recently-used entry if full.
+    pub fn insert(&mut self, key: CacheKey, ctx: Arc<PredictionContext>) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        if !self.map.contains_key(&key) && self.map.len() >= self.capacity {
+            if let Some(oldest) = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                self.map.remove(&oldest);
+                self.stats.evictions += 1;
+            }
+        }
+        self.map.insert(
+            key,
+            Entry {
+                ctx,
+                prediction: None,
+                last_used: self.tick,
+            },
+        );
+    }
+
+    /// Memoizes the model output for a live entry (no-op if the entry was
+    /// evicted or invalidated in the meantime).
+    pub fn store_prediction(&mut self, key: &CacheKey, prediction: f32) {
+        if let Some(entry) = self.map.get_mut(key) {
+            entry.prediction = Some(prediction);
+        }
+    }
+
+    /// Drops every cached context whose block contains `user` or `item` —
+    /// called when the rating edge `(user, item)` is inserted into the
+    /// graph. Returns the number of entries removed.
+    pub fn invalidate_edge(&mut self, user: usize, item: usize) -> usize {
+        let before = self.map.len();
+        self.map
+            .retain(|_, e| !e.ctx.users.contains(&user) && !e.ctx.items.contains(&item));
+        let removed = before - self.map.len();
+        self.stats.invalidations += removed as u64;
+        removed
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no entries are cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hire_tensor::NdArray;
+
+    fn key(user: usize, item: usize) -> CacheKey {
+        CacheKey {
+            user,
+            item,
+            strategy: "test",
+            n: 4,
+            m: 4,
+        }
+    }
+
+    fn ctx(users: Vec<usize>, items: Vec<usize>) -> Arc<PredictionContext> {
+        let (n, m) = (users.len(), items.len());
+        Arc::new(PredictionContext {
+            users,
+            items,
+            ratings: NdArray::zeros([n, m]),
+            input_mask: NdArray::zeros([n, m]),
+            target_mask: NdArray::zeros([n, m]),
+        })
+    }
+
+    #[test]
+    fn hit_miss_counters() {
+        let mut cache = ContextCache::new(4);
+        assert!(cache.get(&key(0, 0)).is_none());
+        cache.insert(key(0, 0), ctx(vec![0], vec![0]));
+        assert!(cache.get(&key(0, 0)).is_some());
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut cache = ContextCache::new(2);
+        cache.insert(key(0, 0), ctx(vec![0], vec![0]));
+        cache.insert(key(1, 1), ctx(vec![1], vec![1]));
+        let _ = cache.get(&key(0, 0)); // 0 is now more recent than 1
+        cache.insert(key(2, 2), ctx(vec![2], vec![2]));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&key(1, 1)).is_none(), "LRU entry must be evicted");
+        assert!(cache.get(&key(0, 0)).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn invalidation_removes_touching_blocks_only() {
+        let mut cache = ContextCache::new(8);
+        cache.insert(key(0, 0), ctx(vec![0, 1], vec![0, 1]));
+        cache.insert(key(2, 2), ctx(vec![2, 3], vec![2, 3]));
+        cache.insert(key(4, 4), ctx(vec![4, 1], vec![4, 5])); // shares user 1
+        let removed = cache.invalidate_edge(1, 9);
+        assert_eq!(removed, 2);
+        assert_eq!(cache.len(), 1);
+        assert!(cache.get(&key(2, 2)).is_some());
+        assert_eq!(cache.stats().invalidations, 2);
+    }
+
+    #[test]
+    fn memoized_prediction_lives_and_dies_with_its_entry() {
+        let mut cache = ContextCache::new(4);
+        cache.insert(key(0, 0), ctx(vec![0], vec![0]));
+        assert_eq!(cache.get(&key(0, 0)).unwrap().prediction, None);
+        cache.store_prediction(&key(0, 0), 3.5);
+        assert_eq!(cache.get(&key(0, 0)).unwrap().prediction, Some(3.5));
+        // Re-inserting (fresh sample) clears the memo.
+        cache.insert(key(0, 0), ctx(vec![0], vec![0]));
+        assert_eq!(cache.get(&key(0, 0)).unwrap().prediction, None);
+        // Invalidation drops the memo together with the context.
+        cache.store_prediction(&key(0, 0), 4.0);
+        cache.invalidate_edge(0, 9);
+        assert!(cache.get(&key(0, 0)).is_none());
+        // Storing against a dead key is a no-op, not a resurrection.
+        cache.store_prediction(&key(0, 0), 1.0);
+        assert!(cache.get(&key(0, 0)).is_none());
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut cache = ContextCache::new(0);
+        cache.insert(key(0, 0), ctx(vec![0], vec![0]));
+        assert!(cache.is_empty());
+        assert!(cache.get(&key(0, 0)).is_none());
+    }
+}

@@ -1,0 +1,268 @@
+//! The serving engine: frozen model + rating graph + context cache.
+
+use crate::cache::{CacheKey, CacheStats, ContextCache};
+use crate::frozen::FrozenModel;
+use crate::server::{Predictor, RatingQuery, ServeError};
+use hire_data::{test_context_with_ratio, Dataset, PredictionContext};
+use hire_error::HireError;
+use hire_graph::{BipartiteGraph, NeighborhoodSampler, Rating};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, MutexGuard, RwLock};
+
+/// The sampling strategy tag recorded in cache keys.
+const STRATEGY: &str = "neighborhood";
+
+/// Engine settings (context sampling + cache).
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Context row budget `n`.
+    pub context_users: usize,
+    /// Context column budget `m`.
+    pub context_items: usize,
+    /// Fraction of visible block edges revealed as input (the paper masks
+    /// test contexts to training density; see
+    /// [`hire_data::test_context_with_ratio`]).
+    pub keep_ratio: f32,
+    /// Context-cache capacity; 0 disables caching.
+    pub cache_capacity: usize,
+    /// Base seed for deterministic per-query context sampling.
+    pub seed: u64,
+}
+
+impl EngineConfig {
+    /// Derives serving settings from a model configuration: same context
+    /// budget and input density the model was trained with.
+    pub fn from_model_config(config: &hire_core::HireConfig) -> Self {
+        EngineConfig {
+            context_users: config.context_users,
+            context_items: config.context_items,
+            keep_ratio: config.input_ratio,
+            cache_capacity: 4096,
+            seed: 0x48495245, // "HIRE"
+        }
+    }
+}
+
+/// Serves rating queries from a frozen model.
+///
+/// Contexts are sampled deterministically per `(seed, user, item)` and
+/// memoized in an LRU [`ContextCache`]; `insert_rating` updates the graph
+/// and invalidates every cached block the new edge touches.
+pub struct ServeEngine {
+    model: FrozenModel,
+    dataset: Arc<Dataset>,
+    graph: RwLock<Arc<BipartiteGraph>>,
+    cache: Mutex<ContextCache>,
+    config: EngineConfig,
+}
+
+/// Poison recovery: cache and graph stay consistent across a panicking
+/// holder (plain data updates only).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// SplitMix64-style mix of the engine seed and the query pair, so context
+/// sampling is reproducible per query and stable across cache evictions.
+fn context_seed(base: u64, user: usize, item: usize) -> u64 {
+    let mut z = base
+        ^ (user as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ (item as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl ServeEngine {
+    /// Builds an engine over the dataset's rating graph.
+    pub fn new(model: FrozenModel, dataset: Arc<Dataset>, config: EngineConfig) -> Self {
+        let graph = Arc::new(dataset.graph());
+        ServeEngine {
+            model,
+            dataset,
+            graph: RwLock::new(graph),
+            cache: Mutex::new(ContextCache::new(config.cache_capacity)),
+            config,
+        }
+    }
+
+    /// The frozen model being served.
+    pub fn model(&self) -> &FrozenModel {
+        &self.model
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Context-cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        lock(&self.cache).stats()
+    }
+
+    /// Live cache entries.
+    pub fn cache_len(&self) -> usize {
+        lock(&self.cache).len()
+    }
+
+    /// Inserts a new observed rating into the serving graph and invalidates
+    /// every cached context whose block contains the edge's user or item.
+    /// Returns the number of invalidated contexts.
+    pub fn insert_rating(&self, rating: Rating) -> Result<usize, ServeError> {
+        if rating.user >= self.dataset.num_users || rating.item >= self.dataset.num_items {
+            return Err(ServeError::Model(HireError::invalid_data(
+                "ServeEngine",
+                format!(
+                    "rating edge ({}, {}) out of range",
+                    rating.user, rating.item
+                ),
+            )));
+        }
+        {
+            let mut graph = self.graph.write().unwrap_or_else(|p| p.into_inner());
+            *graph = Arc::new(graph.with_extra_edges(&[rating]));
+        }
+        Ok(lock(&self.cache).invalidate_edge(rating.user, rating.item))
+    }
+
+    /// Resolves the prediction context for a query: cache hit, or a fresh
+    /// deterministic sample over the current graph.
+    pub fn context_for(&self, query: &RatingQuery) -> Result<Arc<PredictionContext>, ServeError> {
+        self.resolve(query).map(|(_, ctx, _)| ctx)
+    }
+
+    /// `context_for` plus the cache key and any memoized prediction. The
+    /// memo is exact, not approximate: the model is frozen, sampling is
+    /// deterministic per `(seed, user, item)`, and graph updates invalidate
+    /// the whole entry — so a stored prediction is bit-identical to
+    /// recomputing it.
+    fn resolve(
+        &self,
+        query: &RatingQuery,
+    ) -> Result<(CacheKey, Arc<PredictionContext>, Option<f32>), ServeError> {
+        if query.user >= self.dataset.num_users {
+            return Err(ServeError::Model(HireError::invalid_data(
+                "ServeEngine",
+                format!(
+                    "user {} out of range {}",
+                    query.user, self.dataset.num_users
+                ),
+            )));
+        }
+        if query.item >= self.dataset.num_items {
+            return Err(ServeError::Model(HireError::invalid_data(
+                "ServeEngine",
+                format!(
+                    "item {} out of range {}",
+                    query.item, self.dataset.num_items
+                ),
+            )));
+        }
+        let key = CacheKey {
+            user: query.user,
+            item: query.item,
+            strategy: STRATEGY,
+            n: self.config.context_users,
+            m: self.config.context_items,
+        };
+        if let Some(hit) = lock(&self.cache).get(&key) {
+            return Ok((key, hit.ctx, hit.prediction));
+        }
+        let graph = self.graph.read().unwrap_or_else(|p| p.into_inner()).clone();
+        let mut rng = StdRng::seed_from_u64(context_seed(self.config.seed, query.user, query.item));
+        // The query cell is target-masked, so its placeholder value never
+        // reaches the model input.
+        let placeholder = Rating::new(query.user, query.item, self.dataset.min_rating);
+        let ctx = test_context_with_ratio(
+            &graph,
+            &NeighborhoodSampler,
+            &[placeholder],
+            self.config.context_users,
+            self.config.context_items,
+            self.config.keep_ratio,
+            &mut rng,
+        )
+        .map_err(ServeError::Model)?;
+        let ctx = Arc::new(ctx);
+        lock(&self.cache).insert(key.clone(), ctx.clone());
+        Ok((key, ctx, None))
+    }
+}
+
+/// A deduplicated query awaiting a forward: its cache key, resolved
+/// context, and the positions in the incoming batch waiting on the answer.
+struct PendingQuery {
+    key: CacheKey,
+    ctx: Arc<PredictionContext>,
+    waiters: Vec<usize>,
+}
+
+impl Predictor for ServeEngine {
+    fn predict_batch(&self, queries: &[RatingQuery]) -> Result<Vec<f32>, ServeError> {
+        let mut out = vec![0.0f32; queries.len()];
+        // Deduplicate the batch: coalesced traffic is skewed, so one
+        // forward per distinct (user, item) answers every duplicate. The
+        // memo fast-path skips the forward entirely for contexts whose
+        // prediction was already computed and not invalidated since.
+        let mut pending: BTreeMap<(usize, usize), PendingQuery> = BTreeMap::new();
+        for (i, q) in queries.iter().enumerate() {
+            if let Some(p) = pending.get_mut(&(q.user, q.item)) {
+                p.waiters.push(i);
+                continue;
+            }
+            let (key, ctx, memo) = self.resolve(q)?;
+            match memo {
+                Some(v) => out[i] = v,
+                None => {
+                    pending.insert(
+                        (q.user, q.item),
+                        PendingQuery {
+                            key,
+                            ctx,
+                            waiters: vec![i],
+                        },
+                    );
+                }
+            }
+        }
+        // Group same-shape contexts into one stacked forward each; the
+        // sampler may return fewer rows/columns than budgeted on tiny
+        // graphs, so shapes can differ across queries.
+        let unique: Vec<&PendingQuery> = pending.values().collect();
+        let mut groups: BTreeMap<(usize, usize), Vec<usize>> = BTreeMap::new();
+        for (k, p) in unique.iter().enumerate() {
+            groups.entry((p.ctx.n(), p.ctx.m())).or_default().push(k);
+        }
+        for indices in groups.values() {
+            let refs: Vec<&PredictionContext> = indices.iter().map(|&k| &*unique[k].ctx).collect();
+            let preds = self
+                .model
+                .forward_nograd_batch(&refs, &self.dataset)
+                .map_err(ServeError::Model)?;
+            for (p, &k) in indices.iter().enumerate() {
+                let PendingQuery { key, ctx, waiters } = unique[k];
+                let (row, col) = match (ctx.user_row(key.user), ctx.item_col(key.item)) {
+                    (Some(r), Some(c)) => (r, c),
+                    _ => {
+                        return Err(ServeError::Model(HireError::invalid_data(
+                            "ServeEngine",
+                            format!(
+                                "query ({}, {}) missing from its context",
+                                key.user, key.item
+                            ),
+                        )))
+                    }
+                };
+                let value = preds[p].at(&[row, col]);
+                lock(&self.cache).store_prediction(key, value);
+                for &i in waiters {
+                    out[i] = value;
+                }
+            }
+        }
+        Ok(out)
+    }
+}

@@ -1,0 +1,511 @@
+//! Frozen (inference-only) HIRE models.
+//!
+//! A [`FrozenModel`] holds the trained parameters as plain [`NdArray`]s —
+//! no `Tensor`, no `Rc`, no tape — so it is `Send + Sync` and can be shared
+//! across worker threads behind an `Arc`. Its forward pass reuses the exact
+//! same `linalg` kernels the autograd forward uses, in the same order, so
+//! predictions are **bit-identical** to the live model it was exported
+//! from (see `tests/equivalence.rs`).
+
+use hire_ckpt::{CheckpointStore, TrainSnapshot};
+use hire_core::{HireConfig, HireModel};
+use hire_data::{Dataset, PredictionContext};
+use hire_error::{HireError, HireResult};
+use hire_nn::{mhsa_forward, MhsaWeights, Module};
+use hire_tensor::{linalg, NdArray};
+use std::path::Path;
+
+/// `LayerNorm::new` hard-codes this epsilon; the frozen mirror must match.
+const LAYER_NORM_EPS: f32 = 1e-5;
+
+/// Frozen LayerNorm affine parameters.
+#[derive(Debug, Clone)]
+struct FrozenNorm {
+    gamma: NdArray,
+    beta: NdArray,
+}
+
+/// One frozen HIM block (see `hire_core::him::HimBlock`).
+#[derive(Debug, Clone)]
+struct FrozenBlock {
+    mbu: Option<MhsaWeights>,
+    mbi: Option<MhsaWeights>,
+    mba: Option<MhsaWeights>,
+    norm_mbu: Option<FrozenNorm>,
+    norm_mbi: Option<FrozenNorm>,
+    norm_mba: Option<FrozenNorm>,
+    residual: bool,
+}
+
+/// A HIRE model exported for serving: plain-array weights plus the dataset
+/// schema facts needed to encode contexts.
+#[derive(Debug, Clone)]
+pub struct FrozenModel {
+    user_embeddings: Vec<NdArray>,
+    item_embeddings: Vec<NdArray>,
+    rating_embedding: NdArray,
+    blocks: Vec<FrozenBlock>,
+    decoder_w: NdArray,
+    decoder_b: NdArray,
+    /// Output scale α of Eq. (16).
+    alpha: f32,
+    min_rating: f32,
+    rating_levels: usize,
+    user_id_only: bool,
+    item_id_only: bool,
+    attr_dim: usize,
+    config: HireConfig,
+}
+
+/// Pulls the next parameter off the iterator and validates its shape.
+fn take_param(
+    params: &mut std::vec::IntoIter<NdArray>,
+    name: &str,
+    expect: &[usize],
+) -> HireResult<NdArray> {
+    let p = params.next().ok_or_else(|| {
+        HireError::invalid_data("FrozenModel", format!("missing parameter `{name}`"))
+    })?;
+    if p.dims() != expect {
+        return Err(HireError::invalid_data(
+            "FrozenModel",
+            format!(
+                "parameter `{name}` has shape {:?}, expected {:?}",
+                p.dims(),
+                expect
+            ),
+        ));
+    }
+    Ok(p)
+}
+
+impl FrozenModel {
+    /// Builds a frozen model from a flat parameter list in
+    /// `HireModel::parameters()` order, validating every shape against the
+    /// dataset schema and `config`.
+    pub fn from_parts(
+        dataset: &Dataset,
+        config: HireConfig,
+        params: Vec<NdArray>,
+    ) -> HireResult<Self> {
+        let total = params.len();
+        let mut it = params.into_iter();
+        let f = config.attr_dim;
+        let inner = config.heads * config.head_dim;
+
+        let user_cards: Vec<usize> = if dataset.user_schema.is_id_only() {
+            vec![dataset.num_users]
+        } else {
+            dataset
+                .user_schema
+                .attributes()
+                .iter()
+                .map(|a| a.cardinality)
+                .collect()
+        };
+        let item_cards: Vec<usize> = if dataset.item_schema.is_id_only() {
+            vec![dataset.num_items]
+        } else {
+            dataset
+                .item_schema
+                .attributes()
+                .iter()
+                .map(|a| a.cardinality)
+                .collect()
+        };
+        let num_attrs = user_cards.len() + item_cards.len() + 1;
+        let e = num_attrs * f;
+
+        let mut user_embeddings = Vec::with_capacity(user_cards.len());
+        for (k, &card) in user_cards.iter().enumerate() {
+            user_embeddings.push(take_param(&mut it, &format!("user_emb[{k}]"), &[card, f])?);
+        }
+        let mut item_embeddings = Vec::with_capacity(item_cards.len());
+        for (k, &card) in item_cards.iter().enumerate() {
+            item_embeddings.push(take_param(&mut it, &format!("item_emb[{k}]"), &[card, f])?);
+        }
+        let rating_embedding = take_param(&mut it, "rating_emb", &[dataset.rating_levels, f])?;
+
+        let mut blocks = Vec::with_capacity(config.num_blocks);
+        for b in 0..config.num_blocks {
+            let mhsa = |it: &mut std::vec::IntoIter<NdArray>,
+                        layer: &str,
+                        dim: usize|
+             -> HireResult<MhsaWeights> {
+                Ok(MhsaWeights {
+                    w_q: take_param(it, &format!("block[{b}].{layer}.w_q"), &[dim, inner])?,
+                    w_k: take_param(it, &format!("block[{b}].{layer}.w_k"), &[dim, inner])?,
+                    w_v: take_param(it, &format!("block[{b}].{layer}.w_v"), &[dim, inner])?,
+                    w_o: take_param(it, &format!("block[{b}].{layer}.w_o"), &[inner, dim])?,
+                    heads: config.heads,
+                    head_dim: config.head_dim,
+                })
+            };
+            let norm =
+                |it: &mut std::vec::IntoIter<NdArray>, layer: &str| -> HireResult<FrozenNorm> {
+                    Ok(FrozenNorm {
+                        gamma: take_param(it, &format!("block[{b}].{layer}.gamma"), &[e])?,
+                        beta: take_param(it, &format!("block[{b}].{layer}.beta"), &[e])?,
+                    })
+                };
+            let mbu = config
+                .enable_mbu
+                .then(|| mhsa(&mut it, "mbu", e))
+                .transpose()?;
+            let mbi = config
+                .enable_mbi
+                .then(|| mhsa(&mut it, "mbi", e))
+                .transpose()?;
+            let mba = config
+                .enable_mba
+                .then(|| mhsa(&mut it, "mba", f))
+                .transpose()?;
+            let norm_mbu = (config.enable_mbu && config.layer_norm)
+                .then(|| norm(&mut it, "norm_mbu"))
+                .transpose()?;
+            let norm_mbi = (config.enable_mbi && config.layer_norm)
+                .then(|| norm(&mut it, "norm_mbi"))
+                .transpose()?;
+            let norm_mba = (config.enable_mba && config.layer_norm)
+                .then(|| norm(&mut it, "norm_mba"))
+                .transpose()?;
+            blocks.push(FrozenBlock {
+                mbu,
+                mbi,
+                mba,
+                norm_mbu,
+                norm_mbi,
+                norm_mba,
+                residual: config.residual,
+            });
+        }
+
+        let decoder_w = take_param(&mut it, "decoder.weight", &[e, 1])?;
+        let decoder_b = take_param(&mut it, "decoder.bias", &[1])?;
+        let leftover = it.count();
+        if leftover != 0 {
+            return Err(HireError::invalid_data(
+                "FrozenModel",
+                format!("{leftover} unexpected trailing parameters (of {total})"),
+            ));
+        }
+
+        Ok(FrozenModel {
+            user_embeddings,
+            item_embeddings,
+            rating_embedding,
+            blocks,
+            decoder_w,
+            decoder_b,
+            alpha: dataset.max_rating(),
+            min_rating: dataset.min_rating,
+            rating_levels: dataset.rating_levels,
+            user_id_only: dataset.user_schema.is_id_only(),
+            item_id_only: dataset.item_schema.is_id_only(),
+            attr_dim: f,
+            config,
+        })
+    }
+
+    /// Exports a live (tape-based) model into a frozen one.
+    pub fn from_model(model: &HireModel, dataset: &Dataset) -> HireResult<Self> {
+        let params: Vec<NdArray> = model.parameters().iter().map(|p| p.value()).collect();
+        Self::from_parts(dataset, model.config().clone(), params)
+    }
+
+    /// Loads a frozen model from a training snapshot.
+    pub fn from_snapshot(
+        snapshot: &TrainSnapshot,
+        dataset: &Dataset,
+        config: &HireConfig,
+    ) -> HireResult<Self> {
+        Self::from_parts(dataset, config.clone(), snapshot.params.clone())
+    }
+
+    /// Loads a frozen model from one snapshot file on disk. Corrupted files
+    /// surface as [`HireError::CorruptCheckpoint`], never a panic.
+    pub fn from_snapshot_file(
+        path: impl AsRef<Path>,
+        dataset: &Dataset,
+        config: &HireConfig,
+    ) -> HireResult<Self> {
+        let path = path.as_ref();
+        let bytes =
+            std::fs::read(path).map_err(|e| HireError::io(path.display().to_string(), e))?;
+        let snapshot = TrainSnapshot::decode(&bytes, &path.display().to_string())?;
+        Self::from_snapshot(&snapshot, dataset, config)
+    }
+
+    /// Loads the newest valid snapshot in a checkpoint directory (corrupted
+    /// files are skipped, as during training resume).
+    pub fn from_checkpoint_dir(
+        dir: impl AsRef<Path>,
+        dataset: &Dataset,
+        config: &HireConfig,
+    ) -> HireResult<Self> {
+        let store = CheckpointStore::open(dir.as_ref(), usize::MAX)?;
+        let outcome = store.load_latest()?.ok_or_else(|| {
+            HireError::invalid_data(
+                "FrozenModel",
+                format!("no valid snapshot in {}", dir.as_ref().display()),
+            )
+        })?;
+        Self::from_snapshot(&outcome.snapshot, dataset, config)
+    }
+
+    /// The model configuration this frozen model was built with.
+    pub fn config(&self) -> &HireConfig {
+        &self.config
+    }
+
+    /// Number of attribute channels `h = h_u + h_i + 1`.
+    pub fn num_attrs(&self) -> usize {
+        self.user_embeddings.len() + self.item_embeddings.len() + 1
+    }
+
+    /// Embedding width `e = h * f`.
+    pub fn embed_dim(&self) -> usize {
+        self.num_attrs() * self.attr_dim
+    }
+
+    /// Total scalar parameter count.
+    pub fn num_parameters(&self) -> usize {
+        let mut n: usize = self
+            .user_embeddings
+            .iter()
+            .chain(&self.item_embeddings)
+            .map(NdArray::numel)
+            .sum();
+        n += self.rating_embedding.numel();
+        for b in &self.blocks {
+            for w in [&b.mbu, &b.mbi, &b.mba].into_iter().flatten() {
+                n += w.w_q.numel() + w.w_k.numel() + w.w_v.numel() + w.w_o.numel();
+            }
+            for nm in [&b.norm_mbu, &b.norm_mbi, &b.norm_mba]
+                .into_iter()
+                .flatten()
+            {
+                n += nm.gamma.numel() + nm.beta.numel();
+            }
+        }
+        n + self.decoder_w.numel() + self.decoder_b.numel()
+    }
+
+    fn user_code(&self, dataset: &Dataset, user: usize, attr: usize) -> usize {
+        if self.user_id_only {
+            user
+        } else {
+            dataset.user_attrs[user][attr]
+        }
+    }
+
+    fn item_code(&self, dataset: &Dataset, item: usize, attr: usize) -> usize {
+        if self.item_id_only {
+            item
+        } else {
+            dataset.item_attrs[item][attr]
+        }
+    }
+
+    /// No-grad mirror of `ContextEncoder::encode`: `H ∈ R^{n×m×e}`.
+    fn encode(&self, ctx: &PredictionContext, dataset: &Dataset) -> HireResult<NdArray> {
+        let n = ctx.n();
+        let m = ctx.m();
+        let f = self.attr_dim;
+        for &u in &ctx.users {
+            if u >= dataset.num_users {
+                return Err(HireError::invalid_data(
+                    "FrozenModel",
+                    format!("context user {u} out of range {}", dataset.num_users),
+                ));
+            }
+        }
+        for &i in &ctx.items {
+            if i >= dataset.num_items {
+                return Err(HireError::invalid_data(
+                    "FrozenModel",
+                    format!("context item {i} out of range {}", dataset.num_items),
+                ));
+            }
+        }
+
+        let user_feats: Vec<NdArray> = self
+            .user_embeddings
+            .iter()
+            .enumerate()
+            .map(|(k, emb)| {
+                let codes: Vec<usize> = ctx
+                    .users
+                    .iter()
+                    .map(|&u| self.user_code(dataset, u, k))
+                    .collect();
+                linalg::gather_rows(emb, &codes)
+            })
+            .collect();
+        let refs: Vec<&NdArray> = user_feats.iter().collect();
+        let x_u = linalg::concat_last(&refs); // [n, hu*f]
+
+        let item_feats: Vec<NdArray> = self
+            .item_embeddings
+            .iter()
+            .enumerate()
+            .map(|(k, emb)| {
+                let codes: Vec<usize> = ctx
+                    .items
+                    .iter()
+                    .map(|&i| self.item_code(dataset, i, k))
+                    .collect();
+                linalg::gather_rows(emb, &codes)
+            })
+            .collect();
+        let refs: Vec<&NdArray> = item_feats.iter().collect();
+        let x_i = linalg::concat_last(&refs); // [m, hi*f]
+
+        // Rating channel: visible cells gather their level embedding,
+        // masked cells gather row 0 and are zeroed by the mask multiply —
+        // the same gather-then-mask the tape encoder performs, so signed
+        // zeros match too.
+        let mut codes = Vec::with_capacity(n * m);
+        for flat in 0..n * m {
+            let visible = ctx.input_mask.as_slice()[flat] == 1.0;
+            let code = if visible {
+                let value = ctx.ratings.as_slice()[flat];
+                ((value - self.min_rating).round() as usize).min(self.rating_levels - 1)
+            } else {
+                0
+            };
+            codes.push(code);
+        }
+        let raw_r = linalg::gather_rows(&self.rating_embedding, &codes); // [n*m, f]
+        let mut mask = NdArray::zeros([n * m, f]);
+        for flat in 0..n * m {
+            if ctx.input_mask.as_slice()[flat] == 1.0 {
+                for j in 0..f {
+                    mask.as_mut_slice()[flat * f + j] = 1.0;
+                }
+            }
+        }
+        let x_r = linalg::broadcast_zip(&raw_r, &mask, |x, y| x * y).reshaped(vec![n, m, f]);
+
+        let hu_f = self.user_embeddings.len() * f;
+        let hi_f = self.item_embeddings.len() * f;
+        let u_grid = linalg::broadcast_zip(
+            &x_u.reshape([n, 1, hu_f]),
+            &NdArray::ones([n, m, hu_f]),
+            |x, y| x * y,
+        );
+        let i_grid = linalg::broadcast_zip(
+            &x_i.reshape([1, m, hi_f]),
+            &NdArray::ones([n, m, hi_f]),
+            |x, y| x * y,
+        );
+        Ok(linalg::concat_last(&[&u_grid, &i_grid, &x_r]))
+    }
+
+    /// Residual-add + optional LayerNorm, mirroring `HimBlock::post`.
+    fn post(x: &NdArray, y: NdArray, residual: bool, norm: &Option<FrozenNorm>) -> NdArray {
+        let z = if residual {
+            linalg::broadcast_zip(x, &y, |a, b| a + b)
+        } else {
+            y
+        };
+        match norm {
+            Some(nm) => linalg::layer_norm_last_nd(&z, &nm.gamma, &nm.beta, LAYER_NORM_EPS),
+            None => z,
+        }
+    }
+
+    /// HIM blocks over a batch of stacked contexts `[B, n, m, e]`.
+    ///
+    /// Every MHSA call flattens the batch axis into the attention batch, so
+    /// each context's result is bit-identical to running it alone (all
+    /// kernels are row- or slice-wise along the flattened axis).
+    fn run_blocks(&self, mut x: NdArray, bsz: usize, n: usize, m: usize) -> NdArray {
+        let h = self.num_attrs();
+        let f = self.attr_dim;
+        let e = h * f;
+        for block in &self.blocks {
+            if let Some(w) = &block.mbu {
+                // tokens = users, batch = (context, item) pairs
+                let per_item = linalg::permute(&x, &[0, 2, 1, 3]).reshaped(vec![bsz * m, n, e]);
+                let y = mhsa_forward(&per_item, w);
+                let y = linalg::permute(&y.reshaped(vec![bsz, m, n, e]), &[0, 2, 1, 3]);
+                x = Self::post(&x, y, block.residual, &block.norm_mbu);
+            }
+            if let Some(w) = &block.mbi {
+                // tokens = items, batch = (context, user) pairs
+                let y = mhsa_forward(&x.reshape([bsz * n, m, e]), w).reshaped(vec![bsz, n, m, e]);
+                x = Self::post(&x, y, block.residual, &block.norm_mbi);
+            }
+            if let Some(w) = &block.mba {
+                // tokens = attributes, batch = all cells
+                let y =
+                    mhsa_forward(&x.reshape([bsz * n * m, h, f]), w).reshaped(vec![bsz, n, m, e]);
+                x = Self::post(&x, y, block.residual, &block.norm_mba);
+            }
+        }
+        x
+    }
+
+    /// Decoder: `α · sigmoid(H W + b)`, shape `[B, n, m]`.
+    fn decode(&self, x: &NdArray, bsz: usize, n: usize, m: usize) -> NdArray {
+        let y = linalg::linear_nd(x, &self.decoder_w); // [B, n, m, 1]
+        let y = linalg::broadcast_zip(&y, &self.decoder_b, |a, b| a + b);
+        let alpha = self.alpha;
+        y.map(|v| 1.0 / (1.0 + (-v).exp()))
+            .map(|v| v * alpha)
+            .reshaped(vec![bsz, n, m])
+    }
+
+    /// Tape-free forward: the predicted rating matrix `[n, m]`,
+    /// bit-identical to `HireModel::predict` on the same context.
+    pub fn forward_nograd(
+        &self,
+        ctx: &PredictionContext,
+        dataset: &Dataset,
+    ) -> HireResult<NdArray> {
+        let n = ctx.n();
+        let m = ctx.m();
+        let h = self.encode(ctx, dataset)?;
+        let e = self.embed_dim();
+        let x = self.run_blocks(h.reshaped(vec![1, n, m, e]), 1, n, m);
+        Ok(self.decode(&x, 1, n, m).reshaped(vec![n, m]))
+    }
+
+    /// Batched tape-free forward over contexts of identical shape. Returns
+    /// one `[n, m]` prediction matrix per context; each is bit-identical to
+    /// the corresponding single-context [`Self::forward_nograd`] call.
+    pub fn forward_nograd_batch(
+        &self,
+        ctxs: &[&PredictionContext],
+        dataset: &Dataset,
+    ) -> HireResult<Vec<NdArray>> {
+        let Some(first) = ctxs.first() else {
+            return Ok(Vec::new());
+        };
+        let (n, m) = (first.n(), first.m());
+        let bsz = ctxs.len();
+        let e = self.embed_dim();
+        let mut stacked = Vec::with_capacity(bsz * n * m * e);
+        for ctx in ctxs {
+            if ctx.n() != n || ctx.m() != m {
+                return Err(HireError::invalid_data(
+                    "FrozenModel",
+                    format!(
+                        "batched contexts must share a shape: {}x{} vs {n}x{m}",
+                        ctx.n(),
+                        ctx.m()
+                    ),
+                ));
+            }
+            stacked.extend_from_slice(self.encode(ctx, dataset)?.as_slice());
+        }
+        let x = self.run_blocks(NdArray::from_vec(vec![bsz, n, m, e], stacked), bsz, n, m);
+        let out = self.decode(&x, bsz, n, m);
+        Ok(out
+            .as_slice()
+            .chunks(n * m)
+            .map(|chunk| NdArray::from_vec(vec![n, m], chunk.to_vec()))
+            .collect())
+    }
+}

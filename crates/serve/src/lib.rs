@@ -1,0 +1,32 @@
+//! # hire-serve
+//!
+//! Online inference for the HIRE reproduction — the first subsystem of the
+//! repo that never builds an autograd tape. Four layers:
+//!
+//! - [`FrozenModel`] — a trained [`hire_core::HireModel`] exported to plain
+//!   [`hire_tensor::NdArray`] weights (or loaded from a `hire-ckpt`
+//!   snapshot), with a tape-free forward that is bit-identical to the live
+//!   model and a batched variant for micro-batching.
+//! - [`ContextCache`] — a capacity-bounded LRU memoizing sampled
+//!   [`hire_data::PredictionContext`]s per `(user, item, strategy, n, m)`
+//!   key, with explicit invalidation when new rating edges arrive.
+//! - [`ServeEngine`] — glues frozen model, dataset, rating graph, sampler
+//!   and cache into a [`Predictor`]: resolve context (cache or sample),
+//!   group same-shape queries, run one batched forward.
+//! - [`Server`] — a micro-batching worker pool: queries are submitted over
+//!   channels, coalesced up to `max_batch`, executed on `workers` threads,
+//!   with bounded-queue backpressure ([`ServeError::Overloaded`]) and panic
+//!   isolation ([`ServeError::WorkerLost`]).
+
+pub mod cache;
+pub mod engine;
+pub mod frozen;
+pub mod server;
+
+pub use cache::{CacheKey, CacheStats, CachedContext, ContextCache};
+pub use engine::{EngineConfig, ServeEngine};
+pub use frozen::FrozenModel;
+pub use server::{
+    Prediction, PredictionHandle, Predictor, RatingQuery, ServeError, Server, ServerConfig,
+    ServerStats,
+};

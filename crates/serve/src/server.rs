@@ -1,0 +1,352 @@
+//! Micro-batching worker pool.
+//!
+//! Queries enter a bounded queue; worker threads coalesce up to
+//! `max_batch` of them (waiting at most `batch_timeout` for stragglers)
+//! and execute one batched predictor call. Backpressure is explicit: a
+//! full queue rejects the submission with [`ServeError::Overloaded`]
+//! instead of buffering unboundedly. A panicking predictor poisons only
+//! the in-flight batch — its callers receive [`ServeError::WorkerLost`]
+//! and the worker thread survives to serve the next batch.
+
+use hire_error::HireError;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// One rating query: "what would `user` rate `item`?"
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RatingQuery {
+    /// User index.
+    pub user: usize,
+    /// Item index.
+    pub item: usize,
+}
+
+/// A served prediction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Prediction {
+    /// Predicted rating, in the dataset's rating range.
+    pub rating: f32,
+    /// Submit-to-completion latency (includes queueing and batching).
+    pub latency: Duration,
+}
+
+/// Serving errors.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The queue is full; retry later (backpressure).
+    Overloaded {
+        /// Jobs queued when the submission was rejected.
+        queue_len: usize,
+        /// The configured queue bound.
+        max_queue: usize,
+    },
+    /// The worker executing this query panicked or disconnected.
+    WorkerLost,
+    /// The server is draining; no new queries are accepted.
+    ShuttingDown,
+    /// The model or context pipeline failed.
+    Model(HireError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Overloaded {
+                queue_len,
+                max_queue,
+            } => write!(f, "server overloaded: {queue_len} queued (max {max_queue})"),
+            ServeError::WorkerLost => write!(f, "worker lost (panicked or disconnected)"),
+            ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::Model(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Re-creates an error for fan-out to every query of a failed batch
+/// (`HireError` is not `Clone`, so the `Model` payload is re-wrapped).
+fn replicate(e: &ServeError) -> ServeError {
+    match e {
+        ServeError::Overloaded {
+            queue_len,
+            max_queue,
+        } => ServeError::Overloaded {
+            queue_len: *queue_len,
+            max_queue: *max_queue,
+        },
+        ServeError::WorkerLost => ServeError::WorkerLost,
+        ServeError::ShuttingDown => ServeError::ShuttingDown,
+        ServeError::Model(e) => ServeError::Model(HireError::invalid_data("serve", e.to_string())),
+    }
+}
+
+/// Anything that can answer a batch of rating queries. Implemented by
+/// [`crate::ServeEngine`]; tests inject slow/panicking stand-ins.
+pub trait Predictor: Send + Sync {
+    /// Predicts a rating per query, in order.
+    fn predict_batch(&self, queries: &[RatingQuery]) -> Result<Vec<f32>, ServeError>;
+}
+
+/// Worker-pool settings.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads.
+    pub workers: usize,
+    /// Maximum queries coalesced into one predictor call.
+    pub max_batch: usize,
+    /// Queue bound; submissions beyond it are rejected as `Overloaded`.
+    pub max_queue: usize,
+    /// How long a worker waits for more queries before running a partial
+    /// batch.
+    pub batch_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            max_batch: 8,
+            max_queue: 1024,
+            batch_timeout: Duration::from_millis(2),
+        }
+    }
+}
+
+/// Lifetime counters for a server.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServerStats {
+    /// Queries accepted into the queue.
+    pub submitted: u64,
+    /// Queries answered (successfully or with a model error).
+    pub completed: u64,
+    /// Submissions rejected by backpressure.
+    pub rejected: u64,
+    /// Batches lost to predictor panics.
+    pub worker_panics: u64,
+}
+
+struct Job {
+    query: RatingQuery,
+    enqueued: Instant,
+    reply: mpsc::Sender<Result<Prediction, ServeError>>,
+}
+
+struct State {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    cv: Condvar,
+    config: ServerConfig,
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    rejected: AtomicU64,
+    worker_panics: AtomicU64,
+}
+
+/// Recovers from a poisoned mutex: the shared state holds plain data that
+/// stays consistent even if a holder panicked mid-critical-section.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// An in-flight query: wait on it for the prediction.
+#[derive(Debug)]
+pub struct PredictionHandle {
+    rx: mpsc::Receiver<Result<Prediction, ServeError>>,
+}
+
+impl PredictionHandle {
+    /// Blocks until the query is answered. A dropped worker surfaces as
+    /// [`ServeError::WorkerLost`], never a hang.
+    pub fn wait(self) -> Result<Prediction, ServeError> {
+        self.rx.recv().unwrap_or(Err(ServeError::WorkerLost))
+    }
+}
+
+/// The micro-batching server.
+pub struct Server {
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Server {
+    /// Spawns `config.workers` threads serving `predictor`.
+    pub fn start(predictor: Arc<dyn Predictor>, config: ServerConfig) -> Server {
+        let config = ServerConfig {
+            workers: config.workers.max(1),
+            max_batch: config.max_batch.max(1),
+            max_queue: config.max_queue.max(1),
+            ..config
+        };
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            cv: Condvar::new(),
+            config,
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            worker_panics: AtomicU64::new(0),
+        });
+        let workers = (0..shared.config.workers)
+            .map(|_| {
+                let shared = shared.clone();
+                let predictor = predictor.clone();
+                std::thread::spawn(move || worker_loop(shared, predictor))
+            })
+            .collect();
+        Server {
+            shared,
+            workers: Mutex::new(workers),
+        }
+    }
+
+    /// Enqueues a query; returns a handle to wait on. Rejects immediately
+    /// when the queue is full or the server is draining — an accepted
+    /// submission is always answered.
+    pub fn submit(&self, query: RatingQuery) -> Result<PredictionHandle, ServeError> {
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut st = lock(&self.shared.state);
+            if st.shutdown {
+                return Err(ServeError::ShuttingDown);
+            }
+            if st.jobs.len() >= self.shared.config.max_queue {
+                self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+                return Err(ServeError::Overloaded {
+                    queue_len: st.jobs.len(),
+                    max_queue: self.shared.config.max_queue,
+                });
+            }
+            st.jobs.push_back(Job {
+                query,
+                enqueued: Instant::now(),
+                reply: tx,
+            });
+        }
+        self.shared.submitted.fetch_add(1, Ordering::Relaxed);
+        self.shared.cv.notify_one();
+        Ok(PredictionHandle { rx })
+    }
+
+    /// Blocking predict: submit + wait.
+    pub fn predict(&self, query: RatingQuery) -> Result<Prediction, ServeError> {
+        self.submit(query)?.wait()
+    }
+
+    /// Stops accepting queries, drains the queue, and joins the workers.
+    /// Every query accepted before the call is still answered. Idempotent.
+    pub fn shutdown(&self) {
+        lock(&self.shared.state).shutdown = true;
+        self.shared.cv.notify_all();
+        let handles: Vec<JoinHandle<()>> = lock(&self.workers).drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> ServerStats {
+        ServerStats {
+            submitted: self.shared.submitted.load(Ordering::Relaxed),
+            completed: self.shared.completed.load(Ordering::Relaxed),
+            rejected: self.shared.rejected.load(Ordering::Relaxed),
+            worker_panics: self.shared.worker_panics.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Jobs currently queued (excluding in-flight batches).
+    pub fn queue_len(&self) -> usize {
+        lock(&self.shared.state).jobs.len()
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>, predictor: Arc<dyn Predictor>) {
+    loop {
+        // Wait for the first job (or shutdown with an empty queue).
+        let mut st = lock(&shared.state);
+        let first = loop {
+            if let Some(job) = st.jobs.pop_front() {
+                break job;
+            }
+            if st.shutdown {
+                return;
+            }
+            st = shared.cv.wait(st).unwrap_or_else(|p| p.into_inner());
+        };
+
+        // Coalesce up to max_batch jobs, waiting at most batch_timeout for
+        // stragglers. During shutdown, take whatever is queued and run.
+        let mut batch = vec![first];
+        let deadline = Instant::now() + shared.config.batch_timeout;
+        while batch.len() < shared.config.max_batch {
+            if let Some(job) = st.jobs.pop_front() {
+                batch.push(job);
+                continue;
+            }
+            if st.shutdown {
+                break;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let (guard, timeout) = shared
+                .cv
+                .wait_timeout(st, deadline - now)
+                .unwrap_or_else(|p| p.into_inner());
+            st = guard;
+            if timeout.timed_out() && st.jobs.is_empty() {
+                break;
+            }
+        }
+        drop(st);
+
+        let queries: Vec<RatingQuery> = batch.iter().map(|j| j.query).collect();
+        let result = catch_unwind(AssertUnwindSafe(|| predictor.predict_batch(&queries)));
+        match result {
+            Ok(Ok(ratings)) => {
+                debug_assert_eq!(ratings.len(), batch.len());
+                for (job, &rating) in batch.iter().zip(&ratings) {
+                    // Count before replying so a caller that sees its
+                    // answer also sees the counter include it.
+                    shared.completed.fetch_add(1, Ordering::Relaxed);
+                    let _ = job.reply.send(Ok(Prediction {
+                        rating,
+                        latency: job.enqueued.elapsed(),
+                    }));
+                }
+            }
+            Ok(Err(e)) => {
+                for job in &batch {
+                    shared.completed.fetch_add(1, Ordering::Relaxed);
+                    let _ = job.reply.send(Err(replicate(&e)));
+                }
+            }
+            Err(_panic) => {
+                // The batch is lost but the worker survives; callers get a
+                // typed error instead of a hung receiver.
+                shared.worker_panics.fetch_add(1, Ordering::Relaxed);
+                for job in &batch {
+                    let _ = job.reply.send(Err(ServeError::WorkerLost));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! Checkpoint interop: a `hire-ckpt` training snapshot must load into a
+//! [`FrozenModel`] that matches the live trained model, and corruption must
+//! surface as a typed [`HireError`], never a panic.
+
+use hire_ckpt::SNAPSHOT_EXT;
+use hire_core::{train, HireConfig, HireModel, TrainConfig};
+use hire_data::{test_context_with_ratio, Dataset};
+use hire_error::HireError;
+use hire_graph::{NeighborhoodSampler, Rating};
+use hire_serve::FrozenModel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::PathBuf;
+
+/// Self-cleaning temp dir (same pattern as the ckpt crate's tests).
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!(
+            "hire_serve_{tag}_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        TempDir(dir)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn setup() -> (Dataset, HireConfig) {
+    let dataset = hire_data::SyntheticConfig::movielens_like()
+        .scaled(30, 25, (6, 12))
+        .generate(11);
+    let config = HireConfig::fast().with_blocks(1).with_context_size(6, 6);
+    (dataset, config)
+}
+
+fn train_with_checkpoints(
+    dataset: &Dataset,
+    config: &HireConfig,
+    dir: &std::path::Path,
+) -> HireModel {
+    let mut rng = StdRng::seed_from_u64(2);
+    let model = HireModel::new(dataset, config, &mut rng);
+    let graph = dataset.graph();
+    let train_config = TrainConfig {
+        steps: 6,
+        batch_size: 2,
+        checkpoint_dir: Some(dir.to_path_buf()),
+        checkpoint_every_secs: 0.0,
+        checkpoint_keep_last: 2,
+        ..TrainConfig::paper_default()
+    };
+    train(
+        &model,
+        dataset,
+        &graph,
+        &NeighborhoodSampler,
+        &train_config,
+        &mut rng,
+    )
+    .expect("training run");
+    model
+}
+
+#[test]
+fn snapshot_round_trips_into_matching_frozen_model() {
+    let tmp = TempDir::new("roundtrip");
+    let (dataset, config) = setup();
+    let model = train_with_checkpoints(&dataset, &config, &tmp.0);
+
+    let frozen =
+        FrozenModel::from_checkpoint_dir(&tmp.0, &dataset, &config).expect("load snapshot");
+
+    // The frozen model from disk must predict exactly like the live,
+    // just-trained model.
+    let graph = dataset.graph();
+    let mut rng = StdRng::seed_from_u64(77);
+    for k in 0..3 {
+        let seed = dataset.ratings[k];
+        let ctx = test_context_with_ratio(
+            &graph,
+            &NeighborhoodSampler,
+            &[Rating::new(seed.user, seed.item, seed.value)],
+            6,
+            6,
+            0.3,
+            &mut rng,
+        )
+        .expect("context");
+        let live = model.predict(&ctx, &dataset);
+        let served = frozen.forward_nograd(&ctx, &dataset).expect("nograd");
+        let diff = live.max_abs_diff(&served);
+        assert!(diff <= 1e-6, "ctx {k}: live vs snapshot diff {diff:e}");
+    }
+}
+
+#[test]
+fn corrupted_snapshot_is_a_typed_error_not_a_panic() {
+    let tmp = TempDir::new("corrupt");
+    let (dataset, config) = setup();
+    train_with_checkpoints(&dataset, &config, &tmp.0);
+
+    let mut snapshots: Vec<PathBuf> = std::fs::read_dir(&tmp.0)
+        .expect("read checkpoint dir")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == SNAPSHOT_EXT))
+        .collect();
+    snapshots.sort();
+    assert!(
+        !snapshots.is_empty(),
+        "training must have written snapshots"
+    );
+
+    // Bit-flip the payload of one snapshot: loading that file directly must
+    // fail with CorruptCheckpoint.
+    let victim = snapshots.last().unwrap();
+    let mut bytes = std::fs::read(victim).expect("read snapshot");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    std::fs::write(victim, &bytes).expect("write corrupted snapshot");
+
+    let err = FrozenModel::from_snapshot_file(victim, &dataset, &config)
+        .expect_err("corrupted snapshot must fail");
+    assert!(
+        matches!(err, HireError::CorruptCheckpoint { .. }),
+        "expected CorruptCheckpoint, got {err}"
+    );
+
+    // The directory loader falls back to an older valid snapshot if one
+    // exists; corrupt them all and it must report a typed error too.
+    for path in &snapshots {
+        std::fs::write(path, b"garbage").expect("clobber snapshot");
+    }
+    let err = FrozenModel::from_checkpoint_dir(&tmp.0, &dataset, &config)
+        .expect_err("all-corrupt directory must fail");
+    assert!(
+        err.to_string().contains("no valid snapshot"),
+        "unexpected error: {err}"
+    );
+}
+
+#[test]
+fn snapshot_under_wrong_config_is_rejected() {
+    let tmp = TempDir::new("wrongcfg");
+    let (dataset, config) = setup();
+    train_with_checkpoints(&dataset, &config, &tmp.0);
+
+    let wrong = config.clone().with_blocks(3);
+    let err = FrozenModel::from_checkpoint_dir(&tmp.0, &dataset, &wrong)
+        .expect_err("depth mismatch must fail");
+    assert!(
+        matches!(err, HireError::InvalidData { .. }),
+        "expected InvalidData, got {err}"
+    );
+}

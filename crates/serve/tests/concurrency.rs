@@ -1,0 +1,213 @@
+//! Worker-pool semantics under load, shutdown, and worker failure —
+//! mirroring the fault-injection style of `crates/bench/tests/fault.rs`.
+
+use hire_serve::{Predictor, RatingQuery, ServeError, Server, ServerConfig};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Answers `user + item` after an optional delay; panics on a poisoned
+/// user id.
+struct TestPredictor {
+    delay: Duration,
+    panic_on_user: Option<usize>,
+    calls: AtomicU64,
+    served: AtomicU64,
+}
+
+impl TestPredictor {
+    fn new(delay: Duration, panic_on_user: Option<usize>) -> Self {
+        TestPredictor {
+            delay,
+            panic_on_user,
+            calls: AtomicU64::new(0),
+            served: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Predictor for TestPredictor {
+    fn predict_batch(&self, queries: &[RatingQuery]) -> Result<Vec<f32>, ServeError> {
+        self.calls.fetch_add(1, Ordering::SeqCst);
+        if !self.delay.is_zero() {
+            std::thread::sleep(self.delay);
+        }
+        if let Some(poison) = self.panic_on_user {
+            if queries.iter().any(|q| q.user == poison) {
+                panic!("injected predictor panic");
+            }
+        }
+        self.served
+            .fetch_add(queries.len() as u64, Ordering::SeqCst);
+        Ok(queries.iter().map(|q| (q.user + q.item) as f32).collect())
+    }
+}
+
+#[test]
+fn shutdown_drains_queue_and_answers_every_accepted_query() {
+    let predictor = Arc::new(TestPredictor::new(Duration::from_millis(5), None));
+    let server = Server::start(
+        predictor.clone(),
+        ServerConfig {
+            workers: 2,
+            max_batch: 4,
+            max_queue: 1024,
+            batch_timeout: Duration::from_millis(1),
+        },
+    );
+    let handles: Vec<_> = (0..40)
+        .map(|k| {
+            server
+                .submit(RatingQuery { user: k, item: k })
+                .expect("accepted")
+        })
+        .collect();
+    // Shut down immediately: the queue is still mostly full, and every
+    // accepted query must still be answered.
+    server.shutdown();
+    for (k, h) in handles.into_iter().enumerate() {
+        let pred = h.wait().expect("drained query must be answered");
+        assert_eq!(pred.rating, (2 * k) as f32);
+    }
+    assert_eq!(predictor.served.load(Ordering::SeqCst), 40);
+    let stats = server.stats();
+    assert_eq!(stats.submitted, 40);
+    assert_eq!(stats.completed, 40);
+}
+
+#[test]
+fn submissions_after_shutdown_are_rejected() {
+    let server = Server::start(
+        Arc::new(TestPredictor::new(Duration::ZERO, None)),
+        ServerConfig::default(),
+    );
+    server.shutdown();
+    let err = server
+        .submit(RatingQuery { user: 0, item: 0 })
+        .expect_err("post-shutdown submit must fail");
+    assert!(matches!(err, ServeError::ShuttingDown), "got {err}");
+}
+
+#[test]
+fn full_queue_rejects_with_overloaded_but_drops_nothing_accepted() {
+    let server = Server::start(
+        Arc::new(TestPredictor::new(Duration::from_millis(20), None)),
+        ServerConfig {
+            workers: 1,
+            max_batch: 1,
+            max_queue: 3,
+            batch_timeout: Duration::ZERO,
+        },
+    );
+    let mut accepted = Vec::new();
+    let mut rejected = 0u64;
+    for k in 0..30 {
+        match server.submit(RatingQuery { user: k, item: 0 }) {
+            Ok(h) => accepted.push((k, h)),
+            Err(ServeError::Overloaded { max_queue, .. }) => {
+                assert_eq!(max_queue, 3);
+                rejected += 1;
+            }
+            Err(other) => panic!("unexpected error: {other}"),
+        }
+    }
+    assert!(rejected > 0, "a slow single worker must shed load");
+    let n_accepted = accepted.len() as u64;
+    for (k, h) in accepted {
+        let pred = h.wait().expect("accepted query must complete");
+        assert_eq!(pred.rating, k as f32);
+    }
+    let stats = server.stats();
+    assert_eq!(stats.rejected, rejected);
+    assert_eq!(stats.completed, n_accepted);
+}
+
+#[test]
+fn worker_panic_surfaces_as_worker_lost_not_deadlock() {
+    let predictor = Arc::new(TestPredictor::new(Duration::ZERO, Some(666)));
+    let server = Server::start(
+        predictor.clone(),
+        ServerConfig {
+            workers: 1,
+            max_batch: 1, // keep the poisoned query in its own batch
+            max_queue: 64,
+            batch_timeout: Duration::ZERO,
+        },
+    );
+    let err = server
+        .predict(RatingQuery { user: 666, item: 0 })
+        .expect_err("poisoned query must fail");
+    assert!(matches!(err, ServeError::WorkerLost), "got {err}");
+    assert_eq!(server.stats().worker_panics, 1);
+
+    // The worker survives the panic and keeps serving.
+    let pred = server
+        .predict(RatingQuery { user: 1, item: 2 })
+        .expect("worker must survive a panicked batch");
+    assert_eq!(pred.rating, 3.0);
+    server.shutdown();
+}
+
+#[test]
+fn batches_coalesce_up_to_max_batch() {
+    let predictor = Arc::new(TestPredictor::new(Duration::from_millis(10), None));
+    let server = Server::start(
+        predictor.clone(),
+        ServerConfig {
+            workers: 1,
+            max_batch: 8,
+            max_queue: 1024,
+            batch_timeout: Duration::from_millis(20),
+        },
+    );
+    // With one slow worker, 32 queued queries must drain in far fewer
+    // predictor calls than queries.
+    let handles: Vec<_> = (0..32)
+        .map(|k| {
+            server
+                .submit(RatingQuery { user: k, item: 1 })
+                .expect("accepted")
+        })
+        .collect();
+    for h in handles {
+        h.wait().expect("answered");
+    }
+    let calls = predictor.calls.load(Ordering::SeqCst);
+    assert!(
+        calls < 32,
+        "expected micro-batching to coalesce: {calls} calls for 32 queries"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_clients_see_consistent_results() {
+    let server = Arc::new(Server::start(
+        Arc::new(TestPredictor::new(Duration::from_micros(200), None)),
+        ServerConfig {
+            workers: 4,
+            max_batch: 8,
+            max_queue: 4096,
+            batch_timeout: Duration::from_micros(500),
+        },
+    ));
+    let clients: Vec<_> = (0..8)
+        .map(|c| {
+            let server = server.clone();
+            std::thread::spawn(move || {
+                for k in 0..50usize {
+                    let q = RatingQuery {
+                        user: c * 100 + k,
+                        item: k,
+                    };
+                    let pred = server.predict(q).expect("served");
+                    assert_eq!(pred.rating, (q.user + q.item) as f32);
+                }
+            })
+        })
+        .collect();
+    for c in clients {
+        c.join().expect("client thread");
+    }
+    assert_eq!(server.stats().completed, 400);
+}

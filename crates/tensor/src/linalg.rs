@@ -360,6 +360,53 @@ pub fn mean_last(a: &NdArray) -> NdArray {
     s
 }
 
+/// Applies a shared weight to the trailing feature axis without autograd:
+/// `x: [..., d] x w: [d, k] -> [..., k]`. The no-grad mirror of
+/// `Tensor::linear` — it flattens the leading axes into rows and runs the
+/// same [`matmul2d`] kernel, so results are bit-identical to the tape path.
+pub fn linear_nd(x: &NdArray, w: &NdArray) -> NdArray {
+    let dims = x.dims().to_vec();
+    let d = *dims.last().expect("linear_nd needs rank >= 1");
+    assert_eq!(
+        w.shape().rank(),
+        2,
+        "linear_nd weight must be 2-D, got {}",
+        w.shape()
+    );
+    let rows = dims[..dims.len() - 1].iter().product::<usize>();
+    let flat = x.reshape([rows, d]);
+    let out = matmul2d(&flat, w);
+    let mut out_dims = dims[..dims.len() - 1].to_vec();
+    out_dims.push(w.dims()[1]);
+    out.reshaped(out_dims)
+}
+
+/// Layer normalization over the last axis without autograd: the no-grad
+/// mirror of `Tensor::layer_norm_last`'s forward pass. Mean and variance
+/// accumulate in f64 with the identical operation order, so results are
+/// bit-identical to the tape path.
+pub fn layer_norm_last_nd(x: &NdArray, gamma: &NdArray, beta: &NdArray, eps: f32) -> NdArray {
+    let w = *x.dims().last().expect("layer_norm_last_nd needs rank >= 1");
+    let rows = x.numel() / w.max(1);
+    assert_eq!(gamma.dims(), &[w], "gamma must be [{w}]");
+    assert_eq!(beta.dims(), &[w], "beta must be [{w}]");
+    let mut y = vec![0.0f32; x.numel()];
+    let xs = x.as_slice();
+    let gs = gamma.as_slice();
+    let bs = beta.as_slice();
+    for r in 0..rows {
+        let row = &xs[r * w..(r + 1) * w];
+        let mean = row.iter().map(|&v| v as f64).sum::<f64>() / w as f64;
+        let var = row.iter().map(|&v| (v as f64 - mean).powi(2)).sum::<f64>() / w as f64;
+        let istd = 1.0 / (var + eps as f64).sqrt();
+        for j in 0..w {
+            let xh = ((row[j] as f64 - mean) * istd) as f32;
+            y[r * w + j] = xh * gs[j] + bs[j];
+        }
+    }
+    NdArray::from_vec(x.shape().clone(), y)
+}
+
 /// Gathers rows of a 2-D `table` `[v, f]` by `indices`, producing `[n, f]`.
 pub fn gather_rows(table: &NdArray, indices: &[usize]) -> NdArray {
     assert_eq!(table.shape().rank(), 2, "gather_rows table must be 2-D");
@@ -495,6 +542,32 @@ mod tests {
         assert_eq!(c.as_slice(), &[1., 2., 5., 6., 7., 3., 4., 8., 9., 10.]);
         assert_eq!(slice_last(&c, 0, 2).as_slice(), a.as_slice());
         assert_eq!(slice_last(&c, 2, 3).as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn linear_nd_matches_flattened_matmul() {
+        let x = NdArray::from_vec([2, 2, 3], (0..12).map(|v| v as f32 * 0.25).collect());
+        let w = NdArray::from_vec([3, 4], (0..12).map(|v| v as f32 * 0.1 - 0.5).collect());
+        let y = linear_nd(&x, &w);
+        assert_eq!(y.dims(), &[2, 2, 4]);
+        let flat = matmul2d(&x.reshape([4, 3]), &w);
+        assert_eq!(y.as_slice(), flat.as_slice());
+    }
+
+    #[test]
+    fn layer_norm_last_nd_normalizes_rows() {
+        let x = NdArray::from_vec([2, 4], vec![1., 2., 3., 4., 10., 10., 10., 10.]);
+        let gamma = NdArray::ones([4]);
+        let beta = NdArray::zeros([4]);
+        let y = layer_norm_last_nd(&x, &gamma, &beta, 1e-5);
+        let mean: f32 = y.as_slice()[..4].iter().sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-5);
+        assert!(y.as_slice()[4..].iter().all(|&v| v.abs() < 1e-2));
+        // affine params shift and scale
+        let y2 = layer_norm_last_nd(&x, &NdArray::full([4], 2.0), &NdArray::full([4], 1.0), 1e-5);
+        for (a, b) in y.as_slice().iter().zip(y2.as_slice()) {
+            assert!((a * 2.0 + 1.0 - b).abs() < 1e-6);
+        }
     }
 
     #[test]

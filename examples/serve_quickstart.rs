@@ -1,0 +1,112 @@
+//! Serving quickstart: train HIRE, freeze it, and answer rating queries
+//! through the online inference stack (context cache + micro-batched
+//! worker pool).
+//!
+//! ```sh
+//! cargo run --release --example serve_quickstart
+//! ```
+
+use hire::prelude::*;
+use hire::serve::Predictor;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    // 1. Train a small HIRE model (same recipe as the quickstart example).
+    let dataset = SyntheticConfig::movielens_like()
+        .scaled(80, 60, (15, 30))
+        .generate(42);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+    let config = HireConfig::fast().with_context_size(12, 12);
+    let model = HireModel::new(&dataset, &config, &mut rng);
+    let graph = dataset.graph();
+    println!("training HIRE ({} parameters) ...", model.num_parameters());
+    hire::core::train(
+        &model,
+        &dataset,
+        &graph,
+        &NeighborhoodSampler,
+        &TrainConfig {
+            steps: 120,
+            batch_size: 4,
+            base_lr: 3e-3,
+            grad_clip: 1.0,
+            ..TrainConfig::paper_default()
+        },
+        &mut rng,
+    )
+    .expect("training");
+
+    // 2. Freeze: export the weights to plain arrays. The frozen forward
+    //    never builds an autograd tape but is bit-identical to
+    //    `HireModel::predict`. (A snapshot on disk works too — see
+    //    `FrozenModel::from_checkpoint_dir`.)
+    let frozen = FrozenModel::from_model(&model, &dataset).expect("freeze");
+    println!(
+        "frozen: {} parameters, embed dim {}",
+        frozen.num_parameters(),
+        frozen.embed_dim()
+    );
+
+    // 3. The engine samples a deterministic context per (user, item),
+    //    memoizes it in an LRU cache, and runs batched no-grad forwards.
+    let engine = Arc::new(ServeEngine::new(
+        frozen,
+        Arc::new(dataset),
+        EngineConfig::from_model_config(&config),
+    ));
+
+    // 4. Serve through the micro-batching worker pool: submissions are
+    //    coalesced into batches of up to `max_batch` and answered on
+    //    `workers` threads, with bounded-queue backpressure.
+    let server = Server::start(
+        engine.clone(),
+        ServerConfig {
+            workers: 2,
+            max_batch: 8,
+            max_queue: 256,
+            batch_timeout: Duration::from_millis(2),
+        },
+    );
+    let queries: Vec<RatingQuery> = (0..8)
+        .map(|k| RatingQuery {
+            user: k,
+            item: 3 * k,
+        })
+        .collect();
+    let handles: Vec<_> = queries
+        .iter()
+        .map(|&q| server.submit(q).expect("accepted"))
+        .collect();
+    for (q, h) in queries.iter().zip(handles) {
+        let p = h.wait().expect("answered");
+        println!(
+            "  u{:<3} i{:<3} -> {:.2}  ({:.2} ms)",
+            q.user,
+            q.item,
+            p.rating,
+            p.latency.as_secs_f64() * 1e3
+        );
+    }
+
+    // 5. A new observed rating invalidates every cached context its edge
+    //    touches; the next query resamples against the updated graph.
+    let removed = engine
+        .insert_rating(hire::graph::Rating::new(0, 0, 5.0))
+        .expect("in range");
+    let after = engine
+        .predict_batch(&[RatingQuery { user: 0, item: 0 }])
+        .expect("served")[0];
+    let stats = engine.cache_stats();
+    println!(
+        "\ninserted rating (u0, i0, 5.0): {removed} contexts invalidated, re-served -> {after:.2}"
+    );
+    println!(
+        "cache: {} hits / {} misses ({:.0}% hit rate)",
+        stats.hits,
+        stats.misses,
+        100.0 * stats.hit_rate()
+    );
+    server.shutdown();
+}

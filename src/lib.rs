@@ -15,6 +15,7 @@
 //! | [`baselines`] | `hire-baselines` | NeuMF, Wide&Deep, DeepFM, AFN, GraphRec, HIN, MeLU, MAMO, TaNP |
 //! | [`metrics`] | `hire-metrics` | Precision/NDCG/MAP @ k |
 //! | [`eval`] | `hire-eval` | the comparison harness used by the benches |
+//! | [`serve`] | `hire-serve` | online inference: frozen models, context cache, worker pool |
 //!
 //! ```
 //! use hire::prelude::*;
@@ -46,6 +47,7 @@ pub use hire_graph as graph;
 pub use hire_metrics as metrics;
 pub use hire_nn as nn;
 pub use hire_optim as optim;
+pub use hire_serve as serve;
 pub use hire_tensor as tensor;
 
 /// One-stop imports for the common workflow.
@@ -65,5 +67,8 @@ pub mod prelude {
     };
     pub use hire_metrics::{map_at_k, ndcg_at_k, precision_at_k, ranking_metrics, ScoredPair};
     pub use hire_nn::Module;
+    pub use hire_serve::{
+        EngineConfig, FrozenModel, RatingQuery, ServeEngine, Server, ServerConfig,
+    };
     pub use hire_tensor::{NdArray, Shape, Tensor};
 }
