@@ -15,14 +15,24 @@
 //! The query mix is `--cold-frac` uniform-random (cold) pairs and the rest
 //! drawn zipfian (`--zipf`) from a `--hot-pairs`-sized hot set, so the
 //! context cache sees realistic skew.
+//!
+//! A fourth, optional phase runs when `--chaos-seed` is given:
+//! 4. **chaos** — a fresh resilient engine + server with a seeded
+//!    `hire_chaos::FaultPlan` injecting delays, panics, errors, and
+//!    wrong-shape outputs at `--fault-rate`; the report breaks latency out
+//!    per serving tier and records fallback rate, breaker transitions, and
+//!    the number of unanswered queries (which must be zero). The process
+//!    exits non-zero if the degradation ladder failed to hold.
 
 use hire_bench::write_json_atomic;
+use hire_chaos::FaultPlan;
 use hire_core::{HireConfig, HireModel};
 use hire_data::{test_context_with_ratio, Dataset, SyntheticConfig};
 use hire_error::{HireError, HireResult};
 use hire_graph::{BipartiteGraph, NeighborhoodSampler, Rating};
 use hire_serve::{
-    EngineConfig, FrozenModel, Predictor, RatingQuery, ServeEngine, Server, ServerConfig,
+    EngineConfig, FrozenModel, Predictor, RatingQuery, ServeEngine, ServeError, ServedBy, Server,
+    ServerConfig,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -47,6 +57,9 @@ OPTIONS:
     --zipf <f64>             zipf exponent over the hot set [1.1]
     --hot-pairs <usize>      hot-set size [64]
     --seed <u64>             rng seed [7]
+    --chaos-seed <u64>       enable the chaos phase with this fault seed
+    --fault-rate <f64>       per-site fault probability for the chaos phase [0.2]
+    --chaos-queries <usize>  queries fired during the chaos phase [300]
     --out <path>             write the JSON report here
     -h, --help               print this help";
 
@@ -62,6 +75,9 @@ struct Args {
     zipf: f64,
     hot_pairs: usize,
     seed: u64,
+    chaos_seed: Option<u64>,
+    fault_rate: f64,
+    chaos_queries: usize,
     out: Option<String>,
 }
 
@@ -78,6 +94,9 @@ impl Default for Args {
             zipf: 1.1,
             hot_pairs: 64,
             seed: 7,
+            chaos_seed: None,
+            fault_rate: 0.2,
+            chaos_queries: 300,
             out: None,
         }
     }
@@ -106,6 +125,9 @@ fn parse_args(argv: &[String]) -> HireResult<Args> {
             "--zipf" => args.zipf = num(flag, value()?)?,
             "--hot-pairs" => args.hot_pairs = num(flag, value()?)?,
             "--seed" => args.seed = num(flag, value()?)?,
+            "--chaos-seed" => args.chaos_seed = Some(num(flag, value()?)?),
+            "--fault-rate" => args.fault_rate = num(flag, value()?)?,
+            "--chaos-queries" => args.chaos_queries = num(flag, value()?)?,
             "--out" => args.out = Some(value()?.clone()),
             other => {
                 return Err(HireError::invalid_argument(
@@ -214,6 +236,39 @@ struct CacheReport {
 }
 
 #[derive(Serialize)]
+struct TierLatency {
+    count: u64,
+    p50_ms: f64,
+    p95_ms: f64,
+    p99_ms: f64,
+}
+
+#[derive(Serialize)]
+struct ChaosReport {
+    chaos_seed: u64,
+    fault_rate: f64,
+    submitted: u64,
+    answered_ok: u64,
+    answered_typed_error: u64,
+    unanswered: u64,
+    deadline_expired: u64,
+    faults_injected: u64,
+    served_model: u64,
+    served_cache: u64,
+    served_fallback: u64,
+    deadline_degraded: u64,
+    breaker_degraded: u64,
+    failure_degraded: u64,
+    breaker_opened: u64,
+    breaker_half_opened: u64,
+    breaker_closed: u64,
+    breaker_rejected: u64,
+    model_tier: TierLatency,
+    cache_tier: TierLatency,
+    fallback_tier: TierLatency,
+}
+
+#[derive(Serialize)]
 struct ServeBenchReport {
     workers: usize,
     max_batch: usize,
@@ -227,6 +282,7 @@ struct ServeBenchReport {
     saturation: SaturationReport,
     paced: PacedReport,
     cache: CacheReport,
+    chaos: Option<ChaosReport>,
 }
 
 /// Single-threaded tape baseline: sample a context and run the autograd
@@ -356,6 +412,116 @@ fn run_paced(server: &Arc<Server>, log: &QueryLog, args: &Args) -> PacedReport {
     }
 }
 
+fn tier_latency(latencies_ms: &mut Vec<f64>) -> TierLatency {
+    latencies_ms.sort_by(|a, b| a.total_cmp(b));
+    TierLatency {
+        count: latencies_ms.len() as u64,
+        p50_ms: percentile_ms(latencies_ms, 50.0),
+        p95_ms: percentile_ms(latencies_ms, 95.0),
+        p99_ms: percentile_ms(latencies_ms, 99.0),
+    }
+}
+
+/// Chaos phase: a fresh resilient engine + server share a seeded
+/// [`FaultPlan`]; every accepted query must still come back with exactly
+/// one typed reply, and the report says which tier answered it and how
+/// the breaker moved. Returns `(report, ladder_held)`.
+fn run_chaos(
+    frozen: FrozenModel,
+    dataset: Arc<Dataset>,
+    config: &HireConfig,
+    log: &QueryLog,
+    args: &Args,
+    chaos_seed: u64,
+) -> (ChaosReport, bool) {
+    let plan = Arc::new(FaultPlan::mixed(chaos_seed, args.fault_rate));
+    let engine = Arc::new(
+        ServeEngine::new(frozen, dataset, EngineConfig::from_model_config(config))
+            .with_faults(plan.clone()),
+    );
+    let server = Server::start_with_faults(
+        engine.clone(),
+        ServerConfig {
+            workers: args.workers,
+            max_batch: args.max_batch,
+            max_queue: args.max_queue,
+            batch_timeout: Duration::from_secs_f64(args.batch_timeout_ms / 1e3),
+        },
+        Some(plan.clone()),
+    );
+
+    let mut rng = StdRng::seed_from_u64(chaos_seed ^ 0xC4A05);
+    let mut handles = Vec::new();
+    let mut submitted = 0u64;
+    for k in 0..args.chaos_queries {
+        // Every fourth query carries a tight budget so the deadline path
+        // is exercised alongside the fault injection.
+        let budget = (k % 4 == 0).then(|| Duration::from_millis(40));
+        if let Ok(h) = server.submit_with_deadline(log.next(&mut rng), budget) {
+            submitted += 1;
+            handles.push(h);
+        }
+    }
+
+    let (mut answered_ok, mut answered_typed_error, mut unanswered) = (0u64, 0u64, 0u64);
+    let (mut model_ms, mut cache_ms, mut fallback_ms) = (Vec::new(), Vec::new(), Vec::new());
+    // Generous bound: anything slower than this is a hang, which is
+    // exactly what the degradation ladder promises cannot happen.
+    let hang_bound = Duration::from_secs(30);
+    for h in &handles {
+        let waited = Instant::now();
+        match h.recv_timeout(hang_bound) {
+            Ok(p) => {
+                answered_ok += 1;
+                let ms = p.latency.as_secs_f64() * 1e3;
+                match p.served_by {
+                    ServedBy::Model => model_ms.push(ms),
+                    ServedBy::Cache => cache_ms.push(ms),
+                    ServedBy::Fallback => fallback_ms.push(ms),
+                }
+            }
+            // A worker-sent `DeadlineExceeded` arrives in milliseconds;
+            // recv_timeout only fabricates one itself after the full
+            // hang bound elapses — that is an unanswered query.
+            Err(ServeError::DeadlineExceeded) if waited.elapsed() >= hang_bound => {
+                unanswered += 1;
+            }
+            Err(_) => answered_typed_error += 1,
+        }
+    }
+    server.shutdown();
+
+    let tiers = engine.tier_stats();
+    let breaker = engine.breaker_stats().unwrap_or_default();
+    let server_stats = server.stats();
+    let report = ChaosReport {
+        chaos_seed,
+        fault_rate: args.fault_rate,
+        submitted,
+        answered_ok,
+        answered_typed_error,
+        unanswered,
+        deadline_expired: server_stats.deadline_expired,
+        faults_injected: plan.total_injected(),
+        served_model: tiers.model,
+        served_cache: tiers.cache,
+        served_fallback: tiers.fallback,
+        deadline_degraded: tiers.deadline_degraded,
+        breaker_degraded: tiers.breaker_degraded,
+        failure_degraded: tiers.failure_degraded,
+        breaker_opened: breaker.opened,
+        breaker_half_opened: breaker.half_opened,
+        breaker_closed: breaker.closed,
+        breaker_rejected: breaker.rejected,
+        model_tier: tier_latency(&mut model_ms),
+        cache_tier: tier_latency(&mut cache_ms),
+        fallback_tier: tier_latency(&mut fallback_ms),
+    };
+    let ladder_held =
+        report.unanswered == 0 && !(args.fault_rate > 0.0 && report.served_fallback == 0);
+    (report, ladder_held)
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.iter().any(|a| a == "--help" || a == "-h") {
@@ -380,6 +546,7 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(args.seed);
     let model = HireModel::new(&dataset, &config, &mut rng);
     let frozen = FrozenModel::from_model(&model, &dataset).expect("freeze model");
+    let frozen_for_chaos = args.chaos_seed.map(|_| frozen.clone());
     let graph = dataset.graph();
     let log = Arc::new(QueryLog::new(&dataset, &args, &mut rng));
 
@@ -426,6 +593,36 @@ fn main() {
     );
 
     server.shutdown();
+
+    let mut ladder_held = true;
+    let chaos = args.chaos_seed.map(|chaos_seed| {
+        eprintln!(
+            "serve_bench: chaos (seed {chaos_seed}, fault rate {})...",
+            args.fault_rate
+        );
+        let (report, held) = run_chaos(
+            frozen_for_chaos.expect("frozen clone reserved for chaos"),
+            dataset.clone(),
+            &config,
+            &log,
+            &args,
+            chaos_seed,
+        );
+        eprintln!(
+            "  {} submitted: {} ok / {} typed errors / {} unanswered; tiers model {} cache {} fallback {}; breaker opened {}x",
+            report.submitted,
+            report.answered_ok,
+            report.answered_typed_error,
+            report.unanswered,
+            report.served_model,
+            report.served_cache,
+            report.served_fallback,
+            report.breaker_opened,
+        );
+        ladder_held = held;
+        report
+    });
+
     let cache_stats = engine.cache_stats();
     let report = ServeBenchReport {
         workers: args.workers,
@@ -446,6 +643,7 @@ fn main() {
             invalidations: cache_stats.invalidations,
             hit_rate: cache_stats.hit_rate(),
         },
+        chaos,
     };
     eprintln!(
         "serve_bench: cache hit-rate {:.1}% ({} hits / {} misses)",
@@ -461,5 +659,13 @@ fn main() {
             "{}",
             serde_json::to_string_pretty(&report).expect("serialize report")
         );
+    }
+    if !ladder_held {
+        let c = report.chaos.as_ref().expect("chaos report");
+        eprintln!(
+            "serve_bench: DEGRADATION LADDER FAILED — {} unanswered, {} fallback-served at fault rate {}",
+            c.unanswered, c.served_fallback, c.fault_rate
+        );
+        std::process::exit(1);
     }
 }

@@ -1,0 +1,150 @@
+//! Seeded, jittered exponential backoff.
+//!
+//! One utility shared by every retry-shaped path in the workspace:
+//!
+//! - **Training recovery** (`trainer`): after a divergence rollback the
+//!   learning rate is scaled by [`Backoff::geometric`] — the same
+//!   `factor^attempt` decay the retry delays follow, computed by repeated
+//!   `f32` multiplication so resumed runs stay bit-identical.
+//! - **Serve retries** (`hire-serve`): transient failures (lost workers,
+//!   injected faults) are retried after [`Backoff::next_delay`] — an
+//!   exponentially growing, `max_delay`-capped wait with deterministic
+//!   SplitMix64 jitter, so two runs with the same seed retry at the same
+//!   instants and a thundering herd with distinct seeds does not.
+//!
+//! Determinism is the point: the whole workspace is replayable under a
+//! fixed seed, and retry timing must not be the one exception.
+
+use std::time::Duration;
+
+/// Advances a SplitMix64 state and returns the next 64 uniform bits. The
+/// same mixer the context-sampling seeds and the chaos fault schedules
+/// use, kept here so backoff jitter shares their replay guarantees.
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Shape of an exponential backoff schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BackoffConfig {
+    /// Delay before the first retry.
+    pub base: Duration,
+    /// Growth factor per attempt (≥ 1 for retries; the trainer's LR decay
+    /// uses factors < 1 through [`Backoff::geometric`]).
+    pub factor: f64,
+    /// Hard cap on any single delay.
+    pub max_delay: Duration,
+    /// Jitter fraction in `[0, 1]`: each delay is scaled by
+    /// `1 - jitter * u` with `u` uniform in `[0, 1)`, so jittered delays
+    /// never exceed the un-jittered schedule (and stay under `max_delay`).
+    pub jitter: f64,
+}
+
+impl Default for BackoffConfig {
+    fn default() -> Self {
+        BackoffConfig {
+            base: Duration::from_millis(2),
+            factor: 2.0,
+            max_delay: Duration::from_millis(50),
+            jitter: 0.5,
+        }
+    }
+}
+
+/// A seeded backoff schedule: call [`Backoff::next_delay`] once per retry.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    config: BackoffConfig,
+    state: u64,
+    attempt: u32,
+}
+
+impl Backoff {
+    /// A schedule whose jitter stream is derived from `seed`. Identical
+    /// `(config, seed)` pairs produce identical delay sequences, at every
+    /// call site.
+    pub fn new(config: BackoffConfig, seed: u64) -> Self {
+        Backoff {
+            config,
+            state: seed,
+            attempt: 0,
+        }
+    }
+
+    /// Retries taken so far (delays handed out).
+    pub fn attempt(&self) -> u32 {
+        self.attempt
+    }
+
+    /// The next delay: `base * factor^attempt`, capped at `max_delay`,
+    /// scaled down by the seeded jitter.
+    pub fn next_delay(&mut self) -> Duration {
+        let raw = self.config.base.as_secs_f64() * self.config.factor.powi(self.attempt as i32);
+        let capped = raw.min(self.config.max_delay.as_secs_f64());
+        let u = (splitmix64(&mut self.state) >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let jittered = capped * (1.0 - self.config.jitter.clamp(0.0, 1.0) * u);
+        self.attempt = self.attempt.saturating_add(1);
+        Duration::from_secs_f64(jittered.max(0.0))
+    }
+
+    /// Restarts the schedule (attempt counter only — the jitter stream
+    /// keeps advancing so restarted schedules stay decorrelated).
+    pub fn reset(&mut self) {
+        self.attempt = 0;
+    }
+
+    /// Pure geometric decay `factor^attempts`, computed by repeated `f32`
+    /// multiplication from 1.0 — bit-identical to applying `*= factor`
+    /// once per attempt, which is what makes the trainer's recovery LR
+    /// scale reproducible across checkpoint resume.
+    pub fn geometric(factor: f32, attempts: usize) -> f32 {
+        (0..attempts).fold(1.0f32, |scale, _| scale * factor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let config = BackoffConfig::default();
+        let mut a = Backoff::new(config.clone(), 7);
+        let mut b = Backoff::new(config, 7);
+        for _ in 0..16 {
+            assert_eq!(a.next_delay(), b.next_delay());
+        }
+    }
+
+    #[test]
+    fn delays_are_capped_and_grow_until_the_cap() {
+        let config = BackoffConfig {
+            base: Duration::from_millis(1),
+            factor: 2.0,
+            max_delay: Duration::from_millis(8),
+            jitter: 0.0,
+        };
+        let mut backoff = Backoff::new(config, 0);
+        let delays: Vec<Duration> = (0..6).map(|_| backoff.next_delay()).collect();
+        assert_eq!(delays[0], Duration::from_millis(1));
+        assert_eq!(delays[1], Duration::from_millis(2));
+        assert_eq!(delays[2], Duration::from_millis(4));
+        assert_eq!(delays[3], Duration::from_millis(8));
+        assert_eq!(delays[4], Duration::from_millis(8), "capped at max_delay");
+        assert_eq!(delays[5], Duration::from_millis(8));
+    }
+
+    #[test]
+    fn geometric_matches_repeated_multiplication() {
+        let factor = 0.5f32;
+        let mut incremental = 1.0f32;
+        for k in 0..8 {
+            assert_eq!(Backoff::geometric(factor, k), incremental);
+            incremental *= factor;
+        }
+    }
+}

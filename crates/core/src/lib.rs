@@ -17,6 +17,7 @@
 //! (Property 5.1) — enforced by tests in `him.rs`/`model.rs` and the
 //! property suite under `tests/`.
 
+pub mod backoff;
 pub mod config;
 pub mod encoder;
 pub mod guard;
@@ -24,6 +25,7 @@ pub mod him;
 pub mod model;
 pub mod trainer;
 
+pub use backoff::{Backoff, BackoffConfig};
 pub use config::HireConfig;
 pub use encoder::ContextEncoder;
 pub use guard::{

@@ -337,8 +337,14 @@ pub fn train_guarded(
             if let Some(reason) = guard.observe(loss_value, clip.nonfinite_entries) {
                 // Roll back, shrink the LR, and rebuild the optimizer: its
                 // moment estimates were computed from the diverged trajectory.
+                // The LR follows the shared backoff's geometric decay —
+                // `lr_backoff^total_recoveries` — which is bit-identical to
+                // multiplying the (possibly resumed) scale once per event.
                 checkpoint.restore(&params);
-                lr_scale *= guard_config.lr_backoff;
+                lr_scale = crate::backoff::Backoff::geometric(
+                    guard_config.lr_backoff,
+                    prior_recoveries + recoveries.len() + 1,
+                );
                 optimizer = Lookahead::paper_default(Lamb::paper_default(params.clone()));
                 guard.reset();
                 recoveries.push(RecoveryEvent {

@@ -142,11 +142,22 @@ impl ContextCache {
         );
     }
 
-    /// Memoizes the model output for a live entry (no-op if the entry was
-    /// evicted or invalidated in the meantime).
-    pub fn store_prediction(&mut self, key: &CacheKey, prediction: f32) {
+    /// Memoizes the model output for a live entry. No-op if the entry was
+    /// evicted or invalidated in the meantime — and, crucially, if the key
+    /// was *resampled*: `ctx` must be the exact context the prediction was
+    /// computed from (`Arc` identity), otherwise a forward that raced an
+    /// `invalidate_edge` + fresh `insert` would attach a stale value to
+    /// the new context and the cache would serve it forever after.
+    pub fn store_prediction(
+        &mut self,
+        key: &CacheKey,
+        ctx: &Arc<PredictionContext>,
+        prediction: f32,
+    ) {
         if let Some(entry) = self.map.get_mut(key) {
-            entry.prediction = Some(prediction);
+            if Arc::ptr_eq(&entry.ctx, ctx) {
+                entry.prediction = Some(prediction);
+            }
         }
     }
 
@@ -244,20 +255,36 @@ mod tests {
     #[test]
     fn memoized_prediction_lives_and_dies_with_its_entry() {
         let mut cache = ContextCache::new(4);
-        cache.insert(key(0, 0), ctx(vec![0], vec![0]));
+        let first = ctx(vec![0], vec![0]);
+        cache.insert(key(0, 0), first.clone());
         assert_eq!(cache.get(&key(0, 0)).unwrap().prediction, None);
-        cache.store_prediction(&key(0, 0), 3.5);
+        cache.store_prediction(&key(0, 0), &first, 3.5);
         assert_eq!(cache.get(&key(0, 0)).unwrap().prediction, Some(3.5));
         // Re-inserting (fresh sample) clears the memo.
-        cache.insert(key(0, 0), ctx(vec![0], vec![0]));
+        let second = ctx(vec![0], vec![0]);
+        cache.insert(key(0, 0), second.clone());
         assert_eq!(cache.get(&key(0, 0)).unwrap().prediction, None);
         // Invalidation drops the memo together with the context.
-        cache.store_prediction(&key(0, 0), 4.0);
+        cache.store_prediction(&key(0, 0), &second, 4.0);
         cache.invalidate_edge(0, 9);
         assert!(cache.get(&key(0, 0)).is_none());
         // Storing against a dead key is a no-op, not a resurrection.
-        cache.store_prediction(&key(0, 0), 1.0);
+        cache.store_prediction(&key(0, 0), &second, 1.0);
         assert!(cache.get(&key(0, 0)).is_none());
+    }
+
+    #[test]
+    fn store_prediction_rejects_mismatched_context() {
+        let mut cache = ContextCache::new(4);
+        let stale = ctx(vec![0], vec![0]);
+        let fresh = ctx(vec![0], vec![0]);
+        cache.insert(key(0, 0), fresh.clone());
+        // A forward computed against `stale` raced an invalidate + fresh
+        // insert: its value must not attach to the fresh context.
+        cache.store_prediction(&key(0, 0), &stale, 2.5);
+        assert_eq!(cache.get(&key(0, 0)).unwrap().prediction, None);
+        cache.store_prediction(&key(0, 0), &fresh, 2.5);
+        assert_eq!(cache.get(&key(0, 0)).unwrap().prediction, Some(2.5));
     }
 
     #[test]

@@ -1,15 +1,38 @@
-//! The serving engine: frozen model + rating graph + context cache.
+//! The serving engine: frozen model + rating graph + context cache,
+//! wrapped in the degradation ladder (see `DESIGN.md` §10).
+//!
+//! Every query is answered by the best available tier:
+//!
+//! 1. **Cache** — the exact per-entry prediction memo.
+//! 2. **Model** — a fresh frozen forward, guarded by a circuit breaker
+//!    and retried (seeded jittered backoff) on transient faults.
+//! 3. **Fallback** — graph statistics (user mean → item mean → global
+//!    mean over the live serving graph, via `hire_baselines::EntityMean`):
+//!    always available, never panics, answers in microseconds. Used when
+//!    the deadline budget is exhausted, the breaker is open, or the model
+//!    tier failed out its retry budget.
+//!
+//! Answers are tagged with the tier that produced them
+//! ([`crate::ServedBy`]), so a caller can distinguish a degraded answer
+//! from a model answer.
 
+use crate::breaker::{BreakerConfig, BreakerState, BreakerStats, CircuitBreaker};
 use crate::cache::{CacheKey, CacheStats, ContextCache};
 use crate::frozen::FrozenModel;
-use crate::server::{Predictor, RatingQuery, ServeError};
+use crate::server::{Answer, Predictor, RatingQuery, ServeError, ServedBy};
+use hire_baselines::{EntityMean, RatingModel};
+use hire_chaos::{sites, FaultKind, FaultPlan};
+use hire_core::{Backoff, BackoffConfig};
 use hire_data::{test_context_with_ratio, Dataset, PredictionContext};
 use hire_error::HireError;
 use hire_graph::{BipartiteGraph, NeighborhoodSampler, Rating};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, RwLock};
+use std::time::Instant;
 
 /// The sampling strategy tag recorded in cache keys.
 const STRATEGY: &str = "neighborhood";
@@ -45,17 +68,91 @@ impl EngineConfig {
     }
 }
 
+/// How the engine degrades when the model tier misbehaves.
+#[derive(Debug, Clone)]
+pub struct ResilienceConfig {
+    /// Circuit breaker around the frozen forward; `None` disables it.
+    pub breaker: Option<BreakerConfig>,
+    /// Model-tier attempts per batch (1 = no retry). Transient failures
+    /// (injected faults, panics, real forward errors) are retried with
+    /// seeded jittered backoff before degrading.
+    pub retry_attempts: usize,
+    /// Backoff schedule between model-tier retries.
+    pub retry_backoff: BackoffConfig,
+    /// Degrade to the graph-statistics tier instead of erroring when the
+    /// model tier is unavailable. Disabled, the engine surfaces
+    /// [`ServeError::CircuitOpen`] / the model error instead.
+    pub fallback: bool,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> Self {
+        ResilienceConfig {
+            breaker: Some(BreakerConfig::default()),
+            retry_attempts: 2,
+            retry_backoff: BackoffConfig::default(),
+            fallback: true,
+        }
+    }
+}
+
+impl ResilienceConfig {
+    /// Pre-resilience behavior: no breaker, no retries, no fallback —
+    /// every model-tier failure surfaces to the caller.
+    pub fn disabled() -> Self {
+        ResilienceConfig {
+            breaker: None,
+            retry_attempts: 1,
+            retry_backoff: BackoffConfig::default(),
+            fallback: false,
+        }
+    }
+}
+
+/// Per-tier serve counters, plus why fallback answers were degraded.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TierStats {
+    /// Answers from fresh frozen forwards.
+    pub model: u64,
+    /// Answers from the exact prediction memo.
+    pub cache: u64,
+    /// Degraded answers from graph statistics.
+    pub fallback: u64,
+    /// Fallback answers caused by an exhausted deadline budget.
+    pub deadline_degraded: u64,
+    /// Fallback answers caused by an open circuit breaker.
+    pub breaker_degraded: u64,
+    /// Fallback answers caused by model/context failures that survived
+    /// the retry budget.
+    pub failure_degraded: u64,
+}
+
 /// Serves rating queries from a frozen model.
 ///
 /// Contexts are sampled deterministically per `(seed, user, item)` and
 /// memoized in an LRU [`ContextCache`]; `insert_rating` updates the graph
-/// and invalidates every cached block the new edge touches.
+/// and invalidates every cached block the new edge touches. Stale-memo
+/// races are closed by a graph epoch: a context sampled against a graph
+/// that changed before the cache insert is never cached, and a prediction
+/// is only memoized against the exact context it was computed from.
 pub struct ServeEngine {
     model: FrozenModel,
     dataset: Arc<Dataset>,
     graph: RwLock<Arc<BipartiteGraph>>,
+    /// Bumped (under the graph write lock) on every graph update; lets
+    /// concurrent resolvers detect that their sample raced a write.
+    epoch: AtomicU64,
     cache: Mutex<ContextCache>,
     config: EngineConfig,
+    resilience: ResilienceConfig,
+    breaker: Option<CircuitBreaker>,
+    faults: Option<Arc<FaultPlan>>,
+    served_model: AtomicU64,
+    served_cache: AtomicU64,
+    served_fallback: AtomicU64,
+    deadline_degraded: AtomicU64,
+    breaker_degraded: AtomicU64,
+    failure_degraded: AtomicU64,
 }
 
 /// Poison recovery: cache and graph stay consistent across a panicking
@@ -76,16 +173,44 @@ fn context_seed(base: u64, user: usize, item: usize) -> u64 {
 }
 
 impl ServeEngine {
-    /// Builds an engine over the dataset's rating graph.
+    /// Builds an engine over the dataset's rating graph with the default
+    /// [`ResilienceConfig`] (breaker + retry + fallback enabled).
     pub fn new(model: FrozenModel, dataset: Arc<Dataset>, config: EngineConfig) -> Self {
         let graph = Arc::new(dataset.graph());
+        let resilience = ResilienceConfig::default();
+        let breaker = resilience.breaker.clone().map(CircuitBreaker::new);
         ServeEngine {
             model,
             dataset,
             graph: RwLock::new(graph),
+            epoch: AtomicU64::new(0),
             cache: Mutex::new(ContextCache::new(config.cache_capacity)),
             config,
+            resilience,
+            breaker,
+            faults: None,
+            served_model: AtomicU64::new(0),
+            served_cache: AtomicU64::new(0),
+            served_fallback: AtomicU64::new(0),
+            deadline_degraded: AtomicU64::new(0),
+            breaker_degraded: AtomicU64::new(0),
+            failure_degraded: AtomicU64::new(0),
         }
+    }
+
+    /// Replaces the resilience settings (builder style).
+    pub fn with_resilience(mut self, resilience: ResilienceConfig) -> Self {
+        self.breaker = resilience.breaker.clone().map(CircuitBreaker::new);
+        self.resilience = resilience;
+        self
+    }
+
+    /// Installs a chaos [`FaultPlan`] on the engine's fault sites
+    /// (`engine.resolve`, `engine.forward`). Without one the hooks cost a
+    /// null check.
+    pub fn with_faults(mut self, faults: Arc<FaultPlan>) -> Self {
+        self.faults = Some(faults);
+        self
     }
 
     /// The frozen model being served.
@@ -108,6 +233,28 @@ impl ServeEngine {
         lock(&self.cache).len()
     }
 
+    /// Per-tier serve counters.
+    pub fn tier_stats(&self) -> TierStats {
+        TierStats {
+            model: self.served_model.load(Ordering::Relaxed),
+            cache: self.served_cache.load(Ordering::Relaxed),
+            fallback: self.served_fallback.load(Ordering::Relaxed),
+            deadline_degraded: self.deadline_degraded.load(Ordering::Relaxed),
+            breaker_degraded: self.breaker_degraded.load(Ordering::Relaxed),
+            failure_degraded: self.failure_degraded.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Circuit-breaker state, if a breaker is configured.
+    pub fn breaker_state(&self) -> Option<BreakerState> {
+        self.breaker.as_ref().map(CircuitBreaker::state)
+    }
+
+    /// Circuit-breaker counters, if a breaker is configured.
+    pub fn breaker_stats(&self) -> Option<BreakerStats> {
+        self.breaker.as_ref().map(CircuitBreaker::stats)
+    }
+
     /// Inserts a new observed rating into the serving graph and invalidates
     /// every cached context whose block contains the edge's user or item.
     /// Returns the number of invalidated contexts.
@@ -124,6 +271,9 @@ impl ServeEngine {
         {
             let mut graph = self.graph.write().unwrap_or_else(|p| p.into_inner());
             *graph = Arc::new(graph.with_extra_edges(&[rating]));
+            // Bumped while the write lock is held: any resolver that read
+            // the old graph observes the bump before caching its sample.
+            self.epoch.fetch_add(1, Ordering::Release);
         }
         Ok(lock(&self.cache).invalidate_edge(rating.user, rating.item))
     }
@@ -134,15 +284,9 @@ impl ServeEngine {
         self.resolve(query).map(|(_, ctx, _)| ctx)
     }
 
-    /// `context_for` plus the cache key and any memoized prediction. The
-    /// memo is exact, not approximate: the model is frozen, sampling is
-    /// deterministic per `(seed, user, item)`, and graph updates invalidate
-    /// the whole entry — so a stored prediction is bit-identical to
-    /// recomputing it.
-    fn resolve(
-        &self,
-        query: &RatingQuery,
-    ) -> Result<(CacheKey, Arc<PredictionContext>, Option<f32>), ServeError> {
+    /// Validates a query against the dataset bounds (a caller bug, never
+    /// degraded around).
+    fn check_range(&self, query: &RatingQuery) -> Result<(), ServeError> {
         if query.user >= self.dataset.num_users {
             return Err(ServeError::Model(HireError::invalid_data(
                 "ServeEngine",
@@ -161,6 +305,22 @@ impl ServeEngine {
                 ),
             )));
         }
+        Ok(())
+    }
+
+    /// `context_for` plus the cache key and any memoized prediction. The
+    /// memo is exact, not approximate: the model is frozen, sampling is
+    /// deterministic per `(seed, user, item)`, and graph updates invalidate
+    /// the whole entry — so a stored prediction is bit-identical to
+    /// recomputing it.
+    fn resolve(
+        &self,
+        query: &RatingQuery,
+    ) -> Result<(CacheKey, Arc<PredictionContext>, Option<f32>), ServeError> {
+        self.check_range(query)?;
+        if let Some(plan) = &self.faults {
+            plan.fire(sites::ENGINE_RESOLVE)?;
+        }
         let key = CacheKey {
             user: query.user,
             item: query.item,
@@ -171,6 +331,11 @@ impl ServeEngine {
         if let Some(hit) = lock(&self.cache).get(&key) {
             return Ok((key, hit.ctx, hit.prediction));
         }
+        // Epoch-then-graph order matters: if a rating lands between these
+        // reads, the epoch check below refuses to cache the (possibly
+        // stale) sample — it is still good enough to answer this query,
+        // whose submission raced the write.
+        let epoch = self.epoch.load(Ordering::Acquire);
         let graph = self.graph.read().unwrap_or_else(|p| p.into_inner()).clone();
         let mut rng = StdRng::seed_from_u64(context_seed(self.config.seed, query.user, query.item));
         // The query cell is target-masked, so its placeholder value never
@@ -187,8 +352,102 @@ impl ServeEngine {
         )
         .map_err(ServeError::Model)?;
         let ctx = Arc::new(ctx);
-        lock(&self.cache).insert(key.clone(), ctx.clone());
+        if self.epoch.load(Ordering::Acquire) == epoch {
+            lock(&self.cache).insert(key.clone(), ctx.clone());
+        }
         Ok((key, ctx, None))
+    }
+
+    /// Graph-statistics answers for the fallback tier: user mean → item
+    /// mean → global mean over the live serving graph, clamped into the
+    /// dataset's rating range.
+    fn fallback_ratings(&self, queries: &[(usize, usize)]) -> Vec<f32> {
+        let graph = self.graph.read().unwrap_or_else(|p| p.into_inner()).clone();
+        let mut predictor = EntityMean::new();
+        // `fit` only computes the global mean; the RNG is unused but part
+        // of the `RatingModel` contract.
+        let mut rng = StdRng::seed_from_u64(0);
+        predictor.fit(&self.dataset, &graph, &mut rng);
+        let (lo, hi) = (self.dataset.min_rating, self.dataset.max_rating());
+        predictor
+            .predict(&self.dataset, &graph, queries)
+            .into_iter()
+            .map(|v| v.clamp(lo, hi))
+            .collect()
+    }
+
+    /// Answers `positions` of the incoming batch via the fallback tier,
+    /// attributing the degradation to `reason`.
+    fn degrade(
+        &self,
+        positions: &[usize],
+        queries: &[RatingQuery],
+        out: &mut [Option<Answer>],
+        reason: &AtomicU64,
+    ) {
+        if positions.is_empty() {
+            return;
+        }
+        let pairs: Vec<(usize, usize)> = positions
+            .iter()
+            .map(|&i| (queries[i].user, queries[i].item))
+            .collect();
+        let ratings = self.fallback_ratings(&pairs);
+        for (&i, rating) in positions.iter().zip(ratings) {
+            out[i] = Some(Answer {
+                rating,
+                served_by: ServedBy::Fallback,
+            });
+        }
+        self.served_fallback
+            .fetch_add(positions.len() as u64, Ordering::Relaxed);
+        reason.fetch_add(positions.len() as u64, Ordering::Relaxed);
+    }
+
+    /// One guarded model-tier attempt over a same-shape group: chaos
+    /// hooks, panic isolation, deadline-aware forward, and output-shape
+    /// validation. `Ok(None)` means the deadline budget ran out.
+    fn model_attempt(
+        &self,
+        refs: &[&PredictionContext],
+        deadline: Option<Instant>,
+    ) -> Result<Option<Vec<hire_tensor::NdArray>>, ServeError> {
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let mut truncate = false;
+            if let Some(plan) = &self.faults {
+                if let Some(kind) = plan.fire(sites::ENGINE_FORWARD)? {
+                    truncate = matches!(kind, FaultKind::WrongShape);
+                }
+            }
+            let preds = self
+                .model
+                .forward_nograd_batch_within(refs, &self.dataset, deadline)
+                .map_err(ServeError::Model)?;
+            Ok(preds.map(|mut p| {
+                if truncate {
+                    // Chaos `WrongShape`: the "model" loses one output.
+                    p.pop();
+                }
+                p
+            }))
+        }));
+        match outcome {
+            Ok(Ok(Some(preds))) if preds.len() != refs.len() => {
+                Err(ServeError::Model(HireError::invalid_data(
+                    "ServeEngine",
+                    format!(
+                        "model returned {} predictions for {} contexts",
+                        preds.len(),
+                        refs.len()
+                    ),
+                )))
+            }
+            Ok(result) => result,
+            Err(_panic) => Err(ServeError::Model(HireError::invalid_data(
+                "ServeEngine",
+                "model forward panicked",
+            ))),
+        }
     }
 }
 
@@ -202,21 +461,54 @@ struct PendingQuery {
 
 impl Predictor for ServeEngine {
     fn predict_batch(&self, queries: &[RatingQuery]) -> Result<Vec<f32>, ServeError> {
-        let mut out = vec![0.0f32; queries.len()];
+        Ok(self
+            .predict_batch_tagged(queries, None)?
+            .into_iter()
+            .map(|a| a.rating)
+            .collect())
+    }
+
+    fn predict_batch_tagged(
+        &self,
+        queries: &[RatingQuery],
+        deadline: Option<Instant>,
+    ) -> Result<Vec<Answer>, ServeError> {
+        let mut out: Vec<Option<Answer>> = vec![None; queries.len()];
         // Deduplicate the batch: coalesced traffic is skewed, so one
         // forward per distinct (user, item) answers every duplicate. The
         // memo fast-path skips the forward entirely for contexts whose
         // prediction was already computed and not invalidated since.
         let mut pending: BTreeMap<(usize, usize), PendingQuery> = BTreeMap::new();
         for (i, q) in queries.iter().enumerate() {
+            if out[i].is_some() {
+                continue;
+            }
             if let Some(p) = pending.get_mut(&(q.user, q.item)) {
                 p.waiters.push(i);
                 continue;
             }
-            let (key, ctx, memo) = self.resolve(q)?;
-            match memo {
-                Some(v) => out[i] = v,
-                None => {
+            // Range violations are caller bugs and always surface; any
+            // *other* resolution failure (injected fault, sampling error,
+            // panic) is part of the degradation ladder below.
+            self.check_range(q)?;
+            let resolved =
+                catch_unwind(AssertUnwindSafe(|| self.resolve(q))).unwrap_or_else(|_panic| {
+                    Err(ServeError::Model(HireError::invalid_data(
+                        "ServeEngine",
+                        "context resolution panicked",
+                    )))
+                });
+            match resolved {
+                Ok((key, ctx, Some(memo))) => {
+                    self.served_cache.fetch_add(1, Ordering::Relaxed);
+                    let answer = Answer {
+                        rating: memo,
+                        served_by: ServedBy::Cache,
+                    };
+                    out[i] = Some(answer);
+                    let _ = (key, ctx);
+                }
+                Ok((key, ctx, None)) => {
                     pending.insert(
                         (q.user, q.item),
                         PendingQuery {
@@ -225,6 +517,13 @@ impl Predictor for ServeEngine {
                             waiters: vec![i],
                         },
                     );
+                }
+                Err(e) => {
+                    if self.resilience.fallback {
+                        self.degrade(&[i], queries, &mut out, &self.failure_degraded);
+                    } else {
+                        return Err(e);
+                    }
                 }
             }
         }
@@ -237,11 +536,103 @@ impl Predictor for ServeEngine {
             groups.entry((p.ctx.n(), p.ctx.m())).or_default().push(k);
         }
         for indices in groups.values() {
+            let waiters_of = |indices: &[usize]| -> Vec<usize> {
+                indices
+                    .iter()
+                    .flat_map(|&k| unique[k].waiters.iter().copied())
+                    .collect()
+            };
+            // Deadline ladder rung: a group we no longer have budget to
+            // forward is answered degraded, never silently late.
+            if deadline.is_some_and(|d| Instant::now() >= d) {
+                if self.resilience.fallback {
+                    self.degrade(
+                        &waiters_of(indices),
+                        queries,
+                        &mut out,
+                        &self.deadline_degraded,
+                    );
+                    continue;
+                }
+                return Err(ServeError::DeadlineExceeded);
+            }
+            // Breaker rung: an open breaker skips the model tier outright.
+            if let Some(breaker) = &self.breaker {
+                if !breaker.admit() {
+                    if self.resilience.fallback {
+                        self.degrade(
+                            &waiters_of(indices),
+                            queries,
+                            &mut out,
+                            &self.breaker_degraded,
+                        );
+                        continue;
+                    }
+                    return Err(ServeError::CircuitOpen);
+                }
+            }
+            // Model tier with retry: the first admitted attempt came from
+            // the breaker above; subsequent attempts re-admit.
             let refs: Vec<&PredictionContext> = indices.iter().map(|&k| &*unique[k].ctx).collect();
-            let preds = self
-                .model
-                .forward_nograd_batch(&refs, &self.dataset)
-                .map_err(ServeError::Model)?;
+            let attempts = self.resilience.retry_attempts.max(1);
+            let mut backoff = Backoff::new(
+                self.resilience.retry_backoff.clone(),
+                context_seed(self.config.seed ^ 0xBACC0FF, refs.len(), indices[0]),
+            );
+            let mut result = None;
+            let mut last_err = None;
+            for attempt in 0..attempts {
+                if attempt > 0 {
+                    std::thread::sleep(backoff.next_delay());
+                    if deadline.is_some_and(|d| Instant::now() >= d) {
+                        break;
+                    }
+                    if let Some(breaker) = &self.breaker {
+                        if !breaker.admit() {
+                            break;
+                        }
+                    }
+                }
+                match self.model_attempt(&refs, deadline) {
+                    Ok(Some(preds)) => {
+                        if let Some(breaker) = &self.breaker {
+                            breaker.record(true);
+                        }
+                        result = Some(preds);
+                        break;
+                    }
+                    Ok(None) => {
+                        // Deadline ran out inside the forward: not a model
+                        // failure — release the breaker admission without
+                        // an outcome and degrade.
+                        if let Some(breaker) = &self.breaker {
+                            breaker.forfeit();
+                        }
+                        break;
+                    }
+                    Err(e) => {
+                        if let Some(breaker) = &self.breaker {
+                            breaker.record(false);
+                        }
+                        last_err = Some(e);
+                    }
+                }
+            }
+            let preds = match result {
+                Some(preds) => preds,
+                None => {
+                    if self.resilience.fallback {
+                        let reason = if last_err.is_some() {
+                            &self.failure_degraded
+                        } else {
+                            &self.deadline_degraded
+                        };
+                        self.degrade(&waiters_of(indices), queries, &mut out, reason);
+                        continue;
+                    }
+                    return Err(last_err.unwrap_or(ServeError::DeadlineExceeded));
+                }
+            };
             for (p, &k) in indices.iter().enumerate() {
                 let PendingQuery { key, ctx, waiters } = unique[k];
                 let (row, col) = match (ctx.user_row(key.user), ctx.item_col(key.item)) {
@@ -257,12 +648,23 @@ impl Predictor for ServeEngine {
                     }
                 };
                 let value = preds[p].at(&[row, col]);
-                lock(&self.cache).store_prediction(key, value);
+                // Memoize against the exact context the value was computed
+                // from: if the entry was invalidated and resampled in the
+                // meantime, the memo must not attach to the fresh context.
+                lock(&self.cache).store_prediction(key, ctx, value);
+                self.served_model
+                    .fetch_add(waiters.len() as u64, Ordering::Relaxed);
                 for &i in waiters {
-                    out[i] = value;
+                    out[i] = Some(Answer {
+                        rating: value,
+                        served_by: ServedBy::Model,
+                    });
                 }
             }
         }
-        Ok(out)
+        Ok(out
+            .into_iter()
+            .map(|a| a.expect("every query answered by some tier"))
+            .collect())
     }
 }

@@ -14,6 +14,7 @@ use hire_error::{HireError, HireResult};
 use hire_nn::{mhsa_forward, MhsaWeights, Module};
 use hire_tensor::{linalg, NdArray};
 use std::path::Path;
+use std::time::Instant;
 
 /// `LayerNorm::new` hard-codes this epsilon; the frozen mirror must match.
 const LAYER_NORM_EPS: f32 = 1e-5;
@@ -233,6 +234,20 @@ impl FrozenModel {
         let bytes =
             std::fs::read(path).map_err(|e| HireError::io(path.display().to_string(), e))?;
         let snapshot = TrainSnapshot::decode(&bytes, &path.display().to_string())?;
+        Self::from_snapshot(&snapshot, dataset, config)
+    }
+
+    /// Loads a frozen model from encoded snapshot bytes (the same format
+    /// [`Self::from_snapshot_file`] reads from disk). Corrupted bytes
+    /// surface as [`HireError::CorruptCheckpoint`], never a panic — the
+    /// chaos harness flips bits here to prove it.
+    pub fn from_snapshot_bytes(
+        bytes: &[u8],
+        label: &str,
+        dataset: &Dataset,
+        config: &HireConfig,
+    ) -> HireResult<Self> {
+        let snapshot = TrainSnapshot::decode(bytes, label)?;
         Self::from_snapshot(&snapshot, dataset, config)
     }
 
@@ -480,8 +495,26 @@ impl FrozenModel {
         ctxs: &[&PredictionContext],
         dataset: &Dataset,
     ) -> HireResult<Vec<NdArray>> {
+        self.forward_nograd_batch_within(ctxs, dataset, None)
+            .map(|out| out.expect("no deadline given, forward cannot be cut short"))
+    }
+
+    /// [`Self::forward_nograd_batch`] with a deadline budget: the forward
+    /// checks the clock at each encode step and before the block stack,
+    /// and returns `Ok(None)` if the deadline passed — so a serving worker
+    /// never sinks a full forward into a query that already timed out.
+    /// (The block stack itself runs to completion once started; encode
+    /// dominates setup cost and the checks bound the overshoot to one
+    /// stacked forward.)
+    pub fn forward_nograd_batch_within(
+        &self,
+        ctxs: &[&PredictionContext],
+        dataset: &Dataset,
+        deadline: Option<Instant>,
+    ) -> HireResult<Option<Vec<NdArray>>> {
+        let expired = || deadline.is_some_and(|d| Instant::now() >= d);
         let Some(first) = ctxs.first() else {
-            return Ok(Vec::new());
+            return Ok(Some(Vec::new()));
         };
         let (n, m) = (first.n(), first.m());
         let bsz = ctxs.len();
@@ -498,14 +531,21 @@ impl FrozenModel {
                     ),
                 ));
             }
+            if expired() {
+                return Ok(None);
+            }
             stacked.extend_from_slice(self.encode(ctx, dataset)?.as_slice());
+        }
+        if expired() {
+            return Ok(None);
         }
         let x = self.run_blocks(NdArray::from_vec(vec![bsz, n, m, e], stacked), bsz, n, m);
         let out = self.decode(&x, bsz, n, m);
-        Ok(out
-            .as_slice()
-            .chunks(n * m)
-            .map(|chunk| NdArray::from_vec(vec![n, m], chunk.to_vec()))
-            .collect())
+        Ok(Some(
+            out.as_slice()
+                .chunks(n * m)
+                .map(|chunk| NdArray::from_vec(vec![n, m], chunk.to_vec()))
+                .collect(),
+        ))
     }
 }

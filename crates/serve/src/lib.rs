@@ -1,32 +1,50 @@
 //! # hire-serve
 //!
 //! Online inference for the HIRE reproduction — the first subsystem of the
-//! repo that never builds an autograd tape. Four layers:
+//! repo that never builds an autograd tape. Five layers:
 //!
 //! - [`FrozenModel`] — a trained [`hire_core::HireModel`] exported to plain
 //!   [`hire_tensor::NdArray`] weights (or loaded from a `hire-ckpt`
 //!   snapshot), with a tape-free forward that is bit-identical to the live
-//!   model and a batched variant for micro-batching.
+//!   model, a batched variant for micro-batching, and a deadline-aware
+//!   variant that abandons work for queries that already timed out.
 //! - [`ContextCache`] — a capacity-bounded LRU memoizing sampled
 //!   [`hire_data::PredictionContext`]s per `(user, item, strategy, n, m)`
 //!   key, with explicit invalidation when new rating edges arrive.
 //! - [`ServeEngine`] — glues frozen model, dataset, rating graph, sampler
 //!   and cache into a [`Predictor`]: resolve context (cache or sample),
-//!   group same-shape queries, run one batched forward.
+//!   group same-shape queries, run one batched forward — wrapped in the
+//!   degradation ladder: per-batch deadlines, a [`CircuitBreaker`] around
+//!   the model tier, seeded-backoff retries, and a graph-statistics
+//!   fallback predictor. Every [`Answer`] is tagged with the tier that
+//!   produced it ([`ServedBy`]).
+//! - [`CircuitBreaker`] — sliding-window failure-rate breaker
+//!   (closed / open / half-open) that sheds model-tier load when the
+//!   frozen forward is misbehaving.
 //! - [`Server`] — a micro-batching worker pool: queries are submitted over
-//!   channels, coalesced up to `max_batch`, executed on `workers` threads,
-//!   with bounded-queue backpressure ([`ServeError::Overloaded`]) and panic
-//!   isolation ([`ServeError::WorkerLost`]).
+//!   channels (optionally with per-query deadline budgets), coalesced up to
+//!   `max_batch` while respecting the tightest deadline in the batch,
+//!   executed on `workers` threads, with bounded-queue backpressure
+//!   ([`ServeError::Overloaded`]), panic isolation
+//!   ([`ServeError::WorkerLost`]), typed deadline replies
+//!   ([`ServeError::DeadlineExceeded`]), and seeded-backoff retries
+//!   ([`Server::predict_with_retry`]).
+//!
+//! Fault injection for all of the above lives in the `hire-chaos` crate;
+//! the serve sites are `server.batch`, `engine.resolve`, `engine.forward`
+//! and `ckpt.decode` (see `tests/chaos.rs`).
 
+pub mod breaker;
 pub mod cache;
 pub mod engine;
 pub mod frozen;
 pub mod server;
 
+pub use breaker::{BreakerConfig, BreakerState, BreakerStats, CircuitBreaker};
 pub use cache::{CacheKey, CacheStats, CachedContext, ContextCache};
-pub use engine::{EngineConfig, ServeEngine};
+pub use engine::{EngineConfig, ResilienceConfig, ServeEngine, TierStats};
 pub use frozen::FrozenModel;
 pub use server::{
-    Prediction, PredictionHandle, Predictor, RatingQuery, ServeError, Server, ServerConfig,
-    ServerStats,
+    Answer, Prediction, PredictionHandle, Predictor, RatingQuery, RetryPolicy, ServeError,
+    ServedBy, Server, ServerConfig, ServerStats,
 };

@@ -1,13 +1,19 @@
 //! Micro-batching worker pool.
 //!
 //! Queries enter a bounded queue; worker threads coalesce up to
-//! `max_batch` of them (waiting at most `batch_timeout` for stragglers)
-//! and execute one batched predictor call. Backpressure is explicit: a
-//! full queue rejects the submission with [`ServeError::Overloaded`]
-//! instead of buffering unboundedly. A panicking predictor poisons only
-//! the in-flight batch — its callers receive [`ServeError::WorkerLost`]
-//! and the worker thread survives to serve the next batch.
+//! `max_batch` of them (waiting at most `batch_timeout` for stragglers,
+//! and never past the tightest per-query deadline in the batch) and
+//! execute one batched predictor call. Backpressure is explicit: a full
+//! queue rejects the submission with [`ServeError::Overloaded`] instead of
+//! buffering unboundedly. A panicking predictor poisons only the in-flight
+//! batch — its callers receive [`ServeError::WorkerLost`] and the worker
+//! thread survives to serve the next batch. A query that is already past
+//! its deadline when a worker picks it up is answered
+//! [`ServeError::DeadlineExceeded`] without spending a forward on it —
+//! accepted queries are always answered, never silently late.
 
+use hire_chaos::{sites, FaultPlan, InjectedFault};
+use hire_core::{Backoff, BackoffConfig};
 use hire_error::HireError;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -25,6 +31,17 @@ pub struct RatingQuery {
     pub item: usize,
 }
 
+/// Which tier of the degradation ladder produced an answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ServedBy {
+    /// A fresh frozen-model forward.
+    Model,
+    /// The exact per-entry prediction memo in the context cache.
+    Cache,
+    /// The graph-statistics fallback predictor (degraded answer).
+    Fallback,
+}
+
 /// A served prediction.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Prediction {
@@ -32,6 +49,17 @@ pub struct Prediction {
     pub rating: f32,
     /// Submit-to-completion latency (includes queueing and batching).
     pub latency: Duration,
+    /// The tier that produced the answer.
+    pub served_by: ServedBy,
+}
+
+/// One tier-tagged answer from a [`Predictor`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Answer {
+    /// Predicted rating.
+    pub rating: f32,
+    /// The tier that produced it.
+    pub served_by: ServedBy,
 }
 
 /// Serving errors.
@@ -48,8 +76,30 @@ pub enum ServeError {
     WorkerLost,
     /// The server is draining; no new queries are accepted.
     ShuttingDown,
+    /// The query's deadline budget elapsed before an answer was produced.
+    DeadlineExceeded,
+    /// The model tier's circuit breaker is open and no fallback tier is
+    /// configured to degrade to.
+    CircuitOpen,
+    /// A chaos-injected transient fault (only reachable with a
+    /// [`FaultPlan`] installed and resilience disabled).
+    Injected {
+        /// The fault site that fired.
+        site: &'static str,
+    },
     /// The model or context pipeline failed.
     Model(HireError),
+}
+
+impl ServeError {
+    /// Whether a retry may plausibly succeed: lost workers, backpressure,
+    /// and injected faults are transient; everything else is not.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            ServeError::Overloaded { .. } | ServeError::WorkerLost | ServeError::Injected { .. }
+        )
+    }
 }
 
 impl std::fmt::Display for ServeError {
@@ -61,27 +111,44 @@ impl std::fmt::Display for ServeError {
             } => write!(f, "server overloaded: {queue_len} queued (max {max_queue})"),
             ServeError::WorkerLost => write!(f, "worker lost (panicked or disconnected)"),
             ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::DeadlineExceeded => write!(f, "deadline exceeded"),
+            ServeError::CircuitOpen => write!(f, "model circuit breaker is open"),
+            ServeError::Injected { site } => write!(f, "injected fault at `{site}`"),
             ServeError::Model(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+/// The one place batch errors are duplicated for fan-out to every caller
+/// of a failed batch. `HireError` is not `Clone`, so the `Model` payload
+/// is re-wrapped preserving its message.
+impl Clone for ServeError {
+    fn clone(&self) -> Self {
+        match self {
+            ServeError::Overloaded {
+                queue_len,
+                max_queue,
+            } => ServeError::Overloaded {
+                queue_len: *queue_len,
+                max_queue: *max_queue,
+            },
+            ServeError::WorkerLost => ServeError::WorkerLost,
+            ServeError::ShuttingDown => ServeError::ShuttingDown,
+            ServeError::DeadlineExceeded => ServeError::DeadlineExceeded,
+            ServeError::CircuitOpen => ServeError::CircuitOpen,
+            ServeError::Injected { site } => ServeError::Injected { site },
+            ServeError::Model(e) => {
+                ServeError::Model(HireError::invalid_data("serve", e.to_string()))
+            }
         }
     }
 }
 
 impl std::error::Error for ServeError {}
 
-/// Re-creates an error for fan-out to every query of a failed batch
-/// (`HireError` is not `Clone`, so the `Model` payload is re-wrapped).
-fn replicate(e: &ServeError) -> ServeError {
-    match e {
-        ServeError::Overloaded {
-            queue_len,
-            max_queue,
-        } => ServeError::Overloaded {
-            queue_len: *queue_len,
-            max_queue: *max_queue,
-        },
-        ServeError::WorkerLost => ServeError::WorkerLost,
-        ServeError::ShuttingDown => ServeError::ShuttingDown,
-        ServeError::Model(e) => ServeError::Model(HireError::invalid_data("serve", e.to_string())),
+impl From<InjectedFault> for ServeError {
+    fn from(fault: InjectedFault) -> Self {
+        ServeError::Injected { site: fault.site }
     }
 }
 
@@ -90,6 +157,26 @@ fn replicate(e: &ServeError) -> ServeError {
 pub trait Predictor: Send + Sync {
     /// Predicts a rating per query, in order.
     fn predict_batch(&self, queries: &[RatingQuery]) -> Result<Vec<f32>, ServeError>;
+
+    /// Deadline-aware, tier-tagged variant: `deadline` is the tightest
+    /// per-query deadline in the batch (None = unbounded). The default
+    /// delegates to [`Predictor::predict_batch`] and tags every answer
+    /// [`ServedBy::Model`].
+    fn predict_batch_tagged(
+        &self,
+        queries: &[RatingQuery],
+        deadline: Option<Instant>,
+    ) -> Result<Vec<Answer>, ServeError> {
+        let _ = deadline;
+        Ok(self
+            .predict_batch(queries)?
+            .into_iter()
+            .map(|rating| Answer {
+                rating,
+                served_by: ServedBy::Model,
+            })
+            .collect())
+    }
 }
 
 /// Worker-pool settings.
@@ -117,22 +204,47 @@ impl Default for ServerConfig {
     }
 }
 
+/// How [`Server::predict_with_retry`] retries transient failures.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts (1 = no retry).
+    pub max_attempts: usize,
+    /// Delay schedule between attempts (see [`BackoffConfig`]).
+    pub backoff: BackoffConfig,
+    /// Base seed for the per-query jitter stream.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            backoff: BackoffConfig::default(),
+            seed: 0x48495245,
+        }
+    }
+}
+
 /// Lifetime counters for a server.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ServerStats {
     /// Queries accepted into the queue.
     pub submitted: u64,
-    /// Queries answered (successfully or with a model error).
+    /// Queries answered (successfully or with a typed error).
     pub completed: u64,
     /// Submissions rejected by backpressure.
     pub rejected: u64,
     /// Batches lost to predictor panics.
     pub worker_panics: u64,
+    /// Queries answered `DeadlineExceeded` because their budget elapsed
+    /// before a worker could run them.
+    pub deadline_expired: u64,
 }
 
 struct Job {
     query: RatingQuery,
     enqueued: Instant,
+    deadline: Option<Instant>,
     reply: mpsc::Sender<Result<Prediction, ServeError>>,
 }
 
@@ -145,10 +257,12 @@ struct Shared {
     state: Mutex<State>,
     cv: Condvar,
     config: ServerConfig,
+    faults: Option<Arc<FaultPlan>>,
     submitted: AtomicU64,
     completed: AtomicU64,
     rejected: AtomicU64,
     worker_panics: AtomicU64,
+    deadline_expired: AtomicU64,
 }
 
 /// Recovers from a poisoned mutex: the shared state holds plain data that
@@ -169,6 +283,18 @@ impl PredictionHandle {
     pub fn wait(self) -> Result<Prediction, ServeError> {
         self.rx.recv().unwrap_or(Err(ServeError::WorkerLost))
     }
+
+    /// Bounded wait: blocks at most `timeout` for the answer. Elapsing the
+    /// timeout returns [`ServeError::DeadlineExceeded`] without consuming
+    /// the handle — the query is still in flight and a later
+    /// `recv_timeout`/[`PredictionHandle::wait`] can still collect it.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Prediction, ServeError> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(result) => result,
+            Err(mpsc::RecvTimeoutError::Timeout) => Err(ServeError::DeadlineExceeded),
+            Err(mpsc::RecvTimeoutError::Disconnected) => Err(ServeError::WorkerLost),
+        }
+    }
 }
 
 /// The micro-batching server.
@@ -180,6 +306,17 @@ pub struct Server {
 impl Server {
     /// Spawns `config.workers` threads serving `predictor`.
     pub fn start(predictor: Arc<dyn Predictor>, config: ServerConfig) -> Server {
+        Self::start_with_faults(predictor, config, None)
+    }
+
+    /// [`Server::start`] with a chaos [`FaultPlan`] hooked into the worker
+    /// loop (`server.batch` site). Pass `None` for production serving —
+    /// the hook then costs one null check per batch.
+    pub fn start_with_faults(
+        predictor: Arc<dyn Predictor>,
+        config: ServerConfig,
+        faults: Option<Arc<FaultPlan>>,
+    ) -> Server {
         let config = ServerConfig {
             workers: config.workers.max(1),
             max_batch: config.max_batch.max(1),
@@ -193,10 +330,12 @@ impl Server {
             }),
             cv: Condvar::new(),
             config,
+            faults,
             submitted: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             worker_panics: AtomicU64::new(0),
+            deadline_expired: AtomicU64::new(0),
         });
         let workers = (0..shared.config.workers)
             .map(|_| {
@@ -215,7 +354,21 @@ impl Server {
     /// when the queue is full or the server is draining — an accepted
     /// submission is always answered.
     pub fn submit(&self, query: RatingQuery) -> Result<PredictionHandle, ServeError> {
+        self.submit_with_deadline(query, None)
+    }
+
+    /// [`Server::submit`] with a per-query deadline budget. A query whose
+    /// budget elapses before a worker runs it is answered
+    /// [`ServeError::DeadlineExceeded`]; one that expires mid-batch is
+    /// degraded by the predictor where possible. Batch coalescing never
+    /// waits past the tightest deadline in the batch.
+    pub fn submit_with_deadline(
+        &self,
+        query: RatingQuery,
+        budget: Option<Duration>,
+    ) -> Result<PredictionHandle, ServeError> {
         let (tx, rx) = mpsc::channel();
+        let now = Instant::now();
         {
             let mut st = lock(&self.shared.state);
             if st.shutdown {
@@ -230,7 +383,8 @@ impl Server {
             }
             st.jobs.push_back(Job {
                 query,
-                enqueued: Instant::now(),
+                enqueued: now,
+                deadline: budget.map(|b| now + b),
                 reply: tx,
             });
         }
@@ -242,6 +396,32 @@ impl Server {
     /// Blocking predict: submit + wait.
     pub fn predict(&self, query: RatingQuery) -> Result<Prediction, ServeError> {
         self.submit(query)?.wait()
+    }
+
+    /// Blocking predict with seeded, jittered exponential-backoff retries
+    /// on transient failures ([`ServeError::is_transient`]). The jitter
+    /// stream is derived from `(policy.seed, query)`, so a replay retries
+    /// at the same instants.
+    pub fn predict_with_retry(
+        &self,
+        query: RatingQuery,
+        policy: &RetryPolicy,
+    ) -> Result<Prediction, ServeError> {
+        let seed = policy.seed
+            ^ (query.user as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ (query.item as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        let mut backoff = Backoff::new(policy.backoff.clone(), seed);
+        loop {
+            match self.predict(query) {
+                Err(e)
+                    if e.is_transient()
+                        && (backoff.attempt() as usize) + 1 < policy.max_attempts.max(1) =>
+                {
+                    std::thread::sleep(backoff.next_delay());
+                }
+                result => return result,
+            }
+        }
     }
 
     /// Stops accepting queries, drains the queue, and joins the workers.
@@ -262,6 +442,7 @@ impl Server {
             completed: self.shared.completed.load(Ordering::Relaxed),
             rejected: self.shared.rejected.load(Ordering::Relaxed),
             worker_panics: self.shared.worker_panics.load(Ordering::Relaxed),
+            deadline_expired: self.shared.deadline_expired.load(Ordering::Relaxed),
         }
     }
 
@@ -279,11 +460,22 @@ impl Drop for Server {
 
 fn worker_loop(shared: Arc<Shared>, predictor: Arc<dyn Predictor>) {
     loop {
-        // Wait for the first job (or shutdown with an empty queue).
+        // Wait for the first runnable job (or shutdown with an empty
+        // queue). Jobs already past their deadline are answered
+        // `DeadlineExceeded` here, without spending a forward.
         let mut st = lock(&shared.state);
-        let first = loop {
-            if let Some(job) = st.jobs.pop_front() {
-                break job;
+        let first = 'first: loop {
+            while let Some(job) = st.jobs.pop_front() {
+                if job
+                    .deadline
+                    .is_some_and(|deadline| Instant::now() >= deadline)
+                {
+                    shared.deadline_expired.fetch_add(1, Ordering::Relaxed);
+                    shared.completed.fetch_add(1, Ordering::Relaxed);
+                    let _ = job.reply.send(Err(ServeError::DeadlineExceeded));
+                    continue;
+                }
+                break 'first job;
             }
             if st.shutdown {
                 return;
@@ -292,11 +484,20 @@ fn worker_loop(shared: Arc<Shared>, predictor: Arc<dyn Predictor>) {
         };
 
         // Coalesce up to max_batch jobs, waiting at most batch_timeout for
-        // stragglers. During shutdown, take whatever is queued and run.
+        // stragglers — but never past the tightest deadline already in the
+        // batch. During shutdown, take whatever is queued and run.
+        let mut tightest = first.deadline;
         let mut batch = vec![first];
-        let deadline = Instant::now() + shared.config.batch_timeout;
+        let mut wait_until = Instant::now() + shared.config.batch_timeout;
+        if let Some(deadline) = tightest {
+            wait_until = wait_until.min(deadline);
+        }
         while batch.len() < shared.config.max_batch {
             if let Some(job) = st.jobs.pop_front() {
+                if let Some(deadline) = job.deadline {
+                    tightest = Some(tightest.map_or(deadline, |t| t.min(deadline)));
+                    wait_until = wait_until.min(deadline);
+                }
                 batch.push(job);
                 continue;
             }
@@ -304,12 +505,12 @@ fn worker_loop(shared: Arc<Shared>, predictor: Arc<dyn Predictor>) {
                 break;
             }
             let now = Instant::now();
-            if now >= deadline {
+            if now >= wait_until {
                 break;
             }
             let (guard, timeout) = shared
                 .cv
-                .wait_timeout(st, deadline - now)
+                .wait_timeout(st, wait_until - now)
                 .unwrap_or_else(|p| p.into_inner());
             st = guard;
             if timeout.timed_out() && st.jobs.is_empty() {
@@ -319,24 +520,48 @@ fn worker_loop(shared: Arc<Shared>, predictor: Arc<dyn Predictor>) {
         drop(st);
 
         let queries: Vec<RatingQuery> = batch.iter().map(|j| j.query).collect();
-        let result = catch_unwind(AssertUnwindSafe(|| predictor.predict_batch(&queries)));
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            if let Some(plan) = &shared.faults {
+                plan.fire(sites::SERVER_BATCH)?;
+            }
+            predictor.predict_batch_tagged(&queries, tightest)
+        }));
         match result {
-            Ok(Ok(ratings)) => {
-                debug_assert_eq!(ratings.len(), batch.len());
-                for (job, &rating) in batch.iter().zip(&ratings) {
+            Ok(Ok(answers)) if answers.len() == batch.len() => {
+                for (job, answer) in batch.iter().zip(&answers) {
                     // Count before replying so a caller that sees its
                     // answer also sees the counter include it.
                     shared.completed.fetch_add(1, Ordering::Relaxed);
                     let _ = job.reply.send(Ok(Prediction {
-                        rating,
+                        rating: answer.rating,
                         latency: job.enqueued.elapsed(),
+                        served_by: answer.served_by,
                     }));
+                }
+            }
+            Ok(Ok(answers)) => {
+                // A misbehaving predictor returned the wrong number of
+                // answers (e.g. a chaos `WrongShape` fault). Every caller
+                // gets a typed error — truncating the zip would leave the
+                // surplus jobs answered `WorkerLost` by channel drop and
+                // mis-assign ratings on a short batch.
+                let e = ServeError::Model(HireError::invalid_data(
+                    "Server",
+                    format!(
+                        "predictor returned {} answers for a batch of {}",
+                        answers.len(),
+                        batch.len()
+                    ),
+                ));
+                for job in &batch {
+                    shared.completed.fetch_add(1, Ordering::Relaxed);
+                    let _ = job.reply.send(Err(e.clone()));
                 }
             }
             Ok(Err(e)) => {
                 for job in &batch {
                     shared.completed.fetch_add(1, Ordering::Relaxed);
-                    let _ = job.reply.send(Err(replicate(&e)));
+                    let _ = job.reply.send(Err(e.clone()));
                 }
             }
             Err(_panic) => {
@@ -344,6 +569,7 @@ fn worker_loop(shared: Arc<Shared>, predictor: Arc<dyn Predictor>) {
                 // typed error instead of a hung receiver.
                 shared.worker_panics.fetch_add(1, Ordering::Relaxed);
                 for job in &batch {
+                    shared.completed.fetch_add(1, Ordering::Relaxed);
                     let _ = job.reply.send(Err(ServeError::WorkerLost));
                 }
             }

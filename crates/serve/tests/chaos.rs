@@ -1,0 +1,389 @@
+//! Chaos tests: the serving stack under deterministic fault injection.
+//!
+//! The invariants, checked across fixed seeds and fault mixes:
+//!
+//! 1. Every accepted query gets **exactly one typed reply** — success or a
+//!    typed [`ServeError`] — within a generous bound. No hangs, ever.
+//! 2. No injected panic escapes the stack.
+//! 3. Degraded answers are tagged with the tier that produced them and
+//!    stay inside the dataset's rating range.
+//! 4. Checkpoint corruption surfaces as a typed error, never a panic.
+
+use hire_chaos::{sites, FaultKind, FaultPlan};
+use hire_ckpt::{fingerprint, GuardSnapshot, OptimizerSnapshot, TrainSnapshot};
+use hire_core::{HireConfig, HireModel};
+use hire_data::Dataset;
+use hire_error::HireError;
+use hire_nn::Module;
+use hire_serve::{
+    BreakerConfig, BreakerState, EngineConfig, FrozenModel, Predictor, RatingQuery,
+    ResilienceConfig, ServeEngine, ServeError, ServedBy, Server, ServerConfig,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::Duration;
+
+const USERS: usize = 40;
+const ITEMS: usize = 35;
+
+fn dataset() -> Dataset {
+    hire_data::SyntheticConfig::movielens_like()
+        .scaled(USERS, ITEMS, (8, 15))
+        .generate(21)
+}
+
+fn build_engine(
+    resilience: ResilienceConfig,
+    faults: Option<Arc<FaultPlan>>,
+) -> (ServeEngine, Arc<Dataset>) {
+    let dataset = Arc::new(dataset());
+    let config = HireConfig::fast().with_blocks(1).with_context_size(8, 8);
+    let mut rng = StdRng::seed_from_u64(4);
+    let model = HireModel::new(&dataset, &config, &mut rng);
+    let frozen = FrozenModel::from_model(&model, &dataset).expect("freeze");
+    let engine_config = EngineConfig {
+        cache_capacity: 64,
+        ..EngineConfig::from_model_config(&config)
+    };
+    let mut engine =
+        ServeEngine::new(frozen, dataset.clone(), engine_config).with_resilience(resilience);
+    if let Some(plan) = faults {
+        engine = engine.with_faults(plan);
+    }
+    (engine, dataset)
+}
+
+/// A breaker that trips fast and probes immediately — keeps chaos tests
+/// deterministic and quick.
+fn fast_breaker() -> BreakerConfig {
+    BreakerConfig {
+        window: 8,
+        failure_threshold: 0.5,
+        min_samples: 4,
+        cooldown: Duration::ZERO,
+        half_open_trials: 1,
+    }
+}
+
+fn queries(n: usize) -> Vec<RatingQuery> {
+    (0..n)
+        .map(|k| RatingQuery {
+            user: (k * 7) % USERS,
+            item: (k * 11) % ITEMS,
+        })
+        .collect()
+}
+
+#[test]
+fn every_accepted_query_gets_exactly_one_typed_reply_under_mixed_chaos() {
+    for seed in [7u64, 1234, 0xC0FFEE] {
+        let plan = Arc::new(FaultPlan::mixed(seed, 0.25));
+        let (engine, _) = build_engine(ResilienceConfig::default(), Some(plan.clone()));
+        let server = Server::start_with_faults(
+            Arc::new(engine),
+            ServerConfig {
+                workers: 2,
+                max_batch: 4,
+                max_queue: 256,
+                batch_timeout: Duration::from_millis(1),
+            },
+            Some(plan.clone()),
+        );
+        let mut accepted = Vec::new();
+        for (k, q) in queries(48).into_iter().enumerate() {
+            // A third of the traffic carries a deadline budget; some of
+            // those will legitimately expire under injected delays.
+            let budget = (k % 3 == 0).then(|| Duration::from_millis(40));
+            match server.submit_with_deadline(q, budget) {
+                Ok(h) => accepted.push(h),
+                Err(ServeError::Overloaded { .. }) => {}
+                Err(other) => panic!("seed {seed}: unexpected submit error: {other}"),
+            }
+        }
+        let n_accepted = accepted.len() as u64;
+        for (k, h) in accepted.into_iter().enumerate() {
+            // The generous bound is the hang detector: every accepted
+            // query must resolve to SOMETHING typed well within it.
+            match h.recv_timeout(Duration::from_secs(30)) {
+                Ok(pred) => {
+                    assert!(
+                        (0.0..=5.0).contains(&pred.rating),
+                        "seed {seed}, query {k}: rating {} out of range",
+                        pred.rating
+                    );
+                }
+                Err(ServeError::DeadlineExceeded)
+                | Err(ServeError::WorkerLost)
+                | Err(ServeError::CircuitOpen)
+                | Err(ServeError::Injected { .. })
+                | Err(ServeError::Model(_)) => {}
+                Err(other) => panic!("seed {seed}, query {k}: unexpected error: {other}"),
+            }
+        }
+        server.shutdown();
+        let stats = server.stats();
+        assert_eq!(
+            stats.completed, n_accepted,
+            "seed {seed}: every accepted query must be answered exactly once"
+        );
+        assert!(
+            plan.total_injected() > 0,
+            "seed {seed}: the mixed plan must actually inject faults"
+        );
+    }
+}
+
+#[test]
+fn chaos_schedule_replays_identically_per_seed() {
+    let run = |seed: u64| {
+        let plan = Arc::new(FaultPlan::mixed(seed, 0.3));
+        let (engine, _) = build_engine(
+            ResilienceConfig {
+                breaker: Some(fast_breaker()),
+                ..ResilienceConfig::default()
+            },
+            Some(plan.clone()),
+        );
+        // Single-threaded direct engine use: arrival order is fixed, so
+        // the full outcome sequence must replay bit-for-bit.
+        let outcomes: Vec<_> = queries(32)
+            .iter()
+            .map(|q| {
+                engine
+                    .predict_batch_tagged(std::slice::from_ref(q), None)
+                    .map(|a| (a[0].rating.to_bits(), a[0].served_by))
+                    .map_err(|e| e.to_string())
+            })
+            .collect();
+        (outcomes, plan.total_injected())
+    };
+    assert_eq!(run(7), run(7), "same seed must replay the same schedule");
+}
+
+#[test]
+fn model_panic_storm_degrades_to_fallback_and_opens_breaker() {
+    let plan = Arc::new(FaultPlan::new(3).with_fault(sites::ENGINE_FORWARD, FaultKind::Panic, 1.0));
+    let (engine, dataset) = build_engine(
+        ResilienceConfig {
+            // Long cooldown: once open, the breaker must visibly shed load
+            // instead of immediately probing half-open.
+            breaker: Some(BreakerConfig {
+                cooldown: Duration::from_secs(3600),
+                ..fast_breaker()
+            }),
+            ..ResilienceConfig::default()
+        },
+        Some(plan),
+    );
+    let qs = queries(24);
+    // A storm of independent requests (not one coalesced batch): each call
+    // is one model attempt group, so breaker outcomes accumulate.
+    let answers: Vec<_> = qs
+        .iter()
+        .map(|q| {
+            engine
+                .predict_batch_tagged(std::slice::from_ref(q), None)
+                .expect("fallback must answer despite a panicking model")
+                .remove(0)
+        })
+        .collect();
+    assert_eq!(answers.len(), qs.len());
+    let (lo, hi) = (dataset.min_rating, dataset.max_rating());
+    for (k, a) in answers.iter().enumerate() {
+        assert_eq!(
+            a.served_by,
+            ServedBy::Fallback,
+            "query {k}: a always-panicking model can only be served degraded"
+        );
+        assert!(
+            (lo..=hi).contains(&a.rating),
+            "query {k}: degraded rating {} outside [{lo}, {hi}]",
+            a.rating
+        );
+    }
+    let tiers = engine.tier_stats();
+    assert_eq!(tiers.model, 0);
+    assert_eq!(tiers.fallback, qs.len() as u64);
+    assert!(
+        tiers.failure_degraded + tiers.breaker_degraded == qs.len() as u64,
+        "every degradation must be attributed: {tiers:?}"
+    );
+    let breaker = engine.breaker_stats().expect("breaker configured");
+    assert!(
+        breaker.opened >= 1,
+        "persistent panics must trip the breaker"
+    );
+    assert!(
+        engine.tier_stats().breaker_degraded > 0,
+        "after tripping, the breaker must shed model attempts"
+    );
+}
+
+#[test]
+fn breaker_recovers_once_faults_clear() {
+    // Rate-1.0 faults on the first arrivals only is not expressible with a
+    // stateless schedule, so flip the plan off by swapping engines: same
+    // breaker object isn't shared, so instead drive recovery through the
+    // half-open probe path with a plan that stops firing (rate drawn per
+    // arrival; use Error faults and a breaker with zero cooldown, then
+    // verify Closed is reachable again via successful probes).
+    let plan = Arc::new(FaultPlan::new(5).with_fault(sites::ENGINE_FORWARD, FaultKind::Error, 0.9));
+    let (engine, _) = build_engine(
+        ResilienceConfig {
+            breaker: Some(fast_breaker()),
+            retry_attempts: 1,
+            ..ResilienceConfig::default()
+        },
+        Some(plan),
+    );
+    // Hammer until the breaker has opened at least once.
+    for q in queries(64) {
+        let _ = engine.predict_batch_tagged(&[q], None);
+    }
+    let stats = engine.breaker_stats().expect("breaker configured");
+    assert!(stats.opened >= 1, "90% error rate must trip the breaker");
+    // With zero cooldown, every post-open batch admits a half-open probe;
+    // at a 10% success rate the probe eventually lands, closing the
+    // breaker — proven by the transition counters.
+    assert!(
+        stats.half_opened >= 1,
+        "zero-cooldown breaker must reach half-open: {stats:?}"
+    );
+    // The schedule at seed 5 contains successful draws; the breaker must
+    // have closed at least once (and possibly re-opened after).
+    assert!(
+        stats.closed >= 1,
+        "a successful probe must close the breaker: {stats:?}"
+    );
+    assert!(
+        matches!(
+            engine.breaker_state().unwrap(),
+            BreakerState::Closed | BreakerState::Open | BreakerState::HalfOpen
+        ),
+        "state accessor must stay callable"
+    );
+}
+
+#[test]
+fn wrong_shape_output_is_caught_and_degraded_never_misassigned() {
+    let plan =
+        Arc::new(FaultPlan::new(11).with_fault(sites::ENGINE_FORWARD, FaultKind::WrongShape, 1.0));
+    let (engine, _) = build_engine(
+        ResilienceConfig {
+            breaker: None,
+            ..ResilienceConfig::default()
+        },
+        Some(plan),
+    );
+    let qs = queries(12);
+    let answers = engine.predict_batch_tagged(&qs, None).expect("degraded");
+    assert!(
+        answers.iter().all(|a| a.served_by == ServedBy::Fallback),
+        "truncated model output must never be zip-assigned to queries"
+    );
+
+    // Without fallback, the same fault is a typed error naming the shape
+    // mismatch — not a panic, not a silent truncation.
+    let plan =
+        Arc::new(FaultPlan::new(11).with_fault(sites::ENGINE_FORWARD, FaultKind::WrongShape, 1.0));
+    let (strict, _) = build_engine(ResilienceConfig::disabled(), Some(plan));
+    let err = strict
+        .predict_batch(&queries(4))
+        .expect_err("strict engine must surface the shape mismatch");
+    assert!(
+        err.to_string().contains("predictions for"),
+        "unexpected error: {err}"
+    );
+}
+
+#[test]
+fn injected_resolve_failures_degrade_but_range_violations_still_surface() {
+    let plan =
+        Arc::new(FaultPlan::new(13).with_fault(sites::ENGINE_RESOLVE, FaultKind::Error, 1.0));
+    let (engine, _) = build_engine(ResilienceConfig::default(), Some(plan));
+    let answers = engine
+        .predict_batch_tagged(&queries(8), None)
+        .expect("resolve faults must degrade, not fail");
+    assert!(answers.iter().all(|a| a.served_by == ServedBy::Fallback));
+    // An out-of-range query is a caller bug: the ladder must NOT swallow
+    // it into a fallback answer.
+    let err = engine
+        .predict_batch(&[RatingQuery {
+            user: USERS + 1,
+            item: 0,
+        }])
+        .expect_err("range violation must stay a hard error");
+    assert!(matches!(err, ServeError::Model(_)), "got {err}");
+}
+
+#[test]
+fn corrupted_snapshot_bytes_surface_typed_error_never_panic() {
+    let dataset = dataset();
+    let config = HireConfig::fast().with_blocks(1).with_context_size(8, 8);
+    let mut rng = StdRng::seed_from_u64(4);
+    let model = HireModel::new(&dataset, &config, &mut rng);
+    let params: Vec<_> = model.parameters().iter().map(|p| p.value()).collect();
+    let snapshot = TrainSnapshot {
+        completed_steps: 1,
+        config_fingerprint: fingerprint([1]),
+        params: params.clone(),
+        rollback_step: 0,
+        rollback_params: Vec::new(),
+        optimizer: OptimizerSnapshot {
+            lamb_m: params.iter().map(|_| None).collect(),
+            lamb_v: params.iter().map(|_| None).collect(),
+            lamb_t: 0,
+            slow_weights: Vec::new(),
+            lookahead_steps: 0,
+        },
+        guard: GuardSnapshot {
+            ema: None,
+            healthy_steps: 0,
+            suspicious_streak: 0,
+            lr_scale: 1.0,
+            recoveries: 0,
+        },
+        rng_words: Vec::new(),
+    };
+    let clean = snapshot.encode();
+    // Control: the clean bytes load.
+    FrozenModel::from_snapshot_bytes(&clean, "chaos", &dataset, &config)
+        .expect("clean snapshot bytes must load");
+
+    // Chaos: one deterministic bit flip per seed must surface as a typed
+    // corruption error (the container is CRC-checked), never a panic.
+    for seed in [7u64, 1234, 0xC0FFEE] {
+        let plan = FaultPlan::new(seed).with_fault(sites::CKPT_DECODE, FaultKind::CorruptByte, 1.0);
+        let mut bytes = clean.clone();
+        assert!(plan.corrupt(sites::CKPT_DECODE, &mut bytes));
+        let err = FrozenModel::from_snapshot_bytes(&bytes, "chaos", &dataset, &config)
+            .expect_err("corrupted bytes must fail");
+        assert!(
+            matches!(err, HireError::CorruptCheckpoint { .. }),
+            "seed {seed}: expected CorruptCheckpoint, got {err}"
+        );
+    }
+}
+
+#[test]
+fn healthy_engine_with_chaos_disabled_serves_model_tier_only() {
+    // The resilience layer must be invisible on the healthy path: no
+    // faults, no deadline pressure → every answer comes from the model
+    // (or its exact memo), never the fallback.
+    let (engine, _) = build_engine(ResilienceConfig::default(), None);
+    let qs = queries(16);
+    let first = engine.predict_batch_tagged(&qs, None).expect("served");
+    let second = engine.predict_batch_tagged(&qs, None).expect("served");
+    assert!(first.iter().all(|a| a.served_by == ServedBy::Model));
+    assert!(
+        second.iter().all(|a| a.served_by == ServedBy::Cache),
+        "repeat queries must be served from the exact memo"
+    );
+    for (a, b) in first.iter().zip(&second) {
+        assert_eq!(a.rating, b.rating, "memo must be bit-exact");
+    }
+    let tiers = engine.tier_stats();
+    assert_eq!(tiers.fallback, 0);
+    assert_eq!(engine.breaker_stats().unwrap().failures, 0);
+}

@@ -1,8 +1,16 @@
-//! Worker-pool semantics under load, shutdown, and worker failure —
-//! mirroring the fault-injection style of `crates/bench/tests/fault.rs`.
+//! Worker-pool semantics under load, shutdown, worker failure, deadline
+//! budgets, and cache/graph write races — mirroring the fault-injection
+//! style of `crates/bench/tests/fault.rs`.
 
-use hire_serve::{Predictor, RatingQuery, ServeError, Server, ServerConfig};
-use std::sync::atomic::{AtomicU64, Ordering};
+use hire_core::{HireConfig, HireModel};
+use hire_graph::Rating;
+use hire_serve::{
+    EngineConfig, FrozenModel, Predictor, RatingQuery, ResilienceConfig, ServeEngine, ServeError,
+    Server, ServerConfig,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -178,6 +186,195 @@ fn batches_coalesce_up_to_max_batch() {
         "expected micro-batching to coalesce: {calls} calls for 32 queries"
     );
     server.shutdown();
+}
+
+#[test]
+fn queued_query_past_its_deadline_is_answered_typed_not_silently_late() {
+    let server = Server::start(
+        Arc::new(TestPredictor::new(Duration::from_millis(80), None)),
+        ServerConfig {
+            workers: 1,
+            max_batch: 1,
+            max_queue: 16,
+            batch_timeout: Duration::ZERO,
+        },
+    );
+    // Occupy the single worker, then queue a query whose budget will
+    // expire while it waits behind the slow batch (FIFO: the slow query
+    // is always picked first, so the doomed one waits out its budget).
+    let slow = server
+        .submit(RatingQuery { user: 1, item: 1 })
+        .expect("accepted");
+    std::thread::sleep(Duration::from_millis(10));
+    let doomed = server
+        .submit_with_deadline(
+            RatingQuery { user: 2, item: 2 },
+            Some(Duration::from_millis(1)),
+        )
+        .expect("accepted");
+    let err = doomed
+        .recv_timeout(Duration::from_secs(10))
+        .expect_err("expired query must fail");
+    assert!(matches!(err, ServeError::DeadlineExceeded), "got {err}");
+    slow.wait().expect("unconstrained query still served");
+    server.shutdown();
+    let stats = server.stats();
+    assert_eq!(stats.deadline_expired, 1);
+    assert_eq!(
+        stats.completed, 2,
+        "a deadline reply still counts as an answer"
+    );
+}
+
+#[test]
+fn recv_timeout_bounds_the_wait_without_consuming_the_handle() {
+    let server = Server::start(
+        Arc::new(TestPredictor::new(Duration::from_millis(50), None)),
+        ServerConfig {
+            workers: 1,
+            max_batch: 1,
+            max_queue: 16,
+            batch_timeout: Duration::ZERO,
+        },
+    );
+    let handle = server
+        .submit(RatingQuery { user: 3, item: 4 })
+        .expect("accepted");
+    // The bounded wait elapses long before the 50ms predictor finishes...
+    let err = handle
+        .recv_timeout(Duration::from_millis(1))
+        .expect_err("bounded wait must time out");
+    assert!(matches!(err, ServeError::DeadlineExceeded), "got {err}");
+    // ...but the query is still in flight: a later wait gets the answer.
+    let pred = handle
+        .recv_timeout(Duration::from_secs(10))
+        .expect("late answer must still arrive");
+    assert_eq!(pred.rating, 7.0);
+    server.shutdown();
+}
+
+/// Returns one value fewer than it was asked for — a buggy predictor whose
+/// output must never be zip-truncated onto the wrong queries.
+struct ShortPredictor;
+
+impl Predictor for ShortPredictor {
+    fn predict_batch(&self, queries: &[RatingQuery]) -> Result<Vec<f32>, ServeError> {
+        Ok(vec![1.0; queries.len().saturating_sub(1)])
+    }
+}
+
+#[test]
+fn wrong_length_predictor_output_is_a_typed_error_for_every_caller() {
+    let server = Server::start(
+        Arc::new(ShortPredictor),
+        ServerConfig {
+            workers: 1,
+            max_batch: 4,
+            max_queue: 64,
+            batch_timeout: Duration::from_millis(20),
+        },
+    );
+    let handles: Vec<_> = (0..4)
+        .map(|k| {
+            server
+                .submit(RatingQuery { user: k, item: 0 })
+                .expect("accepted")
+        })
+        .collect();
+    for (k, h) in handles.into_iter().enumerate() {
+        let err = h
+            .recv_timeout(Duration::from_secs(10))
+            .expect_err("short output must fail the whole batch");
+        assert!(
+            matches!(&err, ServeError::Model(e) if e.to_string().contains("for a batch of")),
+            "query {k}: expected a shape-mismatch error, got {err}"
+        );
+    }
+    server.shutdown();
+    assert_eq!(server.stats().completed, 4);
+}
+
+const RACE_USERS: usize = 40;
+const RACE_ITEMS: usize = 35;
+
+/// Two engines over the same frozen weights and dataset: one to race, one
+/// as the single-threaded reference.
+fn engine_pair() -> (ServeEngine, ServeEngine) {
+    let dataset = Arc::new(
+        hire_data::SyntheticConfig::movielens_like()
+            .scaled(RACE_USERS, RACE_ITEMS, (8, 15))
+            .generate(21),
+    );
+    let config = HireConfig::fast().with_blocks(1).with_context_size(8, 8);
+    let mut rng = StdRng::seed_from_u64(4);
+    let model = HireModel::new(&dataset, &config, &mut rng);
+    let frozen = FrozenModel::from_model(&model, &dataset).expect("freeze");
+    let engine_config = EngineConfig {
+        cache_capacity: 64,
+        ..EngineConfig::from_model_config(&config)
+    };
+    let mk = || {
+        ServeEngine::new(frozen.clone(), dataset.clone(), engine_config.clone())
+            .with_resilience(ResilienceConfig::disabled())
+    };
+    (mk(), mk())
+}
+
+#[test]
+fn concurrent_insert_rating_never_leaves_a_stale_memo_behind() {
+    // Regression for the resolve/invalidate race: a resolver samples a
+    // context from the old graph, `insert_rating` swaps the graph and
+    // invalidates, then the resolver caches its stale sample (or attaches
+    // a stale prediction to a fresh entry). Every write below touches the
+    // query's own user, so any entry surviving the final write MUST have
+    // been sampled from the final graph — which makes the raced engine's
+    // answers bit-comparable to a single-threaded reference.
+    let (live, reference) = engine_pair();
+    let live = Arc::new(live);
+    let queries: Vec<RatingQuery> = (0..8)
+        .map(|u| RatingQuery {
+            user: u,
+            item: u % RACE_ITEMS,
+        })
+        .collect();
+    let writes: Vec<Rating> = (0..20)
+        .flat_map(|round| (0..8).map(move |u| Rating::new(u, 10 + round, 1.0 + (round % 5) as f32)))
+        .collect();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let readers: Vec<_> = (0..4)
+        .map(|_| {
+            let live = live.clone();
+            let stop = stop.clone();
+            let queries = queries.clone();
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    live.predict_batch(&queries).expect("served during race");
+                }
+            })
+        })
+        .collect();
+    for w in &writes {
+        live.insert_rating(*w).expect("insert");
+    }
+    stop.store(true, Ordering::Relaxed);
+    for r in readers {
+        r.join().expect("reader thread");
+    }
+
+    // Replay the same writes serially on the reference engine.
+    for w in &writes {
+        reference.insert_rating(*w).expect("insert");
+    }
+    let raced = live.predict_batch(&queries).expect("served after race");
+    let fresh = reference.predict_batch(&queries).expect("reference");
+    for (k, (a, b)) in raced.iter().zip(&fresh).enumerate() {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "query {k}: raced answer {a} != reference {b} — a stale context or memo survived"
+        );
+    }
 }
 
 #[test]

@@ -59,7 +59,10 @@ fn main() {
 
     // 4. Serve through the micro-batching worker pool: submissions are
     //    coalesced into batches of up to `max_batch` and answered on
-    //    `workers` threads, with bounded-queue backpressure.
+    //    `workers` threads, with bounded-queue backpressure. Each query
+    //    carries a deadline budget — a query that cannot be answered in
+    //    time comes back as a typed `DeadlineExceeded` or is degraded to
+    //    the graph-statistics fallback tier, never silently late.
     let server = Server::start(
         engine.clone(),
         ServerConfig {
@@ -77,12 +80,26 @@ fn main() {
         .collect();
     let handles: Vec<_> = queries
         .iter()
-        .map(|&q| server.submit(q).expect("accepted"))
+        .map(|&q| {
+            server
+                .submit_with_deadline(q, Some(Duration::from_millis(500)))
+                .expect("accepted")
+        })
         .collect();
     for (q, h) in queries.iter().zip(handles) {
-        let p = h.wait().expect("answered");
+        // `recv_timeout` bounds the wait without consuming the handle:
+        // elapsing the bound yields `DeadlineExceeded` while the query
+        // stays in flight, so a caller can poll again (or walk away).
+        let p = h
+            .recv_timeout(Duration::from_secs(5))
+            .expect("answered within bound");
+        let tier = match p.served_by {
+            ServedBy::Model => "model",
+            ServedBy::Cache => "cache",
+            ServedBy::Fallback => "fallback",
+        };
         println!(
-            "  u{:<3} i{:<3} -> {:.2}  ({:.2} ms)",
+            "  u{:<3} i{:<3} -> {:.2}  ({:.2} ms, {tier} tier)",
             q.user,
             q.item,
             p.rating,

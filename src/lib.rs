@@ -15,7 +15,8 @@
 //! | [`baselines`] | `hire-baselines` | NeuMF, Wide&Deep, DeepFM, AFN, GraphRec, HIN, MeLU, MAMO, TaNP |
 //! | [`metrics`] | `hire-metrics` | Precision/NDCG/MAP @ k |
 //! | [`eval`] | `hire-eval` | the comparison harness used by the benches |
-//! | [`serve`] | `hire-serve` | online inference: frozen models, context cache, worker pool |
+//! | [`serve`] | `hire-serve` | online inference: frozen models, context cache, worker pool, degradation ladder |
+//! | [`chaos`] | `hire-chaos` | deterministic fault injection for resilience testing |
 //!
 //! ```
 //! use hire::prelude::*;
@@ -39,6 +40,7 @@
 //! ```
 
 pub use hire_baselines as baselines;
+pub use hire_chaos as chaos;
 pub use hire_core as core;
 pub use hire_data as data;
 pub use hire_error as error;
@@ -68,7 +70,8 @@ pub mod prelude {
     pub use hire_metrics::{map_at_k, ndcg_at_k, precision_at_k, ranking_metrics, ScoredPair};
     pub use hire_nn::Module;
     pub use hire_serve::{
-        EngineConfig, FrozenModel, RatingQuery, ServeEngine, Server, ServerConfig,
+        BreakerConfig, BreakerState, EngineConfig, FrozenModel, RatingQuery, ResilienceConfig,
+        ServeEngine, ServeError, ServedBy, Server, ServerConfig, TierStats,
     };
     pub use hire_tensor::{NdArray, Shape, Tensor};
 }
