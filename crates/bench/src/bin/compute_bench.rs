@@ -1,0 +1,407 @@
+//! Kernel/compute benchmark: establishes the perf trajectory of the
+//! parallel compute layer and emits `BENCH_KERNELS.json`.
+//!
+//! Three sections:
+//! 1. **matmul** — GFLOP/s at HIM-realistic shapes: the naive reference
+//!    loop vs the blocked/tiled kernel at 1 thread (the blocking speedup),
+//!    then the blocked kernel across the thread sweep. Every variant is
+//!    checked bitwise against the reference before it is timed.
+//! 2. **him** — full HIM forward and forward+backward wall time on a
+//!    synthetic cold-start context across the thread sweep, with the loss
+//!    value asserted bit-identical at every thread count.
+//! 3. **serve** — saturation throughput from the sibling `serve_bench`
+//!    binary run with `--threads 1/2/4/8` (skipped under `--smoke`).
+//!
+//! `--smoke` shrinks every section to seconds and asserts that the
+//! 4-thread HIM forward is no slower than the 1-thread run (with a noise
+//! tolerance so single-core machines, where both degenerate to the same
+//! serial execution, still pass): the CI regression gate for the pool.
+
+use hire_bench::write_json_atomic;
+use hire_core::{HireConfig, HireModel};
+use hire_data::{test_context_with_ratio, SyntheticConfig};
+use hire_graph::{NeighborhoodSampler, Rating};
+use hire_par::{with_pool, ThreadPool};
+use hire_tensor::linalg;
+use hire_tensor::NdArray;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+use std::sync::Arc;
+use std::time::Instant;
+
+const USAGE: &str = "compute_bench — kernel and HIM compute benchmark
+
+USAGE:
+    compute_bench [OPTIONS]
+
+OPTIONS:
+    --smoke         quick run: small shapes, no serve sweep, and assert the
+                    4-thread HIM forward is no slower than 1-thread
+    --out <path>    write the JSON report here [BENCH_KERNELS.json]
+    --no-serve      skip the serve_bench throughput sweep
+    -h, --help      print this help";
+
+/// Thread counts every sweep measures.
+const THREAD_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+/// The 4-thread run may be up to this much slower than 1-thread before the
+/// smoke gate fails — covers timer noise and single-core machines where
+/// both runs execute the same serial code under different pool wiring.
+const SMOKE_TOLERANCE: f64 = 1.25;
+
+#[derive(Debug, Clone)]
+struct Args {
+    smoke: bool,
+    out: String,
+    no_serve: bool,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        smoke: false,
+        out: "BENCH_KERNELS.json".to_string(),
+        no_serve: false,
+    };
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--smoke" => args.smoke = true,
+            "--no-serve" => args.no_serve = true,
+            "--out" => {
+                args.out = it
+                    .next()
+                    .ok_or_else(|| "--out needs a value".to_string())?
+                    .clone()
+            }
+            other => return Err(format!("unknown flag `{other}` (see --help)")),
+        }
+    }
+    Ok(args)
+}
+
+/// Best-of-`reps` wall time of `f` in seconds.
+fn time_best(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+#[derive(Serialize)]
+struct ThreadPoint {
+    threads: usize,
+    gflops: f64,
+}
+
+#[derive(Serialize)]
+struct MatmulReport {
+    /// `[n, k, m]` of the timed product.
+    shape: Vec<usize>,
+    gflops_reference_1t: f64,
+    gflops_blocked_1t: f64,
+    /// Single-thread win from blocking/tiling alone.
+    blocking_speedup_1t: f64,
+    sweep: Vec<ThreadPoint>,
+}
+
+#[derive(Serialize)]
+struct HimPoint {
+    threads: usize,
+    forward_ms: f64,
+    forward_backward_ms: f64,
+}
+
+#[derive(Serialize)]
+struct HimReport {
+    context_users: usize,
+    context_items: usize,
+    num_blocks: usize,
+    forward_speedup_4t: f64,
+    forward_backward_speedup_4t: f64,
+    sweep: Vec<HimPoint>,
+}
+
+#[derive(Serialize)]
+struct ServePoint {
+    threads: usize,
+    saturation_qps: f64,
+}
+
+#[derive(Serialize)]
+struct KernelBenchReport {
+    smoke: bool,
+    host_threads: usize,
+    matmul: Vec<MatmulReport>,
+    him: HimReport,
+    serve: Option<Vec<ServePoint>>,
+}
+
+/// Times one `[n,k] x [k,m]` product: reference vs blocked at 1 thread,
+/// then the blocked kernel across the sweep. Asserts every timed variant
+/// produces bits identical to the reference first.
+fn bench_matmul(n: usize, k: usize, m: usize, reps: usize) -> MatmulReport {
+    let mut rng = StdRng::seed_from_u64(0x11A7 ^ (n * k * m) as u64);
+    let a = NdArray::randn([n, k], 0.0, 1.0, &mut rng);
+    let b = NdArray::randn([k, m], 0.0, 1.0, &mut rng);
+    let flops = 2.0 * (n * k * m) as f64;
+
+    let mut reference = vec![0.0f32; n * m];
+    linalg::matmul_reference(a.as_slice(), b.as_slice(), &mut reference, n, k, m);
+    let one = Arc::new(ThreadPool::new(1));
+    for &threads in &THREAD_SWEEP {
+        let pool = Arc::new(ThreadPool::new(threads));
+        let out = with_pool(&pool, || linalg::matmul2d(&a, &b));
+        assert!(
+            out.as_slice()
+                .iter()
+                .zip(&reference)
+                .all(|(x, y)| x.to_bits() == y.to_bits()),
+            "blocked matmul deviates from reference at {threads} threads ({n}x{k}x{m})"
+        );
+    }
+
+    let t_ref = time_best(reps, || {
+        let mut out = vec![0.0f32; n * m];
+        linalg::matmul_reference(a.as_slice(), b.as_slice(), &mut out, n, k, m);
+        std::hint::black_box(&out);
+    });
+    let t_blocked_1t = time_best(reps, || {
+        let out = with_pool(&one, || linalg::matmul2d(&a, &b));
+        std::hint::black_box(&out);
+    });
+    let sweep = THREAD_SWEEP
+        .iter()
+        .map(|&threads| {
+            let pool = Arc::new(ThreadPool::new(threads));
+            let t = time_best(reps, || {
+                let out = with_pool(&pool, || linalg::matmul2d(&a, &b));
+                std::hint::black_box(&out);
+            });
+            ThreadPoint {
+                threads,
+                gflops: flops / t / 1e9,
+            }
+        })
+        .collect();
+    MatmulReport {
+        shape: vec![n, k, m],
+        gflops_reference_1t: flops / t_ref / 1e9,
+        gflops_blocked_1t: flops / t_blocked_1t / 1e9,
+        blocking_speedup_1t: t_ref / t_blocked_1t,
+        sweep,
+    }
+}
+
+/// Times the full HIM forward and forward+backward across the thread
+/// sweep; loss bits must agree at every thread count.
+fn bench_him(smoke: bool) -> HimReport {
+    let config = if smoke {
+        HireConfig::fast().with_context_size(8, 8)
+    } else {
+        HireConfig::fast()
+    };
+    let dataset = SyntheticConfig::movielens_like()
+        .scaled(120, 100, (15, 40))
+        .generate(41);
+    let graph = dataset.graph();
+    let mut rng = StdRng::seed_from_u64(41);
+    let model = HireModel::new(&dataset, &config, &mut rng);
+    let placeholder = Rating::new(3, 5, dataset.min_rating);
+    let ctx = test_context_with_ratio(
+        &graph,
+        &NeighborhoodSampler,
+        &[placeholder],
+        config.context_users,
+        config.context_items,
+        config.input_ratio,
+        &mut rng,
+    )
+    .expect("benchmark context");
+
+    let reps = if smoke { 5 } else { 8 };
+    let reference_loss = {
+        let pool = Arc::new(ThreadPool::new(1));
+        with_pool(&pool, || model.context_loss(&ctx, &dataset).item())
+    };
+    let sweep: Vec<HimPoint> = THREAD_SWEEP
+        .iter()
+        .map(|&threads| {
+            let pool = Arc::new(ThreadPool::new(threads));
+            let loss = with_pool(&pool, || model.context_loss(&ctx, &dataset).item());
+            assert_eq!(
+                loss.to_bits(),
+                reference_loss.to_bits(),
+                "HIM loss bits differ at {threads} threads"
+            );
+            let forward = time_best(reps, || {
+                let out = with_pool(&pool, || model.forward(&ctx, &dataset));
+                std::hint::black_box(&out);
+            });
+            let forward_backward = time_best(reps, || {
+                with_pool(&pool, || {
+                    let loss = model.context_loss(&ctx, &dataset);
+                    loss.backward();
+                });
+            });
+            HimPoint {
+                threads,
+                forward_ms: forward * 1e3,
+                forward_backward_ms: forward_backward * 1e3,
+            }
+        })
+        .collect();
+    let ms_at = |threads: usize, f: fn(&HimPoint) -> f64| {
+        sweep
+            .iter()
+            .find(|p| p.threads == threads)
+            .map(f)
+            .expect("sweep covers thread count")
+    };
+    HimReport {
+        context_users: config.context_users,
+        context_items: config.context_items,
+        num_blocks: config.num_blocks,
+        forward_speedup_4t: ms_at(1, |p| p.forward_ms) / ms_at(4, |p| p.forward_ms),
+        forward_backward_speedup_4t: ms_at(1, |p| p.forward_backward_ms)
+            / ms_at(4, |p| p.forward_backward_ms),
+        sweep,
+    }
+}
+
+/// Runs the sibling `serve_bench` binary once per thread count and reads
+/// the saturation throughput out of its JSON report. Returns `None` (with
+/// a warning) when the binary is missing — e.g. a `cargo run --bin
+/// compute_bench` without a full build.
+fn bench_serve() -> Option<Vec<ServePoint>> {
+    let serve_bench = std::env::current_exe()
+        .ok()?
+        .parent()?
+        .join(format!("serve_bench{}", std::env::consts::EXE_SUFFIX));
+    if !serve_bench.exists() {
+        eprintln!(
+            "compute_bench: {} not found; skipping serve sweep (build with `cargo build --release -p hire-bench` first)",
+            serve_bench.display()
+        );
+        return None;
+    }
+    let mut points = Vec::new();
+    for &threads in &THREAD_SWEEP {
+        let out = std::env::temp_dir().join(format!("compute_bench_serve_{threads}.json"));
+        eprintln!("compute_bench: serve_bench --threads {threads} ...");
+        let status = std::process::Command::new(&serve_bench)
+            .args([
+                "--threads",
+                &threads.to_string(),
+                "--duration-secs",
+                "1",
+                "--out",
+            ])
+            .arg(&out)
+            .status()
+            .ok()?;
+        if !status.success() {
+            eprintln!("compute_bench: serve_bench --threads {threads} failed; skipping sweep");
+            return None;
+        }
+        let text = std::fs::read_to_string(&out).ok()?;
+        let _ = std::fs::remove_file(&out);
+        let report = serde_json::from_str(&text).ok()?;
+        let qps = report.get("saturation")?.get("qps")?.as_f64()?;
+        points.push(ServePoint {
+            threads,
+            saturation_qps: qps,
+        });
+    }
+    Some(points)
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("{USAGE}");
+        return;
+    }
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+    };
+
+    let host_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    eprintln!("compute_bench: host has {host_threads} hardware threads");
+
+    // HIM-realistic products: [rows, e] x [e, inner] attention projections
+    // (rows = batch*tokens of MBU/MBI/MBA) and the larger full-tier shape.
+    let shapes: &[[usize; 3]] = if args.smoke {
+        &[[128, 40, 32], [512, 64, 64]]
+    } else {
+        &[[256, 40, 32], [1024, 40, 32], [4096, 24, 24], [512, 64, 64]]
+    };
+    let reps = if args.smoke { 5 } else { 10 };
+    let matmul: Vec<MatmulReport> = shapes
+        .iter()
+        .map(|&[n, k, m]| {
+            let r = bench_matmul(n, k, m, reps);
+            eprintln!(
+                "  matmul {n}x{k}x{m}: ref {:.2} GF/s, blocked 1t {:.2} GF/s ({:.2}x from blocking)",
+                r.gflops_reference_1t, r.gflops_blocked_1t, r.blocking_speedup_1t
+            );
+            r
+        })
+        .collect();
+
+    eprintln!("compute_bench: HIM forward/backward sweep...");
+    let him = bench_him(args.smoke);
+    for p in &him.sweep {
+        eprintln!(
+            "  {} thread(s): forward {:.2} ms, forward+backward {:.2} ms",
+            p.threads, p.forward_ms, p.forward_backward_ms
+        );
+    }
+    eprintln!(
+        "  4t speedups: forward {:.2}x, forward+backward {:.2}x",
+        him.forward_speedup_4t, him.forward_backward_speedup_4t
+    );
+
+    let serve = if args.smoke || args.no_serve {
+        None
+    } else {
+        bench_serve()
+    };
+
+    // The "4 threads no slower than 1" gate only means something when the
+    // host can actually run 4 threads at once; on smaller machines the
+    // extra workers just contend for the same cores.
+    let smoke_gate_failed =
+        args.smoke && host_threads >= 4 && him.forward_speedup_4t < 1.0 / SMOKE_TOLERANCE;
+    if args.smoke && host_threads < 4 {
+        eprintln!(
+            "compute_bench: smoke gate skipped (host has {host_threads} hardware threads, need 4)"
+        );
+    }
+    let report = KernelBenchReport {
+        smoke: args.smoke,
+        host_threads,
+        matmul,
+        him,
+        serve,
+    };
+    write_json_atomic(&args.out, &report).expect("write BENCH_KERNELS.json");
+    eprintln!("compute_bench: report written to {}", args.out);
+
+    if smoke_gate_failed {
+        eprintln!(
+            "compute_bench: SMOKE GATE FAILED — 4-thread HIM forward is more than {SMOKE_TOLERANCE}x slower than 1-thread"
+        );
+        std::process::exit(1);
+    }
+}

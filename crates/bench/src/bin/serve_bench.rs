@@ -57,6 +57,9 @@ OPTIONS:
     --zipf <f64>             zipf exponent over the hot set [1.1]
     --hot-pairs <usize>      hot-set size [64]
     --seed <u64>             rng seed [7]
+    --threads <usize>        hire-par compute pool size (kernel-level
+                             parallelism inside each forward) [HIRE_THREADS
+                             or hardware]
     --chaos-seed <u64>       enable the chaos phase with this fault seed
     --fault-rate <f64>       per-site fault probability for the chaos phase [0.2]
     --chaos-queries <usize>  queries fired during the chaos phase [300]
@@ -75,6 +78,7 @@ struct Args {
     zipf: f64,
     hot_pairs: usize,
     seed: u64,
+    threads: Option<usize>,
     chaos_seed: Option<u64>,
     fault_rate: f64,
     chaos_queries: usize,
@@ -94,6 +98,7 @@ impl Default for Args {
             zipf: 1.1,
             hot_pairs: 64,
             seed: 7,
+            threads: None,
             chaos_seed: None,
             fault_rate: 0.2,
             chaos_queries: 300,
@@ -125,6 +130,7 @@ fn parse_args(argv: &[String]) -> HireResult<Args> {
             "--zipf" => args.zipf = num(flag, value()?)?,
             "--hot-pairs" => args.hot_pairs = num(flag, value()?)?,
             "--seed" => args.seed = num(flag, value()?)?,
+            "--threads" => args.threads = Some(num(flag, value()?)?),
             "--chaos-seed" => args.chaos_seed = Some(num(flag, value()?)?),
             "--fault-rate" => args.fault_rate = num(flag, value()?)?,
             "--chaos-queries" => args.chaos_queries = num(flag, value()?)?,
@@ -271,6 +277,8 @@ struct ChaosReport {
 #[derive(Serialize)]
 struct ServeBenchReport {
     workers: usize,
+    /// Size of the `hire-par` compute pool used inside each forward.
+    compute_threads: usize,
     max_batch: usize,
     max_queue: usize,
     batch_timeout_ms: f64,
@@ -536,6 +544,18 @@ fn main() {
             std::process::exit(2);
         }
     };
+    if let Some(threads) = args.threads {
+        // Must run before any kernel touches the pool; --threads sweeps in
+        // compute_bench and CI rely on this pinning the global pool size.
+        if let Err(existing) = hire_par::set_global_threads(threads) {
+            eprintln!(
+                "error: compute pool already initialized with {existing} threads; \
+                 --threads {threads} cannot take effect"
+            );
+            std::process::exit(2);
+        }
+    }
+    let compute_threads = hire_par::global().threads();
 
     let dataset = Arc::new(
         SyntheticConfig::movielens_like()
@@ -626,6 +646,7 @@ fn main() {
     let cache_stats = engine.cache_stats();
     let report = ServeBenchReport {
         workers: args.workers,
+        compute_threads,
         max_batch: args.max_batch,
         max_queue: args.max_queue,
         batch_timeout_ms: args.batch_timeout_ms,

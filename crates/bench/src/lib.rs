@@ -20,6 +20,7 @@ use hire_error::{HireError, HireResult};
 use hire_eval::{evaluate_model_isolated, EvalConfig, ModelResult, ModelSpec, SpeedTier};
 use serde::{Serialize, Value};
 use std::path::{Path, PathBuf};
+use std::sync::Mutex;
 use std::time::Duration;
 
 const USAGE: &str = "usage: [--tier smoke|fast|full] [--seed N] [--max-entities N] \
@@ -208,8 +209,18 @@ pub fn run_scenario_with_specs(
     let split = ColdStartSplit::new(dataset, scenario, cold_frac(kind), 0.1, args.seed);
     let cfg = args.eval_config();
     let budget = args.model_budget.map(Duration::from_secs_f64);
-    let mut results = Vec::new();
-    for spec in specs {
+    // Models fan out across the `hire-par` pool (one task per spec) and the
+    // report keeps spec order. Every model trains from its own fixed seed,
+    // so results are independent of scheduling; isolation still applies
+    // per model.
+    let slots: Vec<Mutex<Option<ModelSpec>>> =
+        specs.into_iter().map(|s| Mutex::new(Some(s))).collect();
+    let results: Vec<ModelResult> = hire_par::parallel_map_chunks(slots.len(), 1, |rr| {
+        let spec = slots[rr.start]
+            .lock()
+            .expect("spec slot lock")
+            .take()
+            .expect("each spec slot is taken once");
         let name = spec.name.clone();
         eprintln!("  [{}] training {} ...", scenario.label(), name);
         let result = evaluate_model_isolated(spec, dataset, &split, &cfg, budget);
@@ -221,8 +232,8 @@ pub fn run_scenario_with_specs(
                 result.status
             );
         }
-        results.push(result);
-    }
+        result
+    });
     ScenarioReport {
         scenario: scenario.label().to_string(),
         results,

@@ -11,6 +11,11 @@ use rand::Rng;
 /// Input `[batch, t, d]` (or `[t, d]`, treated as batch 1); output has the
 /// same shape. All batch elements share parameters — exactly the
 /// "parameter-sharing MHSA processed in parallel" of Eq. (10), (12), (14).
+///
+/// The layer contains no thread-aware code, but its matmuls, softmax, and
+/// the batched products they compose all run on the `hire-par` pool via
+/// `hire_tensor::linalg`, forward and backward alike. Results are
+/// bit-identical for every thread count (see DESIGN.md §11).
 pub struct MultiHeadSelfAttention {
     w_q: Tensor,
     w_k: Tensor,

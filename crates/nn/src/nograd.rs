@@ -6,6 +6,11 @@
 //! for the serving path (`hire-serve`), where building a backward graph per
 //! query is pure overhead and `Tensor`'s `Rc` interior forbids sharing
 //! across worker threads.
+//!
+//! Because these forwards bottom out in the same `linalg` kernels, they
+//! inherit the parallel compute layer transitively: the matmuls, softmax,
+//! and layer norms here fan out over the `hire-par` pool and stay
+//! bit-identical at every thread count (DESIGN.md §11).
 
 use hire_tensor::{linalg, NdArray};
 

@@ -1,0 +1,65 @@
+//! Thread-count invariance of MHSA: a forward and backward pass through
+//! the attention layer must produce identical bits under any pool size.
+//! The layer itself holds no thread-aware code — the guarantee is
+//! inherited from the linalg kernels it composes (batched matmuls,
+//! softmax, layer norm) — so this test pins the composition, not any one
+//! kernel.
+
+use hire_nn::{Module, MultiHeadSelfAttention};
+use hire_par::{with_pool, ThreadPool};
+use hire_tensor::{NdArray, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+/// One forward+backward; returns (output bits, per-parameter grad bits).
+fn run_once(
+    model_dim: usize,
+    heads: usize,
+    head_dim: usize,
+    tokens: usize,
+) -> (Vec<u32>, Vec<Vec<u32>>) {
+    let mut rng = StdRng::seed_from_u64(model_dim as u64 ^ (tokens as u64) << 8);
+    let mhsa = MultiHeadSelfAttention::new(model_dim, heads, head_dim, &mut rng);
+    let x = Tensor::constant(NdArray::randn([tokens, model_dim], 0.0, 1.0, &mut rng));
+    let out = mhsa.forward(&x);
+    let out_bits = out.value().as_slice().iter().map(|v| v.to_bits()).collect();
+    out.square().sum().backward();
+    let grad_bits = mhsa
+        .parameters()
+        .iter()
+        .map(|p| {
+            p.grad()
+                .unwrap_or_else(|| NdArray::zeros(p.shape()))
+                .as_slice()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect()
+        })
+        .collect();
+    (out_bits, grad_bits)
+}
+
+#[test]
+fn mhsa_forward_backward_is_thread_invariant() {
+    // Dims span tiny odd shapes and a row count past the kernels' row
+    // block so the parallel path genuinely splits work.
+    for (model_dim, heads, head_dim, tokens) in [(8, 2, 4, 5), (12, 3, 5, 40), (16, 4, 8, 33)] {
+        let reference = with_pool(&Arc::new(ThreadPool::new(1)), || {
+            run_once(model_dim, heads, head_dim, tokens)
+        });
+        for threads in [2, 4] {
+            let got = with_pool(&Arc::new(ThreadPool::new(threads)), || {
+                run_once(model_dim, heads, head_dim, tokens)
+            });
+            assert_eq!(
+                got.0, reference.0,
+                "mhsa d={model_dim} h={heads} t={tokens}: output bits differ at {threads} threads"
+            );
+            assert_eq!(
+                got.1, reference.1,
+                "mhsa d={model_dim} h={heads} t={tokens}: grad bits differ at {threads} threads"
+            );
+        }
+    }
+}

@@ -1,6 +1,6 @@
 //! Global-norm gradient clipping with non-finite sanitization.
 
-use hire_tensor::Tensor;
+use hire_tensor::{linalg, Tensor};
 
 /// What [`clip_grad_norm`] did to the gradients.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -36,33 +36,24 @@ impl GradClipStats {
 /// stays `false`.
 pub fn clip_grad_norm(params: &[Tensor], max_norm: f32) -> GradClipStats {
     let threshold_valid = max_norm.is_finite() && max_norm > 0.0;
+    // Both the sanitization scan and the squared-norm sum run element
+    // chunks of each gradient across the pool. Parameters are walked
+    // serially in order and each parameter's chunk partials fold in
+    // ascending chunk order (`linalg::norm_sq_f64`), so the global norm is
+    // bit-identical for every thread count.
     let mut nonfinite = 0usize;
     for p in params {
-        let mut bad_here = false;
-        p.with_grad(|g| {
-            if let Some(g) = g {
-                if g.has_non_finite() {
-                    bad_here = true;
-                    nonfinite += g.as_slice().iter().filter(|x| !x.is_finite()).count();
-                }
-            }
+        let mut bad_here = 0usize;
+        p.update_grad(|g| {
+            bad_here = linalg::sanitize_non_finite(g.as_mut_slice());
         });
-        if bad_here {
-            p.update_grad(|g| {
-                for x in g.as_mut_slice() {
-                    if !x.is_finite() {
-                        *x = 0.0;
-                    }
-                }
-            });
-        }
+        nonfinite += bad_here;
     }
     let mut sq_sum = 0.0f64;
     for p in params {
         p.with_grad(|g| {
             if let Some(g) = g {
-                let n = g.norm_l2() as f64;
-                sq_sum += n * n;
+                sq_sum += linalg::norm_sq_f64(g.as_slice());
             }
         });
     }

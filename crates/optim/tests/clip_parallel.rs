@@ -1,0 +1,119 @@
+//! Pins `clip_grad_norm`'s parallel norm/sanitize path bitwise against a
+//! serial reference and across thread counts.
+
+use std::sync::Arc;
+
+use hire_optim::clip_grad_norm;
+use hire_par::{with_pool, ThreadPool};
+use hire_tensor::{NdArray, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Parameters with deterministic pseudo-random gradients large enough to
+/// span many 4096-element reduction chunks, with some non-finite entries
+/// sprinkled in.
+fn params_with_grads(seed: u64, poison: bool) -> Vec<Tensor> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sizes = [10_000usize, 4096, 4095, 4097, 137, 1];
+    sizes
+        .iter()
+        .map(|&n| {
+            let p = Tensor::parameter(NdArray::zeros([n]));
+            let mut g = NdArray::randn([n], 0.0, 3.0, &mut rng);
+            if poison {
+                let s = g.as_mut_slice();
+                s[0] = f32::NAN;
+                if n > 5000 {
+                    s[5000] = f32::INFINITY;
+                    s[n - 1] = f32::NEG_INFINITY;
+                }
+            }
+            p.add_to_grad(&g);
+            p
+        })
+        .collect()
+}
+
+/// The pre-parallel serial reference: zero non-finite entries, then the
+/// joint norm via per-chunk f64 partial sums folded in chunk order (the
+/// chain `clip_grad_norm` commits to), then rescale.
+fn serial_reference(params: &[Tensor], max_norm: f32) -> (f32, usize, Vec<Vec<u32>>) {
+    let mut nonfinite = 0usize;
+    let mut sq_sum = 0.0f64;
+    for p in params {
+        p.update_grad(|g| {
+            for x in g.as_mut_slice() {
+                if !x.is_finite() {
+                    *x = 0.0;
+                    nonfinite += 1;
+                }
+            }
+        });
+        p.with_grad(|g| {
+            if let Some(g) = g {
+                for chunk in g.as_slice().chunks(4096) {
+                    let mut part = 0.0f64;
+                    for &x in chunk {
+                        part += (x as f64) * (x as f64);
+                    }
+                    sq_sum += part;
+                }
+            }
+        });
+    }
+    let total = sq_sum.sqrt() as f32;
+    if total > max_norm && total > 0.0 {
+        let scale = max_norm / total;
+        for p in params {
+            p.update_grad(|g| g.scale_inplace(scale));
+        }
+    }
+    let grads = params
+        .iter()
+        .map(|p| p.with_grad(|g| g.unwrap().as_slice().iter().map(|x| x.to_bits()).collect()))
+        .collect();
+    (total, nonfinite, grads)
+}
+
+#[test]
+fn parallel_clip_matches_serial_reference_bitwise() {
+    for poison in [false, true] {
+        let reference_params = params_with_grads(42, poison);
+        let (ref_norm, ref_bad, ref_grads) = serial_reference(&reference_params, 1.0);
+
+        for threads in [1usize, 2, 4] {
+            let params = params_with_grads(42, poison);
+            let pool = Arc::new(ThreadPool::new(threads));
+            let stats = with_pool(&pool, || clip_grad_norm(&params, 1.0));
+            assert_eq!(
+                stats.pre_clip_norm.to_bits(),
+                ref_norm.to_bits(),
+                "norm differs from serial reference at {threads} threads (poison={poison})"
+            );
+            assert_eq!(stats.nonfinite_entries, ref_bad);
+            for (p, want) in params.iter().zip(&ref_grads) {
+                let got: Vec<u32> =
+                    p.with_grad(|g| g.unwrap().as_slice().iter().map(|x| x.to_bits()).collect());
+                assert_eq!(
+                    &got, want,
+                    "clipped gradient bits differ at {threads} threads (poison={poison})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn clip_is_thread_count_invariant_on_unclipped_grads() {
+    // Below the threshold nothing is rescaled; the reported norm must still
+    // be bit-identical across thread counts.
+    let mut norms = Vec::new();
+    for threads in [1usize, 3, 4] {
+        let params = params_with_grads(7, false);
+        let pool = Arc::new(ThreadPool::new(threads));
+        let stats = with_pool(&pool, || clip_grad_norm(&params, 1.0e9));
+        assert!(!stats.clipped);
+        norms.push(stats.pre_clip_norm.to_bits());
+    }
+    assert!(norms.windows(2).all(|w| w[0] == w[1]));
+}

@@ -12,8 +12,10 @@ use hire_core::{HireConfig, HireModel};
 use hire_data::{Dataset, PredictionContext};
 use hire_error::{HireError, HireResult};
 use hire_nn::{mhsa_forward, MhsaWeights, Module};
+use hire_par::SendPtr;
 use hire_tensor::{linalg, NdArray};
 use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
 
 /// `LayerNorm::new` hard-codes this epsilon; the frozen mirror must match.
@@ -500,12 +502,19 @@ impl FrozenModel {
     }
 
     /// [`Self::forward_nograd_batch`] with a deadline budget: the forward
-    /// checks the clock at each encode step and before the block stack,
-    /// and returns `Ok(None)` if the deadline passed — so a serving worker
-    /// never sinks a full forward into a query that already timed out.
-    /// (The block stack itself runs to completion once started; encode
+    /// checks the clock between per-context encodes and before the block
+    /// stack, and returns `Ok(None)` if the deadline passed — so a serving
+    /// worker never sinks a full forward into a query that already timed
+    /// out. (The block stack itself runs to completion once started; encode
     /// dominates setup cost and the checks bound the overshoot to one
     /// stacked forward.)
+    ///
+    /// Per-context encodes fan out across the `hire-par` pool, each writing
+    /// its own disjoint slab of the stacked input — so the encoded batch
+    /// (and everything downstream) stays bit-identical for any thread
+    /// count. A deadline hit on any worker raises a shared flag; encode
+    /// errors are reported in ascending context order and take precedence
+    /// over the (wall-clock-dependent) deadline outcome.
     pub fn forward_nograd_batch_within(
         &self,
         ctxs: &[&PredictionContext],
@@ -519,7 +528,6 @@ impl FrozenModel {
         let (n, m) = (first.n(), first.m());
         let bsz = ctxs.len();
         let e = self.embed_dim();
-        let mut stacked = Vec::with_capacity(bsz * n * m * e);
         for ctx in ctxs {
             if ctx.n() != n || ctx.m() != m {
                 return Err(HireError::invalid_data(
@@ -531,12 +539,27 @@ impl FrozenModel {
                     ),
                 ));
             }
-            if expired() {
-                return Ok(None);
-            }
-            stacked.extend_from_slice(self.encode(ctx, dataset)?.as_slice());
         }
-        if expired() {
+        let slab = n * m * e;
+        let mut stacked = vec![0.0f32; bsz * slab];
+        let stacked_ptr = SendPtr(stacked.as_mut_ptr());
+        let timed_out = AtomicBool::new(false);
+        let outcomes: Vec<HireResult<()>> = hire_par::parallel_map_chunks(bsz, 1, |rr| {
+            for bi in rr {
+                if timed_out.load(Ordering::Relaxed) || expired() {
+                    timed_out.store(true, Ordering::Relaxed);
+                    return Ok(());
+                }
+                let h = self.encode(ctxs[bi], dataset)?;
+                // SAFETY: each context owns a disjoint slab of `stacked`.
+                unsafe { stacked_ptr.slice_mut(bi * slab, slab) }.copy_from_slice(h.as_slice());
+            }
+            Ok(())
+        });
+        for outcome in outcomes {
+            outcome?;
+        }
+        if timed_out.load(Ordering::Relaxed) || expired() {
             return Ok(None);
         }
         let x = self.run_blocks(NdArray::from_vec(vec![bsz, n, m, e], stacked), bsz, n, m);

@@ -1,0 +1,86 @@
+//! Thread-count invariance of the frozen model's batched forward: the
+//! parallel per-context encode fan-out must produce the same bits as a
+//! single-threaded run, and stay bit-identical to the one-context
+//! `forward_nograd` path it batches over.
+
+use hire_core::{HireConfig, HireModel};
+use hire_data::{test_context_with_ratio, Dataset, PredictionContext};
+use hire_graph::{NeighborhoodSampler, Rating};
+use hire_par::{with_pool, ThreadPool};
+use hire_serve::FrozenModel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn dataset() -> Dataset {
+    hire_data::SyntheticConfig::movielens_like()
+        .scaled(40, 35, (8, 15))
+        .generate(42)
+}
+
+fn contexts(dataset: &Dataset, count: usize, n: usize, m: usize) -> Vec<PredictionContext> {
+    let graph = dataset.graph();
+    let mut rng = StdRng::seed_from_u64(7);
+    (0..count)
+        .map(|k| {
+            let seed = dataset.ratings[k * 3 % dataset.ratings.len()];
+            test_context_with_ratio(
+                &graph,
+                &NeighborhoodSampler,
+                &[Rating::new(seed.user, seed.item, seed.value)],
+                n,
+                m,
+                0.3,
+                &mut rng,
+            )
+            .expect("test context")
+        })
+        .collect()
+}
+
+#[test]
+fn batched_forward_is_thread_invariant_and_matches_single() {
+    let dataset = dataset();
+    let mut rng = StdRng::seed_from_u64(1234);
+    let model = HireModel::new(
+        &dataset,
+        &HireConfig::fast().with_context_size(9, 7),
+        &mut rng,
+    );
+    let frozen = FrozenModel::from_model(&model, &dataset).expect("freeze");
+    let ctxs = contexts(&dataset, 7, 9, 7);
+    let refs: Vec<&PredictionContext> = ctxs.iter().collect();
+
+    let baseline = with_pool(&Arc::new(ThreadPool::new(1)), || {
+        frozen.forward_nograd_batch(&refs, &dataset).expect("batch")
+    });
+    assert_eq!(baseline.len(), ctxs.len());
+
+    // Each batch entry must equal the one-context path bit-for-bit.
+    for (k, ctx) in ctxs.iter().enumerate() {
+        let single = frozen.forward_nograd(ctx, &dataset).expect("single");
+        assert_eq!(single.dims(), baseline[k].dims());
+        for (x, y) in single.as_slice().iter().zip(baseline[k].as_slice()) {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "ctx {k}: batch deviates from single"
+            );
+        }
+    }
+
+    for threads in [2, 4, 7] {
+        let got = with_pool(&Arc::new(ThreadPool::new(threads)), || {
+            frozen.forward_nograd_batch(&refs, &dataset).expect("batch")
+        });
+        for (k, (a, b)) in got.iter().zip(&baseline).enumerate() {
+            for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+                assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "ctx {k}: bits differ at {threads} threads"
+                );
+            }
+        }
+    }
+}

@@ -586,25 +586,18 @@ impl Tensor {
             Box::new(|g, parents| {
                 let a = parents[0].value();
                 let b = parents[1].value();
-                // dA = g . B^T ; dB = A^T . g  (with batch handling)
-                let bt = linalg::transpose_last2(&b);
-                let at = linalg::transpose_last2(&a);
-                let ga = if b.shape().rank() == 2 && a.shape().rank() > 2 {
-                    // g: [..., n, m], bt: [m, k] -> [..., n, k]
-                    linalg::bmm(g, &bt)
-                } else {
-                    linalg::bmm(g, &bt)
-                };
+                // dA = g . B^T ; dB = A^T . g — both through the shared
+                // transposed linalg kernels, no materialized transposes.
+                let ga = linalg::bmm_nt(g, &b);
                 let gb = if b.shape().rank() == 2 && a.shape().rank() > 2 {
-                    // Flatten batch: dB = sum_batch A^T g => reshape to 2-D.
+                    // Shared rhs: dB sums over the whole batch, so flatten
+                    // the batch into rows of one A^T . g product.
                     let k = *a.dims().last().unwrap();
                     let m = *g.dims().last().unwrap();
                     let rows = a.numel() / k;
-                    let a2 = a.reshape([rows, k]);
-                    let g2 = g.reshape([rows, m]);
-                    linalg::matmul2d(&linalg::transpose_last2(&a2), &g2)
+                    linalg::matmul2d_tn(&a.reshape([rows, k]), &g.reshape([rows, m]))
                 } else {
-                    linalg::bmm(&at, g)
+                    linalg::bmm_tn(&a, g)
                 };
                 vec![Some(ga), Some(gb)]
             }),
@@ -635,90 +628,28 @@ impl Tensor {
         Tensor::from_op(
             value,
             vec![self.clone()],
-            Box::new(move |g, _| {
-                // dx = y * (g - sum(g*y, last))
-                let w = *out.dims().last().unwrap();
-                let rows = out.numel() / w.max(1);
-                let mut dx = vec![0.0f32; out.numel()];
-                let y = out.as_slice();
-                let gs = g.as_slice();
-                for r in 0..rows {
-                    let yr = &y[r * w..(r + 1) * w];
-                    let gr = &gs[r * w..(r + 1) * w];
-                    let dot: f64 = yr.iter().zip(gr).map(|(&a, &b)| (a * b) as f64).sum();
-                    let dot = dot as f32;
-                    for j in 0..w {
-                        dx[r * w + j] = yr[j] * (gr[j] - dot);
-                    }
-                }
-                vec![Some(NdArray::from_vec(out.shape().clone(), dx))]
-            }),
+            Box::new(move |g, _| vec![Some(linalg::softmax_backward_last(&out, g))]),
         )
     }
 
     /// Layer normalization over the last axis with learnable `gamma`/`beta`.
+    ///
+    /// Forward and backward both run through the shared
+    /// [`linalg::layer_norm_forward_last`]/[`linalg::layer_norm_backward_last`]
+    /// kernels (row-parallel, deterministic chunked `dgamma`/`dbeta`
+    /// reduction).
     pub fn layer_norm_last(&self, gamma: &Tensor, beta: &Tensor, eps: f32) -> Tensor {
         let x = self.value();
-        let w = *x.dims().last().expect("layer_norm needs rank >= 1");
-        let rows = x.numel() / w.max(1);
         let gv = gamma.value();
         let bv = beta.value();
-        assert_eq!(gv.dims(), &[w], "gamma must be [{w}]");
-        assert_eq!(bv.dims(), &[w], "beta must be [{w}]");
-
-        let mut y = vec![0.0f32; x.numel()];
-        let mut xhat = vec![0.0f32; x.numel()];
-        let mut inv_std = vec![0.0f32; rows];
-        let xs = x.as_slice();
-        for r in 0..rows {
-            let row = &xs[r * w..(r + 1) * w];
-            let mean = row.iter().map(|&v| v as f64).sum::<f64>() / w as f64;
-            let var = row.iter().map(|&v| (v as f64 - mean).powi(2)).sum::<f64>() / w as f64;
-            let istd = 1.0 / (var + eps as f64).sqrt();
-            inv_std[r] = istd as f32;
-            for j in 0..w {
-                let xh = ((row[j] as f64 - mean) * istd) as f32;
-                xhat[r * w + j] = xh;
-                y[r * w + j] = xh * gv.as_slice()[j] + bv.as_slice()[j];
-            }
-        }
-        let value = NdArray::from_vec(x.shape().clone(), y);
-        let xhat = NdArray::from_vec(x.shape().clone(), xhat);
+        let (value, xhat, inv_std) = linalg::layer_norm_forward_last(&x, &gv, &bv, eps);
         Tensor::from_op(
             value,
             vec![self.clone(), gamma.clone(), beta.clone()],
             Box::new(move |g, parents| {
                 let gv = parents[1].value();
-                let gs = g.as_slice();
-                let xh = xhat.as_slice();
-                let mut dx = vec![0.0f32; xh.len()];
-                let mut dgamma = vec![0.0f32; w];
-                let mut dbeta = vec![0.0f32; w];
-                for r in 0..rows {
-                    // per-row reductions
-                    let mut sum_dy = 0.0f64;
-                    let mut sum_dy_xhat = 0.0f64;
-                    for j in 0..w {
-                        let dy = gs[r * w + j] * gv.as_slice()[j];
-                        sum_dy += dy as f64;
-                        sum_dy_xhat += (dy * xh[r * w + j]) as f64;
-                        dgamma[j] += gs[r * w + j] * xh[r * w + j];
-                        dbeta[j] += gs[r * w + j];
-                    }
-                    let istd = inv_std[r];
-                    for j in 0..w {
-                        let dy = gs[r * w + j] * gv.as_slice()[j];
-                        dx[r * w + j] = istd
-                            * (dy
-                                - (sum_dy / w as f64) as f32
-                                - xh[r * w + j] * (sum_dy_xhat / w as f64) as f32);
-                    }
-                }
-                vec![
-                    Some(NdArray::from_vec(parents[0].shape(), dx)),
-                    Some(NdArray::from_vec([w], dgamma)),
-                    Some(NdArray::from_vec([w], dbeta)),
-                ]
+                let (dx, dgamma, dbeta) = linalg::layer_norm_backward_last(&xhat, &inv_std, &gv, g);
+                vec![Some(dx), Some(dgamma), Some(dbeta)]
             }),
         )
     }

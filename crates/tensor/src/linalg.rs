@@ -3,9 +3,21 @@
 //!
 //! All kernels allocate their output; in-place variants exist only where the
 //! training loop needs them ([`NdArray::add_assign`] and friends).
+//!
+//! # Parallelism and determinism
+//!
+//! The hot kernels (matmul family, softmax, layer norm, reductions) run on
+//! the `hire-par` pool. Results are **bit-exact for every thread count**:
+//! parallelism only splits *independent output regions* (matrix rows,
+//! softmax rows, batch entries), and every reduction either stays inside one
+//! region (a single f32 accumulator walking `k` in ascending order — the
+//! same chain as the serial reference kernel) or combines fixed-size chunk
+//! partials in ascending chunk order via `parallel_map_chunks`, whose chunk
+//! grid depends only on the problem shape, never on the thread count.
 
 use crate::ndarray::NdArray;
 use crate::shape::Shape;
+use hire_par::SendPtr;
 
 /// Element-wise binary op with numpy-style broadcasting.
 pub fn broadcast_zip(a: &NdArray, b: &NdArray, f: impl Fn(f32, f32) -> f32) -> NdArray {
@@ -129,24 +141,216 @@ pub fn matmul2d(a: &NdArray, b: &NdArray) -> NdArray {
     NdArray::from_vec([n, m], out)
 }
 
-/// The inner i-k-j loop: `out[n,m] += a[n,k] * b[k,m]`.
+/// Rows of the output each parallel task owns in the matmul kernels. Two
+/// register tiles per task: small enough that HIM-sized products (a few
+/// dozen rows) split across every worker, large enough that a task's
+/// arithmetic dwarfs the queue handoff. Chunk boundaries never change
+/// per-row float chains, so this is a pure tuning knob.
+const ROW_BLOCK: usize = 8;
+/// Register tile: the micro-kernel keeps an `MR x NR` accumulator block of
+/// the output in locals across the whole `k` walk.
+const MR: usize = 4;
+const NR: usize = 8;
+/// Below this many multiply-adds the packing/tiling overhead outweighs the
+/// win; the kernel falls through to the reference loop. Dispatch depends
+/// only on the problem shape, so it cannot perturb thread-count invariance
+/// (and both paths produce identical bits anyway — see below).
+const BLOCK_THRESHOLD: usize = 16 * 1024;
+
+/// Reference i-k-j loop: `out[n,m] += a[n,k] * b[k,m]`.
 ///
-/// The k-in-the-middle order keeps the `b` row access contiguous, which
-/// vectorizes well without any unsafe code.
-fn matmul_kernel(a: &[f32], b: &[f32], out: &mut [f32], n: usize, k: usize, m: usize) {
+/// One f32 accumulator per output element, `k` strictly ascending — this
+/// chain is the bit-exactness contract that [`matmul_kernel`]'s blocked path
+/// reproduces. Public so tests can use it as an oracle and `compute_bench`
+/// can measure the blocking speedup against it.
+pub fn matmul_reference(a: &[f32], b: &[f32], out: &mut [f32], n: usize, k: usize, m: usize) {
     for i in 0..n {
         let a_row = &a[i * k..(i + 1) * k];
         let out_row = &mut out[i * m..(i + 1) * m];
         for (kk, &a_ik) in a_row.iter().enumerate() {
-            if a_ik == 0.0 {
-                continue;
-            }
             let b_row = &b[kk * m..(kk + 1) * m];
             for (o, &b_kj) in out_row.iter_mut().zip(b_row) {
                 *o += a_ik * b_kj;
             }
         }
     }
+}
+
+/// `out[n,m] += a[n,k] * b[k,m]`, cache-blocked and parallel over row
+/// blocks.
+///
+/// `b` is packed once into zero-padded `NR`-wide column panels (k-major
+/// inside each panel, so the micro-kernel streams it contiguously), then
+/// row blocks of the output fan out across the pool. Each output element
+/// still accumulates through a single f32 register in ascending-`k` order —
+/// the identical floating-point chain to [`matmul_reference`], hence
+/// bit-identical results for any thread count and either dispatch path.
+fn matmul_kernel(a: &[f32], b: &[f32], out: &mut [f32], n: usize, k: usize, m: usize) {
+    if n * k * m <= BLOCK_THRESHOLD {
+        return matmul_reference(a, b, out, n, k, m);
+    }
+    let m_panels = m.div_ceil(NR);
+    let mut packed = vec![0.0f32; m_panels * k * NR];
+    for kk in 0..k {
+        let b_row = &b[kk * m..(kk + 1) * m];
+        for (j, &v) in b_row.iter().enumerate() {
+            packed[((j / NR) * k + kk) * NR + (j % NR)] = v;
+        }
+    }
+    let out_ptr = SendPtr(out.as_mut_ptr());
+    hire_par::parallel_for(n, ROW_BLOCK, |rows| {
+        // SAFETY: chunks partition 0..n, so each task writes a disjoint
+        // band of output rows.
+        let out_rows = unsafe { out_ptr.slice_mut(rows.start * m, rows.len() * m) };
+        matmul_block_rows(
+            &a[rows.start * k..rows.end * k],
+            &packed,
+            out_rows,
+            rows.len(),
+            k,
+            m,
+        );
+    });
+}
+
+/// Micro-kernel over one band of rows: `MR x NR` output tiles held in
+/// registers across the full `k` walk, fed from the packed `b` panels.
+fn matmul_block_rows(a: &[f32], packed: &[f32], out: &mut [f32], n: usize, k: usize, m: usize) {
+    let m_panels = m.div_ceil(NR);
+    let mut i0 = 0;
+    while i0 < n {
+        let rows = (n - i0).min(MR);
+        for jp in 0..m_panels {
+            let j0 = jp * NR;
+            let jw = (m - j0).min(NR);
+            let mut acc = [[0.0f32; NR]; MR];
+            // Seed from the current output (the kernel contract is `+=`),
+            // preserving the reference chain `((out + t0) + t1) + ...`.
+            for r in 0..rows {
+                acc[r][..jw].copy_from_slice(&out[(i0 + r) * m + j0..(i0 + r) * m + j0 + jw]);
+            }
+            let panel = &packed[jp * k * NR..(jp + 1) * k * NR];
+            for kk in 0..k {
+                let bp = &panel[kk * NR..kk * NR + NR];
+                for r in 0..rows {
+                    let a_ik = a[(i0 + r) * k + kk];
+                    for c in 0..NR {
+                        // Padded lanes (c >= jw) multiply against the
+                        // panel's zero fill and are never stored.
+                        acc[r][c] += a_ik * bp[c];
+                    }
+                }
+            }
+            for r in 0..rows {
+                out[(i0 + r) * m + j0..(i0 + r) * m + j0 + jw].copy_from_slice(&acc[r][..jw]);
+            }
+        }
+        i0 += rows;
+    }
+}
+
+/// `out[n,m] += a[n,k] * b[m,k]^T` over one band of rows: each output
+/// element is a dot product of two contiguous rows, single f32 accumulator,
+/// `k` ascending.
+fn nt_block_rows(a: &[f32], b: &[f32], out: &mut [f32], n: usize, k: usize, m: usize) {
+    for i in 0..n {
+        let a_row = &a[i * k..(i + 1) * k];
+        let out_row = &mut out[i * m..(i + 1) * m];
+        for (j, o) in out_row.iter_mut().enumerate() {
+            let b_row = &b[j * k..(j + 1) * k];
+            let mut acc = *o;
+            for (&av, &bv) in a_row.iter().zip(b_row) {
+                acc += av * bv;
+            }
+            *o = acc;
+        }
+    }
+}
+
+/// `out[k_range,m] += (a[n,k]^T * g[n,m])` restricted to the `k_range` band
+/// of output rows (`out` is the band itself). The contraction axis is `i`
+/// (the rows of `a`/`g`), walked in ascending order for every output
+/// element.
+fn tn_block_rows(
+    a: &[f32],
+    g: &[f32],
+    out: &mut [f32],
+    n: usize,
+    k: usize,
+    m: usize,
+    k_range: std::ops::Range<usize>,
+) {
+    for i in 0..n {
+        let g_row = &g[i * m..(i + 1) * m];
+        for kk in k_range.clone() {
+            let a_ik = a[i * k + kk];
+            let out_row = &mut out[(kk - k_range.start) * m..(kk - k_range.start + 1) * m];
+            for (o, &gv) in out_row.iter_mut().zip(g_row) {
+                *o += a_ik * gv;
+            }
+        }
+    }
+}
+
+/// `A * B^T` for 2-D `a: [n,k]` and `b: [m,k]` -> `[n,m]`, parallel over
+/// row blocks. This is the `dA = g * B^T` product of the matmul backward,
+/// computed without materializing the transpose.
+pub fn matmul2d_nt(a: &NdArray, b: &NdArray) -> NdArray {
+    assert_eq!(a.shape().rank(), 2, "matmul2d_nt lhs must be 2-D");
+    assert_eq!(b.shape().rank(), 2, "matmul2d_nt rhs must be 2-D");
+    let (n, k) = (a.dims()[0], a.dims()[1]);
+    let (m, k2) = (b.dims()[0], b.dims()[1]);
+    assert_eq!(
+        k,
+        k2,
+        "matmul2d_nt inner dims mismatch: {} vs {}",
+        a.shape(),
+        b.shape()
+    );
+    let mut out = vec![0.0f32; n * m];
+    let out_ptr = SendPtr(out.as_mut_ptr());
+    let (a_s, b_s) = (a.as_slice(), b.as_slice());
+    hire_par::parallel_for(n, ROW_BLOCK, |rows| {
+        // SAFETY: row chunks are disjoint.
+        let out_rows = unsafe { out_ptr.slice_mut(rows.start * m, rows.len() * m) };
+        nt_block_rows(
+            &a_s[rows.start * k..rows.end * k],
+            b_s,
+            out_rows,
+            rows.len(),
+            k,
+            m,
+        );
+    });
+    NdArray::from_vec([n, m], out)
+}
+
+/// `A^T * G` for 2-D `a: [n,k]` and `g: [n,m]` -> `[k,m]`, parallel over
+/// bands of output rows (the `k` axis). This is the `dB = A^T * g` product
+/// of the matmul backward, computed without materializing the transpose;
+/// the contraction over `n` walks rows in ascending order for every output
+/// element regardless of thread count.
+pub fn matmul2d_tn(a: &NdArray, g: &NdArray) -> NdArray {
+    assert_eq!(a.shape().rank(), 2, "matmul2d_tn lhs must be 2-D");
+    assert_eq!(g.shape().rank(), 2, "matmul2d_tn rhs must be 2-D");
+    let (n, k) = (a.dims()[0], a.dims()[1]);
+    let (n2, m) = (g.dims()[0], g.dims()[1]);
+    assert_eq!(
+        n,
+        n2,
+        "matmul2d_tn outer dims mismatch: {} vs {}",
+        a.shape(),
+        g.shape()
+    );
+    let mut out = vec![0.0f32; k * m];
+    let out_ptr = SendPtr(out.as_mut_ptr());
+    let (a_s, g_s) = (a.as_slice(), g.as_slice());
+    hire_par::parallel_for(k, ROW_BLOCK, |krange| {
+        // SAFETY: k-bands are disjoint output rows.
+        let out_band = unsafe { out_ptr.slice_mut(krange.start * m, krange.len() * m) };
+        tn_block_rows(a_s, g_s, out_band, n, k, m, krange);
+    });
+    NdArray::from_vec([k, m], out)
 }
 
 /// Batched matrix multiply.
@@ -194,18 +398,108 @@ pub fn bmm(a: &NdArray, b: &NdArray) -> NdArray {
     );
     let batch: usize = a_batch.iter().product();
     let mut out = vec![0.0f32; batch * n * m];
-    for bi in 0..batch {
-        matmul_kernel(
-            &a.as_slice()[bi * n * k..(bi + 1) * n * k],
-            &b.as_slice()[bi * k * m..(bi + 1) * k * m],
-            &mut out[bi * n * m..(bi + 1) * n * m],
-            n,
-            k,
-            m,
-        );
-    }
+    let out_ptr = SendPtr(out.as_mut_ptr());
+    let (a_s, b_s) = (a.as_slice(), b.as_slice());
+    // Parallel over the batch axis — MBA's n*m pair axis in HIM — with each
+    // batch entry running the serial reference chain (nested parallelism
+    // inside a pool task executes inline).
+    hire_par::parallel_for(batch, 1, |bis| {
+        for bi in bis {
+            // SAFETY: each batch entry owns a disjoint output slab.
+            let out_bi = unsafe { out_ptr.slice_mut(bi * n * m, n * m) };
+            matmul_kernel(
+                &a_s[bi * n * k..(bi + 1) * n * k],
+                &b_s[bi * k * m..(bi + 1) * k * m],
+                out_bi,
+                n,
+                k,
+                m,
+            );
+        }
+    });
     let mut dims = a_batch.to_vec();
     dims.push(n);
+    dims.push(m);
+    NdArray::from_vec(dims, out)
+}
+
+/// Batched [`matmul2d_nt`]: `a: [..., n, k] * b^T` where `b` is either
+/// batched `[..., m, k]` or a single shared `[m, k]` matrix. Returns
+/// `[..., n, m]`. Mirrors [`bmm`]'s accepted shapes for the backward pass
+/// `dA = g * B^T`.
+pub fn bmm_nt(a: &NdArray, b: &NdArray) -> NdArray {
+    if a.shape().rank() == 2 && b.shape().rank() == 2 {
+        return matmul2d_nt(a, b);
+    }
+    let (a_batch, [n, k]) = a.shape().split_batch();
+    if b.shape().rank() == 2 {
+        // Shared rhs: flatten the batch into rows of one 2-D product.
+        let rows: usize = a_batch.iter().product::<usize>() * n;
+        let flat = matmul2d_nt(&a.reshape([rows, k]), b);
+        let mut dims = a_batch.to_vec();
+        dims.push(n);
+        dims.push(b.dims()[0]);
+        return flat.reshaped(dims);
+    }
+    let (b_batch, [m, k2]) = b.shape().split_batch();
+    assert_eq!(a_batch, b_batch, "bmm_nt batch dims mismatch");
+    assert_eq!(k, k2, "bmm_nt inner dims mismatch");
+    let batch: usize = a_batch.iter().product();
+    let mut out = vec![0.0f32; batch * n * m];
+    let out_ptr = SendPtr(out.as_mut_ptr());
+    let (a_s, b_s) = (a.as_slice(), b.as_slice());
+    hire_par::parallel_for(batch, 1, |bis| {
+        for bi in bis {
+            // SAFETY: disjoint per-batch output slabs.
+            let out_bi = unsafe { out_ptr.slice_mut(bi * n * m, n * m) };
+            nt_block_rows(
+                &a_s[bi * n * k..(bi + 1) * n * k],
+                &b_s[bi * m * k..(bi + 1) * m * k],
+                out_bi,
+                n,
+                k,
+                m,
+            );
+        }
+    });
+    let mut dims = a_batch.to_vec();
+    dims.push(n);
+    dims.push(m);
+    NdArray::from_vec(dims, out)
+}
+
+/// Batched [`matmul2d_tn`]: per-batch `a^T * g` for `a: [..., n, k]` and
+/// `g: [..., n, m]` with identical batch dims -> `[..., k, m]`. The
+/// backward pass `dB = A^T * g` when both operands are batched.
+pub fn bmm_tn(a: &NdArray, g: &NdArray) -> NdArray {
+    if a.shape().rank() == 2 && g.shape().rank() == 2 {
+        return matmul2d_tn(a, g);
+    }
+    let (a_batch, [n, k]) = a.shape().split_batch();
+    let (g_batch, [n2, m]) = g.shape().split_batch();
+    assert_eq!(a_batch, g_batch, "bmm_tn batch dims mismatch");
+    assert_eq!(n, n2, "bmm_tn outer dims mismatch");
+    let batch: usize = a_batch.iter().product();
+    let mut out = vec![0.0f32; batch * k * m];
+    let out_ptr = SendPtr(out.as_mut_ptr());
+    let (a_s, g_s) = (a.as_slice(), g.as_slice());
+    hire_par::parallel_for(batch, 1, |bis| {
+        for bi in bis {
+            // SAFETY: disjoint per-batch output slabs.
+            let out_bi = unsafe { out_ptr.slice_mut(bi * k * m, k * m) };
+            tn_block_rows(
+                &a_s[bi * n * k..(bi + 1) * n * k],
+                &g_s[bi * n * m..(bi + 1) * n * m],
+                out_bi,
+                n,
+                k,
+                m,
+                0..k,
+            );
+        }
+    });
+    let mut dims = a_batch.to_vec();
+    dims.push(k);
     dims.push(m);
     NdArray::from_vec(dims, out)
 }
@@ -309,30 +603,71 @@ pub fn slice_last(a: &NdArray, start: usize, len: usize) -> NdArray {
     NdArray::from_vec(dims, out)
 }
 
-/// Numerically stable softmax along the last axis.
+/// Rows per parallel task for row-independent kernels: sized so each chunk
+/// carries ~4k elements of work. Depends only on the row width, keeping
+/// chunk boundaries thread-count independent.
+fn row_grain(w: usize) -> usize {
+    (4096 / w.max(1)).max(1)
+}
+
+/// Numerically stable softmax along the last axis, parallel over rows
+/// (rows are independent, so any thread count produces identical bits).
 pub fn softmax_last(a: &NdArray) -> NdArray {
     let rank = a.shape().rank();
     assert!(rank >= 1, "softmax needs rank >= 1");
     let w = a.dims()[rank - 1];
     let rows = a.numel() / w.max(1);
     let mut out = vec![0.0f32; a.numel()];
+    let out_ptr = SendPtr(out.as_mut_ptr());
     let src = a.as_slice();
-    for r in 0..rows {
-        let row = &src[r * w..(r + 1) * w];
-        let dst = &mut out[r * w..(r + 1) * w];
-        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-        let mut sum = 0.0f64;
-        for (d, &x) in dst.iter_mut().zip(row) {
-            let e = (x - max).exp();
-            *d = e;
-            sum += e as f64;
+    hire_par::parallel_for(rows, row_grain(w), |rr| {
+        // SAFETY: row chunks are disjoint.
+        let chunk = unsafe { out_ptr.slice_mut(rr.start * w, rr.len() * w) };
+        for (ri, r) in rr.enumerate() {
+            let row = &src[r * w..(r + 1) * w];
+            let dst = &mut chunk[ri * w..(ri + 1) * w];
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0f64;
+            for (d, &x) in dst.iter_mut().zip(row) {
+                let e = (x - max).exp();
+                *d = e;
+                sum += e as f64;
+            }
+            let inv = (1.0 / sum) as f32;
+            for d in dst.iter_mut() {
+                *d *= inv;
+            }
         }
-        let inv = (1.0 / sum) as f32;
-        for d in dst.iter_mut() {
-            *d *= inv;
-        }
-    }
+    });
     NdArray::from_vec(a.shape().clone(), out)
+}
+
+/// Backward of [`softmax_last`]: `dx = y * (g - sum(g*y, last))` given the
+/// forward output `y`. Parallel over rows; the per-row dot accumulates in
+/// f64 over ascending `j` — the same chain as the serial loop it replaces
+/// in `Tensor::softmax_last`.
+pub fn softmax_backward_last(y: &NdArray, g: &NdArray) -> NdArray {
+    assert_eq!(y.shape(), g.shape(), "softmax backward shape mismatch");
+    let w = *y.dims().last().expect("softmax backward needs rank >= 1");
+    let rows = y.numel() / w.max(1);
+    let mut dx = vec![0.0f32; y.numel()];
+    let dx_ptr = SendPtr(dx.as_mut_ptr());
+    let (ys, gs) = (y.as_slice(), g.as_slice());
+    hire_par::parallel_for(rows, row_grain(w), |rr| {
+        // SAFETY: row chunks are disjoint.
+        let chunk = unsafe { dx_ptr.slice_mut(rr.start * w, rr.len() * w) };
+        for (ri, r) in rr.enumerate() {
+            let yr = &ys[r * w..(r + 1) * w];
+            let gr = &gs[r * w..(r + 1) * w];
+            let dot: f64 = yr.iter().zip(gr).map(|(&a, &b)| (a * b) as f64).sum();
+            let dot = dot as f32;
+            let dst = &mut chunk[ri * w..(ri + 1) * w];
+            for j in 0..w {
+                dst[j] = yr[j] * (gr[j] - dot);
+            }
+        }
+    });
+    NdArray::from_vec(y.shape().clone(), dx)
 }
 
 /// Sum along the last axis: `[..., w] -> [...]`.
@@ -383,28 +718,193 @@ pub fn linear_nd(x: &NdArray, w: &NdArray) -> NdArray {
 
 /// Layer normalization over the last axis without autograd: the no-grad
 /// mirror of `Tensor::layer_norm_last`'s forward pass. Mean and variance
-/// accumulate in f64 with the identical operation order, so results are
-/// bit-identical to the tape path.
+/// accumulate in f64 with the identical operation order per row, and rows
+/// are independent, so results are bit-identical to the tape path for any
+/// thread count.
 pub fn layer_norm_last_nd(x: &NdArray, gamma: &NdArray, beta: &NdArray, eps: f32) -> NdArray {
     let w = *x.dims().last().expect("layer_norm_last_nd needs rank >= 1");
     let rows = x.numel() / w.max(1);
     assert_eq!(gamma.dims(), &[w], "gamma must be [{w}]");
     assert_eq!(beta.dims(), &[w], "beta must be [{w}]");
     let mut y = vec![0.0f32; x.numel()];
+    let y_ptr = SendPtr(y.as_mut_ptr());
     let xs = x.as_slice();
     let gs = gamma.as_slice();
     let bs = beta.as_slice();
-    for r in 0..rows {
-        let row = &xs[r * w..(r + 1) * w];
-        let mean = row.iter().map(|&v| v as f64).sum::<f64>() / w as f64;
-        let var = row.iter().map(|&v| (v as f64 - mean).powi(2)).sum::<f64>() / w as f64;
-        let istd = 1.0 / (var + eps as f64).sqrt();
+    hire_par::parallel_for(rows, row_grain(w), |rr| {
+        // SAFETY: row chunks are disjoint.
+        let chunk = unsafe { y_ptr.slice_mut(rr.start * w, rr.len() * w) };
+        for (ri, r) in rr.enumerate() {
+            let row = &xs[r * w..(r + 1) * w];
+            let (mean, istd) = layer_norm_row_stats(row, eps);
+            let dst = &mut chunk[ri * w..(ri + 1) * w];
+            for j in 0..w {
+                let xh = ((row[j] as f64 - mean) * istd) as f32;
+                dst[j] = xh * gs[j] + bs[j];
+            }
+        }
+    });
+    NdArray::from_vec(x.shape().clone(), y)
+}
+
+/// Per-row mean and inverse standard deviation in f64 — the single
+/// canonical chain shared by the tape forward, the no-grad forward, and
+/// the backward.
+fn layer_norm_row_stats(row: &[f32], eps: f32) -> (f64, f64) {
+    let w = row.len();
+    let mean = row.iter().map(|&v| v as f64).sum::<f64>() / w as f64;
+    let var = row.iter().map(|&v| (v as f64 - mean).powi(2)).sum::<f64>() / w as f64;
+    let istd = 1.0 / (var + eps as f64).sqrt();
+    (mean, istd)
+}
+
+/// Forward pass of layer norm for the autograd tape: returns `(y, xhat,
+/// inv_std)` with `xhat` the normalized input and `inv_std` one entry per
+/// row. Parallel over rows with the same per-row chain as
+/// [`layer_norm_last_nd`].
+pub fn layer_norm_forward_last(
+    x: &NdArray,
+    gamma: &NdArray,
+    beta: &NdArray,
+    eps: f32,
+) -> (NdArray, NdArray, Vec<f32>) {
+    let w = *x.dims().last().expect("layer_norm needs rank >= 1");
+    let rows = x.numel() / w.max(1);
+    assert_eq!(gamma.dims(), &[w], "gamma must be [{w}]");
+    assert_eq!(beta.dims(), &[w], "beta must be [{w}]");
+    let mut y = vec![0.0f32; x.numel()];
+    let mut xhat = vec![0.0f32; x.numel()];
+    let mut inv_std = vec![0.0f32; rows];
+    let y_ptr = SendPtr(y.as_mut_ptr());
+    let xh_ptr = SendPtr(xhat.as_mut_ptr());
+    let is_ptr = SendPtr(inv_std.as_mut_ptr());
+    let xs = x.as_slice();
+    let gs = gamma.as_slice();
+    let bs = beta.as_slice();
+    hire_par::parallel_for(rows, row_grain(w), |rr| {
+        // SAFETY: row chunks are disjoint in all three outputs.
+        let y_c = unsafe { y_ptr.slice_mut(rr.start * w, rr.len() * w) };
+        let xh_c = unsafe { xh_ptr.slice_mut(rr.start * w, rr.len() * w) };
+        let is_c = unsafe { is_ptr.slice_mut(rr.start, rr.len()) };
+        for (ri, r) in rr.enumerate() {
+            let row = &xs[r * w..(r + 1) * w];
+            let (mean, istd) = layer_norm_row_stats(row, eps);
+            is_c[ri] = istd as f32;
+            for j in 0..w {
+                let xh = ((row[j] as f64 - mean) * istd) as f32;
+                xh_c[ri * w + j] = xh;
+                y_c[ri * w + j] = xh * gs[j] + bs[j];
+            }
+        }
+    });
+    (
+        NdArray::from_vec(x.shape().clone(), y),
+        NdArray::from_vec(x.shape().clone(), xhat),
+        inv_std,
+    )
+}
+
+/// Backward pass of layer norm: returns `(dx, dgamma, dbeta)`.
+///
+/// `dx` rows are independent (disjoint writes). `dgamma`/`dbeta` reduce
+/// *across* rows, so each fixed-size row chunk produces an f32 partial and
+/// the partials fold in ascending chunk order — the chunk grid depends only
+/// on `(rows, w)`, making the result bit-identical for every thread count.
+pub fn layer_norm_backward_last(
+    xhat: &NdArray,
+    inv_std: &[f32],
+    gamma: &NdArray,
+    g: &NdArray,
+) -> (NdArray, NdArray, NdArray) {
+    let w = *xhat
+        .dims()
+        .last()
+        .expect("layer_norm backward needs rank >= 1");
+    let rows = xhat.numel() / w.max(1);
+    assert_eq!(inv_std.len(), rows, "inv_std must have one entry per row");
+    let gv = gamma.as_slice();
+    let gs = g.as_slice();
+    let xh = xhat.as_slice();
+    let mut dx = vec![0.0f32; xhat.numel()];
+    let dx_ptr = SendPtr(dx.as_mut_ptr());
+    let partials = hire_par::parallel_map_chunks(rows, row_grain(w), |rr| {
+        // SAFETY: row chunks are disjoint in dx.
+        let dx_c = unsafe { dx_ptr.slice_mut(rr.start * w, rr.len() * w) };
+        let mut dgamma = vec![0.0f32; w];
+        let mut dbeta = vec![0.0f32; w];
+        for (ri, r) in rr.enumerate() {
+            let mut sum_dy = 0.0f64;
+            let mut sum_dy_xhat = 0.0f64;
+            for j in 0..w {
+                let dy = gs[r * w + j] * gv[j];
+                sum_dy += dy as f64;
+                sum_dy_xhat += (dy * xh[r * w + j]) as f64;
+                dgamma[j] += gs[r * w + j] * xh[r * w + j];
+                dbeta[j] += gs[r * w + j];
+            }
+            let istd = inv_std[r];
+            for j in 0..w {
+                let dy = gs[r * w + j] * gv[j];
+                dx_c[ri * w + j] = istd
+                    * (dy
+                        - (sum_dy / w as f64) as f32
+                        - xh[r * w + j] * (sum_dy_xhat / w as f64) as f32);
+            }
+        }
+        (dgamma, dbeta)
+    });
+    let mut dgamma = vec![0.0f32; w];
+    let mut dbeta = vec![0.0f32; w];
+    for (dg, db) in partials {
         for j in 0..w {
-            let xh = ((row[j] as f64 - mean) * istd) as f32;
-            y[r * w + j] = xh * gs[j] + bs[j];
+            dgamma[j] += dg[j];
+            dbeta[j] += db[j];
         }
     }
-    NdArray::from_vec(x.shape().clone(), y)
+    (
+        NdArray::from_vec(xhat.shape().clone(), dx),
+        NdArray::from_vec([w], dgamma),
+        NdArray::from_vec([w], dbeta),
+    )
+}
+
+/// Elements per chunk for flat reductions/scans over parameter slices.
+const FLAT_GRAIN: usize = 4096;
+
+/// Zeroes NaN/±Inf entries in place, returning how many were zeroed.
+/// Writes are element-disjoint, so any thread count produces the same
+/// result.
+pub fn sanitize_non_finite(xs: &mut [f32]) -> usize {
+    let ptr = SendPtr(xs.as_mut_ptr());
+    let len = xs.len();
+    hire_par::parallel_map_chunks(len, FLAT_GRAIN, |rr| {
+        // SAFETY: element chunks are disjoint.
+        let chunk = unsafe { ptr.slice_mut(rr.start, rr.len()) };
+        let mut bad = 0usize;
+        for x in chunk.iter_mut() {
+            if !x.is_finite() {
+                *x = 0.0;
+                bad += 1;
+            }
+        }
+        bad
+    })
+    .into_iter()
+    .sum()
+}
+
+/// Sum of squares in f64 over fixed 4096-element chunks folded in ascending
+/// chunk order — the deterministic parallel norm used by gradient clipping.
+pub fn norm_sq_f64(xs: &[f32]) -> f64 {
+    hire_par::parallel_map_chunks(xs.len(), FLAT_GRAIN, |rr| {
+        let mut acc = 0.0f64;
+        for &x in &xs[rr] {
+            acc += (x as f64) * (x as f64);
+        }
+        acc
+    })
+    .into_iter()
+    .sum()
 }
 
 /// Gathers rows of a 2-D `table` `[v, f]` by `indices`, producing `[n, f]`.

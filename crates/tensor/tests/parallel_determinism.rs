@@ -1,0 +1,161 @@
+//! Thread-count invariance of every parallel linalg kernel.
+//!
+//! The parallel compute layer promises bit-exact results regardless of how
+//! many workers execute a kernel: chunk boundaries depend only on the
+//! problem shape, each row/batch owns a disjoint output slab, and every
+//! reduction folds fixed-size chunk partials in ascending order. These
+//! tests pin that contract by running each kernel under pools of 1, 2, 4,
+//! and 7 threads and comparing raw bits, plus (for the matmuls) comparing
+//! against the naive reference loop as an independent oracle.
+
+use hire_par::{with_pool, ThreadPool};
+use hire_tensor::{linalg, NdArray};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+const THREADS: [usize; 4] = [1, 2, 4, 7];
+
+/// Runs `f` under each pool size and asserts all results are bit-identical,
+/// returning the 1-thread result.
+fn assert_thread_invariant(what: &str, f: impl Fn() -> NdArray) -> NdArray {
+    let baseline = with_pool(&Arc::new(ThreadPool::new(1)), &f);
+    for &t in &THREADS[1..] {
+        let out = with_pool(&Arc::new(ThreadPool::new(t)), &f);
+        assert_eq!(
+            out.dims(),
+            baseline.dims(),
+            "{what}: dims differ at {t} threads"
+        );
+        for (i, (x, y)) in out.as_slice().iter().zip(baseline.as_slice()).enumerate() {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "{what}: element {i} differs at {t} threads ({x} vs {y})"
+            );
+        }
+    }
+    baseline
+}
+
+fn randn(dims: &[usize], seed: u64) -> NdArray {
+    let mut rng = StdRng::seed_from_u64(seed);
+    NdArray::randn(dims, 0.0, 1.0, &mut rng)
+}
+
+#[test]
+fn matmul2d_is_thread_invariant_and_matches_reference() {
+    // Shapes straddle BLOCK_THRESHOLD so both the blocked path and the
+    // small-product reference path are exercised, plus ragged row counts
+    // that do not divide the block size.
+    for (n, k, m) in [(3, 5, 4), (33, 17, 9), (64, 40, 32), (129, 31, 33)] {
+        let a = randn(&[n, k], 0xA0 + n as u64);
+        let b = randn(&[k, m], 0xB0 + m as u64);
+        let out = assert_thread_invariant("matmul2d", || linalg::matmul2d(&a, &b));
+        let mut reference = vec![0.0f32; n * m];
+        linalg::matmul_reference(a.as_slice(), b.as_slice(), &mut reference, n, k, m);
+        for (i, (x, y)) in out.as_slice().iter().zip(&reference).enumerate() {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "matmul2d {n}x{k}x{m}: element {i} deviates from reference"
+            );
+        }
+    }
+}
+
+#[test]
+fn batched_matmul_is_thread_invariant() {
+    let a = randn(&[5, 19, 23], 1);
+    let b = randn(&[5, 23, 11], 2);
+    assert_thread_invariant("bmm", || linalg::bmm(&a, &b));
+}
+
+#[test]
+fn transposed_products_are_thread_invariant() {
+    // matmul2d_nt: [n,k] x [m,k]^T and matmul2d_tn: [n,k]^T x [n,m] are
+    // the backward-pass kernels; cover ragged sizes around the row block.
+    let a = randn(&[37, 24], 3);
+    let b = randn(&[15, 24], 4);
+    assert_thread_invariant("matmul2d_nt", || linalg::matmul2d_nt(&a, &b));
+    let g = randn(&[37, 15], 5);
+    assert_thread_invariant("matmul2d_tn", || linalg::matmul2d_tn(&a, &g));
+
+    let ba = randn(&[4, 21, 16], 6);
+    let bb = randn(&[4, 9, 16], 7);
+    assert_thread_invariant("bmm_nt batched", || linalg::bmm_nt(&ba, &bb));
+    let bg = randn(&[4, 21, 9], 8);
+    assert_thread_invariant("bmm_tn batched", || linalg::bmm_tn(&ba, &bg));
+    // Shared 2-D rhs variant (the weight-gradient shape in MHSA).
+    let shared = randn(&[9, 16], 9);
+    assert_thread_invariant("bmm_nt shared rhs", || linalg::bmm_nt(&ba, &shared));
+}
+
+#[test]
+fn softmax_forward_and_backward_are_thread_invariant() {
+    let x = randn(&[6, 8, 50], 10);
+    let y = assert_thread_invariant("softmax_last", || linalg::softmax_last(&x));
+    let g = randn(&[6, 8, 50], 11);
+    assert_thread_invariant("softmax_backward_last", || {
+        linalg::softmax_backward_last(&y, &g)
+    });
+}
+
+#[test]
+fn layer_norm_forward_and_backward_are_thread_invariant() {
+    let x = randn(&[200, 33], 12);
+    let gamma = randn(&[33], 13);
+    let beta = randn(&[33], 14);
+    assert_thread_invariant("layer_norm_last_nd", || {
+        linalg::layer_norm_last_nd(&x, &gamma, &beta, 1e-5)
+    });
+
+    let (_, xhat, inv_std) = linalg::layer_norm_forward_last(&x, &gamma, &beta, 1e-5);
+    let g = randn(&[200, 33], 15);
+    // Backward returns (dx, dgamma, dbeta); pack into one array so the
+    // invariance helper can compare everything at once.
+    assert_thread_invariant("layer_norm_backward_last", || {
+        let (dx, dgamma, dbeta) = linalg::layer_norm_backward_last(&xhat, &inv_std, &gamma, &g);
+        let mut packed: Vec<f32> = dx.as_slice().to_vec();
+        packed.extend_from_slice(dgamma.as_slice());
+        packed.extend_from_slice(dbeta.as_slice());
+        let len = packed.len();
+        NdArray::from_vec([len], packed)
+    });
+}
+
+#[test]
+fn flat_reductions_are_thread_invariant() {
+    let xs = randn(&[3 * 4096 + 731], 16);
+    let baseline = with_pool(&Arc::new(ThreadPool::new(1)), || {
+        linalg::norm_sq_f64(xs.as_slice())
+    });
+    for &t in &THREADS[1..] {
+        let got = with_pool(&Arc::new(ThreadPool::new(t)), || {
+            linalg::norm_sq_f64(xs.as_slice())
+        });
+        assert_eq!(
+            got.to_bits(),
+            baseline.to_bits(),
+            "norm_sq_f64 at {t} threads"
+        );
+    }
+
+    let mut poisoned = xs.as_slice().to_vec();
+    poisoned[100] = f32::NAN;
+    poisoned[5000] = f32::INFINITY;
+    poisoned[9000] = f32::NEG_INFINITY;
+    let mut expect = poisoned.clone();
+    let count1 = with_pool(&Arc::new(ThreadPool::new(1)), || {
+        linalg::sanitize_non_finite(&mut expect)
+    });
+    assert_eq!(count1, 3);
+    for &t in &THREADS[1..] {
+        let mut got = poisoned.clone();
+        let count = with_pool(&Arc::new(ThreadPool::new(t)), || {
+            linalg::sanitize_non_finite(&mut got)
+        });
+        assert_eq!(count, count1, "sanitize count at {t} threads");
+        assert_eq!(got, expect, "sanitized values at {t} threads");
+    }
+}
