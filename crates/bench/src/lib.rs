@@ -199,6 +199,20 @@ pub struct ScenarioReport {
 /// ([`evaluate_model_isolated`]): a crashing or hanging model yields a
 /// `failed`/`timeout` entry in the report and the remaining models still
 /// run.
+///
+/// Without a `--model-budget`, models fan out across the `hire-par` pool
+/// (one task per spec). Behavior change vs the pre-pool harness: peak
+/// memory scales with the number of concurrently training models, and
+/// per-model progress lines from different models interleave (each line
+/// carries its scenario label and model name, so they stay attributable).
+/// The report keeps spec order and every model trains from its own fixed
+/// seed, so *results* are independent of scheduling.
+///
+/// With a `--model-budget`, specs run serially on a dedicated lane
+/// instead: a wall-clock budget measured while other models compete for
+/// the same cores would mean something different than it did in pre-pool
+/// reports, so the budgeted path keeps one model on the clock at a time —
+/// each model still uses the full pool internally for its kernels.
 pub fn run_scenario_with_specs(
     dataset: &Dataset,
     kind: DatasetKind,
@@ -209,18 +223,7 @@ pub fn run_scenario_with_specs(
     let split = ColdStartSplit::new(dataset, scenario, cold_frac(kind), 0.1, args.seed);
     let cfg = args.eval_config();
     let budget = args.model_budget.map(Duration::from_secs_f64);
-    // Models fan out across the `hire-par` pool (one task per spec) and the
-    // report keeps spec order. Every model trains from its own fixed seed,
-    // so results are independent of scheduling; isolation still applies
-    // per model.
-    let slots: Vec<Mutex<Option<ModelSpec>>> =
-        specs.into_iter().map(|s| Mutex::new(Some(s))).collect();
-    let results: Vec<ModelResult> = hire_par::parallel_map_chunks(slots.len(), 1, |rr| {
-        let spec = slots[rr.start]
-            .lock()
-            .expect("spec slot lock")
-            .take()
-            .expect("each spec slot is taken once");
+    let eval_one = |spec: ModelSpec| {
         let name = spec.name.clone();
         eprintln!("  [{}] training {} ...", scenario.label(), name);
         let result = evaluate_model_isolated(spec, dataset, &split, &cfg, budget);
@@ -233,7 +236,21 @@ pub fn run_scenario_with_specs(
             );
         }
         result
-    });
+    };
+    let results: Vec<ModelResult> = if budget.is_some() {
+        specs.into_iter().map(eval_one).collect()
+    } else {
+        let slots: Vec<Mutex<Option<ModelSpec>>> =
+            specs.into_iter().map(|s| Mutex::new(Some(s))).collect();
+        hire_par::parallel_map_chunks(slots.len(), 1, |rr| {
+            let spec = slots[rr.start]
+                .lock()
+                .expect("spec slot lock")
+                .take()
+                .expect("each spec slot is taken once");
+            eval_one(spec)
+        })
+    };
     ScenarioReport {
         scenario: scenario.label().to_string(),
         results,

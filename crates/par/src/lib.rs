@@ -9,9 +9,13 @@
 //! sequential execution. Work items are ranges of a caller-provided index
 //! space, pushed round-robin onto per-worker deques; a worker pops its own
 //! deque LIFO and steals FIFO from its siblings when empty, and the caller
-//! steals FIFO from every deque while it waits — classic work stealing with
-//! plain `Mutex<VecDeque>` deques (chunk counts are small, so lock traffic
-//! is negligible next to kernel work).
+//! drains tasks of *its own scope* from every deque while it waits —
+//! classic work stealing with plain `Mutex<VecDeque>` deques (chunk counts
+//! are small, so lock traffic is negligible next to kernel work). The
+//! caller deliberately never executes a foreign scope's task: doing so
+//! could park a latency-sensitive caller (e.g. a serving thread between
+//! deadline checks) behind an arbitrarily long chunk from an unrelated
+//! scope such as a benchmark's model-training fan-out.
 //!
 //! # Determinism contract
 //!
@@ -41,7 +45,6 @@ use std::ops::Range;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
-use std::time::Duration;
 
 /// Upper bound on configured threads; guards against absurd `HIRE_THREADS`.
 const MAX_THREADS: usize = 256;
@@ -55,13 +58,18 @@ type TaskFn<'a> = dyn Fn(usize, usize) + Sync + 'a;
 
 struct ScopeState {
     /// Borrow of the caller's closure, lifetime-erased. Valid because the
-    /// caller blocks in `run_scope` until `pending` reaches zero.
+    /// caller blocks in `run_scope` until it observes `done == true` under
+    /// `done_lock` — which the last task sets *after* its final access to
+    /// this struct (see `run_task` / `run_scope` for the full argument).
     func: *const TaskFn<'static>,
     /// Tasks not yet finished (executed or panicked).
     pending: AtomicUsize,
     /// First panic payload raised by a task, re-raised by the caller.
     panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
-    /// Signals the caller when the last task finishes.
+    /// Completion flag, flipped by the last task while holding the lock.
+    /// The caller's *only* exit condition: it must never return based on
+    /// the bare `pending` atomic, or it could free this stack frame while
+    /// the last task is still between its `fetch_sub` and the notify here.
     done_lock: Mutex<bool>,
     done_cv: Condvar,
 }
@@ -94,7 +102,12 @@ thread_local! {
 /// executing thread, and signals the scope when it was the last task.
 fn run_task(task: Task) {
     // SAFETY: the scope (and the closure it borrows) is kept alive by the
-    // caller of `run_scope`, which cannot return before `pending == 0`.
+    // caller of `run_scope`, which only returns after observing
+    // `done == true` under `done_lock`. Non-last tasks never touch the
+    // scope after their `fetch_sub` (and `done` stays false until the last
+    // one), and the last task's lock/set/notify/unlock sequence below
+    // happens-before the caller's exit — so no task can dereference the
+    // scope after the caller frees it.
     let scope = unsafe { &*task.scope };
     let func = unsafe { &*scope.func };
     let was_in_task = IN_TASK.with(|f| f.replace(true));
@@ -155,11 +168,17 @@ impl Shared {
         None
     }
 
-    /// Steal scan used by non-worker (caller) threads.
-    fn steal_any(&self) -> Option<Task> {
+    /// Steal scan used by the caller in `run_scope`: removes the
+    /// front-most queued task belonging to `scope`, skipping foreign
+    /// scopes' tasks. The caller must only help with its own scope — a
+    /// latency-sensitive caller (e.g. a serving thread between deadline
+    /// checks) that picked up an arbitrary task could be parked behind an
+    /// unrelated multi-second chunk, blowing its documented latency bound.
+    fn steal_scope(&self, scope: *const ScopeState) -> Option<Task> {
         for q in &self.queues {
-            if let Some(task) = q.lock().unwrap_or_else(|p| p.into_inner()).pop_front() {
-                return Some(task);
+            let mut q = q.lock().unwrap_or_else(|p| p.into_inner());
+            if let Some(pos) = q.iter().position(|t| std::ptr::eq(t.scope, scope)) {
+                return q.remove(pos);
             }
         }
         None
@@ -354,7 +373,8 @@ impl ThreadPool {
         let chunks = len.div_ceil(grain);
         // SAFETY: lifetime erasure only — the scope (and `body`) stay alive
         // until this function returns, and it cannot return while any task
-        // holds the pointer (pending > 0 blocks below).
+        // holds the pointer (the `done`-flag wait below blocks until the
+        // last task's final scope access has happened-before our exit).
         let func: *const TaskFn<'static> =
             unsafe { std::mem::transmute::<*const TaskFn<'_>, *const TaskFn<'static>>(body) };
         let scope = ScopeState {
@@ -391,25 +411,25 @@ impl ThreadPool {
                 .unwrap_or_else(|p| p.into_inner());
             self.shared.sleep_cv.notify_all();
         }
-        // Participate: execute queued tasks (this scope's or any other live
-        // scope's) until ours has fully drained.
-        while scope.pending.load(Ordering::Acquire) > 0 {
-            if let Some(task) = self.shared.steal_any() {
-                run_task(task);
-                continue;
-            }
-            let guard = scope.done_lock.lock().unwrap_or_else(|p| p.into_inner());
-            if *guard || scope.pending.load(Ordering::Acquire) == 0 {
-                break;
-            }
-            // Timed wait: a task of *another* scope may appear in the
-            // queues while we sleep; wake periodically to help drain it.
-            let (g, _timeout) = scope
-                .done_cv
-                .wait_timeout(guard, Duration::from_millis(1))
-                .unwrap_or_else(|p| p.into_inner());
-            drop(g);
+        // Participate: run this scope's queued chunks ourselves. Foreign
+        // scopes' tasks are left to the workers on purpose (see
+        // `Shared::steal_scope`). Tasks are enqueued exactly once and never
+        // re-queued, so once none of ours remain in the deques the
+        // stragglers are already executing on workers.
+        while let Some(task) = self.shared.steal_scope(&scope) {
+            run_task(task);
         }
+        // Block until the last task flips `done` under the lock. Exiting
+        // *only* on this flag — never on the bare `pending` atomic — is
+        // what makes freeing `scope` sound: the last task's unlock
+        // happens-before our lock acquisition observes `done == true`, and
+        // that task touches nothing of the scope after its unlock, so no
+        // task can still dereference this stack frame once we return.
+        let mut done = scope.done_lock.lock().unwrap_or_else(|p| p.into_inner());
+        while !*done {
+            done = scope.done_cv.wait(done).unwrap_or_else(|p| p.into_inner());
+        }
+        drop(done);
         let payload = scope.panic.lock().unwrap_or_else(|p| p.into_inner()).take();
         if let Some(payload) = payload {
             resume_unwind(payload);
@@ -596,6 +616,68 @@ mod tests {
         let (a, b) = pool.join(|| 2 + 2, || "ok".to_string());
         assert_eq!(a, 4);
         assert_eq!(b, "ok");
+    }
+
+    /// Regression for a use-after-free race in scope completion: the
+    /// caller used to exit `run_scope` on the bare `pending` atomic, which
+    /// could free the stack-allocated `ScopeState` while the last worker
+    /// was still between its `fetch_sub` and the `done_cv` notify. Rapid
+    /// scope turnover from many threads at once makes that window manifest
+    /// as corrupted sums, hangs, or crashes.
+    #[test]
+    fn concurrent_scope_completion_stress() {
+        let pool = ThreadPool::new(4);
+        std::thread::scope(|s| {
+            for t in 0..8usize {
+                let pool = &pool;
+                s.spawn(move || {
+                    for i in 0..200usize {
+                        let len = 17 + (t + i) % 13;
+                        let total = AtomicU64::new(0);
+                        pool.parallel_for(len, 2, |range| {
+                            for j in range {
+                                total.fetch_add(j as u64 + 1, Ordering::Relaxed);
+                            }
+                        });
+                        let expect = (len * (len + 1) / 2) as u64;
+                        assert_eq!(total.load(Ordering::Relaxed), expect);
+                    }
+                });
+            }
+        });
+    }
+
+    /// A caller waiting on its own scope must never execute a foreign
+    /// scope's task — picking one up could park a latency-sensitive caller
+    /// (e.g. a serving thread) behind an arbitrarily long chunk from an
+    /// unrelated fan-out. Two callers share one worker here; each logs the
+    /// threads its chunks ran on, and neither may appear in the other's log.
+    #[test]
+    fn caller_never_runs_foreign_scope_tasks() {
+        use std::time::Duration;
+        let pool = ThreadPool::new(2);
+        let a_log: Mutex<Vec<std::thread::ThreadId>> = Mutex::new(Vec::new());
+        let b_log: Mutex<Vec<std::thread::ThreadId>> = Mutex::new(Vec::new());
+        let run = |log: &Mutex<Vec<std::thread::ThreadId>>| {
+            pool.parallel_for(8, 1, |_range| {
+                log.lock().unwrap().push(std::thread::current().id());
+                std::thread::sleep(Duration::from_millis(2));
+            });
+            std::thread::current().id()
+        };
+        let (a_id, b_id) = std::thread::scope(|s| {
+            let ha = s.spawn(|| run(&a_log));
+            let hb = s.spawn(|| run(&b_log));
+            (ha.join().unwrap(), hb.join().unwrap())
+        });
+        assert!(
+            !a_log.lock().unwrap().contains(&b_id),
+            "caller B executed a task of scope A"
+        );
+        assert!(
+            !b_log.lock().unwrap().contains(&a_id),
+            "caller A executed a task of scope B"
+        );
     }
 
     #[test]

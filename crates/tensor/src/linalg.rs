@@ -163,6 +163,14 @@ const BLOCK_THRESHOLD: usize = 16 * 1024;
 /// chain is the bit-exactness contract that [`matmul_kernel`]'s blocked path
 /// reproduces. Public so tests can use it as an oracle and `compute_bench`
 /// can measure the blocking speedup against it.
+///
+/// Deliberate behavior change vs the pre-blocking kernel: the old loop
+/// skipped products where `a_ik == 0.0`. That skip is gone (the blocked
+/// path cannot reproduce it bit-exactly, and IEEE semantics say
+/// `0 * Inf = NaN`), so inputs mixing zeros in `a` with non-finite values
+/// in `b` now propagate NaN instead of silently dropping those terms, and
+/// sparse `a` no longer gets a fast path. For finite inputs the results
+/// are bit-identical to the old kernel.
 pub fn matmul_reference(a: &[f32], b: &[f32], out: &mut [f32], n: usize, k: usize, m: usize) {
     for i in 0..n {
         let a_row = &a[i * k..(i + 1) * k];
