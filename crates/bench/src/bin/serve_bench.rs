@@ -23,20 +23,34 @@
 //!    per serving tier and records fallback rate, breaker transitions, and
 //!    the number of unanswered queries (which must be zero). The process
 //!    exits non-zero if the degradation ladder failed to hold.
+//!
+//! A fifth, optional phase runs when `--online` is given:
+//! 5. **online** — train-while-serving: the engine starts from a
+//!    cold-start split's training graph, held-back ratings stream in via
+//!    `insert_rating` while zipf queries (plus ground-truth probes over
+//!    the already-inserted ratings) replay against the server, and the
+//!    `OnlineLoop` fine-tunes, shadow-evals, and hot-swaps between waves.
+//!    The report breaks probe accuracy out per model version and per
+//!    cold-start scenario and counts swaps; the process exits non-zero if
+//!    any accepted query was dropped across a swap. `--smoke` shrinks
+//!    every phase for CI.
 
 use hire_bench::write_json_atomic;
 use hire_chaos::FaultPlan;
 use hire_core::{HireConfig, HireModel};
-use hire_data::{test_context_with_ratio, Dataset, SyntheticConfig};
+use hire_data::{
+    test_context_with_ratio, ColdStartScenario, ColdStartSplit, Dataset, SyntheticConfig,
+};
 use hire_error::{HireError, HireResult};
 use hire_graph::{BipartiteGraph, NeighborhoodSampler, Rating};
 use hire_serve::{
-    EngineConfig, FrozenModel, Predictor, RatingQuery, ServeEngine, ServeError, ServedBy, Server,
-    ServerConfig,
+    EngineConfig, FrozenModel, OnlineConfig, OnlineLoop, Predictor, RatingQuery, RoundOutcome,
+    ServeEngine, ServeError, ServedBy, Server, ServerConfig,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::Serialize;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -63,6 +77,9 @@ OPTIONS:
     --chaos-seed <u64>       enable the chaos phase with this fault seed
     --fault-rate <f64>       per-site fault probability for the chaos phase [0.2]
     --chaos-queries <usize>  queries fired during the chaos phase [300]
+    --online                 run the train-while-serving phase
+    --smoke                  shrink every phase for CI (short paced/chaos
+                             runs, small online waves)
     --out <path>             write the JSON report here
     -h, --help               print this help";
 
@@ -82,6 +99,8 @@ struct Args {
     chaos_seed: Option<u64>,
     fault_rate: f64,
     chaos_queries: usize,
+    online: bool,
+    smoke: bool,
     out: Option<String>,
 }
 
@@ -102,6 +121,8 @@ impl Default for Args {
             chaos_seed: None,
             fault_rate: 0.2,
             chaos_queries: 300,
+            online: false,
+            smoke: false,
             out: None,
         }
     }
@@ -134,6 +155,8 @@ fn parse_args(argv: &[String]) -> HireResult<Args> {
             "--chaos-seed" => args.chaos_seed = Some(num(flag, value()?)?),
             "--fault-rate" => args.fault_rate = num(flag, value()?)?,
             "--chaos-queries" => args.chaos_queries = num(flag, value()?)?,
+            "--online" => args.online = true,
+            "--smoke" => args.smoke = true,
             "--out" => args.out = Some(value()?.clone()),
             other => {
                 return Err(HireError::invalid_argument(
@@ -275,6 +298,53 @@ struct ChaosReport {
 }
 
 #[derive(Serialize)]
+struct OnlineScenarioAccuracy {
+    /// Cold-start scenario label (`warm_up`, `user_cold`, ...).
+    scenario: String,
+    /// Ground-truth probe answers in this scenario.
+    samples: u64,
+    /// Mean absolute error of those probe answers.
+    mae: f64,
+}
+
+#[derive(Serialize)]
+struct OnlineVersionReport {
+    version: u64,
+    /// All answers the engine attributed to this version (tier counters).
+    served_model: u64,
+    served_cache: u64,
+    served_fallback: u64,
+    /// Ground-truth probe answers pinned to this version.
+    probe_samples: u64,
+    probe_mae: f64,
+    /// Probe accuracy per cold-start scenario.
+    scenarios: Vec<OnlineScenarioAccuracy>,
+}
+
+#[derive(Serialize)]
+struct OnlineReport {
+    smoke: bool,
+    waves: usize,
+    ratings_inserted: u64,
+    rounds_run: u64,
+    promotions: u64,
+    rejections: u64,
+    demotions: u64,
+    trainer_crashes: u64,
+    trainer_divergences: u64,
+    eval_failures: u64,
+    swap_failures: u64,
+    final_version: u64,
+    holdout_size: usize,
+    submitted: u64,
+    answered_ok: u64,
+    answered_typed_error: u64,
+    /// Accepted queries that never got a reply — must be zero.
+    dropped: u64,
+    versions: Vec<OnlineVersionReport>,
+}
+
+#[derive(Serialize)]
 struct ServeBenchReport {
     workers: usize,
     /// Size of the `hire-par` compute pool used inside each forward.
@@ -291,6 +361,7 @@ struct ServeBenchReport {
     paced: PacedReport,
     cache: CacheReport,
     chaos: Option<ChaosReport>,
+    online: Option<OnlineReport>,
 }
 
 /// Single-threaded tape baseline: sample a context and run the autograd
@@ -530,13 +601,216 @@ fn run_chaos(
     (report, ladder_held)
 }
 
+/// Train-while-serving phase: the engine starts on a user-cold split's
+/// training graph; held-back ratings stream in while zipf queries and
+/// ground-truth probes replay against the server, with the [`OnlineLoop`]
+/// fine-tuning and hot-swapping between waves. Returns
+/// `(report, no_dropped_queries)`.
+fn run_online(
+    frozen: FrozenModel,
+    dataset: Arc<Dataset>,
+    config: &HireConfig,
+    log: &QueryLog,
+    args: &Args,
+) -> (OnlineReport, bool) {
+    let split = ColdStartSplit::new(&dataset, ColdStartScenario::UserCold, 0.25, 0.1, args.seed);
+    let engine = Arc::new(ServeEngine::with_graph(
+        frozen,
+        dataset.clone(),
+        split.train_graph(&dataset),
+        EngineConfig::from_model_config(config),
+    ));
+    let server = Arc::new(Server::start(
+        engine.clone(),
+        ServerConfig {
+            workers: args.workers,
+            max_batch: args.max_batch,
+            max_queue: args.max_queue,
+            batch_timeout: Duration::from_secs_f64(args.batch_timeout_ms / 1e3),
+        },
+    ));
+    let (waves, inserts_per_wave, zipf_per_wave, probes_per_wave, fine_tune_steps) = if args.smoke {
+        (3usize, 24usize, 12usize, 8usize, 6usize)
+    } else {
+        (6, 40, 24, 16, 15)
+    };
+    let online = OnlineLoop::new(
+        engine.clone(),
+        OnlineConfig {
+            min_new_ratings: inserts_per_wave / 2,
+            fine_tune_steps,
+            batch_size: 4,
+            base_lr: 1e-3,
+            // Generous gate: the incumbent is untrained, so fine-tuned
+            // candidates should promote and populate several versions.
+            regression_tolerance: 0.25,
+            seed: args.seed,
+            ..OnlineConfig::default()
+        },
+    );
+
+    // The online stream: the split's held-back edges, support first so
+    // cold entities gain their visible edges before their queries arrive.
+    let mut stream: Vec<Rating> = split.support_ratings.clone();
+    stream.extend_from_slice(&split.query_ratings);
+
+    let mut rng = StdRng::seed_from_u64(args.seed ^ 0x0911);
+    let mut cursor = 0usize;
+    let mut inserted: Vec<Rating> = Vec::new();
+    // Each handle remembers its ground truth (probes only).
+    let mut handles: Vec<(hire_serve::PredictionHandle, RatingQuery, Option<f32>)> = Vec::new();
+    let (mut ratings_inserted, mut submitted) = (0u64, 0u64);
+    let mut demotions = 0u64;
+    for _wave in 0..waves {
+        for _ in 0..inserts_per_wave {
+            if cursor >= stream.len() {
+                break;
+            }
+            let rating = stream[cursor];
+            cursor += 1;
+            if engine.insert_rating(rating).is_ok() {
+                ratings_inserted += 1;
+                inserted.push(rating);
+            }
+        }
+        for k in 0..(zipf_per_wave + probes_per_wave) {
+            // Probes replay already-inserted ratings, so every answer has
+            // a ground truth; the rest is the usual skewed query log.
+            let (query, truth) = if k < probes_per_wave && !inserted.is_empty() {
+                let r = inserted[rng.gen_range(0..inserted.len())];
+                (
+                    RatingQuery {
+                        user: r.user,
+                        item: r.item,
+                    },
+                    Some(r.value),
+                )
+            } else {
+                (log.next(&mut rng), None)
+            };
+            if let Ok(h) = server.submit(query) {
+                submitted += 1;
+                handles.push((h, query, truth));
+            }
+        }
+        // Fine-tune + shadow-eval + swap while the workers drain the
+        // queue — in-flight batches finish on whatever version they
+        // pinned at entry.
+        online.run_round();
+        if online.maybe_demote().is_some() {
+            demotions += 1;
+        }
+    }
+
+    // Every accepted query must resolve; anything slower than the hang
+    // bound was dropped across a swap, which the versioned slot forbids.
+    let hang_bound = Duration::from_secs(30);
+    let (mut answered_ok, mut answered_typed_error, mut dropped) = (0u64, 0u64, 0u64);
+    struct Acc {
+        samples: u64,
+        abs: f64,
+    }
+    let mut probe_acc: BTreeMap<(u64, &'static str), Acc> = BTreeMap::new();
+    for (h, query, truth) in &handles {
+        let waited = Instant::now();
+        match h.recv_timeout(hang_bound) {
+            Ok(p) => {
+                answered_ok += 1;
+                if let Some(truth) = truth {
+                    let label = engine.scenario_of(query.user, query.item).label();
+                    let acc = probe_acc.entry((p.version, label)).or_insert(Acc {
+                        samples: 0,
+                        abs: 0.0,
+                    });
+                    acc.samples += 1;
+                    acc.abs += (p.rating - truth).abs() as f64;
+                }
+            }
+            Err(ServeError::DeadlineExceeded) if waited.elapsed() >= hang_bound => dropped += 1,
+            Err(_) => answered_typed_error += 1,
+        }
+    }
+    server.shutdown();
+
+    let mut outcome_counts = [0u64; 7]; // acc, promoted, rejected, crash, diverged, eval, swap
+    for outcome in online.history() {
+        let slot = match outcome {
+            RoundOutcome::Accumulating { .. } => 0,
+            RoundOutcome::Promoted { .. } => 1,
+            RoundOutcome::Rejected { .. } => 2,
+            RoundOutcome::TrainerCrashed => 3,
+            RoundOutcome::TrainerDiverged => 4,
+            RoundOutcome::EvalFailed => 5,
+            RoundOutcome::SwapFailed => 6,
+        };
+        outcome_counts[slot] += 1;
+    }
+
+    let versions = engine
+        .version_stats()
+        .into_iter()
+        .map(|(version, tiers)| {
+            let mut scenarios = Vec::new();
+            let (mut samples, mut abs) = (0u64, 0.0f64);
+            for ((v, label), acc) in &probe_acc {
+                if *v != version {
+                    continue;
+                }
+                samples += acc.samples;
+                abs += acc.abs;
+                scenarios.push(OnlineScenarioAccuracy {
+                    scenario: label.to_string(),
+                    samples: acc.samples,
+                    mae: acc.abs / acc.samples as f64,
+                });
+            }
+            OnlineVersionReport {
+                version,
+                served_model: tiers.model,
+                served_cache: tiers.cache,
+                served_fallback: tiers.fallback,
+                probe_samples: samples,
+                probe_mae: if samples == 0 {
+                    0.0
+                } else {
+                    abs / samples as f64
+                },
+                scenarios,
+            }
+        })
+        .collect();
+
+    let report = OnlineReport {
+        smoke: args.smoke,
+        waves,
+        ratings_inserted,
+        rounds_run: online.history().len() as u64,
+        promotions: outcome_counts[1],
+        rejections: outcome_counts[2],
+        demotions,
+        trainer_crashes: outcome_counts[3],
+        trainer_divergences: outcome_counts[4],
+        eval_failures: outcome_counts[5],
+        swap_failures: outcome_counts[6],
+        final_version: engine.version(),
+        holdout_size: online.holdout_len(),
+        submitted,
+        answered_ok,
+        answered_typed_error,
+        dropped,
+        versions,
+    };
+    let ok = report.dropped == 0;
+    (report, ok)
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!("{USAGE}");
         return;
     }
-    let args = match parse_args(&argv) {
+    let mut args = match parse_args(&argv) {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}");
@@ -544,6 +818,10 @@ fn main() {
             std::process::exit(2);
         }
     };
+    if args.smoke {
+        args.duration_secs = args.duration_secs.min(1.0);
+        args.chaos_queries = args.chaos_queries.min(80);
+    }
     if let Some(threads) = args.threads {
         // Must run before any kernel touches the pool; --threads sweeps in
         // compute_bench and CI rely on this pinning the global pool size.
@@ -567,6 +845,7 @@ fn main() {
     let model = HireModel::new(&dataset, &config, &mut rng);
     let frozen = FrozenModel::from_model(&model, &dataset).expect("freeze model");
     let frozen_for_chaos = args.chaos_seed.map(|_| frozen.clone());
+    let frozen_for_online = args.online.then(|| frozen.clone());
     let graph = dataset.graph();
     let log = Arc::new(QueryLog::new(&dataset, &args, &mut rng));
 
@@ -643,6 +922,31 @@ fn main() {
         report
     });
 
+    let mut online_ok = true;
+    let online = args.online.then(|| {
+        eprintln!("serve_bench: online (train-while-serving)...");
+        let (report, ok) = run_online(
+            frozen_for_online.expect("frozen clone reserved for online"),
+            dataset.clone(),
+            &config,
+            &log,
+            &args,
+        );
+        eprintln!(
+            "  {} ratings in, {} rounds: {} promoted / {} rejected / {} demoted -> v{}; {} submitted, {} dropped",
+            report.ratings_inserted,
+            report.rounds_run,
+            report.promotions,
+            report.rejections,
+            report.demotions,
+            report.final_version,
+            report.submitted,
+            report.dropped,
+        );
+        online_ok = ok;
+        report
+    });
+
     let cache_stats = engine.cache_stats();
     let report = ServeBenchReport {
         workers: args.workers,
@@ -665,6 +969,7 @@ fn main() {
             hit_rate: cache_stats.hit_rate(),
         },
         chaos,
+        online,
     };
     eprintln!(
         "serve_bench: cache hit-rate {:.1}% ({} hits / {} misses)",
@@ -686,6 +991,14 @@ fn main() {
         eprintln!(
             "serve_bench: DEGRADATION LADDER FAILED — {} unanswered, {} fallback-served at fault rate {}",
             c.unanswered, c.served_fallback, c.fault_rate
+        );
+        std::process::exit(1);
+    }
+    if !online_ok {
+        let o = report.online.as_ref().expect("online report");
+        eprintln!(
+            "serve_bench: ONLINE SWAP DROPPED QUERIES — {} of {} accepted queries never answered",
+            o.dropped, o.submitted
         );
         std::process::exit(1);
     }

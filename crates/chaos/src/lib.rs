@@ -40,9 +40,30 @@ pub mod sites {
     /// Snapshot decode. Supports `CorruptByte` (a flipped bit in the
     /// checkpoint image, which must surface as a typed corruption error).
     pub const CKPT_DECODE: &str = "ckpt.decode";
+    /// Background fine-tuning round, immediately before the training step
+    /// loop. Supports `Delay`, `Panic` (the trainer thread dies mid-round),
+    /// and `Error` (a typed training failure) — none of which may perturb
+    /// serving.
+    pub const TRAINER_STEP: &str = "trainer.step";
+    /// Shadow evaluation of a candidate model against the incumbent.
+    /// Supports `Delay`, `Panic`, and `Error`; a failed eval must reject
+    /// the candidate, never promote it blind.
+    pub const SHADOW_EVAL: &str = "online.shadow_eval";
+    /// The versioned model swap itself. Supports `Delay` (widens the race
+    /// window against in-flight batches), `Panic`, and `Error` (the swap is
+    /// abandoned and the incumbent keeps serving).
+    pub const ONLINE_SWAP: &str = "online.swap";
 
     /// Every registered site, for coverage sweeps.
-    pub const ALL: &[&str] = &[SERVER_BATCH, ENGINE_RESOLVE, ENGINE_FORWARD, CKPT_DECODE];
+    pub const ALL: &[&str] = &[
+        SERVER_BATCH,
+        ENGINE_RESOLVE,
+        ENGINE_FORWARD,
+        CKPT_DECODE,
+        TRAINER_STEP,
+        SHADOW_EVAL,
+        ONLINE_SWAP,
+    ];
 }
 
 /// What happens when a fault fires.

@@ -26,4 +26,4 @@ pub mod store;
 
 pub use format::{crc32, decode_container, encode_container, FORMAT_VERSION, MAGIC};
 pub use snapshot::{fingerprint, GuardSnapshot, OptimizerSnapshot, TrainSnapshot};
-pub use store::{CheckpointStore, LoadOutcome, SNAPSHOT_EXT};
+pub use store::{CheckpointStore, LoadOutcome, DEFAULT_TAG, SNAPSHOT_EXT};

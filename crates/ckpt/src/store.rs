@@ -22,10 +22,21 @@ use std::path::{Path, PathBuf};
 /// File extension for snapshot files.
 pub const SNAPSHOT_EXT: &str = "hckpt";
 
+/// Default lineage tag: plain training snapshots (`ckpt-*.hckpt`).
+pub const DEFAULT_TAG: &str = "ckpt";
+
 /// A snapshot store rooted at one directory.
+///
+/// Several stores may share one directory as long as they use distinct
+/// lineage *tags* (see [`CheckpointStore::open_tagged`]): file naming,
+/// listing, retention, and the newest-valid-fallback loader are all scoped
+/// to the store's own tag, so a background trainer's snapshots and the
+/// candidate/rejected model lineages of an online-learning loop can live
+/// side by side without evicting each other.
 #[derive(Debug, Clone)]
 pub struct CheckpointStore {
     dir: PathBuf,
+    tag: String,
     keep_last: usize,
 }
 
@@ -43,12 +54,38 @@ pub struct LoadOutcome {
 
 impl CheckpointStore {
     /// Opens (creating if needed) a store keeping the last `keep_last`
-    /// snapshots. `keep_last` is clamped to at least 1.
+    /// snapshots under the default [`DEFAULT_TAG`] lineage. `keep_last` is
+    /// clamped to at least 1.
     pub fn open(dir: impl Into<PathBuf>, keep_last: usize) -> HireResult<Self> {
+        Self::open_tagged(dir, DEFAULT_TAG, keep_last)
+    }
+
+    /// Opens a store scoped to one lineage `tag` in (possibly shared)
+    /// `dir`: files are named `<tag>-<steps>.hckpt` and only the store's
+    /// own lineage is listed, pruned, or loaded. The tag must be non-empty
+    /// and free of path separators / dots, so tags cannot collide with the
+    /// extension or escape the directory.
+    pub fn open_tagged(
+        dir: impl Into<PathBuf>,
+        tag: impl Into<String>,
+        keep_last: usize,
+    ) -> HireResult<Self> {
         let dir = dir.into();
+        let tag = tag.into();
+        if tag.is_empty()
+            || !tag
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+        {
+            return Err(HireError::invalid_argument(
+                "CheckpointStore",
+                format!("invalid lineage tag `{tag}` (alphanumeric, `_`, `-` only)"),
+            ));
+        }
         fs::create_dir_all(&dir).map_err(|e| HireError::io(dir.display().to_string(), e))?;
         Ok(CheckpointStore {
             dir,
+            tag,
             keep_last: keep_last.max(1),
         })
     }
@@ -58,20 +95,33 @@ impl CheckpointStore {
         &self.dir
     }
 
-    fn file_name(steps: u64) -> String {
-        format!("ckpt-{steps:012}.{SNAPSHOT_EXT}")
+    /// The store's lineage tag.
+    pub fn tag(&self) -> &str {
+        &self.tag
     }
 
-    /// Parses the step count out of a snapshot file name.
-    fn steps_of(path: &Path) -> Option<u64> {
+    fn file_name(&self, steps: u64) -> String {
+        format!("{}-{steps:012}.{SNAPSHOT_EXT}", self.tag)
+    }
+
+    /// Parses the step count out of a snapshot file name belonging to this
+    /// store's lineage. Files of other lineages (different tag) yield
+    /// `None` — a tag that happens to be a prefix of another cannot match,
+    /// because the remainder after `<tag>-` must be purely numeric.
+    fn steps_of(&self, path: &Path) -> Option<u64> {
         let name = path.file_name()?.to_str()?;
         let stem = name
-            .strip_prefix("ckpt-")?
+            .strip_prefix(&self.tag)?
+            .strip_prefix('-')?
             .strip_suffix(&format!(".{SNAPSHOT_EXT}"))?;
+        if stem.is_empty() || !stem.bytes().all(|b| b.is_ascii_digit()) {
+            return None;
+        }
         stem.parse().ok()
     }
 
-    /// Snapshot files in the store, sorted oldest → newest by step count.
+    /// Snapshot files in the store's lineage, sorted oldest → newest by
+    /// step count.
     pub fn list(&self) -> HireResult<Vec<PathBuf>> {
         let entries = fs::read_dir(&self.dir)
             .map_err(|e| HireError::io(self.dir.display().to_string(), e))?;
@@ -79,7 +129,7 @@ impl CheckpointStore {
         for entry in entries {
             let entry = entry.map_err(|e| HireError::io(self.dir.display().to_string(), e))?;
             let path = entry.path();
-            if let Some(steps) = Self::steps_of(&path) {
+            if let Some(steps) = self.steps_of(&path) {
                 files.push((steps, path));
             }
         }
@@ -90,7 +140,7 @@ impl CheckpointStore {
     /// Writes `snapshot` crash-safely and prunes old files down to the
     /// retention limit. Returns the snapshot's final path.
     pub fn save(&self, snapshot: &TrainSnapshot) -> HireResult<PathBuf> {
-        let final_path = self.dir.join(Self::file_name(snapshot.completed_steps));
+        let final_path = self.dir.join(self.file_name(snapshot.completed_steps));
         let tmp_path = {
             let mut os = final_path.as_os_str().to_os_string();
             os.push(".tmp");
@@ -118,8 +168,10 @@ impl CheckpointStore {
         Ok(final_path)
     }
 
-    /// Deletes all but the newest `keep_last` snapshots. Leftover `.tmp`
-    /// files from interrupted writes are removed too.
+    /// Deletes all but the newest `keep_last` snapshots of this lineage.
+    /// Leftover `.tmp` files from interrupted writes are removed too — but
+    /// only the lineage's own: another tagged store writing into the same
+    /// directory may have an in-flight `.tmp` that must not be swept away.
     fn prune(&self) -> HireResult<()> {
         let files = self.list()?;
         if files.len() > self.keep_last {
@@ -127,10 +179,15 @@ impl CheckpointStore {
                 let _ = fs::remove_file(old);
             }
         }
+        let own_prefix = format!("{}-", self.tag);
         if let Ok(entries) = fs::read_dir(&self.dir) {
             for entry in entries.flatten() {
                 let path = entry.path();
-                if path.extension().is_some_and(|e| e == "tmp") {
+                let own = path
+                    .file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with(&own_prefix));
+                if own && path.extension().is_some_and(|e| e == "tmp") {
                     let _ = fs::remove_file(&path);
                 }
             }
@@ -246,8 +303,66 @@ mod tests {
         }
         let files = store.list().unwrap();
         assert_eq!(files.len(), 2);
-        assert_eq!(CheckpointStore::steps_of(&files[0]), Some(4));
-        assert_eq!(CheckpointStore::steps_of(&files[1]), Some(5));
+        assert_eq!(store.steps_of(&files[0]), Some(4));
+        assert_eq!(store.steps_of(&files[1]), Some(5));
+    }
+
+    #[test]
+    fn tagged_lineages_in_one_dir_do_not_interfere() {
+        let tmp = TempDir::new("tagged");
+        let trainer = CheckpointStore::open(&tmp.0, 2).unwrap();
+        let candidates = CheckpointStore::open_tagged(&tmp.0, "candidate", 1).unwrap();
+        for step in [1, 2, 3] {
+            trainer.save(&snap(step)).unwrap();
+        }
+        candidates.save(&snap(100)).unwrap();
+        candidates.save(&snap(200)).unwrap();
+        // Each lineage prunes and lists only itself.
+        assert_eq!(trainer.list().unwrap().len(), 2);
+        assert_eq!(candidates.list().unwrap().len(), 1);
+        assert_eq!(
+            trainer
+                .load_latest()
+                .unwrap()
+                .unwrap()
+                .snapshot
+                .completed_steps,
+            3
+        );
+        assert_eq!(
+            candidates
+                .load_latest()
+                .unwrap()
+                .unwrap()
+                .snapshot
+                .completed_steps,
+            200
+        );
+    }
+
+    #[test]
+    fn prune_spares_other_lineages_tmp_files() {
+        let tmp = TempDir::new("tagged_tmp");
+        let trainer = CheckpointStore::open(&tmp.0, 1).unwrap();
+        // Another store's in-flight write must survive this store's prune.
+        fs::create_dir_all(&tmp.0).unwrap();
+        let foreign = tmp.0.join("candidate-000000000007.hckpt.tmp");
+        fs::write(&foreign, b"in flight").unwrap();
+        trainer.save(&snap(1)).unwrap();
+        assert!(foreign.exists(), "foreign lineage .tmp must not be swept");
+        // Own leftovers still are.
+        let own = tmp.0.join("ckpt-000000000099.hckpt.tmp");
+        fs::write(&own, b"dead").unwrap();
+        trainer.save(&snap(2)).unwrap();
+        assert!(!own.exists(), "own lineage .tmp must be pruned");
+    }
+
+    #[test]
+    fn invalid_tags_are_rejected() {
+        let tmp = TempDir::new("bad_tag");
+        assert!(CheckpointStore::open_tagged(&tmp.0, "", 1).is_err());
+        assert!(CheckpointStore::open_tagged(&tmp.0, "a.b", 1).is_err());
+        assert!(CheckpointStore::open_tagged(&tmp.0, "a/b", 1).is_err());
     }
 
     #[test]

@@ -1,0 +1,175 @@
+//! Retention under concurrent writers sharing one directory.
+//!
+//! The online-learning loop (see `hire-serve::online`) keeps three snapshot
+//! lineages in one checkpoint directory: the background trainer's durable
+//! snapshots (default `ckpt-*` tag), promoted candidates (`candidate-*`),
+//! and rejected candidates (`rejected-*`). These tests pin the contract
+//! that makes that safe:
+//!
+//! 1. lineages never evict each other past their own `keep_last`, even
+//!    when saves interleave from concurrent threads;
+//! 2. the newest-valid fallback of `load_latest` holds *per lineage* after
+//!    interleaved corruption — a corrupt candidate snapshot neither hides a
+//!    valid trainer snapshot nor vice versa.
+
+use hire_ckpt::{CheckpointStore, GuardSnapshot, OptimizerSnapshot, TrainSnapshot};
+use hire_tensor::NdArray;
+use std::fs;
+use std::path::PathBuf;
+use std::sync::{Arc, Barrier};
+
+/// Self-cleaning temp dir.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!(
+            "hire_ckpt_retention_{tag}_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        TempDir(dir)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.0);
+    }
+}
+
+fn snap(step: u64) -> TrainSnapshot {
+    TrainSnapshot {
+        completed_steps: step,
+        config_fingerprint: 7,
+        params: vec![NdArray::from_vec(vec![2], vec![step as f32, -1.0])],
+        rollback_step: step,
+        rollback_params: vec![NdArray::from_vec(vec![2], vec![step as f32, -1.0])],
+        optimizer: OptimizerSnapshot {
+            lamb_m: vec![None],
+            lamb_v: vec![None],
+            lamb_t: 0,
+            slow_weights: vec![NdArray::from_vec(vec![2], vec![0.0, 0.0])],
+            lookahead_steps: 0,
+        },
+        guard: GuardSnapshot {
+            ema: None,
+            healthy_steps: 0,
+            suspicious_streak: 0,
+            lr_scale: 1.0,
+            recoveries: 0,
+        },
+        rng_words: vec![step, step ^ 0xABCD],
+    }
+}
+
+#[test]
+fn concurrent_lineages_respect_their_own_keep_last() {
+    let tmp = TempDir::new("concurrent");
+    let lineages: &[(&str, usize, u64)] = &[
+        ("ckpt", 3, 0),        // trainer snapshots, keep 3
+        ("candidate", 2, 100), // promoted candidates, keep 2
+        ("rejected", 1, 200),  // rejected candidates, keep 1
+    ];
+    let barrier = Arc::new(Barrier::new(lineages.len()));
+    let handles: Vec<_> = lineages
+        .iter()
+        .map(|&(tag, keep, base)| {
+            let dir = tmp.0.clone();
+            let barrier = barrier.clone();
+            std::thread::spawn(move || {
+                let store = CheckpointStore::open_tagged(&dir, tag, keep).expect("open");
+                barrier.wait();
+                for step in 1..=20u64 {
+                    store.save(&snap(base + step)).expect("save");
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("writer thread");
+    }
+    for &(tag, keep, base) in lineages {
+        let store = CheckpointStore::open_tagged(&tmp.0, tag, keep).unwrap();
+        let files = store.list().unwrap();
+        assert_eq!(
+            files.len(),
+            keep,
+            "lineage `{tag}` must retain exactly its own keep_last"
+        );
+        let newest = store.load_latest().unwrap().expect("valid snapshot");
+        assert_eq!(
+            newest.snapshot.completed_steps,
+            base + 20,
+            "lineage `{tag}` must load its own newest snapshot"
+        );
+    }
+}
+
+#[test]
+fn newest_valid_fallback_is_per_lineage_after_interleaved_corruption() {
+    let tmp = TempDir::new("corrupt");
+    let trainer = CheckpointStore::open_tagged(&tmp.0, "ckpt", 5).unwrap();
+    let candidates = CheckpointStore::open_tagged(&tmp.0, "candidate", 5).unwrap();
+
+    // Interleaved saves: t10, c11, t12, c13.
+    trainer.save(&snap(10)).unwrap();
+    candidates.save(&snap(11)).unwrap();
+    trainer.save(&snap(12)).unwrap();
+    let newest_candidate = candidates.save(&snap(13)).unwrap();
+
+    // Corrupt the newest candidate and the newest trainer snapshot.
+    let newest_trainer = trainer.list().unwrap().pop().unwrap();
+    for path in [&newest_candidate, &newest_trainer] {
+        let mut bytes = fs::read(path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        fs::write(path, &bytes).unwrap();
+    }
+
+    let t = trainer.load_latest().unwrap().expect("older trainer valid");
+    assert_eq!(t.snapshot.completed_steps, 10, "trainer fell back to 10");
+    assert_eq!(t.rejected.len(), 1, "only own-lineage rejects are reported");
+
+    let c = candidates
+        .load_latest()
+        .unwrap()
+        .expect("older candidate valid");
+    assert_eq!(c.snapshot.completed_steps, 11, "candidate fell back to 11");
+    assert_eq!(c.rejected.len(), 1);
+}
+
+#[test]
+fn concurrent_saves_and_loads_share_one_lineage_safely() {
+    // One lineage hammered by a writer while readers poll load_latest:
+    // every successful load must be a fully valid snapshot (the crash-safe
+    // tmp+rename write discipline means readers never observe a torn file).
+    let tmp = TempDir::new("rw");
+    let dir = tmp.0.clone();
+    let writer = std::thread::spawn(move || {
+        let store = CheckpointStore::open_tagged(&dir, "ckpt", 2).expect("open");
+        for step in 1..=30u64 {
+            store.save(&snap(step)).expect("save");
+        }
+    });
+    let dir = tmp.0.clone();
+    let reader = std::thread::spawn(move || {
+        let store = CheckpointStore::open_tagged(&dir, "ckpt", 2).expect("open");
+        let mut seen = 0u64;
+        for _ in 0..60 {
+            if let Ok(Some(outcome)) = store.load_latest() {
+                let step = outcome.snapshot.completed_steps;
+                assert!(step >= seen, "snapshots must be observed monotonically");
+                assert_eq!(
+                    outcome.snapshot.params[0].as_slice()[0],
+                    step as f32,
+                    "loaded snapshot must be internally consistent"
+                );
+                seen = step;
+            }
+        }
+    });
+    writer.join().expect("writer");
+    reader.join().expect("reader");
+}

@@ -34,4 +34,4 @@ pub use guard::{
 };
 pub use him::{HimAttention, HimBlock};
 pub use model::HireModel;
-pub use trainer::{resume_from, train, train_guarded, StepStats, TrainConfig};
+pub use trainer::{fine_tune, resume_from, train, train_guarded, StepStats, TrainConfig};

@@ -95,6 +95,40 @@ impl HireModel {
         let pred = self.forward(ctx, dataset);
         pred.mse_masked(&ctx.ratings, &ctx.target_mask)
     }
+
+    /// Overwrites every parameter from a flat value list in
+    /// [`Module::parameters`] order — the inverse of exporting
+    /// `parameters().iter().map(|p| p.value())`. Used to warm-start a live
+    /// model from frozen serving weights before fine-tuning. Count and
+    /// shape mismatches are typed errors and leave already-written
+    /// parameters as they are (callers discard the model on error).
+    pub fn load_parameters(&self, values: &[NdArray]) -> hire_error::HireResult<()> {
+        let params = self.parameters();
+        if params.len() != values.len() {
+            return Err(hire_error::HireError::invalid_data(
+                "HireModel",
+                format!(
+                    "parameter count mismatch: model has {}, got {}",
+                    params.len(),
+                    values.len()
+                ),
+            ));
+        }
+        for (idx, (p, v)) in params.iter().zip(values).enumerate() {
+            if p.value().dims() != v.dims() {
+                return Err(hire_error::HireError::invalid_data(
+                    "HireModel",
+                    format!(
+                        "parameter {idx} shape mismatch: model {:?}, got {:?}",
+                        p.value().dims(),
+                        v.dims()
+                    ),
+                ));
+            }
+            p.set_value(v.clone());
+        }
+        Ok(())
+    }
 }
 
 impl Module for HireModel {

@@ -203,6 +203,83 @@ pub fn train_guarded(
             "training graph has no edges",
         ));
     }
+    train_impl(
+        model,
+        dataset,
+        graph,
+        sampler,
+        edges,
+        config,
+        guard_config,
+        rng,
+    )
+}
+
+/// Fine-tunes an already-trained model on a specific set of *seed edges*
+/// (e.g. ratings that arrived after the model was frozen), while contexts
+/// are still sampled from the full live `graph` — so each step sees the
+/// new edge embedded in its real neighborhood, not in isolation.
+///
+/// This is `train_guarded` with the mini-batch seed pool restricted:
+/// everything else (guard rollback, LR backoff, durable snapshots,
+/// determinism under a fixed `rng`) behaves identically. Every seed edge
+/// must be present in `graph` bounds; an empty slice is a typed error.
+#[allow(clippy::too_many_arguments)]
+pub fn fine_tune(
+    model: &HireModel,
+    dataset: &Dataset,
+    graph: &BipartiteGraph,
+    sampler: &dyn ContextSampler,
+    seed_edges: &[Rating],
+    config: &TrainConfig,
+    guard_config: &GuardConfig,
+    rng: &mut (impl Rng + StateRng),
+) -> HireResult<TrainReport> {
+    if seed_edges.is_empty() {
+        return Err(HireError::invalid_data(
+            "fine_tune",
+            "no seed edges to fine-tune on",
+        ));
+    }
+    for edge in seed_edges {
+        if edge.user >= graph.num_users() || edge.item >= graph.num_items() {
+            return Err(HireError::invalid_data(
+                "fine_tune",
+                format!(
+                    "seed edge ({}, {}) out of graph bounds {}x{}",
+                    edge.user,
+                    edge.item,
+                    graph.num_users(),
+                    graph.num_items()
+                ),
+            ));
+        }
+    }
+    train_impl(
+        model,
+        dataset,
+        graph,
+        sampler,
+        seed_edges.to_vec(),
+        config,
+        guard_config,
+        rng,
+    )
+}
+
+/// Shared training loop: mini-batch seeds are drawn from `edges`, contexts
+/// from `graph`.
+#[allow(clippy::too_many_arguments)]
+fn train_impl(
+    model: &HireModel,
+    dataset: &Dataset,
+    graph: &BipartiteGraph,
+    sampler: &dyn ContextSampler,
+    edges: Vec<Rating>,
+    config: &TrainConfig,
+    guard_config: &GuardConfig,
+    rng: &mut (impl Rng + StateRng),
+) -> HireResult<TrainReport> {
     let params = model.parameters();
     let fp = config_fingerprint(config, guard_config);
     let store = match &config.checkpoint_dir {

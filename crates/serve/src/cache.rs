@@ -53,21 +53,26 @@ impl CacheStats {
 
 struct Entry {
     ctx: Arc<PredictionContext>,
-    /// Memoized model output for this key. Valid exactly as long as the
-    /// context is: the model is frozen and sampling is deterministic, so
-    /// the prediction is a pure function of `(model, key, graph)` and is
-    /// dropped by the same invalidation that drops the context.
-    prediction: Option<f32>,
+    /// Memoized model output for this key, stamped with the
+    /// [`crate::ModelVersion`] it was computed under. Valid exactly as
+    /// long as the context is *and* only for that model version: the
+    /// prediction is a pure function of `(model, key, graph)`, so a hot
+    /// model swap invalidates every memo lazily — a lookup under a
+    /// different version misses and recomputes, mirroring the graph-epoch
+    /// guard that protects the context itself.
+    prediction: Option<(u64, f32)>,
     last_used: u64,
 }
 
 /// A cache hit: the sampled context, plus the memoized prediction if one
-/// was stored since the entry was (re)created.
+/// was stored since the entry was (re)created — and was computed under the
+/// model version the lookup asked for.
 #[derive(Debug, Clone)]
 pub struct CachedContext {
     /// The sampled prediction context.
     pub ctx: Arc<PredictionContext>,
-    /// The memoized model output, if already computed.
+    /// The memoized model output, if already computed under the queried
+    /// model version.
     pub prediction: Option<f32>,
 }
 
@@ -96,8 +101,12 @@ impl ContextCache {
         }
     }
 
-    /// Looks up a context, marking it most-recently-used on hit.
-    pub fn get(&mut self, key: &CacheKey) -> Option<CachedContext> {
+    /// Looks up a context, marking it most-recently-used on hit. The memo
+    /// is only surfaced if it was stored under `version` — a memo from a
+    /// swapped-out model is stale for the current model but the *context*
+    /// stays valid (sampling does not depend on the model), so only the
+    /// prediction half of the entry is withheld.
+    pub fn get(&mut self, key: &CacheKey, version: u64) -> Option<CachedContext> {
         self.tick += 1;
         match self.map.get_mut(key) {
             Some(entry) => {
@@ -105,7 +114,9 @@ impl ContextCache {
                 self.stats.hits += 1;
                 Some(CachedContext {
                     ctx: entry.ctx.clone(),
-                    prediction: entry.prediction,
+                    prediction: entry
+                        .prediction
+                        .and_then(|(v, p)| (v == version).then_some(p)),
                 })
             }
             None => {
@@ -148,15 +159,18 @@ impl ContextCache {
     /// computed from (`Arc` identity), otherwise a forward that raced an
     /// `invalidate_edge` + fresh `insert` would attach a stale value to
     /// the new context and the cache would serve it forever after.
+    /// The memo is stamped with the model `version` that computed it; a
+    /// lookup under any other version ignores it.
     pub fn store_prediction(
         &mut self,
         key: &CacheKey,
         ctx: &Arc<PredictionContext>,
+        version: u64,
         prediction: f32,
     ) {
         if let Some(entry) = self.map.get_mut(key) {
             if Arc::ptr_eq(&entry.ctx, ctx) {
-                entry.prediction = Some(prediction);
+                entry.prediction = Some((version, prediction));
             }
         }
     }
@@ -215,12 +229,15 @@ mod tests {
         })
     }
 
+    /// Version stamp used by tests that don't exercise versioning.
+    const V1: u64 = 1;
+
     #[test]
     fn hit_miss_counters() {
         let mut cache = ContextCache::new(4);
-        assert!(cache.get(&key(0, 0)).is_none());
+        assert!(cache.get(&key(0, 0), V1).is_none());
         cache.insert(key(0, 0), ctx(vec![0], vec![0]));
-        assert!(cache.get(&key(0, 0)).is_some());
+        assert!(cache.get(&key(0, 0), V1).is_some());
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses), (1, 1));
         assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
@@ -231,11 +248,14 @@ mod tests {
         let mut cache = ContextCache::new(2);
         cache.insert(key(0, 0), ctx(vec![0], vec![0]));
         cache.insert(key(1, 1), ctx(vec![1], vec![1]));
-        let _ = cache.get(&key(0, 0)); // 0 is now more recent than 1
+        let _ = cache.get(&key(0, 0), V1); // 0 is now more recent than 1
         cache.insert(key(2, 2), ctx(vec![2], vec![2]));
         assert_eq!(cache.len(), 2);
-        assert!(cache.get(&key(1, 1)).is_none(), "LRU entry must be evicted");
-        assert!(cache.get(&key(0, 0)).is_some());
+        assert!(
+            cache.get(&key(1, 1), V1).is_none(),
+            "LRU entry must be evicted"
+        );
+        assert!(cache.get(&key(0, 0), V1).is_some());
         assert_eq!(cache.stats().evictions, 1);
     }
 
@@ -248,7 +268,7 @@ mod tests {
         let removed = cache.invalidate_edge(1, 9);
         assert_eq!(removed, 2);
         assert_eq!(cache.len(), 1);
-        assert!(cache.get(&key(2, 2)).is_some());
+        assert!(cache.get(&key(2, 2), V1).is_some());
         assert_eq!(cache.stats().invalidations, 2);
     }
 
@@ -257,20 +277,20 @@ mod tests {
         let mut cache = ContextCache::new(4);
         let first = ctx(vec![0], vec![0]);
         cache.insert(key(0, 0), first.clone());
-        assert_eq!(cache.get(&key(0, 0)).unwrap().prediction, None);
-        cache.store_prediction(&key(0, 0), &first, 3.5);
-        assert_eq!(cache.get(&key(0, 0)).unwrap().prediction, Some(3.5));
+        assert_eq!(cache.get(&key(0, 0), V1).unwrap().prediction, None);
+        cache.store_prediction(&key(0, 0), &first, V1, 3.5);
+        assert_eq!(cache.get(&key(0, 0), V1).unwrap().prediction, Some(3.5));
         // Re-inserting (fresh sample) clears the memo.
         let second = ctx(vec![0], vec![0]);
         cache.insert(key(0, 0), second.clone());
-        assert_eq!(cache.get(&key(0, 0)).unwrap().prediction, None);
+        assert_eq!(cache.get(&key(0, 0), V1).unwrap().prediction, None);
         // Invalidation drops the memo together with the context.
-        cache.store_prediction(&key(0, 0), &second, 4.0);
+        cache.store_prediction(&key(0, 0), &second, V1, 4.0);
         cache.invalidate_edge(0, 9);
-        assert!(cache.get(&key(0, 0)).is_none());
+        assert!(cache.get(&key(0, 0), V1).is_none());
         // Storing against a dead key is a no-op, not a resurrection.
-        cache.store_prediction(&key(0, 0), &second, 1.0);
-        assert!(cache.get(&key(0, 0)).is_none());
+        cache.store_prediction(&key(0, 0), &second, V1, 1.0);
+        assert!(cache.get(&key(0, 0), V1).is_none());
     }
 
     #[test]
@@ -281,10 +301,28 @@ mod tests {
         cache.insert(key(0, 0), fresh.clone());
         // A forward computed against `stale` raced an invalidate + fresh
         // insert: its value must not attach to the fresh context.
-        cache.store_prediction(&key(0, 0), &stale, 2.5);
-        assert_eq!(cache.get(&key(0, 0)).unwrap().prediction, None);
-        cache.store_prediction(&key(0, 0), &fresh, 2.5);
-        assert_eq!(cache.get(&key(0, 0)).unwrap().prediction, Some(2.5));
+        cache.store_prediction(&key(0, 0), &stale, V1, 2.5);
+        assert_eq!(cache.get(&key(0, 0), V1).unwrap().prediction, None);
+        cache.store_prediction(&key(0, 0), &fresh, V1, 2.5);
+        assert_eq!(cache.get(&key(0, 0), V1).unwrap().prediction, Some(2.5));
+    }
+
+    #[test]
+    fn memo_is_scoped_to_its_model_version() {
+        let mut cache = ContextCache::new(4);
+        let c = ctx(vec![0], vec![0]);
+        cache.insert(key(0, 0), c.clone());
+        cache.store_prediction(&key(0, 0), &c, 1, 3.5);
+        // The context survives a model swap; the memo does not.
+        let hit = cache.get(&key(0, 0), 2).expect("context still cached");
+        assert_eq!(hit.prediction, None, "v1 memo is stale for v2");
+        assert!(Arc::ptr_eq(&hit.ctx, &c), "context is model-independent");
+        // Still valid for a batch that pinned v1 before the swap.
+        assert_eq!(cache.get(&key(0, 0), 1).unwrap().prediction, Some(3.5));
+        // The v2 forward overwrites the stamp.
+        cache.store_prediction(&key(0, 0), &c, 2, 4.25);
+        assert_eq!(cache.get(&key(0, 0), 2).unwrap().prediction, Some(4.25));
+        assert_eq!(cache.get(&key(0, 0), 1).unwrap().prediction, None);
     }
 
     #[test]
@@ -292,6 +330,6 @@ mod tests {
         let mut cache = ContextCache::new(0);
         cache.insert(key(0, 0), ctx(vec![0], vec![0]));
         assert!(cache.is_empty());
-        assert!(cache.get(&key(0, 0)).is_none());
+        assert!(cache.get(&key(0, 0), V1).is_none());
     }
 }

@@ -19,7 +19,7 @@
 use crate::breaker::{BreakerConfig, BreakerState, BreakerStats, CircuitBreaker};
 use crate::cache::{CacheKey, CacheStats, ContextCache};
 use crate::frozen::FrozenModel;
-use crate::server::{Answer, Predictor, RatingQuery, ServeError, ServedBy};
+use crate::server::{Answer, ModelVersion, Predictor, RatingQuery, ServeError, ServedBy};
 use hire_baselines::{EntityMean, RatingModel};
 use hire_chaos::{sites, FaultKind, FaultPlan};
 use hire_core::{Backoff, BackoffConfig};
@@ -52,6 +52,11 @@ pub struct EngineConfig {
     pub cache_capacity: usize,
     /// Base seed for deterministic per-query context sampling.
     pub seed: u64,
+    /// An entity with fewer than this many edges in the engine's *base*
+    /// graph (the graph at construction) is considered cold for
+    /// [`ColdScenario`] classification. The default 1 marks exactly the
+    /// entities with no observed ratings — the paper's cold-start case.
+    pub cold_degree_threshold: usize,
 }
 
 impl EngineConfig {
@@ -64,7 +69,82 @@ impl EngineConfig {
             keep_ratio: config.input_ratio,
             cache_capacity: 4096,
             seed: 0x48495245, // "HIRE"
+            cold_degree_threshold: 1,
         }
+    }
+}
+
+/// Which cold-start scenario a query falls into, classified against the
+/// engine's base graph (the serving graph at construction, before any
+/// `insert_rating`). The labels follow OpenHGNN's cold-start
+/// recommendation flow: `user_cold`, `item_cold`, `user_and_item_cold`,
+/// and `warm_up` for queries where both entities have support.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ColdScenario {
+    /// Both entities have at least `cold_degree_threshold` base edges.
+    WarmUp,
+    /// The user is cold, the item is warm.
+    UserCold,
+    /// The item is cold, the user is warm.
+    ItemCold,
+    /// Both entities are cold.
+    UserAndItemCold,
+}
+
+impl ColdScenario {
+    /// Every scenario, in reporting order.
+    pub const ALL: [ColdScenario; 4] = [
+        ColdScenario::WarmUp,
+        ColdScenario::UserCold,
+        ColdScenario::ItemCold,
+        ColdScenario::UserAndItemCold,
+    ];
+
+    /// The scenario's reporting label (OpenHGNN naming).
+    pub fn label(self) -> &'static str {
+        match self {
+            ColdScenario::WarmUp => "warm_up",
+            ColdScenario::UserCold => "user_cold",
+            ColdScenario::ItemCold => "item_cold",
+            ColdScenario::UserAndItemCold => "user_and_item_cold",
+        }
+    }
+
+    /// Whether the scenario involves at least one cold entity. The
+    /// promotion gate regresses on these individually, not just overall.
+    pub fn is_cold(self) -> bool {
+        !matches!(self, ColdScenario::WarmUp)
+    }
+
+    /// Classifies a query from base-graph degrees.
+    pub fn classify(user_degree: usize, item_degree: usize, threshold: usize) -> Self {
+        match (user_degree < threshold, item_degree < threshold) {
+            (false, false) => ColdScenario::WarmUp,
+            (true, false) => ColdScenario::UserCold,
+            (false, true) => ColdScenario::ItemCold,
+            (true, true) => ColdScenario::UserAndItemCold,
+        }
+    }
+}
+
+/// One installed serving model and its version. Batches pin an
+/// `Arc<ModelSlot>` once on entry, so a hot swap mid-batch never mixes
+/// weights: every answer of a batch comes from the version it started on.
+#[derive(Debug)]
+pub struct ModelSlot {
+    model: FrozenModel,
+    version: ModelVersion,
+}
+
+impl ModelSlot {
+    /// The frozen weights.
+    pub fn model(&self) -> &FrozenModel {
+        &self.model
+    }
+
+    /// The monotonically increasing version.
+    pub fn version(&self) -> ModelVersion {
+        self.version
     }
 }
 
@@ -136,7 +216,15 @@ pub struct TierStats {
 /// that changed before the cache insert is never cached, and a prediction
 /// is only memoized against the exact context it was computed from.
 pub struct ServeEngine {
-    model: FrozenModel,
+    /// The incumbent model. Swapped atomically (`Arc` swap under a short
+    /// write lock) by [`ServeEngine::install_model`]; readers pin the
+    /// `Arc` once per batch and are never blocked mid-forward.
+    slot: RwLock<Arc<ModelSlot>>,
+    /// Previously installed slots, oldest first (bounded), for
+    /// [`ServeEngine::demote`].
+    history: Mutex<Vec<Arc<ModelSlot>>>,
+    /// The next version number to hand out (versions are never reused).
+    next_version: AtomicU64,
     dataset: Arc<Dataset>,
     graph: RwLock<Arc<BipartiteGraph>>,
     /// Bumped (under the graph write lock) on every graph update; lets
@@ -147,12 +235,45 @@ pub struct ServeEngine {
     resilience: ResilienceConfig,
     breaker: Option<CircuitBreaker>,
     faults: Option<Arc<FaultPlan>>,
+    /// Per-user / per-item degree in the base graph, snapshotted at
+    /// construction — the fixed reference frame for [`ColdScenario`]
+    /// classification (an entity stays "cold" for reporting even after
+    /// online ratings warm it up, so per-scenario accuracy is comparable
+    /// across a run).
+    base_user_degree: Vec<usize>,
+    base_item_degree: Vec<usize>,
+    /// Append-only log of ratings accepted by `insert_rating`, the feed
+    /// for the online fine-tuning loop (see [`crate::online`]).
+    inserted: Mutex<Vec<Rating>>,
+    /// Tier counters broken down by the model version that answered.
+    version_stats: Mutex<BTreeMap<ModelVersion, TierStats>>,
+    /// Tier counters broken down by cold-start scenario.
+    scenario_stats: Mutex<BTreeMap<ColdScenario, TierStats>>,
     served_model: AtomicU64,
     served_cache: AtomicU64,
     served_fallback: AtomicU64,
     deadline_degraded: AtomicU64,
     breaker_degraded: AtomicU64,
     failure_degraded: AtomicU64,
+}
+
+/// Why a degraded (fallback-tier) answer was degraded.
+#[derive(Debug, Clone, Copy)]
+enum DegradeReason {
+    Deadline,
+    Breaker,
+    Failure,
+}
+
+impl DegradeReason {
+    fn bump(self, stats: &mut TierStats) {
+        stats.fallback += 1;
+        match self {
+            DegradeReason::Deadline => stats.deadline_degraded += 1,
+            DegradeReason::Breaker => stats.breaker_degraded += 1,
+            DegradeReason::Failure => stats.failure_degraded += 1,
+        }
+    }
 }
 
 /// Poison recovery: cache and graph stay consistent across a panicking
@@ -163,7 +284,9 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 
 /// SplitMix64-style mix of the engine seed and the query pair, so context
 /// sampling is reproducible per query and stable across cache evictions.
-fn context_seed(base: u64, user: usize, item: usize) -> u64 {
+/// Also used by the online loop (`crate::online`) to derive per-round
+/// fine-tuning and eval seeds from one base seed.
+pub(crate) fn context_seed(base: u64, user: usize, item: usize) -> u64 {
     let mut z = base
         ^ (user as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
         ^ (item as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -176,19 +299,46 @@ impl ServeEngine {
     /// Builds an engine over the dataset's rating graph with the default
     /// [`ResilienceConfig`] (breaker + retry + fallback enabled).
     pub fn new(model: FrozenModel, dataset: Arc<Dataset>, config: EngineConfig) -> Self {
-        let graph = Arc::new(dataset.graph());
+        let graph = dataset.graph();
+        Self::with_graph(model, dataset, graph, config)
+    }
+
+    /// [`ServeEngine::new`] over an explicit starting graph — e.g. the
+    /// visible graph of a [`hire_data::ColdStartSplit`], so that held-out
+    /// cold entities really are degree-0 in the serving view. The base
+    /// degrees for [`ColdScenario`] classification are snapshotted from
+    /// this graph.
+    pub fn with_graph(
+        model: FrozenModel,
+        dataset: Arc<Dataset>,
+        graph: BipartiteGraph,
+        config: EngineConfig,
+    ) -> Self {
+        let base_user_degree = (0..dataset.num_users)
+            .map(|u| graph.user_degree(u))
+            .collect();
+        let base_item_degree = (0..dataset.num_items)
+            .map(|i| graph.item_degree(i))
+            .collect();
         let resilience = ResilienceConfig::default();
         let breaker = resilience.breaker.clone().map(CircuitBreaker::new);
         ServeEngine {
-            model,
+            slot: RwLock::new(Arc::new(ModelSlot { model, version: 1 })),
+            history: Mutex::new(Vec::new()),
+            next_version: AtomicU64::new(2),
             dataset,
-            graph: RwLock::new(graph),
+            graph: RwLock::new(Arc::new(graph)),
             epoch: AtomicU64::new(0),
             cache: Mutex::new(ContextCache::new(config.cache_capacity)),
             config,
             resilience,
             breaker,
             faults: None,
+            base_user_degree,
+            base_item_degree,
+            inserted: Mutex::new(Vec::new()),
+            version_stats: Mutex::new(BTreeMap::new()),
+            scenario_stats: Mutex::new(BTreeMap::new()),
             served_model: AtomicU64::new(0),
             served_cache: AtomicU64::new(0),
             served_fallback: AtomicU64::new(0),
@@ -213,9 +363,126 @@ impl ServeEngine {
         self
     }
 
-    /// The frozen model being served.
-    pub fn model(&self) -> &FrozenModel {
-        &self.model
+    /// The currently installed model slot (weights + version). The `Arc`
+    /// pins the slot: it stays valid and unchanged even if a swap lands
+    /// immediately after this call.
+    pub fn current_model(&self) -> Arc<ModelSlot> {
+        self.slot.read().unwrap_or_else(|p| p.into_inner()).clone()
+    }
+
+    /// The version of the currently installed model.
+    pub fn version(&self) -> ModelVersion {
+        self.current_model().version
+    }
+
+    /// The dataset the engine serves.
+    pub fn dataset(&self) -> &Arc<Dataset> {
+        &self.dataset
+    }
+
+    /// A pinned snapshot of the live serving graph.
+    pub fn graph_snapshot(&self) -> Arc<BipartiteGraph> {
+        self.graph.read().unwrap_or_else(|p| p.into_inner()).clone()
+    }
+
+    /// Classifies a query against the engine's base graph (see
+    /// [`ColdScenario`]). Out-of-range entities count as cold.
+    pub fn scenario_of(&self, user: usize, item: usize) -> ColdScenario {
+        let ud = self.base_user_degree.get(user).copied().unwrap_or(0);
+        let id = self.base_item_degree.get(item).copied().unwrap_or(0);
+        ColdScenario::classify(ud, id, self.config.cold_degree_threshold)
+    }
+
+    /// Atomically installs `model` as the new serving incumbent under a
+    /// fresh, monotonically increasing version, and returns that version.
+    ///
+    /// In-flight batches finish on the slot they pinned at entry; new
+    /// batches pick up the new slot. Prediction memos in the context cache
+    /// are invalidated lazily by their version stamp — no cache sweep, no
+    /// serving pause. The displaced incumbent is pushed onto a bounded
+    /// history for [`ServeEngine::demote`].
+    ///
+    /// Chaos site [`sites::ONLINE_SWAP`]: an injected `Error` abandons the
+    /// swap (typed, incumbent keeps serving); a `Delay` widens the race
+    /// window against concurrent queries; a `Panic` fires before any state
+    /// is touched, so a crashed swapper cannot corrupt the slot.
+    pub fn install_model(&self, model: FrozenModel) -> Result<ModelVersion, ServeError> {
+        if let Some(plan) = &self.faults {
+            plan.fire(sites::ONLINE_SWAP)?;
+        }
+        let incumbent = self.current_model();
+        if model.embed_dim() != incumbent.model.embed_dim()
+            || model.num_parameters() != incumbent.model.num_parameters()
+        {
+            return Err(ServeError::Model(HireError::invalid_data(
+                "ServeEngine",
+                format!(
+                    "candidate model is incompatible with the incumbent: \
+                     embed dim {} vs {}, {} vs {} parameters",
+                    model.embed_dim(),
+                    incumbent.model.embed_dim(),
+                    model.num_parameters(),
+                    incumbent.model.num_parameters()
+                ),
+            )));
+        }
+        let version = self.next_version.fetch_add(1, Ordering::Relaxed);
+        let fresh = Arc::new(ModelSlot { model, version });
+        let displaced = {
+            let mut slot = self.slot.write().unwrap_or_else(|p| p.into_inner());
+            std::mem::replace(&mut *slot, fresh)
+        };
+        let mut history = lock(&self.history);
+        history.push(displaced);
+        // Keep a short lineage; demotion only ever steps back one at a
+        // time, and every demotion re-installs under a *new* version.
+        if history.len() > 4 {
+            history.remove(0);
+        }
+        Ok(version)
+    }
+
+    /// Re-installs the previously displaced model under a **new** version
+    /// (version numbers never repeat — a demotion is itself a swap, with
+    /// the same pinning and memo-staleness guarantees). Returns the new
+    /// version, or `Ok(None)` when there is no previous model to demote
+    /// to.
+    pub fn demote(&self) -> Result<Option<ModelVersion>, ServeError> {
+        let Some(previous) = lock(&self.history).pop() else {
+            return Ok(None);
+        };
+        self.install_model(previous.model.clone()).map(Some)
+    }
+
+    /// Ratings accepted by [`ServeEngine::insert_rating`] since `cursor`
+    /// (a count of ratings already consumed). Returns the new ratings and
+    /// the advanced cursor.
+    pub fn inserted_since(&self, cursor: usize) -> (Vec<Rating>, usize) {
+        let log = lock(&self.inserted);
+        let fresh = log[cursor.min(log.len())..].to_vec();
+        (fresh, log.len())
+    }
+
+    /// Tier counters broken down by answering model version.
+    pub fn version_stats(&self) -> Vec<(ModelVersion, TierStats)> {
+        lock(&self.version_stats)
+            .iter()
+            .map(|(&v, &s)| (v, s))
+            .collect()
+    }
+
+    /// Tier counters broken down by cold-start scenario.
+    pub fn scenario_stats(&self) -> Vec<(ColdScenario, TierStats)> {
+        lock(&self.scenario_stats)
+            .iter()
+            .map(|(&c, &s)| (c, s))
+            .collect()
+    }
+
+    /// Applies one answer to the per-version and per-scenario breakdowns.
+    fn tally(&self, version: ModelVersion, scenario: ColdScenario, bump: impl Fn(&mut TierStats)) {
+        bump(lock(&self.version_stats).entry(version).or_default());
+        bump(lock(&self.scenario_stats).entry(scenario).or_default());
     }
 
     /// The engine configuration.
@@ -275,13 +542,14 @@ impl ServeEngine {
             // the old graph observes the bump before caching its sample.
             self.epoch.fetch_add(1, Ordering::Release);
         }
+        lock(&self.inserted).push(rating);
         Ok(lock(&self.cache).invalidate_edge(rating.user, rating.item))
     }
 
     /// Resolves the prediction context for a query: cache hit, or a fresh
     /// deterministic sample over the current graph.
     pub fn context_for(&self, query: &RatingQuery) -> Result<Arc<PredictionContext>, ServeError> {
-        self.resolve(query).map(|(_, ctx, _)| ctx)
+        self.resolve(self.version(), query).map(|(_, ctx, _)| ctx)
     }
 
     /// Validates a query against the dataset bounds (a caller bug, never
@@ -315,6 +583,7 @@ impl ServeEngine {
     /// recomputing it.
     fn resolve(
         &self,
+        version: ModelVersion,
         query: &RatingQuery,
     ) -> Result<(CacheKey, Arc<PredictionContext>, Option<f32>), ServeError> {
         self.check_range(query)?;
@@ -328,7 +597,7 @@ impl ServeEngine {
             n: self.config.context_users,
             m: self.config.context_items,
         };
-        if let Some(hit) = lock(&self.cache).get(&key) {
+        if let Some(hit) = lock(&self.cache).get(&key, version) {
             return Ok((key, hit.ctx, hit.prediction));
         }
         // Epoch-then-graph order matters: if a rating lands between these
@@ -377,13 +646,18 @@ impl ServeEngine {
     }
 
     /// Answers `positions` of the incoming batch via the fallback tier,
-    /// attributing the degradation to `reason`.
+    /// attributing the degradation to `reason`. Fallback answers are
+    /// stamped with the batch's pinned `version` too: the fallback depends
+    /// on the graph rather than the model, but attributing it to the
+    /// serving version is what lets the demotion watchdog compare
+    /// fallback *rates* across versions.
     fn degrade(
         &self,
         positions: &[usize],
         queries: &[RatingQuery],
         out: &mut [Option<Answer>],
-        reason: &AtomicU64,
+        version: ModelVersion,
+        reason: DegradeReason,
     ) {
         if positions.is_empty() {
             return;
@@ -397,11 +671,21 @@ impl ServeEngine {
             out[i] = Some(Answer {
                 rating,
                 served_by: ServedBy::Fallback,
+                version,
+            });
+            let q = &queries[i];
+            self.tally(version, self.scenario_of(q.user, q.item), |s| {
+                reason.bump(s)
             });
         }
         self.served_fallback
             .fetch_add(positions.len() as u64, Ordering::Relaxed);
-        reason.fetch_add(positions.len() as u64, Ordering::Relaxed);
+        let counter = match reason {
+            DegradeReason::Deadline => &self.deadline_degraded,
+            DegradeReason::Breaker => &self.breaker_degraded,
+            DegradeReason::Failure => &self.failure_degraded,
+        };
+        counter.fetch_add(positions.len() as u64, Ordering::Relaxed);
     }
 
     /// One guarded model-tier attempt over a same-shape group: chaos
@@ -409,6 +693,7 @@ impl ServeEngine {
     /// validation. `Ok(None)` means the deadline budget ran out.
     fn model_attempt(
         &self,
+        model: &FrozenModel,
         refs: &[&PredictionContext],
         deadline: Option<Instant>,
     ) -> Result<Option<Vec<hire_tensor::NdArray>>, ServeError> {
@@ -419,8 +704,7 @@ impl ServeEngine {
                     truncate = matches!(kind, FaultKind::WrongShape);
                 }
             }
-            let preds = self
-                .model
+            let preds = model
                 .forward_nograd_batch_within(refs, &self.dataset, deadline)
                 .map_err(ServeError::Model)?;
             Ok(preds.map(|mut p| {
@@ -473,6 +757,11 @@ impl Predictor for ServeEngine {
         queries: &[RatingQuery],
         deadline: Option<Instant>,
     ) -> Result<Vec<Answer>, ServeError> {
+        // Pin the incumbent once for the whole batch: every attempt, memo
+        // read/write, and answer below uses this slot, so a hot swap that
+        // lands mid-batch never mixes model versions within a batch.
+        let slot = self.current_model();
+        let version = slot.version;
         let mut out: Vec<Option<Answer>> = vec![None; queries.len()];
         // Deduplicate the batch: coalesced traffic is skewed, so one
         // forward per distinct (user, item) answers every duplicate. The
@@ -491,8 +780,8 @@ impl Predictor for ServeEngine {
             // *other* resolution failure (injected fault, sampling error,
             // panic) is part of the degradation ladder below.
             self.check_range(q)?;
-            let resolved =
-                catch_unwind(AssertUnwindSafe(|| self.resolve(q))).unwrap_or_else(|_panic| {
+            let resolved = catch_unwind(AssertUnwindSafe(|| self.resolve(version, q)))
+                .unwrap_or_else(|_panic| {
                     Err(ServeError::Model(HireError::invalid_data(
                         "ServeEngine",
                         "context resolution panicked",
@@ -501,9 +790,11 @@ impl Predictor for ServeEngine {
             match resolved {
                 Ok((key, ctx, Some(memo))) => {
                     self.served_cache.fetch_add(1, Ordering::Relaxed);
+                    self.tally(version, self.scenario_of(q.user, q.item), |s| s.cache += 1);
                     let answer = Answer {
                         rating: memo,
                         served_by: ServedBy::Cache,
+                        version,
                     };
                     out[i] = Some(answer);
                     let _ = (key, ctx);
@@ -520,7 +811,7 @@ impl Predictor for ServeEngine {
                 }
                 Err(e) => {
                     if self.resilience.fallback {
-                        self.degrade(&[i], queries, &mut out, &self.failure_degraded);
+                        self.degrade(&[i], queries, &mut out, version, DegradeReason::Failure);
                     } else {
                         return Err(e);
                     }
@@ -550,7 +841,8 @@ impl Predictor for ServeEngine {
                         &waiters_of(indices),
                         queries,
                         &mut out,
-                        &self.deadline_degraded,
+                        version,
+                        DegradeReason::Deadline,
                     );
                     continue;
                 }
@@ -564,7 +856,8 @@ impl Predictor for ServeEngine {
                             &waiters_of(indices),
                             queries,
                             &mut out,
-                            &self.breaker_degraded,
+                            version,
+                            DegradeReason::Breaker,
                         );
                         continue;
                     }
@@ -593,7 +886,7 @@ impl Predictor for ServeEngine {
                         }
                     }
                 }
-                match self.model_attempt(&refs, deadline) {
+                match self.model_attempt(&slot.model, &refs, deadline) {
                     Ok(Some(preds)) => {
                         if let Some(breaker) = &self.breaker {
                             breaker.record(true);
@@ -623,11 +916,11 @@ impl Predictor for ServeEngine {
                 None => {
                     if self.resilience.fallback {
                         let reason = if last_err.is_some() {
-                            &self.failure_degraded
+                            DegradeReason::Failure
                         } else {
-                            &self.deadline_degraded
+                            DegradeReason::Deadline
                         };
-                        self.degrade(&waiters_of(indices), queries, &mut out, reason);
+                        self.degrade(&waiters_of(indices), queries, &mut out, version, reason);
                         continue;
                     }
                     return Err(last_err.unwrap_or(ServeError::DeadlineExceeded));
@@ -649,15 +942,20 @@ impl Predictor for ServeEngine {
                 };
                 let value = preds[p].at(&[row, col]);
                 // Memoize against the exact context the value was computed
-                // from: if the entry was invalidated and resampled in the
-                // meantime, the memo must not attach to the fresh context.
-                lock(&self.cache).store_prediction(key, ctx, value);
+                // from (and the version that computed it): if the entry was
+                // invalidated and resampled in the meantime, the memo must
+                // not attach to the fresh context; if the model was swapped,
+                // the stamp keeps the memo scoped to this version.
+                lock(&self.cache).store_prediction(key, ctx, version, value);
                 self.served_model
                     .fetch_add(waiters.len() as u64, Ordering::Relaxed);
+                let scenario = self.scenario_of(key.user, key.item);
                 for &i in waiters {
+                    self.tally(version, scenario, |s| s.model += 1);
                     out[i] = Some(Answer {
                         rating: value,
                         served_by: ServedBy::Model,
+                        version,
                     });
                 }
             }

@@ -275,6 +275,36 @@ impl FrozenModel {
         &self.config
     }
 
+    /// Exports the weights as a flat list in `HireModel::parameters()`
+    /// order — the exact inverse of [`Self::from_parts`], so
+    /// `FrozenModel::from_parts(dataset, config, frozen.parameters())`
+    /// round-trips bit-identically, and `HireModel::load_parameters` can
+    /// warm-start a live model from serving weights for fine-tuning.
+    pub fn parameters(&self) -> Vec<NdArray> {
+        let mut out: Vec<NdArray> = Vec::new();
+        out.extend(self.user_embeddings.iter().cloned());
+        out.extend(self.item_embeddings.iter().cloned());
+        out.push(self.rating_embedding.clone());
+        for b in &self.blocks {
+            for w in [&b.mbu, &b.mbi, &b.mba].into_iter().flatten() {
+                out.push(w.w_q.clone());
+                out.push(w.w_k.clone());
+                out.push(w.w_v.clone());
+                out.push(w.w_o.clone());
+            }
+            for nm in [&b.norm_mbu, &b.norm_mbi, &b.norm_mba]
+                .into_iter()
+                .flatten()
+            {
+                out.push(nm.gamma.clone());
+                out.push(nm.beta.clone());
+            }
+        }
+        out.push(self.decoder_w.clone());
+        out.push(self.decoder_b.clone());
+        out
+    }
+
     /// Number of attribute channels `h = h_u + h_i + 1`.
     pub fn num_attrs(&self) -> usize {
         self.user_embeddings.len() + self.item_embeddings.len() + 1

@@ -30,21 +30,36 @@
 //!   ([`ServeError::DeadlineExceeded`]), and seeded-backoff retries
 //!   ([`Server::predict_with_retry`]).
 //!
+//! A sixth layer closes the loop from serving back to training:
+//! [`OnlineLoop`] / [`OnlineTrainer`] fine-tune a copy of the serving
+//! model on freshly inserted ratings in a crash-isolated background
+//! thread, score the candidate against the incumbent on a held-out slice
+//! (overall and per cold-start scenario — [`ColdScenario`]), and promote
+//! only non-regressing candidates via an atomic versioned hot swap
+//! ([`ServeEngine::install_model`], [`ModelSlot`], [`ModelVersion`]).
+//!
 //! Fault injection for all of the above lives in the `hire-chaos` crate;
-//! the serve sites are `server.batch`, `engine.resolve`, `engine.forward`
-//! and `ckpt.decode` (see `tests/chaos.rs`).
+//! the serve sites are `server.batch`, `engine.resolve`, `engine.forward`,
+//! `ckpt.decode` (see `tests/chaos.rs`) and the online sites
+//! `trainer.step`, `online.shadow_eval`, `online.swap`
+//! (see `tests/online_chaos.rs`).
 
 pub mod breaker;
 pub mod cache;
 pub mod engine;
 pub mod frozen;
+pub mod online;
 pub mod server;
 
 pub use breaker::{BreakerConfig, BreakerState, BreakerStats, CircuitBreaker};
 pub use cache::{CacheKey, CacheStats, CachedContext, ContextCache};
-pub use engine::{EngineConfig, ResilienceConfig, ServeEngine, TierStats};
+pub use engine::{ColdScenario, EngineConfig, ModelSlot, ResilienceConfig, ServeEngine, TierStats};
 pub use frozen::FrozenModel;
+pub use online::{
+    EvalReport, OnlineConfig, OnlineLoop, OnlineTrainer, RoundOutcome, ScenarioEval, CANDIDATE_TAG,
+    REJECTED_TAG,
+};
 pub use server::{
-    Answer, Prediction, PredictionHandle, Predictor, RatingQuery, RetryPolicy, ServeError,
-    ServedBy, Server, ServerConfig, ServerStats,
+    Answer, ModelVersion, Prediction, PredictionHandle, Predictor, RatingQuery, RetryPolicy,
+    ServeError, ServedBy, Server, ServerConfig, ServerStats,
 };

@@ -31,6 +31,12 @@ pub struct RatingQuery {
     pub item: usize,
 }
 
+/// Monotonically increasing identifier of an installed serving model.
+/// Version 1 is the model the engine was built with; every hot swap
+/// (promotion *or* demotion) installs the next version — numbers are never
+/// reused, so a reply's version pins exactly which weights produced it.
+pub type ModelVersion = u64;
+
 /// Which tier of the degradation ladder produced an answer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ServedBy {
@@ -51,6 +57,9 @@ pub struct Prediction {
     pub latency: Duration,
     /// The tier that produced the answer.
     pub served_by: ServedBy,
+    /// The model version the batch was pinned to when it was answered
+    /// (0 for predictors that don't version their models).
+    pub version: ModelVersion,
 }
 
 /// One tier-tagged answer from a [`Predictor`].
@@ -60,6 +69,9 @@ pub struct Answer {
     pub rating: f32,
     /// The tier that produced it.
     pub served_by: ServedBy,
+    /// The model version the answering batch was pinned to (0 for
+    /// unversioned predictors).
+    pub version: ModelVersion,
 }
 
 /// Serving errors.
@@ -174,6 +186,7 @@ pub trait Predictor: Send + Sync {
             .map(|rating| Answer {
                 rating,
                 served_by: ServedBy::Model,
+                version: 0,
             })
             .collect())
     }
@@ -536,6 +549,7 @@ fn worker_loop(shared: Arc<Shared>, predictor: Arc<dyn Predictor>) {
                         rating: answer.rating,
                         latency: job.enqueued.elapsed(),
                         served_by: answer.served_by,
+                        version: answer.version,
                     }));
                 }
             }

@@ -1,6 +1,7 @@
-//! Serving quickstart: train HIRE, freeze it, and answer rating queries
+//! Serving quickstart: train HIRE, freeze it, answer rating queries
 //! through the online inference stack (context cache + micro-batched
-//! worker pool).
+//! worker pool), then close the loop — fine-tune on freshly observed
+//! ratings and hot-swap the promoted candidate into serving.
 //!
 //! ```sh
 //! cargo run --release --example serve_quickstart
@@ -99,11 +100,12 @@ fn main() {
             ServedBy::Fallback => "fallback",
         };
         println!(
-            "  u{:<3} i{:<3} -> {:.2}  ({:.2} ms, {tier} tier)",
+            "  u{:<3} i{:<3} -> {:.2}  ({:.2} ms, {tier} tier, model v{})",
             q.user,
             q.item,
             p.rating,
-            p.latency.as_secs_f64() * 1e3
+            p.latency.as_secs_f64() * 1e3,
+            p.version
         );
     }
 
@@ -124,6 +126,50 @@ fn main() {
         stats.hits,
         stats.misses,
         100.0 * stats.hit_rate()
+    );
+
+    // 6. Close the loop: accumulate more observed ratings, fine-tune a
+    //    copy of the serving model on them in a crash-isolated round,
+    //    shadow-eval it against the incumbent on a held-out slice, and —
+    //    if no gate regressed — hot-swap it in under a new version.
+    //    In-flight batches finish on the version they started with.
+    let fresh: Vec<_> = (0..24)
+        .map(|k| hire::graph::Rating::new((7 * k) % 80, (11 * k) % 60, ((k % 5) + 1) as f32))
+        .collect();
+    for r in &fresh {
+        engine.insert_rating(*r).expect("in range");
+    }
+    let online = OnlineLoop::new(
+        engine.clone(),
+        OnlineConfig {
+            min_new_ratings: 8,
+            fine_tune_steps: 10,
+            batch_size: 2,
+            base_lr: 1e-4,
+            holdout_every: 4,
+            // The example demonstrates the machinery, so the gate is
+            // lenient; production keeps the default 5 % tolerance.
+            regression_tolerance: 1.0,
+            ..OnlineConfig::default()
+        },
+    );
+    println!("\nfine-tuning on {} fresh ratings ...", fresh.len());
+    match online.run_round() {
+        RoundOutcome::Promoted { version, eval } => println!(
+            "promoted: v{} -> v{version} (holdout {} samples, MAE {:.3} -> {:.3})",
+            eval.incumbent_version, eval.holdout_size, eval.incumbent_mae, eval.candidate_mae
+        ),
+        RoundOutcome::Rejected { eval } => {
+            println!("rejected: {}", eval.failed_gates.join("; "))
+        }
+        other => println!("round outcome: {other:?}"),
+    }
+    let tagged = engine
+        .predict_batch_tagged(&[RatingQuery { user: 0, item: 0 }], None)
+        .expect("served");
+    println!(
+        "re-served (u0, i0) -> {:.2} by model v{}",
+        tagged[0].rating, tagged[0].version
     );
     server.shutdown();
 }

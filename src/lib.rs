@@ -55,8 +55,8 @@ pub use hire_tensor as tensor;
 /// One-stop imports for the common workflow.
 pub mod prelude {
     pub use hire_core::{
-        train, train_guarded, GuardConfig, HireConfig, HireModel, TrainConfig, TrainOutcome,
-        TrainReport,
+        fine_tune, train, train_guarded, GuardConfig, HireConfig, HireModel, TrainConfig,
+        TrainOutcome, TrainReport,
     };
     pub use hire_data::{
         test_context, training_context, ColdStartScenario, ColdStartSplit, Dataset,
@@ -70,8 +70,9 @@ pub mod prelude {
     pub use hire_metrics::{map_at_k, ndcg_at_k, precision_at_k, ranking_metrics, ScoredPair};
     pub use hire_nn::Module;
     pub use hire_serve::{
-        BreakerConfig, BreakerState, EngineConfig, FrozenModel, RatingQuery, ResilienceConfig,
-        ServeEngine, ServeError, ServedBy, Server, ServerConfig, TierStats,
+        BreakerConfig, BreakerState, ColdScenario, EngineConfig, EvalReport, FrozenModel,
+        ModelVersion, OnlineConfig, OnlineLoop, OnlineTrainer, RatingQuery, ResilienceConfig,
+        RoundOutcome, ServeEngine, ServeError, ServedBy, Server, ServerConfig, TierStats,
     };
     pub use hire_tensor::{NdArray, Shape, Tensor};
 }
