@@ -135,6 +135,10 @@ struct ServePoint {
 struct KernelBenchReport {
     smoke: bool,
     host_threads: usize,
+    /// Cores, ISA features, and effective `HIRE_THREADS` of the machine
+    /// that produced these numbers — a sweep recorded on a 1-core
+    /// container is not comparable to one from an 8-core host.
+    host: hire_bench::HostInfo,
     matmul: Vec<MatmulReport>,
     him: HimReport,
     serve: Option<Vec<ServePoint>>,
@@ -334,10 +338,17 @@ fn main() {
         }
     };
 
-    let host_threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    eprintln!("compute_bench: host has {host_threads} hardware threads");
+    let host = hire_bench::HostInfo::detect();
+    let host_threads = host.logical_cores;
+    eprintln!(
+        "compute_bench: host has {host_threads} hardware threads (isa: {}; HIRE_THREADS={})",
+        if host.isa_features.is_empty() {
+            "unknown".to_string()
+        } else {
+            host.isa_features.join("+")
+        },
+        host.hire_threads_env.as_deref().unwrap_or("unset"),
+    );
 
     // HIM-realistic products: [rows, e] x [e, inner] attention projections
     // (rows = batch*tokens of MBU/MBI/MBA) and the larger full-tier shape.
@@ -391,6 +402,7 @@ fn main() {
     let report = KernelBenchReport {
         smoke: args.smoke,
         host_threads,
+        host,
         matmul,
         him,
         serve,

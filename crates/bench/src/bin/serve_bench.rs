@@ -17,12 +17,19 @@
 //! context cache sees realistic skew.
 //!
 //! A fourth, optional phase runs when `--chaos-seed` is given:
-//! 4. **chaos** — a fresh resilient engine + server with a seeded
+//! 4. **chaos** — a fresh five-tier engine (int8 quantized + trained
+//!    hybrid mid-tiers installed) + server with a seeded
 //!    `hire_chaos::FaultPlan` injecting delays, panics, errors, and
-//!    wrong-shape outputs at `--fault-rate`; the report breaks latency out
-//!    per serving tier and records fallback rate, breaker transitions, and
-//!    the number of unanswered queries (which must be zero). The process
-//!    exits non-zero if the degradation ladder failed to hold.
+//!    wrong-shape outputs at `--fault-rate`. Queries are submitted in
+//!    phase-grouped budget classes (unbudgeted → model/cache; thin budget
+//!    → quantized) and a deterministic expired-budget ladder probe drives
+//!    the hybrid and statistics rungs directly. The report breaks
+//!    latency *and* accuracy vs the fault-free f32 oracle out per tier
+//!    and records breaker transitions and the number of unanswered
+//!    queries (which must be zero). The process exits non-zero if the
+//!    ladder failed to hold: any unanswered query, any rung never
+//!    exercised while faults were injected, or a quantized answer outside
+//!    its documented error bound.
 //!
 //! A fifth, optional phase runs when `--online` is given:
 //! 5. **online** — train-while-serving: the engine starts from a
@@ -35,18 +42,19 @@
 //!    any accepted query was dropped across a swap. `--smoke` shrinks
 //!    every phase for CI.
 
-use hire_bench::write_json_atomic;
+use hire_bench::{write_json_atomic, HostInfo};
 use hire_chaos::FaultPlan;
-use hire_core::{HireConfig, HireModel};
+use hire_core::{train_hybrid, HireConfig, HireModel, HybridConfig};
 use hire_data::{
     test_context_with_ratio, ColdStartScenario, ColdStartSplit, Dataset, SyntheticConfig,
 };
 use hire_error::{HireError, HireResult};
 use hire_graph::{BipartiteGraph, NeighborhoodSampler, Rating};
 use hire_serve::{
-    EngineConfig, FrozenModel, OnlineConfig, OnlineLoop, Predictor, RatingQuery, RoundOutcome,
-    ServeEngine, ServeError, ServedBy, Server, ServerConfig,
+    EngineConfig, FrozenModel, OnlineConfig, OnlineLoop, Predictor, QuantTierConfig, RatingQuery,
+    ResilienceConfig, RoundOutcome, ServeEngine, ServeError, ServedBy, Server, ServerConfig,
 };
+use hire_tensor::QuantMode;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::Serialize;
@@ -264,12 +272,52 @@ struct CacheReport {
     hit_rate: f64,
 }
 
+/// Latency percentiles *and* accuracy of one serving tier's answers,
+/// measured against the fault-free f32 model oracle on the same contexts
+/// — the report's accuracy-vs-latency tradeoff down the ladder.
 #[derive(Serialize)]
-struct TierLatency {
+struct TierReport {
+    /// Answers observed with this tier's tag (latency/accuracy samples;
+    /// the engine's `served_*` counters are the authoritative totals).
     count: u64,
     p50_ms: f64,
     p95_ms: f64,
     p99_ms: f64,
+    /// Mean absolute deviation from the oracle (0 for exact tiers).
+    mae_vs_oracle: f64,
+    /// Worst single-answer deviation from the oracle.
+    max_abs_err_vs_oracle: f64,
+}
+
+/// Accumulates one tier's latency and error samples.
+#[derive(Default)]
+struct TierAgg {
+    lat_ms: Vec<f64>,
+    abs_err: Vec<f64>,
+}
+
+impl TierAgg {
+    fn push(&mut self, ms: f64, err: f64) {
+        self.lat_ms.push(ms);
+        self.abs_err.push(err);
+    }
+
+    fn report(mut self) -> TierReport {
+        self.lat_ms.sort_by(|a, b| a.total_cmp(b));
+        let mae = if self.abs_err.is_empty() {
+            0.0
+        } else {
+            self.abs_err.iter().sum::<f64>() / self.abs_err.len() as f64
+        };
+        TierReport {
+            count: self.lat_ms.len() as u64,
+            p50_ms: percentile_ms(&self.lat_ms, 50.0),
+            p95_ms: percentile_ms(&self.lat_ms, 95.0),
+            p99_ms: percentile_ms(&self.lat_ms, 99.0),
+            mae_vs_oracle: mae,
+            max_abs_err_vs_oracle: self.abs_err.iter().copied().fold(0.0, f64::max),
+        }
+    }
 }
 
 #[derive(Serialize)]
@@ -282,7 +330,14 @@ struct ChaosReport {
     unanswered: u64,
     deadline_expired: u64,
     faults_injected: u64,
+    /// Direct engine calls with an already-expired budget appended after
+    /// the server replay; they deterministically exercise the rungs below
+    /// the model tiers (hybrid, and — whenever the plan faults
+    /// `hybrid.forward` — the statistics fallback).
+    ladder_probes: u64,
     served_model: u64,
+    served_quantized: u64,
+    served_hybrid: u64,
     served_cache: u64,
     served_fallback: u64,
     deadline_degraded: u64,
@@ -292,9 +347,15 @@ struct ChaosReport {
     breaker_half_opened: u64,
     breaker_closed: u64,
     breaker_rejected: u64,
-    model_tier: TierLatency,
-    cache_tier: TierLatency,
-    fallback_tier: TierLatency,
+    /// Documented worst-case prediction error of the active quantized
+    /// mode ([`hire_serve::QuantizedModel::prediction_bound`]); the gate
+    /// requires `quantized_tier.max_abs_err_vs_oracle` to stay under it.
+    quantized_bound: f64,
+    model_tier: TierReport,
+    quantized_tier: TierReport,
+    hybrid_tier: TierReport,
+    cache_tier: TierReport,
+    fallback_tier: TierReport,
 }
 
 #[derive(Serialize)]
@@ -312,6 +373,8 @@ struct OnlineVersionReport {
     version: u64,
     /// All answers the engine attributed to this version (tier counters).
     served_model: u64,
+    served_quantized: u64,
+    served_hybrid: u64,
     served_cache: u64,
     served_fallback: u64,
     /// Ground-truth probe answers pinned to this version.
@@ -349,6 +412,9 @@ struct ServeBenchReport {
     workers: usize,
     /// Size of the `hire-par` compute pool used inside each forward.
     compute_threads: usize,
+    /// Cores, ISA features, and effective `HIRE_THREADS` of the machine
+    /// that produced these numbers.
+    host: HostInfo,
     max_batch: usize,
     max_queue: usize,
     batch_timeout_ms: f64,
@@ -491,20 +557,41 @@ fn run_paced(server: &Arc<Server>, log: &QueryLog, args: &Args) -> PacedReport {
     }
 }
 
-fn tier_latency(latencies_ms: &mut Vec<f64>) -> TierLatency {
-    latencies_ms.sort_by(|a, b| a.total_cmp(b));
-    TierLatency {
-        count: latencies_ms.len() as u64,
-        p50_ms: percentile_ms(latencies_ms, 50.0),
-        p95_ms: percentile_ms(latencies_ms, 95.0),
-        p99_ms: percentile_ms(latencies_ms, 99.0),
+/// Direct engine calls on uniform-random pairs with a controlled deadline
+/// budget, recording the tagged answers — the deterministic way to
+/// exercise a specific ladder rung regardless of breaker state or server
+/// batch formation. A budget under the quantized threshold (but not yet
+/// expired) lands on the quantized rung; `Duration::ZERO` forces every
+/// probe below the model tiers.
+fn ladder_probe(
+    engine: &ServeEngine,
+    dataset: &Dataset,
+    rng: &mut StdRng,
+    count: u64,
+    budget: Duration,
+    observed: &mut Vec<(RatingQuery, f32, ServedBy, f64)>,
+) {
+    for _ in 0..count {
+        let query = RatingQuery {
+            user: rng.gen_range(0..dataset.num_users),
+            item: rng.gen_range(0..dataset.num_items),
+        };
+        let deadline = Some(Instant::now() + budget);
+        let started = Instant::now();
+        if let Ok(answers) = engine.predict_batch_tagged(std::slice::from_ref(&query), deadline) {
+            let ms = started.elapsed().as_secs_f64() * 1e3;
+            for a in answers {
+                observed.push((query, a.rating, a.served_by, ms));
+            }
+        }
     }
 }
 
-/// Chaos phase: a fresh resilient engine + server share a seeded
-/// [`FaultPlan`]; every accepted query must still come back with exactly
-/// one typed reply, and the report says which tier answered it and how
-/// the breaker moved. Returns `(report, ladder_held)`.
+/// Chaos phase: a fresh five-tier engine (quantized + hybrid mid-tiers
+/// installed) + server share a seeded [`FaultPlan`]; every accepted query
+/// must still come back with exactly one typed reply, and the report says
+/// which tier answered it, how fast, how far from the fault-free f32
+/// oracle, and how the breaker moved. Returns `(report, ladder_held)`.
 fn run_chaos(
     frozen: FrozenModel,
     dataset: Arc<Dataset>,
@@ -514,9 +601,34 @@ fn run_chaos(
     chaos_seed: u64,
 ) -> (ChaosReport, bool) {
     let plan = Arc::new(FaultPlan::mixed(chaos_seed, args.fault_rate));
+    // The oracle engine shares the frozen weights, context seed, and graph
+    // with the chaos engine but injects nothing — its model-tier answers
+    // are the exact f32 predictions every tier is measured against.
+    let oracle = ServeEngine::new(
+        frozen.clone(),
+        dataset.clone(),
+        EngineConfig::from_model_config(config),
+    );
+    // A wide quantized threshold so the thin-budget class below reliably
+    // picks the quantized rung instead of racing the default 25 ms cutoff;
+    // the budgets themselves stay far above actual batch latency, so those
+    // queries would never expire outright.
+    let resilience = ResilienceConfig {
+        quantized: Some(QuantTierConfig {
+            mode: QuantMode::Int8,
+            deadline_threshold: Duration::from_millis(250),
+        }),
+        ..ResilienceConfig::default()
+    };
     let engine = Arc::new(
-        ServeEngine::new(frozen, dataset, EngineConfig::from_model_config(config))
-            .with_faults(plan.clone()),
+        ServeEngine::new(
+            frozen,
+            dataset.clone(),
+            EngineConfig::from_model_config(config),
+        )
+        .with_resilience(resilience)
+        .with_hybrid(train_hybrid(&dataset, &HybridConfig::default()))
+        .with_faults(plan.clone()),
     );
     let server = Server::start_with_faults(
         engine.clone(),
@@ -530,34 +642,52 @@ fn run_chaos(
     );
 
     let mut rng = StdRng::seed_from_u64(chaos_seed ^ 0xC4A05);
-    let mut handles = Vec::new();
+    // Every answered query as (query, rating, tier, latency); resolved
+    // against the oracle once all predictions are in.
+    let mut observed: Vec<(RatingQuery, f32, ServedBy, f64)> = Vec::new();
+
+    // Quantized-rung probe, *before* the replay so the breaker cannot have
+    // tripped yet: a 100 ms budget sits under the 250 ms threshold without
+    // being anywhere near expiry, so every probe picks the quantized
+    // forward (quant-site faults knock individual probes down to hybrid).
+    let quant_probes = 32u64;
+    ladder_probe(
+        &engine,
+        &dataset,
+        &mut rng,
+        quant_probes,
+        Duration::from_millis(100),
+        &mut observed,
+    );
+
+    let mut handles: Vec<(hire_serve::PredictionHandle, RatingQuery)> = Vec::new();
     let mut submitted = 0u64;
+    // Budget classes are phase-grouped, not interleaved: a coalesced batch
+    // runs on the tightest deadline among its members, so mixing classes
+    // would drag every batch into the thinnest one. The unbudgeted head
+    // exercises the model and cache tiers; the thin-budget tail lands
+    // under the quantized threshold; the fault plan knocks individual
+    // groups down to the hybrid and statistics rungs.
+    let thin_tail = args.chaos_queries / 4;
     for k in 0..args.chaos_queries {
-        // Every fourth query carries a tight budget so the deadline path
-        // is exercised alongside the fault injection.
-        let budget = (k % 4 == 0).then(|| Duration::from_millis(40));
-        if let Ok(h) = server.submit_with_deadline(log.next(&mut rng), budget) {
+        let budget = (k >= args.chaos_queries - thin_tail).then(|| Duration::from_millis(150));
+        let query = log.next(&mut rng);
+        if let Ok(h) = server.submit_with_deadline(query, budget) {
             submitted += 1;
-            handles.push(h);
+            handles.push((h, query));
         }
     }
 
     let (mut answered_ok, mut answered_typed_error, mut unanswered) = (0u64, 0u64, 0u64);
-    let (mut model_ms, mut cache_ms, mut fallback_ms) = (Vec::new(), Vec::new(), Vec::new());
     // Generous bound: anything slower than this is a hang, which is
     // exactly what the degradation ladder promises cannot happen.
     let hang_bound = Duration::from_secs(30);
-    for h in &handles {
+    for (h, query) in &handles {
         let waited = Instant::now();
         match h.recv_timeout(hang_bound) {
             Ok(p) => {
                 answered_ok += 1;
-                let ms = p.latency.as_secs_f64() * 1e3;
-                match p.served_by {
-                    ServedBy::Model => model_ms.push(ms),
-                    ServedBy::Cache => cache_ms.push(ms),
-                    ServedBy::Fallback => fallback_ms.push(ms),
-                }
+                observed.push((*query, p.rating, p.served_by, p.latency.as_secs_f64() * 1e3));
             }
             // A worker-sent `DeadlineExceeded` arrives in milliseconds;
             // recv_timeout only fabricates one itself after the full
@@ -570,9 +700,66 @@ fn run_chaos(
     }
     server.shutdown();
 
+    // Below-model probe, after the replay: an already-expired budget
+    // forces every probe past both model tiers, exercising the hybrid
+    // rung on fresh pairs and — whenever the plan faults `hybrid.forward`
+    // — the statistics fallback.
+    let below_probes = 48u64;
+    ladder_probe(
+        &engine,
+        &dataset,
+        &mut rng,
+        below_probes,
+        Duration::ZERO,
+        &mut observed,
+    );
+    let ladder_probes = quant_probes + below_probes;
+
+    // Resolve every distinct pair against the fault-free oracle and fold
+    // the answers into per-tier latency + accuracy aggregates.
+    let mut truths: BTreeMap<(usize, usize), f32> = BTreeMap::new();
+    let distinct: Vec<RatingQuery> = {
+        let mut seen = std::collections::BTreeSet::new();
+        observed
+            .iter()
+            .filter(|(q, ..)| seen.insert((q.user, q.item)))
+            .map(|(q, ..)| *q)
+            .collect()
+    };
+    for chunk in distinct.chunks(64) {
+        let ratings = oracle.predict_batch(chunk).expect("oracle predictions");
+        for (q, r) in chunk.iter().zip(ratings) {
+            truths.insert((q.user, q.item), r);
+        }
+    }
+    let mut aggs = [
+        TierAgg::default(), // model
+        TierAgg::default(), // quantized
+        TierAgg::default(), // hybrid
+        TierAgg::default(), // cache
+        TierAgg::default(), // fallback
+    ];
+    for (query, rating, served_by, ms) in observed {
+        let truth = truths[&(query.user, query.item)];
+        let slot = match served_by {
+            ServedBy::Model => 0,
+            ServedBy::Quantized => 1,
+            ServedBy::Hybrid => 2,
+            ServedBy::Cache => 3,
+            ServedBy::Fallback => 4,
+        };
+        aggs[slot].push(ms, (rating - truth).abs() as f64);
+    }
+    let [model_agg, quant_agg, hybrid_agg, cache_agg, fallback_agg] = aggs;
+
     let tiers = engine.tier_stats();
     let breaker = engine.breaker_stats().unwrap_or_default();
     let server_stats = server.stats();
+    let quantized_bound = engine
+        .current_model()
+        .quantized()
+        .map(|q| q.prediction_bound() as f64)
+        .unwrap_or(0.0);
     let report = ChaosReport {
         chaos_seed,
         fault_rate: args.fault_rate,
@@ -582,7 +769,10 @@ fn run_chaos(
         unanswered,
         deadline_expired: server_stats.deadline_expired,
         faults_injected: plan.total_injected(),
+        ladder_probes,
         served_model: tiers.model,
+        served_quantized: tiers.quantized,
+        served_hybrid: tiers.hybrid,
         served_cache: tiers.cache,
         served_fallback: tiers.fallback,
         deadline_degraded: tiers.deadline_degraded,
@@ -592,12 +782,25 @@ fn run_chaos(
         breaker_half_opened: breaker.half_opened,
         breaker_closed: breaker.closed,
         breaker_rejected: breaker.rejected,
-        model_tier: tier_latency(&mut model_ms),
-        cache_tier: tier_latency(&mut cache_ms),
-        fallback_tier: tier_latency(&mut fallback_ms),
+        quantized_bound,
+        model_tier: model_agg.report(),
+        quantized_tier: quant_agg.report(),
+        hybrid_tier: hybrid_agg.report(),
+        cache_tier: cache_agg.report(),
+        fallback_tier: fallback_agg.report(),
     };
-    let ladder_held =
-        report.unanswered == 0 && !(args.fault_rate > 0.0 && report.served_fallback == 0);
+    // The ladder held if every query was answered, every rung saw traffic
+    // while faults were being injected, and the quantized answers stayed
+    // inside their documented bound vs the f32 oracle.
+    let every_tier_exercised = args.fault_rate <= 0.0
+        || (report.served_model > 0
+            && report.served_quantized > 0
+            && report.served_hybrid > 0
+            && report.served_cache > 0
+            && report.served_fallback > 0);
+    let quant_within_bound = report.quantized_tier.count == 0
+        || report.quantized_tier.max_abs_err_vs_oracle <= report.quantized_bound;
+    let ladder_held = report.unanswered == 0 && every_tier_exercised && quant_within_bound;
     (report, ladder_held)
 }
 
@@ -614,12 +817,18 @@ fn run_online(
     args: &Args,
 ) -> (OnlineReport, bool) {
     let split = ColdStartSplit::new(&dataset, ColdStartScenario::UserCold, 0.25, 0.1, args.seed);
-    let engine = Arc::new(ServeEngine::with_graph(
-        frozen,
-        dataset.clone(),
-        split.train_graph(&dataset),
-        EngineConfig::from_model_config(config),
-    ));
+    // Full five-tier ladder during train-while-serving: the default
+    // resilience config carries the quantized companion (rebuilt on every
+    // hot swap) and the hybrid mid-tier rides along across versions.
+    let engine = Arc::new(
+        ServeEngine::with_graph(
+            frozen,
+            dataset.clone(),
+            split.train_graph(&dataset),
+            EngineConfig::from_model_config(config),
+        )
+        .with_hybrid(train_hybrid(&dataset, &HybridConfig::default())),
+    );
     let server = Arc::new(Server::start(
         engine.clone(),
         ServerConfig {
@@ -767,6 +976,8 @@ fn run_online(
             OnlineVersionReport {
                 version,
                 served_model: tiers.model,
+                served_quantized: tiers.quantized,
+                served_hybrid: tiers.hybrid,
                 served_cache: tiers.cache,
                 served_fallback: tiers.fallback,
                 probe_samples: samples,
@@ -833,7 +1044,10 @@ fn main() {
             std::process::exit(2);
         }
     }
-    let compute_threads = hire_par::global().threads();
+    // Snapshot the host after the pool override so the report records the
+    // effective thread count the kernels actually ran with.
+    let host = HostInfo::detect();
+    let compute_threads = host.compute_pool_threads;
 
     let dataset = Arc::new(
         SyntheticConfig::movielens_like()
@@ -908,15 +1122,20 @@ fn main() {
             chaos_seed,
         );
         eprintln!(
-            "  {} submitted: {} ok / {} typed errors / {} unanswered; tiers model {} cache {} fallback {}; breaker opened {}x",
+            "  {} submitted (+{} ladder probes): {} ok / {} typed errors / {} unanswered; tiers model {} quant {} hybrid {} cache {} fallback {}; breaker opened {}x; quant worst err {:.4} (bound {:.4})",
             report.submitted,
+            report.ladder_probes,
             report.answered_ok,
             report.answered_typed_error,
             report.unanswered,
             report.served_model,
+            report.served_quantized,
+            report.served_hybrid,
             report.served_cache,
             report.served_fallback,
             report.breaker_opened,
+            report.quantized_tier.max_abs_err_vs_oracle,
+            report.quantized_bound,
         );
         ladder_held = held;
         report
@@ -951,6 +1170,7 @@ fn main() {
     let report = ServeBenchReport {
         workers: args.workers,
         compute_threads,
+        host,
         max_batch: args.max_batch,
         max_queue: args.max_queue,
         batch_timeout_ms: args.batch_timeout_ms,
@@ -989,8 +1209,16 @@ fn main() {
     if !ladder_held {
         let c = report.chaos.as_ref().expect("chaos report");
         eprintln!(
-            "serve_bench: DEGRADATION LADDER FAILED — {} unanswered, {} fallback-served at fault rate {}",
-            c.unanswered, c.served_fallback, c.fault_rate
+            "serve_bench: DEGRADATION LADDER FAILED — {} unanswered; tiers model {} quant {} hybrid {} cache {} fallback {} at fault rate {} (every rung must answer); quant worst err {:.4} vs bound {:.4}",
+            c.unanswered,
+            c.served_model,
+            c.served_quantized,
+            c.served_hybrid,
+            c.served_cache,
+            c.served_fallback,
+            c.fault_rate,
+            c.quantized_tier.max_abs_err_vs_oracle,
+            c.quantized_bound,
         );
         std::process::exit(1);
     }

@@ -269,6 +269,58 @@ pub fn run_scenario(
     run_scenario_with_specs(dataset, kind, scenario, args, specs)
 }
 
+/// Host execution environment, embedded in benchmark JSON reports so a
+/// recorded number can be read against the machine that produced it —
+/// a thread-sweep "speedup" measured on a 1-core container means
+/// something very different from the same number on an 8-core host.
+#[derive(Debug, Clone, Serialize)]
+pub struct HostInfo {
+    /// Logical CPU cores visible to this process.
+    pub logical_cores: usize,
+    /// SIMD/ISA capabilities detected at runtime (x86_64) or implied by
+    /// the compile target (aarch64); empty when the target supports
+    /// neither probe.
+    pub isa_features: Vec<String>,
+    /// Raw `HIRE_THREADS` value from the environment, if set.
+    pub hire_threads_env: Option<String>,
+    /// Size of the `hire-par` global pool — the effective thread count
+    /// kernels actually ran with after flags and env were applied.
+    pub compute_pool_threads: usize,
+}
+
+impl HostInfo {
+    /// Snapshots the current host. Reads (and, if needed, initializes)
+    /// the global compute pool, so call it after any `--threads`
+    /// override has been installed.
+    pub fn detect() -> Self {
+        #[allow(unused_mut)]
+        let mut isa_features: Vec<String> = Vec::new();
+        #[cfg(target_arch = "x86_64")]
+        for (name, detected) in [
+            ("sse2", is_x86_feature_detected!("sse2")),
+            ("sse4.1", is_x86_feature_detected!("sse4.1")),
+            ("avx", is_x86_feature_detected!("avx")),
+            ("avx2", is_x86_feature_detected!("avx2")),
+            ("fma", is_x86_feature_detected!("fma")),
+            ("avx512f", is_x86_feature_detected!("avx512f")),
+        ] {
+            if detected {
+                isa_features.push(name.to_string());
+            }
+        }
+        #[cfg(target_arch = "aarch64")]
+        isa_features.push("neon".to_string());
+        HostInfo {
+            logical_cores: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            isa_features,
+            hire_threads_env: std::env::var("HIRE_THREADS").ok(),
+            compute_pool_threads: hire_par::global().threads(),
+        }
+    }
+}
+
 /// Serializes `value` and writes it to `path` atomically: the JSON goes to
 /// a `<path>.tmp` sibling first and is renamed over the target, so a crash
 /// mid-write can never leave a truncated result file.
@@ -686,6 +738,21 @@ mod tests {
         let body = std::fs::read_to_string(&path).expect("read back");
         assert!(body.contains("42"));
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn host_info_detect_is_sane_and_serializable() {
+        let host = HostInfo::detect();
+        assert!(host.logical_cores >= 1);
+        assert!(host.compute_pool_threads >= 1);
+        #[cfg(any(target_arch = "x86_64", target_arch = "aarch64"))]
+        assert!(
+            !host.isa_features.is_empty(),
+            "sse2/neon are baseline on these targets"
+        );
+        let json = serde_json::to_string(&host).expect("serialize");
+        assert!(json.contains("logical_cores"));
+        assert!(json.contains("compute_pool_threads"));
     }
 
     #[test]

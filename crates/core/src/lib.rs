@@ -12,6 +12,8 @@
 //! - [`train`] — Algorithm 1 with LAMB + Lookahead + flat-then-anneal LR
 //! - [`resume_from`] — bit-exact crash resume from durable snapshots
 //!   (see `hire-ckpt`)
+//! - [`train_hybrid`] — the lightweight bias + content [`HybridModel`]
+//!   served as a degradation mid-tier by `hire-serve` (DESIGN.md §13)
 //!
 //! The model is permutation equivariant over context users and items
 //! (Property 5.1) — enforced by tests in `him.rs`/`model.rs` and the
@@ -22,6 +24,7 @@ pub mod config;
 pub mod encoder;
 pub mod guard;
 pub mod him;
+pub mod hybrid;
 pub mod model;
 pub mod trainer;
 
@@ -33,5 +36,6 @@ pub use guard::{
     TrainOutcome, TrainReport,
 };
 pub use him::{HimAttention, HimBlock};
+pub use hybrid::{train_hybrid, HybridConfig, HybridModel};
 pub use model::HireModel;
 pub use trainer::{fine_tune, resume_from, train, train_guarded, StepStats, TrainConfig};

@@ -30,5 +30,5 @@ pub use linear::Linear;
 pub use loss::{bce_loss, mae, masked_mse_loss, mse_loss, rmse};
 pub use mlp::Mlp;
 pub use module::Module;
-pub use nograd::{mhsa_forward, MhsaWeights};
+pub use nograd::{mhsa_forward, mhsa_forward_quant, MhsaWeights, QuantMhsaWeights};
 pub use norm::LayerNorm;

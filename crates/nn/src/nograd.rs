@@ -12,7 +12,7 @@
 //! and layer norms here fan out over the `hire-par` pool and stay
 //! bit-identical at every thread count (DESIGN.md §11).
 
-use hire_tensor::{linalg, NdArray};
+use hire_tensor::{linalg, NdArray, QuantMode, QuantizedTensor};
 
 /// Weights of one multi-head self-attention layer, as plain arrays.
 ///
@@ -100,6 +100,108 @@ pub fn mhsa_forward(x: &NdArray, w: &MhsaWeights) -> NdArray {
     }
 }
 
+/// [`MhsaWeights`] with the four projection matrices compressed
+/// post-training (symmetric int8 or f16). Activations stay f32; the
+/// projections dequantize on the fly inside `linalg::linear_nd_dequant`.
+#[derive(Debug, Clone)]
+pub struct QuantMhsaWeights {
+    /// Query projection `[d, l*dk]`, quantized.
+    pub w_q: QuantizedTensor,
+    /// Key projection `[d, l*dk]`, quantized.
+    pub w_k: QuantizedTensor,
+    /// Value projection `[d, l*dk]`, quantized.
+    pub w_v: QuantizedTensor,
+    /// Output projection `[l*dk, d]`, quantized.
+    pub w_o: QuantizedTensor,
+    /// Number of attention heads `l`.
+    pub heads: usize,
+    /// Dimension of each head `dk`.
+    pub head_dim: usize,
+}
+
+impl QuantMhsaWeights {
+    /// Compresses an f32 layer's weights under `mode`.
+    pub fn from_weights(w: &MhsaWeights, mode: QuantMode) -> Self {
+        QuantMhsaWeights {
+            w_q: QuantizedTensor::quantize(&w.w_q, mode),
+            w_k: QuantizedTensor::quantize(&w.w_k, mode),
+            w_v: QuantizedTensor::quantize(&w.w_v, mode),
+            w_o: QuantizedTensor::quantize(&w.w_o, mode),
+            heads: w.heads,
+            head_dim: w.head_dim,
+        }
+    }
+
+    /// Model (input/output) dimension `d`, read off `w_q`.
+    pub fn model_dim(&self) -> usize {
+        self.w_q.dims()[0]
+    }
+
+    /// Worst per-element weight reconstruction error across the four
+    /// projections (see `QuantizedTensor::max_err`).
+    pub fn max_weight_err(&self) -> f32 {
+        self.w_q
+            .max_err()
+            .max(self.w_k.max_err())
+            .max(self.w_v.max_err())
+            .max(self.w_o.max_err())
+    }
+}
+
+/// [`mhsa_forward`] against quantized projections: the same kernel
+/// sequence with every `linear_nd` replaced by its dequantizing variant.
+/// Bit-identical to running [`mhsa_forward`] on `w.dequantize()`d weights,
+/// at any thread count.
+pub fn mhsa_forward_quant(x: &NdArray, w: &QuantMhsaWeights) -> NdArray {
+    let dims = x.dims().to_vec();
+    assert!(
+        dims.len() == 2 || dims.len() == 3,
+        "MHSA input must be [t, d] or [batch, t, d], got {dims:?}"
+    );
+    let squeeze = dims.len() == 2;
+    let (b, t, d) = if squeeze {
+        (1, dims[0], dims[1])
+    } else {
+        (dims[0], dims[1], dims[2])
+    };
+    assert_eq!(
+        d,
+        w.model_dim(),
+        "MHSA expected dim {}, got {d}",
+        w.model_dim()
+    );
+    let x3 = if squeeze {
+        x.reshape([1, t, d])
+    } else {
+        x.clone()
+    };
+    let l = w.heads;
+    let dk = w.head_dim;
+
+    let split = |proj: NdArray| -> NdArray {
+        linalg::permute(&proj.reshaped([b, t, l, dk]), &[0, 2, 1, 3]).reshaped([b * l, t, dk])
+    };
+    let q = split(linalg::linear_nd_dequant(&x3, &w.w_q));
+    let k = split(linalg::linear_nd_dequant(&x3, &w.w_k));
+    let v = split(linalg::linear_nd_dequant(&x3, &w.w_v));
+
+    let scale = 1.0 / (dk as f32).sqrt();
+    let scores = linalg::bmm(&q, &linalg::transpose_last2(&k)).map(|s| s * scale);
+    let attn = linalg::softmax_last(&scores);
+
+    let fused = linalg::permute(
+        &linalg::bmm(&attn, &v).reshaped([b, l, t, dk]),
+        &[0, 2, 1, 3],
+    )
+    .reshaped([b, t, l * dk]);
+    let out = linalg::linear_nd_dequant(&fused, &w.w_o);
+    if squeeze {
+        out.reshaped([t, d])
+    } else {
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -146,5 +248,29 @@ mod tests {
         let nograd = mhsa_forward(&x, &w);
         assert_eq!(nograd.dims(), &[4, 6]);
         assert_eq!(tape.as_slice(), nograd.as_slice());
+    }
+
+    #[test]
+    fn quant_forward_matches_dequantized_f32_forward_bitwise() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+        let mhsa = MultiHeadSelfAttention::new(8, 2, 4, &mut rng);
+        let w = weights_of(&mhsa, 2, 4);
+        let x = NdArray::randn([2, 5, 8], 0.0, 1.0, &mut rng);
+        for mode in [QuantMode::Int8, QuantMode::F16] {
+            let qw = QuantMhsaWeights::from_weights(&w, mode);
+            // Oracle: run the f32 forward on the *dequantized* weights.
+            let deq = MhsaWeights {
+                w_q: qw.w_q.dequantize(),
+                w_k: qw.w_k.dequantize(),
+                w_v: qw.w_v.dequantize(),
+                w_o: qw.w_o.dequantize(),
+                heads: 2,
+                head_dim: 4,
+            };
+            let got = mhsa_forward_quant(&x, &qw);
+            let want = mhsa_forward(&x, &deq);
+            assert_eq!(got.as_slice(), want.as_slice(), "{mode:?}");
+            assert!(qw.max_weight_err() > 0.0, "random weights must round");
+        }
     }
 }

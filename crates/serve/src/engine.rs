@@ -1,16 +1,24 @@
 //! The serving engine: frozen model + rating graph + context cache,
 //! wrapped in the degradation ladder (see `DESIGN.md` §10).
 //!
-//! Every query is answered by the best available tier:
+//! Every query is answered by the best available tier (fidelity order;
+//! the cache memo is a fast path that short-circuits the ladder):
 //!
 //! 1. **Cache** — the exact per-entry prediction memo.
 //! 2. **Model** — a fresh frozen forward, guarded by a circuit breaker
 //!    and retried (seeded jittered backoff) on transient faults.
-//! 3. **Fallback** — graph statistics (user mean → item mean → global
+//! 3. **Quantized** — the same architecture with int8/f16 weights
+//!    dequantized on the fly ([`crate::QuantizedModel`], rebuilt on every
+//!    hot swap). Served when the remaining deadline budget for a group is
+//!    thinner than [`QuantTierConfig::deadline_threshold`], or when a
+//!    half-open breaker has spent its probe budget.
+//! 4. **Hybrid** — a trained bias + content predictor
+//!    ([`hire_core::HybridModel`], installed via
+//!    [`ServeEngine::with_hybrid`]) that needs no sampled context; answers
+//!    when both model tiers are unavailable.
+//! 5. **Fallback** — graph statistics (user mean → item mean → global
 //!    mean over the live serving graph, via `hire_baselines::EntityMean`):
-//!    always available, never panics, answers in microseconds. Used when
-//!    the deadline budget is exhausted, the breaker is open, or the model
-//!    tier failed out its retry budget.
+//!    always available, never panics, answers in microseconds.
 //!
 //! Answers are tagged with the tier that produced them
 //! ([`crate::ServedBy`]), so a caller can distinguish a degraded answer
@@ -19,20 +27,22 @@
 use crate::breaker::{BreakerConfig, BreakerState, BreakerStats, CircuitBreaker};
 use crate::cache::{CacheKey, CacheStats, ContextCache};
 use crate::frozen::FrozenModel;
+use crate::quant::QuantizedModel;
 use crate::server::{Answer, ModelVersion, Predictor, RatingQuery, ServeError, ServedBy};
 use hire_baselines::{EntityMean, RatingModel};
 use hire_chaos::{sites, FaultKind, FaultPlan};
-use hire_core::{Backoff, BackoffConfig};
+use hire_core::{Backoff, BackoffConfig, HybridModel};
 use hire_data::{test_context_with_ratio, Dataset, PredictionContext};
 use hire_error::HireError;
 use hire_graph::{BipartiteGraph, NeighborhoodSampler, Rating};
+use hire_tensor::QuantMode;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, RwLock};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// The sampling strategy tag recorded in cache keys.
 const STRATEGY: &str = "neighborhood";
@@ -134,6 +144,10 @@ impl ColdScenario {
 pub struct ModelSlot {
     model: FrozenModel,
     version: ModelVersion,
+    /// The incumbent quantized post-training for the quantized mid-tier.
+    /// Built whenever a slot is created, so every hot swap (install,
+    /// demotion, resilience change) refreshes it automatically.
+    quantized: Option<QuantizedModel>,
 }
 
 impl ModelSlot {
@@ -145,6 +159,48 @@ impl ModelSlot {
     /// The monotonically increasing version.
     pub fn version(&self) -> ModelVersion {
         self.version
+    }
+
+    /// The quantized companion of this slot's model, when the quantized
+    /// tier is configured.
+    pub fn quantized(&self) -> Option<&QuantizedModel> {
+        self.quantized.as_ref()
+    }
+}
+
+/// Builds a slot, quantizing the model when the tier is configured.
+fn make_slot(
+    model: FrozenModel,
+    version: ModelVersion,
+    quant: Option<&QuantTierConfig>,
+) -> Arc<ModelSlot> {
+    let quantized = quant.map(|cfg| QuantizedModel::from_frozen(&model, cfg.mode));
+    Arc::new(ModelSlot {
+        model,
+        version,
+        quantized,
+    })
+}
+
+/// Settings for the quantized mid-tier (the ladder rung between the
+/// full-precision model and the hybrid predictor).
+#[derive(Debug, Clone)]
+pub struct QuantTierConfig {
+    /// Numeric representation of the quantized weights.
+    pub mode: QuantMode,
+    /// Serve the quantized forward instead of the full-precision one when
+    /// a group's remaining deadline budget is thinner than this (the
+    /// full-precision forward would likely blow the deadline and waste the
+    /// remaining budget on a late answer).
+    pub deadline_threshold: Duration,
+}
+
+impl Default for QuantTierConfig {
+    fn default() -> Self {
+        QuantTierConfig {
+            mode: QuantMode::Int8,
+            deadline_threshold: Duration::from_millis(25),
+        }
     }
 }
 
@@ -159,10 +215,13 @@ pub struct ResilienceConfig {
     pub retry_attempts: usize,
     /// Backoff schedule between model-tier retries.
     pub retry_backoff: BackoffConfig,
-    /// Degrade to the graph-statistics tier instead of erroring when the
-    /// model tier is unavailable. Disabled, the engine surfaces
-    /// [`ServeError::CircuitOpen`] / the model error instead.
+    /// Degrade down the ladder (quantized → hybrid → graph statistics)
+    /// instead of erroring when the model tier is unavailable. Disabled,
+    /// the engine surfaces [`ServeError::CircuitOpen`] / the model error
+    /// instead.
     pub fallback: bool,
+    /// The quantized mid-tier; `None` removes the rung from the ladder.
+    pub quantized: Option<QuantTierConfig>,
 }
 
 impl Default for ResilienceConfig {
@@ -172,19 +231,21 @@ impl Default for ResilienceConfig {
             retry_attempts: 2,
             retry_backoff: BackoffConfig::default(),
             fallback: true,
+            quantized: Some(QuantTierConfig::default()),
         }
     }
 }
 
 impl ResilienceConfig {
-    /// Pre-resilience behavior: no breaker, no retries, no fallback —
-    /// every model-tier failure surfaces to the caller.
+    /// Pre-resilience behavior: no breaker, no retries, no fallback, no
+    /// mid-tiers — every model-tier failure surfaces to the caller.
     pub fn disabled() -> Self {
         ResilienceConfig {
             breaker: None,
             retry_attempts: 1,
             retry_backoff: BackoffConfig::default(),
             fallback: false,
+            quantized: None,
         }
     }
 }
@@ -192,8 +253,12 @@ impl ResilienceConfig {
 /// Per-tier serve counters, plus why fallback answers were degraded.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TierStats {
-    /// Answers from fresh frozen forwards.
+    /// Answers from fresh full-precision frozen forwards.
     pub model: u64,
+    /// Answers from the quantized (int8/f16) model mid-tier.
+    pub quantized: u64,
+    /// Answers from the trained hybrid bias + content mid-tier.
+    pub hybrid: u64,
     /// Answers from the exact prediction memo.
     pub cache: u64,
     /// Degraded answers from graph statistics.
@@ -234,6 +299,8 @@ pub struct ServeEngine {
     config: EngineConfig,
     resilience: ResilienceConfig,
     breaker: Option<CircuitBreaker>,
+    /// The hybrid mid-tier, installed via [`ServeEngine::with_hybrid`].
+    hybrid: Option<HybridModel>,
     faults: Option<Arc<FaultPlan>>,
     /// Per-user / per-item degree in the base graph, snapshotted at
     /// construction — the fixed reference frame for [`ColdScenario`]
@@ -250,6 +317,8 @@ pub struct ServeEngine {
     /// Tier counters broken down by cold-start scenario.
     scenario_stats: Mutex<BTreeMap<ColdScenario, TierStats>>,
     served_model: AtomicU64,
+    served_quantized: AtomicU64,
+    served_hybrid: AtomicU64,
     served_cache: AtomicU64,
     served_fallback: AtomicU64,
     deadline_degraded: AtomicU64,
@@ -323,7 +392,7 @@ impl ServeEngine {
         let resilience = ResilienceConfig::default();
         let breaker = resilience.breaker.clone().map(CircuitBreaker::new);
         ServeEngine {
-            slot: RwLock::new(Arc::new(ModelSlot { model, version: 1 })),
+            slot: RwLock::new(make_slot(model, 1, resilience.quantized.as_ref())),
             history: Mutex::new(Vec::new()),
             next_version: AtomicU64::new(2),
             dataset,
@@ -333,6 +402,7 @@ impl ServeEngine {
             config,
             resilience,
             breaker,
+            hybrid: None,
             faults: None,
             base_user_degree,
             base_item_degree,
@@ -340,6 +410,8 @@ impl ServeEngine {
             version_stats: Mutex::new(BTreeMap::new()),
             scenario_stats: Mutex::new(BTreeMap::new()),
             served_model: AtomicU64::new(0),
+            served_quantized: AtomicU64::new(0),
+            served_hybrid: AtomicU64::new(0),
             served_cache: AtomicU64::new(0),
             served_fallback: AtomicU64::new(0),
             deadline_degraded: AtomicU64::new(0),
@@ -348,11 +420,34 @@ impl ServeEngine {
         }
     }
 
-    /// Replaces the resilience settings (builder style).
+    /// Replaces the resilience settings (builder style). The quantized
+    /// companion follows the config: the incumbent slot is rebuilt so a
+    /// mode change (or disabling the tier) takes effect immediately.
     pub fn with_resilience(mut self, resilience: ResilienceConfig) -> Self {
         self.breaker = resilience.breaker.clone().map(CircuitBreaker::new);
         self.resilience = resilience;
+        {
+            let mut slot = self.slot.write().unwrap_or_else(|p| p.into_inner());
+            *slot = make_slot(
+                slot.model.clone(),
+                slot.version,
+                self.resilience.quantized.as_ref(),
+            );
+        }
         self
+    }
+
+    /// Installs a trained [`HybridModel`] as the hybrid mid-tier (builder
+    /// style). Without one the ladder skips straight from the model tiers
+    /// to graph statistics.
+    pub fn with_hybrid(mut self, hybrid: HybridModel) -> Self {
+        self.hybrid = Some(hybrid);
+        self
+    }
+
+    /// The installed hybrid mid-tier, if any.
+    pub fn hybrid_model(&self) -> Option<&HybridModel> {
+        self.hybrid.as_ref()
     }
 
     /// Installs a chaos [`FaultPlan`] on the engine's fault sites
@@ -427,7 +522,7 @@ impl ServeEngine {
             )));
         }
         let version = self.next_version.fetch_add(1, Ordering::Relaxed);
-        let fresh = Arc::new(ModelSlot { model, version });
+        let fresh = make_slot(model, version, self.resilience.quantized.as_ref());
         let displaced = {
             let mut slot = self.slot.write().unwrap_or_else(|p| p.into_inner());
             std::mem::replace(&mut *slot, fresh)
@@ -504,6 +599,8 @@ impl ServeEngine {
     pub fn tier_stats(&self) -> TierStats {
         TierStats {
             model: self.served_model.load(Ordering::Relaxed),
+            quantized: self.served_quantized.load(Ordering::Relaxed),
+            hybrid: self.served_hybrid.load(Ordering::Relaxed),
             cache: self.served_cache.load(Ordering::Relaxed),
             fallback: self.served_fallback.load(Ordering::Relaxed),
             deadline_degraded: self.deadline_degraded.load(Ordering::Relaxed),
@@ -733,6 +830,114 @@ impl ServeEngine {
             ))),
         }
     }
+
+    /// One guarded quantized-tier attempt over a same-shape group — the
+    /// same contract as [`ServeEngine::model_attempt`] (chaos hooks on
+    /// [`sites::QUANT_FORWARD`], panic isolation, deadline awareness,
+    /// shape validation) over the slot's [`QuantizedModel`].
+    fn quant_attempt(
+        &self,
+        quant: &QuantizedModel,
+        refs: &[&PredictionContext],
+        deadline: Option<Instant>,
+    ) -> Result<Option<Vec<hire_tensor::NdArray>>, ServeError> {
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let mut truncate = false;
+            if let Some(plan) = &self.faults {
+                if let Some(kind) = plan.fire(sites::QUANT_FORWARD)? {
+                    truncate = matches!(kind, FaultKind::WrongShape);
+                }
+            }
+            let preds = quant
+                .forward_nograd_batch_within(refs, &self.dataset, deadline)
+                .map_err(ServeError::Model)?;
+            Ok(preds.map(|mut p| {
+                if truncate {
+                    // Chaos `WrongShape`: the quantized "model" loses one
+                    // output.
+                    p.pop();
+                }
+                p
+            }))
+        }));
+        match outcome {
+            Ok(Ok(Some(preds))) if preds.len() != refs.len() => {
+                Err(ServeError::Model(HireError::invalid_data(
+                    "ServeEngine",
+                    format!(
+                        "quantized model returned {} predictions for {} contexts",
+                        preds.len(),
+                        refs.len()
+                    ),
+                )))
+            }
+            Ok(result) => result,
+            Err(_panic) => Err(ServeError::Model(HireError::invalid_data(
+                "ServeEngine",
+                "quantized forward panicked",
+            ))),
+        }
+    }
+
+    /// One guarded hybrid-tier attempt: chaos hooks on
+    /// [`sites::HYBRID_FORWARD`] plus panic isolation around the (context-
+    /// free, never-failing by construction) hybrid predictor.
+    fn hybrid_attempt(
+        &self,
+        hybrid: &HybridModel,
+        positions: &[usize],
+        queries: &[RatingQuery],
+    ) -> Result<Vec<f32>, ServeError> {
+        catch_unwind(AssertUnwindSafe(|| {
+            if let Some(plan) = &self.faults {
+                plan.fire(sites::HYBRID_FORWARD)?;
+            }
+            Ok(positions
+                .iter()
+                .map(|&i| hybrid.predict(queries[i].user, queries[i].item))
+                .collect())
+        }))
+        .unwrap_or_else(|_panic| {
+            Err(ServeError::Model(HireError::invalid_data(
+                "ServeEngine",
+                "hybrid forward panicked",
+            )))
+        })
+    }
+
+    /// Answers `positions` below the model tiers: the hybrid predictor if
+    /// one is installed and healthy, otherwise graph statistics attributed
+    /// to `reason`. This is the tail of the ladder — it always answers.
+    fn answer_below_model(
+        &self,
+        positions: &[usize],
+        queries: &[RatingQuery],
+        out: &mut [Option<Answer>],
+        version: ModelVersion,
+        reason: DegradeReason,
+    ) {
+        if positions.is_empty() {
+            return;
+        }
+        if let Some(hybrid) = &self.hybrid {
+            if let Ok(ratings) = self.hybrid_attempt(hybrid, positions, queries) {
+                for (&i, rating) in positions.iter().zip(ratings) {
+                    out[i] = Some(Answer {
+                        rating,
+                        served_by: ServedBy::Hybrid,
+                        version,
+                    });
+                    let q = &queries[i];
+                    self.tally(version, self.scenario_of(q.user, q.item), |s| s.hybrid += 1);
+                }
+                self.served_hybrid
+                    .fetch_add(positions.len() as u64, Ordering::Relaxed);
+                return;
+            }
+            // A faulted/panicking hybrid falls through to graph statistics.
+        }
+        self.degrade(positions, queries, out, version, reason);
+    }
 }
 
 /// A deduplicated query awaiting a forward: its cache key, resolved
@@ -810,8 +1015,16 @@ impl Predictor for ServeEngine {
                     );
                 }
                 Err(e) => {
+                    // No context, so the model tiers are unreachable for
+                    // this query — but the hybrid tier needs none.
                     if self.resilience.fallback {
-                        self.degrade(&[i], queries, &mut out, version, DegradeReason::Failure);
+                        self.answer_below_model(
+                            &[i],
+                            queries,
+                            &mut out,
+                            version,
+                            DegradeReason::Failure,
+                        );
                     } else {
                         return Err(e);
                     }
@@ -833,11 +1046,12 @@ impl Predictor for ServeEngine {
                     .flat_map(|&k| unique[k].waiters.iter().copied())
                     .collect()
             };
-            // Deadline ladder rung: a group we no longer have budget to
-            // forward is answered degraded, never silently late.
+            // Deadline ladder rung: a group whose budget is already gone
+            // cannot afford any forward, quantized included — it is
+            // answered from the context-free tiers, never silently late.
             if deadline.is_some_and(|d| Instant::now() >= d) {
                 if self.resilience.fallback {
-                    self.degrade(
+                    self.answer_below_model(
                         &waiters_of(indices),
                         queries,
                         &mut out,
@@ -848,25 +1062,116 @@ impl Predictor for ServeEngine {
                 }
                 return Err(ServeError::DeadlineExceeded);
             }
+            // Quantized rung, budget trigger: when the remaining budget is
+            // thinner than the configured threshold, the full-precision
+            // forward would likely land late — serve the cheaper quantized
+            // forward instead.
+            let mut serve_quantized = slot.quantized.is_some()
+                && match (&self.resilience.quantized, deadline) {
+                    (Some(cfg), Some(d)) => {
+                        d.saturating_duration_since(Instant::now()) < cfg.deadline_threshold
+                    }
+                    _ => false,
+                };
             // Breaker rung: an open breaker skips the model tier outright.
-            if let Some(breaker) = &self.breaker {
-                if !breaker.admit() {
-                    if self.resilience.fallback {
-                        self.degrade(
+            // A *half-open* breaker whose probe budget is spent still
+            // serves the quantized tier: probing is about readmitting the
+            // guarded full-precision path, and the quantized forward keeps
+            // answer quality up while those probes are in flight.
+            if !serve_quantized {
+                if let Some(breaker) = &self.breaker {
+                    if !breaker.admit() {
+                        if slot.quantized.is_some()
+                            && matches!(breaker.state(), BreakerState::HalfOpen)
+                        {
+                            serve_quantized = true;
+                        } else if self.resilience.fallback {
+                            self.answer_below_model(
+                                &waiters_of(indices),
+                                queries,
+                                &mut out,
+                                version,
+                                DegradeReason::Breaker,
+                            );
+                            continue;
+                        } else {
+                            return Err(ServeError::CircuitOpen);
+                        }
+                    }
+                }
+            }
+            let refs: Vec<&PredictionContext> = indices.iter().map(|&k| &*unique[k].ctx).collect();
+            if serve_quantized {
+                let quant = slot
+                    .quantized
+                    .as_ref()
+                    .expect("serve_quantized implies a quantized slot");
+                match self.quant_attempt(quant, &refs, deadline) {
+                    Ok(Some(preds)) => {
+                        for (p, &k) in indices.iter().enumerate() {
+                            let PendingQuery { key, ctx, waiters } = unique[k];
+                            let (row, col) = match (ctx.user_row(key.user), ctx.item_col(key.item))
+                            {
+                                (Some(r), Some(c)) => (r, c),
+                                _ => {
+                                    return Err(ServeError::Internal {
+                                        detail: format!(
+                                            "query ({}, {}) missing from its context",
+                                            key.user, key.item
+                                        ),
+                                    })
+                                }
+                            };
+                            let value = preds[p].at(&[row, col]);
+                            // Quantized answers are *not* memoized: the memo
+                            // is the exact model-tier value, and a later
+                            // cache hit must not launder a lower-fidelity
+                            // answer into the cache tier.
+                            self.served_quantized
+                                .fetch_add(waiters.len() as u64, Ordering::Relaxed);
+                            let scenario = self.scenario_of(key.user, key.item);
+                            for &i in waiters {
+                                self.tally(version, scenario, |s| s.quantized += 1);
+                                out[i] = Some(Answer {
+                                    rating: value,
+                                    served_by: ServedBy::Quantized,
+                                    version,
+                                });
+                            }
+                        }
+                        continue;
+                    }
+                    Ok(None) => {
+                        // Deadline ran out inside the quantized forward.
+                        if !self.resilience.fallback {
+                            return Err(ServeError::DeadlineExceeded);
+                        }
+                        self.answer_below_model(
                             &waiters_of(indices),
                             queries,
                             &mut out,
                             version,
-                            DegradeReason::Breaker,
+                            DegradeReason::Deadline,
                         );
                         continue;
                     }
-                    return Err(ServeError::CircuitOpen);
+                    Err(e) => {
+                        if !self.resilience.fallback {
+                            return Err(e);
+                        }
+                        self.answer_below_model(
+                            &waiters_of(indices),
+                            queries,
+                            &mut out,
+                            version,
+                            DegradeReason::Failure,
+                        );
+                        continue;
+                    }
                 }
             }
             // Model tier with retry: the first admitted attempt came from
             // the breaker above; subsequent attempts re-admit.
-            let refs: Vec<&PredictionContext> = indices.iter().map(|&k| &*unique[k].ctx).collect();
             let attempts = self.resilience.retry_attempts.max(1);
             let mut backoff = Backoff::new(
                 self.resilience.retry_backoff.clone(),
@@ -914,13 +1219,25 @@ impl Predictor for ServeEngine {
             let preds = match result {
                 Some(preds) => preds,
                 None => {
+                    // The full-precision tier failed out its retry budget
+                    // (or its deadline): fall down the ladder — hybrid if
+                    // installed, graph statistics otherwise. The quantized
+                    // tier is *not* tried here: it shares the failing
+                    // forward machinery, so a model-tier fault would very
+                    // likely repeat there and burn more of the budget.
                     if self.resilience.fallback {
                         let reason = if last_err.is_some() {
                             DegradeReason::Failure
                         } else {
                             DegradeReason::Deadline
                         };
-                        self.degrade(&waiters_of(indices), queries, &mut out, version, reason);
+                        self.answer_below_model(
+                            &waiters_of(indices),
+                            queries,
+                            &mut out,
+                            version,
+                            reason,
+                        );
                         continue;
                     }
                     return Err(last_err.unwrap_or(ServeError::DeadlineExceeded));
@@ -960,9 +1277,53 @@ impl Predictor for ServeEngine {
                 }
             }
         }
-        Ok(out
-            .into_iter()
-            .map(|a| a.expect("every query answered by some tier"))
-            .collect())
+        collect_answers(out)
+    }
+}
+
+/// Final collection rung: every position must have been answered by some
+/// tier above. A hole means an engine invariant broke; it surfaces as a
+/// typed [`ServeError::Internal`] so one bad batch degrades a reply
+/// instead of killing a serving worker.
+fn collect_answers(out: Vec<Option<Answer>>) -> Result<Vec<Answer>, ServeError> {
+    let mut answers = Vec::with_capacity(out.len());
+    for (i, answer) in out.into_iter().enumerate() {
+        match answer {
+            Some(a) => answers.push(a),
+            None => {
+                return Err(ServeError::Internal {
+                    detail: format!("query at batch position {i} was answered by no tier"),
+                })
+            }
+        }
+    }
+    Ok(answers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Regression: a batch position no tier answered must surface as a
+    /// typed [`ServeError::Internal`] (this used to be an
+    /// `expect(...)` panic that took the serving worker with it).
+    #[test]
+    fn unanswered_position_is_a_typed_internal_error() {
+        let answered = Answer {
+            rating: 3.0,
+            served_by: ServedBy::Model,
+            version: 1,
+        };
+        let err =
+            collect_answers(vec![Some(answered.clone()), None]).expect_err("a hole must not pass");
+        match err {
+            ServeError::Internal { detail } => {
+                assert!(detail.contains("position 1"), "detail: {detail}");
+            }
+            other => panic!("expected ServeError::Internal, got {other:?}"),
+        }
+        let ok = collect_answers(vec![Some(answered.clone()), Some(answered)])
+            .expect("fully answered batches pass through");
+        assert_eq!(ok.len(), 2);
     }
 }

@@ -19,45 +19,45 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
 
 /// `LayerNorm::new` hard-codes this epsilon; the frozen mirror must match.
-const LAYER_NORM_EPS: f32 = 1e-5;
+pub(crate) const LAYER_NORM_EPS: f32 = 1e-5;
 
 /// Frozen LayerNorm affine parameters.
 #[derive(Debug, Clone)]
-struct FrozenNorm {
-    gamma: NdArray,
-    beta: NdArray,
+pub(crate) struct FrozenNorm {
+    pub(crate) gamma: NdArray,
+    pub(crate) beta: NdArray,
 }
 
 /// One frozen HIM block (see `hire_core::him::HimBlock`).
 #[derive(Debug, Clone)]
-struct FrozenBlock {
-    mbu: Option<MhsaWeights>,
-    mbi: Option<MhsaWeights>,
-    mba: Option<MhsaWeights>,
-    norm_mbu: Option<FrozenNorm>,
-    norm_mbi: Option<FrozenNorm>,
-    norm_mba: Option<FrozenNorm>,
-    residual: bool,
+pub(crate) struct FrozenBlock {
+    pub(crate) mbu: Option<MhsaWeights>,
+    pub(crate) mbi: Option<MhsaWeights>,
+    pub(crate) mba: Option<MhsaWeights>,
+    pub(crate) norm_mbu: Option<FrozenNorm>,
+    pub(crate) norm_mbi: Option<FrozenNorm>,
+    pub(crate) norm_mba: Option<FrozenNorm>,
+    pub(crate) residual: bool,
 }
 
 /// A HIRE model exported for serving: plain-array weights plus the dataset
 /// schema facts needed to encode contexts.
 #[derive(Debug, Clone)]
 pub struct FrozenModel {
-    user_embeddings: Vec<NdArray>,
-    item_embeddings: Vec<NdArray>,
-    rating_embedding: NdArray,
-    blocks: Vec<FrozenBlock>,
-    decoder_w: NdArray,
-    decoder_b: NdArray,
+    pub(crate) user_embeddings: Vec<NdArray>,
+    pub(crate) item_embeddings: Vec<NdArray>,
+    pub(crate) rating_embedding: NdArray,
+    pub(crate) blocks: Vec<FrozenBlock>,
+    pub(crate) decoder_w: NdArray,
+    pub(crate) decoder_b: NdArray,
     /// Output scale α of Eq. (16).
-    alpha: f32,
-    min_rating: f32,
-    rating_levels: usize,
-    user_id_only: bool,
-    item_id_only: bool,
-    attr_dim: usize,
-    config: HireConfig,
+    pub(crate) alpha: f32,
+    pub(crate) min_rating: f32,
+    pub(crate) rating_levels: usize,
+    pub(crate) user_id_only: bool,
+    pub(crate) item_id_only: bool,
+    pub(crate) attr_dim: usize,
+    pub(crate) config: HireConfig,
 }
 
 /// Pulls the next parameter off the iterator and validates its shape.
@@ -338,7 +338,7 @@ impl FrozenModel {
         n + self.decoder_w.numel() + self.decoder_b.numel()
     }
 
-    fn user_code(&self, dataset: &Dataset, user: usize, attr: usize) -> usize {
+    pub(crate) fn user_code(&self, dataset: &Dataset, user: usize, attr: usize) -> usize {
         if self.user_id_only {
             user
         } else {
@@ -346,7 +346,7 @@ impl FrozenModel {
         }
     }
 
-    fn item_code(&self, dataset: &Dataset, item: usize, attr: usize) -> usize {
+    pub(crate) fn item_code(&self, dataset: &Dataset, item: usize, attr: usize) -> usize {
         if self.item_id_only {
             item
         } else {

@@ -14,10 +14,15 @@
 //! - [`ServeEngine`] — glues frozen model, dataset, rating graph, sampler
 //!   and cache into a [`Predictor`]: resolve context (cache or sample),
 //!   group same-shape queries, run one batched forward — wrapped in the
-//!   degradation ladder: per-batch deadlines, a [`CircuitBreaker`] around
-//!   the model tier, seeded-backoff retries, and a graph-statistics
-//!   fallback predictor. Every [`Answer`] is tagged with the tier that
-//!   produced it ([`ServedBy`]).
+//!   five-tier degradation ladder (DESIGN.md §13): per-batch deadlines, a
+//!   [`CircuitBreaker`] around the model tier, seeded-backoff retries, an
+//!   int8/f16 [`QuantizedModel`] mid-tier for thin deadline budgets and
+//!   half-open probes, a trained [`hire_core::HybridModel`] mid-tier, and
+//!   a graph-statistics fallback predictor. Every [`Answer`] is tagged
+//!   with the tier that produced it ([`ServedBy`]).
+//! - [`QuantizedModel`] — a [`FrozenModel`] quantized post-training to
+//!   symmetric-per-tensor int8 (or f16), dequantized on the fly inside the
+//!   matmul kernels; rebuilt automatically on every model hot swap.
 //! - [`CircuitBreaker`] — sliding-window failure-rate breaker
 //!   (closed / open / half-open) that sheds model-tier load when the
 //!   frozen forward is misbehaving.
@@ -40,25 +45,30 @@
 //!
 //! Fault injection for all of the above lives in the `hire-chaos` crate;
 //! the serve sites are `server.batch`, `engine.resolve`, `engine.forward`,
-//! `ckpt.decode` (see `tests/chaos.rs`) and the online sites
-//! `trainer.step`, `online.shadow_eval`, `online.swap`
-//! (see `tests/online_chaos.rs`).
+//! `quant.forward`, `hybrid.forward`, `ckpt.decode` (see `tests/chaos.rs`)
+//! and the online sites `trainer.step`, `online.shadow_eval`,
+//! `online.swap` (see `tests/online_chaos.rs`).
 
 pub mod breaker;
 pub mod cache;
 pub mod engine;
 pub mod frozen;
 pub mod online;
+pub mod quant;
 pub mod server;
 
 pub use breaker::{BreakerConfig, BreakerState, BreakerStats, CircuitBreaker};
 pub use cache::{CacheKey, CacheStats, CachedContext, ContextCache};
-pub use engine::{ColdScenario, EngineConfig, ModelSlot, ResilienceConfig, ServeEngine, TierStats};
+pub use engine::{
+    ColdScenario, EngineConfig, ModelSlot, QuantTierConfig, ResilienceConfig, ServeEngine,
+    TierStats,
+};
 pub use frozen::FrozenModel;
 pub use online::{
     EvalReport, OnlineConfig, OnlineLoop, OnlineTrainer, RoundOutcome, ScenarioEval, CANDIDATE_TAG,
     REJECTED_TAG,
 };
+pub use quant::QuantizedModel;
 pub use server::{
     Answer, ModelVersion, Prediction, PredictionHandle, Predictor, RatingQuery, RetryPolicy,
     ServeError, ServedBy, Server, ServerConfig, ServerStats,

@@ -38,14 +38,39 @@ pub struct RatingQuery {
 pub type ModelVersion = u64;
 
 /// Which tier of the degradation ladder produced an answer.
+/// Fidelity order: `Model > Quantized > Hybrid > Cache > Fallback`
+/// (DESIGN.md §13). `Cache` sits out of trigger order — exact memos are
+/// consulted first as a fast path — but a memo replays a *previous*
+/// model answer, so in fidelity terms it ranks below a live mid-tier
+/// forward on fresh weights.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ServedBy {
     /// A fresh frozen-model forward.
     Model,
+    /// A forward through the int8/f16 quantized model (deadline budget
+    /// too tight for the full model, or the breaker is half-open and out
+    /// of probe budget).
+    Quantized,
+    /// The trained bias + content hybrid predictor (both model tiers
+    /// unavailable).
+    Hybrid,
     /// The exact per-entry prediction memo in the context cache.
     Cache,
     /// The graph-statistics fallback predictor (degraded answer).
     Fallback,
+}
+
+impl ServedBy {
+    /// Stable lowercase label for logs and bench JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            ServedBy::Model => "model",
+            ServedBy::Quantized => "quantized",
+            ServedBy::Hybrid => "hybrid",
+            ServedBy::Cache => "cache",
+            ServedBy::Fallback => "fallback",
+        }
+    }
 }
 
 /// A served prediction.
@@ -99,6 +124,13 @@ pub enum ServeError {
         /// The fault site that fired.
         site: &'static str,
     },
+    /// An engine invariant broke — e.g. a ladder walk finished with a
+    /// query still unanswered. A bug, but surfaced as a typed reply so it
+    /// degrades one batch instead of killing a worker.
+    Internal {
+        /// What invariant broke.
+        detail: String,
+    },
     /// The model or context pipeline failed.
     Model(HireError),
 }
@@ -126,6 +158,9 @@ impl std::fmt::Display for ServeError {
             ServeError::DeadlineExceeded => write!(f, "deadline exceeded"),
             ServeError::CircuitOpen => write!(f, "model circuit breaker is open"),
             ServeError::Injected { site } => write!(f, "injected fault at `{site}`"),
+            ServeError::Internal { detail } => {
+                write!(f, "internal serving invariant broken: {detail}")
+            }
             ServeError::Model(e) => write!(f, "{e}"),
         }
     }
@@ -149,6 +184,9 @@ impl Clone for ServeError {
             ServeError::DeadlineExceeded => ServeError::DeadlineExceeded,
             ServeError::CircuitOpen => ServeError::CircuitOpen,
             ServeError::Injected { site } => ServeError::Injected { site },
+            ServeError::Internal { detail } => ServeError::Internal {
+                detail: detail.clone(),
+            },
             ServeError::Model(e) => {
                 ServeError::Model(HireError::invalid_data("serve", e.to_string()))
             }

@@ -15,6 +15,10 @@
 //! - [`gradcheck`] — finite-difference validation used throughout the test
 //!   suite.
 //! - [`init`] — Xavier/Kaiming/embedding initializers.
+//! - [`quant`] — post-training weight compression (symmetric int8 / f16)
+//!   with dequantize-on-the-fly kernels in [`linalg`]
+//!   (`matmul2d_dequant`, `linear_nd_dequant`, `gather_rows_dequant`),
+//!   bit-exact across thread counts like the f32 kernels.
 //!
 //! ```
 //! use hire_tensor::{NdArray, Tensor};
@@ -31,8 +35,10 @@ pub mod gradcheck;
 pub mod init;
 pub mod linalg;
 pub mod ndarray;
+pub mod quant;
 pub mod shape;
 
 pub use autograd::Tensor;
 pub use ndarray::NdArray;
+pub use quant::{QuantMode, QuantizedTensor};
 pub use shape::Shape;

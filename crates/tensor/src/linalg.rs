@@ -16,6 +16,7 @@
 //! grid depends only on the problem shape, never on the thread count.
 
 use crate::ndarray::NdArray;
+use crate::quant::QuantizedTensor;
 use crate::shape::Shape;
 use hire_par::SendPtr;
 
@@ -944,6 +945,85 @@ pub fn scatter_add_rows(rows: &NdArray, indices: &[usize], v: usize) -> NdArray 
     out
 }
 
+/// 2-D matmul against a quantized weight, dequantizing on the fly:
+/// `a: [n,k] x w: [k,m] -> [n,m]`. The f32 activations never round-trip
+/// through the compressed representation.
+///
+/// Each output element accumulates through a single f32 register in
+/// ascending-`k` order — the identical chain to [`matmul_reference`] run
+/// against `w.dequantize()` — so results are bit-exact for any thread
+/// count and bit-identical to the dequantize-then-matmul reference. Each
+/// weight row is dequantized once per task (not once per element), so the
+/// decompression cost amortizes across the task's output rows.
+pub fn matmul2d_dequant(a: &NdArray, w: &QuantizedTensor) -> NdArray {
+    assert_eq!(
+        a.shape().rank(),
+        2,
+        "matmul2d_dequant lhs must be 2-D, got {}",
+        a.shape()
+    );
+    assert_eq!(w.dims().len(), 2, "matmul2d_dequant rhs must be 2-D");
+    let (n, k) = (a.dims()[0], a.dims()[1]);
+    let (k2, m) = (w.dims()[0], w.dims()[1]);
+    assert_eq!(
+        k,
+        k2,
+        "matmul2d_dequant inner dims mismatch: {} vs [{k2}, {m}]",
+        a.shape()
+    );
+    let mut out = vec![0.0f32; n * m];
+    let out_ptr = SendPtr(out.as_mut_ptr());
+    let a_s = a.as_slice();
+    hire_par::parallel_for(n, ROW_BLOCK, |rows| {
+        // SAFETY: chunks partition 0..n, so each task writes a disjoint
+        // band of output rows.
+        let out_rows = unsafe { out_ptr.slice_mut(rows.start * m, rows.len() * m) };
+        let mut w_row = vec![0.0f32; m];
+        for kk in 0..k {
+            w.deq_row_into(kk, &mut w_row);
+            for (ri, r) in rows.clone().enumerate() {
+                let a_ik = a_s[r * k + kk];
+                let dst = &mut out_rows[ri * m..(ri + 1) * m];
+                for (o, &b_kj) in dst.iter_mut().zip(&w_row) {
+                    *o += a_ik * b_kj;
+                }
+            }
+        }
+    });
+    NdArray::from_vec([n, m], out)
+}
+
+/// [`linear_nd`] against a quantized weight: `x: [..., d] x w: [d, k] ->
+/// [..., k]`, dequantizing on the fly via [`matmul2d_dequant`].
+pub fn linear_nd_dequant(x: &NdArray, w: &QuantizedTensor) -> NdArray {
+    let dims = x.dims().to_vec();
+    let d = *dims.last().expect("linear_nd_dequant needs rank >= 1");
+    assert_eq!(w.dims().len(), 2, "linear_nd_dequant weight must be 2-D");
+    let rows = dims[..dims.len() - 1].iter().product::<usize>();
+    let flat = x.reshape([rows, d]);
+    let out = matmul2d_dequant(&flat, w);
+    let mut out_dims = dims[..dims.len() - 1].to_vec();
+    out_dims.push(w.dims()[1]);
+    out.reshaped(out_dims)
+}
+
+/// [`gather_rows`] from a quantized 2-D `table` `[v, f]`, producing an f32
+/// `[n, f]` — the embedding-lookup path of the quantized tier.
+pub fn gather_rows_dequant(table: &QuantizedTensor, indices: &[usize]) -> NdArray {
+    assert_eq!(
+        table.dims().len(),
+        2,
+        "gather_rows_dequant table must be 2-D"
+    );
+    let (v, f) = (table.dims()[0], table.dims()[1]);
+    let mut out = vec![0.0f32; indices.len() * f];
+    for (i, &ix) in indices.iter().enumerate() {
+        assert!(ix < v, "gather index {ix} out of range {v}");
+        table.deq_row_into(ix, &mut out[i * f..(i + 1) * f]);
+    }
+    NdArray::from_vec([indices.len(), f], out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1108,5 +1188,53 @@ mod tests {
         let rows = NdArray::ones([3, 2]);
         let s = scatter_add_rows(&rows, &idx, 4);
         assert_eq!(s.as_slice(), &[1., 1., 0., 0., 2., 2., 0., 0.]);
+    }
+
+    /// Deterministic pseudo-random fill (no rand dependency in this crate).
+    fn lcg_fill(n: usize, seed: u64) -> Vec<f32> {
+        let mut state = seed;
+        (0..n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matmul_dequant_is_bit_exact_vs_dequantize_then_matmul() {
+        use crate::quant::QuantMode;
+        // Above and below BLOCK_THRESHOLD, both quant modes.
+        for (n, k, m) in [(3usize, 5usize, 4usize), (40, 48, 40)] {
+            let a = NdArray::from_vec([n, k], lcg_fill(n * k, 7));
+            let w = NdArray::from_vec([k, m], lcg_fill(k * m, 11));
+            for mode in [QuantMode::Int8, QuantMode::F16] {
+                let q = QuantizedTensor::quantize(&w, mode);
+                let got = matmul2d_dequant(&a, &q);
+                let want = matmul2d(&a, &q.dequantize());
+                assert_eq!(got.as_slice(), want.as_slice(), "{mode:?} {n}x{k}x{m}");
+            }
+        }
+    }
+
+    #[test]
+    fn linear_and_gather_dequant_match_f32_reference() {
+        use crate::quant::QuantMode;
+        let x = NdArray::from_vec([2, 3, 4], lcg_fill(24, 3));
+        let w = NdArray::from_vec([4, 5], lcg_fill(20, 5));
+        let q = QuantizedTensor::quantize(&w, QuantMode::F16);
+        let got = linear_nd_dequant(&x, &q);
+        let want = linear_nd(&x, &q.dequantize());
+        assert_eq!(got.dims(), &[2, 3, 5]);
+        assert_eq!(got.as_slice(), want.as_slice());
+
+        let table = NdArray::from_vec([6, 3], lcg_fill(18, 9));
+        let qt = QuantizedTensor::quantize(&table, QuantMode::Int8);
+        let idx = [4usize, 0, 4, 5];
+        let g = gather_rows_dequant(&qt, &idx);
+        let gw = gather_rows(&qt.dequantize(), &idx);
+        assert_eq!(g.as_slice(), gw.as_slice());
     }
 }

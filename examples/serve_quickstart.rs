@@ -96,6 +96,8 @@ fn main() {
             .expect("answered within bound");
         let tier = match p.served_by {
             ServedBy::Model => "model",
+            ServedBy::Quantized => "quantized",
+            ServedBy::Hybrid => "hybrid",
             ServedBy::Cache => "cache",
             ServedBy::Fallback => "fallback",
         };
