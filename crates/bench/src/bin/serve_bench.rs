@@ -13,7 +13,7 @@
 //!    measuring p50/p95/p99 submit-to-answer latency.
 //!
 //! The query mix is `--cold-frac` uniform-random (cold) pairs and the rest
-//! drawn zipfian (`--zipf`) from a `--hot-pairs`-sized hot set, so the
+//! drawn zipfian (`--zipf-s`) from a `--hot-pairs`-sized hot set, so the
 //! context cache sees realistic skew.
 //!
 //! A fourth, optional phase runs when `--chaos-seed` is given:
@@ -31,6 +31,18 @@
 //!    exercised while faults were injected, or a quantized answer outside
 //!    its documented error bound.
 //!
+//! A sixth, optional phase runs when `--shards` is given:
+//! 6. **shard sweep** — for each requested shard count, a fresh
+//!    `hire_shard::ShardedEngine` (hot-key replication on) replays the
+//!    same zipf query log directly against the fan-out path. The report
+//!    records aggregate qps, cross-shard load balance (max/mean routed),
+//!    hot-key sketch/replication/routing counters, and per-shard tier +
+//!    cache stats. `--users`/`--items` switch the sweep onto a
+//!    streaming-generated graph for the million-user regime. The process
+//!    exits non-zero if any query went unanswered, if load imbalance
+//!    exceeded 2x under zipf skew with replication on, or — on hosts with
+//!    >= 4 cores — if 4 shards failed to reach 2x the 1-shard qps.
+//!
 //! A fifth, optional phase runs when `--online` is given:
 //! 5. **online** — train-while-serving: the engine starts from a
 //!    cold-start split's training graph, held-back ratings stream in via
@@ -42,7 +54,7 @@
 //!    any accepted query was dropped across a swap. `--smoke` shrinks
 //!    every phase for CI.
 
-use hire_bench::{write_json_atomic, HostInfo};
+use hire_bench::{write_json_atomic, HostInfo, QueryLog};
 use hire_chaos::FaultPlan;
 use hire_core::{train_hybrid, HireConfig, HireModel, HybridConfig};
 use hire_data::{
@@ -54,6 +66,7 @@ use hire_serve::{
     EngineConfig, FrozenModel, OnlineConfig, OnlineLoop, Predictor, QuantTierConfig, RatingQuery,
     ResilienceConfig, RoundOutcome, ServeEngine, ServeError, ServedBy, Server, ServerConfig,
 };
+use hire_shard::{ShardConfig, ShardedEngine};
 use hire_tensor::QuantMode;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -76,8 +89,14 @@ OPTIONS:
     --max-queue <usize>      queue bound before Overloaded [4096]
     --batch-timeout-ms <f64> straggler wait per batch [2]
     --cold-frac <f64>        fraction of uniform-random (cold) queries [0.1]
-    --zipf <f64>             zipf exponent over the hot set [1.1]
+    --zipf-s <f64>           zipf exponent over the hot set [1.1]
+                             (--zipf is accepted as an alias)
     --hot-pairs <usize>      hot-set size [64]
+    --shards <csv>           run the shard sweep at these counts, e.g. 1,2,4,8
+    --users <usize>          shard-sweep user count (streaming generation
+                             when set; pairs with --items)
+    --items <usize>          shard-sweep item count
+    --shard-queries <usize>  queries replayed per shard count [2000]
     --seed <u64>             rng seed [7]
     --threads <usize>        hire-par compute pool size (kernel-level
                              parallelism inside each forward) [HIRE_THREADS
@@ -100,7 +119,7 @@ struct Args {
     max_queue: usize,
     batch_timeout_ms: f64,
     cold_frac: f64,
-    zipf: f64,
+    zipf_s: f64,
     hot_pairs: usize,
     seed: u64,
     threads: Option<usize>,
@@ -108,6 +127,10 @@ struct Args {
     fault_rate: f64,
     chaos_queries: usize,
     online: bool,
+    shards: Option<Vec<usize>>,
+    users: Option<usize>,
+    items: Option<usize>,
+    shard_queries: usize,
     smoke: bool,
     out: Option<String>,
 }
@@ -122,7 +145,7 @@ impl Default for Args {
             max_queue: 4096,
             batch_timeout_ms: 2.0,
             cold_frac: 0.1,
-            zipf: 1.1,
+            zipf_s: 1.1,
             hot_pairs: 64,
             seed: 7,
             threads: None,
@@ -130,6 +153,10 @@ impl Default for Args {
             fault_rate: 0.2,
             chaos_queries: 300,
             online: false,
+            shards: None,
+            users: None,
+            items: None,
+            shard_queries: 2000,
             smoke: false,
             out: None,
         }
@@ -156,8 +183,25 @@ fn parse_args(argv: &[String]) -> HireResult<Args> {
             "--max-queue" => args.max_queue = num(flag, value()?)?,
             "--batch-timeout-ms" => args.batch_timeout_ms = num(flag, value()?)?,
             "--cold-frac" => args.cold_frac = num(flag, value()?)?,
-            "--zipf" => args.zipf = num(flag, value()?)?,
+            "--zipf-s" | "--zipf" => args.zipf_s = num(flag, value()?)?,
             "--hot-pairs" => args.hot_pairs = num(flag, value()?)?,
+            "--shards" => {
+                let raw = value()?;
+                let counts = raw
+                    .split(',')
+                    .map(|part| num::<usize>(flag, part.trim()))
+                    .collect::<HireResult<Vec<usize>>>()?;
+                if counts.is_empty() || counts.contains(&0) {
+                    return Err(HireError::invalid_argument(
+                        flag,
+                        "expected a comma-separated list of positive shard counts",
+                    ));
+                }
+                args.shards = Some(counts);
+            }
+            "--users" => args.users = Some(num(flag, value()?)?),
+            "--items" => args.items = Some(num(flag, value()?)?),
+            "--shard-queries" => args.shard_queries = num(flag, value()?)?,
             "--seed" => args.seed = num(flag, value()?)?,
             "--threads" => args.threads = Some(num(flag, value()?)?),
             "--chaos-seed" => args.chaos_seed = Some(num(flag, value()?)?),
@@ -175,56 +219,6 @@ fn parse_args(argv: &[String]) -> HireResult<Args> {
         }
     }
     Ok(args)
-}
-
-/// Skewed query-log generator: zipfian over a hot set plus a cold tail.
-struct QueryLog {
-    hot: Vec<RatingQuery>,
-    /// Cumulative zipf weights over hot-set ranks.
-    cdf: Vec<f64>,
-    cold_frac: f64,
-    num_users: usize,
-    num_items: usize,
-}
-
-impl QueryLog {
-    fn new(dataset: &Dataset, args: &Args, rng: &mut StdRng) -> Self {
-        let hot: Vec<RatingQuery> = (0..args.hot_pairs.max(1))
-            .map(|_| RatingQuery {
-                user: rng.gen_range(0..dataset.num_users),
-                item: rng.gen_range(0..dataset.num_items),
-            })
-            .collect();
-        let mut cdf = Vec::with_capacity(hot.len());
-        let mut total = 0.0f64;
-        for rank in 0..hot.len() {
-            total += 1.0 / ((rank + 1) as f64).powf(args.zipf);
-            cdf.push(total);
-        }
-        QueryLog {
-            hot,
-            cdf,
-            cold_frac: args.cold_frac,
-            num_users: dataset.num_users,
-            num_items: dataset.num_items,
-        }
-    }
-
-    fn next(&self, rng: &mut StdRng) -> RatingQuery {
-        if rng.gen::<f64>() < self.cold_frac {
-            return RatingQuery {
-                user: rng.gen_range(0..self.num_users),
-                item: rng.gen_range(0..self.num_items),
-            };
-        }
-        let total = *self.cdf.last().expect("non-empty hot set");
-        let target = rng.gen::<f64>() * total;
-        let rank = self
-            .cdf
-            .partition_point(|&c| c < target)
-            .min(self.hot.len() - 1);
-        self.hot[rank]
-    }
 }
 
 fn percentile_ms(sorted: &[f64], p: f64) -> f64 {
@@ -419,7 +413,8 @@ struct ServeBenchReport {
     max_queue: usize,
     batch_timeout_ms: f64,
     cold_frac: f64,
-    zipf: f64,
+    /// Zipf exponent of the query log's hot-set draw (`--zipf-s`).
+    zipf_s: f64,
     hot_pairs: usize,
     seed: u64,
     baseline: BaselineReport,
@@ -428,6 +423,63 @@ struct ServeBenchReport {
     cache: CacheReport,
     chaos: Option<ChaosReport>,
     online: Option<OnlineReport>,
+    shard_sweep: Option<ShardSweepReport>,
+}
+
+/// One shard's slice of a sweep entry: routing load, ladder counters,
+/// cache counters, and the shard's graph epoch / model version.
+#[derive(Serialize)]
+struct ShardSliceReport {
+    shard: usize,
+    routed: u64,
+    served_model: u64,
+    served_quantized: u64,
+    served_hybrid: u64,
+    served_cache: u64,
+    served_fallback: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    cache_hit_rate: f64,
+    graph_epoch: u64,
+    model_version: u64,
+}
+
+/// One shard count's replay of the sweep query log.
+#[derive(Serialize)]
+struct ShardSweepEntry {
+    shards: usize,
+    queries: u64,
+    /// Queries that never produced an answer — must be zero.
+    unanswered: u64,
+    elapsed_secs: f64,
+    qps: f64,
+    /// Aggregate qps relative to the 1-shard entry (0 when the sweep did
+    /// not include a 1-shard run).
+    speedup_vs_one_shard: f64,
+    /// Max-over-mean routed load (1.0 = perfectly even).
+    balance: f64,
+    /// Pairs currently monitored by the space-saving sketch.
+    hot_tracked: usize,
+    /// Pairs whose contexts were replicated across shards.
+    hot_replicated_pairs: u64,
+    /// Queries answered via the round-robin hot-key spread policy.
+    hot_routed: u64,
+    /// `hot_routed` over all routed queries.
+    hot_hit_rate: f64,
+    per_shard: Vec<ShardSliceReport>,
+}
+
+#[derive(Serialize)]
+struct ShardSweepReport {
+    users: usize,
+    items: usize,
+    ratings: usize,
+    /// True when the graph came from the streaming million-scale path
+    /// (`--users`/`--items`) rather than the serving dataset.
+    streaming_dataset: bool,
+    zipf_s: f64,
+    queries_per_count: usize,
+    entries: Vec<ShardSweepEntry>,
 }
 
 /// Single-threaded tape baseline: sample a context and run the autograd
@@ -1015,6 +1067,169 @@ fn run_online(
     (report, ok)
 }
 
+/// Shard sweep: replays one pre-drawn zipf query stream directly against a
+/// fresh [`ShardedEngine`] (hot-key replication on) at each requested shard
+/// count, so every count sees the identical workload. With `--users` /
+/// `--items` the sweep runs on a streaming-generated graph instead of the
+/// serving dataset — the million-user regime the subsystem exists for.
+/// Returns the report plus gate-failure messages (empty = gates held).
+fn run_shard_sweep(
+    base_dataset: &Arc<Dataset>,
+    base_graph: &Arc<BipartiteGraph>,
+    base_frozen: &FrozenModel,
+    config: &HireConfig,
+    args: &Args,
+    host_cores: usize,
+) -> (ShardSweepReport, Vec<String>) {
+    let counts = args.shards.clone().expect("sweep requested");
+    let (dataset, graph, frozen, streaming) = if args.users.is_some() || args.items.is_some() {
+        let users = args.users.unwrap_or(1_000_000);
+        let items = args.items.unwrap_or((users / 10).max(100));
+        let degree = if args.smoke { (2, 6) } else { (4, 16) };
+        let cfg = SyntheticConfig::million_scale().scaled(users, items, degree);
+        eprintln!("  streaming-generating {users} users x {items} items...");
+        let (dataset, graph) = cfg.generate_streaming(args.seed);
+        let dataset = Arc::new(dataset);
+        // Fresh model on the sweep schema: parameter count stays
+        // attribute-bound, so this is cheap even at a million users.
+        let mut rng = StdRng::seed_from_u64(args.seed);
+        let model = HireModel::new(&dataset, config, &mut rng);
+        let frozen = FrozenModel::from_model(&model, &dataset).expect("freeze sweep model");
+        (dataset, Arc::new(graph), frozen, true)
+    } else {
+        (
+            Arc::clone(base_dataset),
+            Arc::clone(base_graph),
+            base_frozen.clone(),
+            false,
+        )
+    };
+
+    let queries_per_count = if args.smoke {
+        args.shard_queries.min(400)
+    } else {
+        args.shard_queries
+    };
+    let mut rng = StdRng::seed_from_u64(args.seed ^ 0x54A8D);
+    let log = QueryLog::new(
+        dataset.num_users,
+        dataset.num_items,
+        args.hot_pairs,
+        args.zipf_s,
+        args.cold_frac,
+        &mut rng,
+    );
+    // One pre-drawn stream for every shard count.
+    let queries: Vec<RatingQuery> = (0..queries_per_count).map(|_| log.next(&mut rng)).collect();
+
+    let mut entries: Vec<ShardSweepEntry> = Vec::new();
+    let mut failures: Vec<String> = Vec::new();
+    let mut qps_at: BTreeMap<usize, f64> = BTreeMap::new();
+    for &n in &counts {
+        let engine = ShardedEngine::with_shared_graph(
+            frozen.clone(),
+            Arc::clone(&dataset),
+            Arc::clone(&graph),
+            EngineConfig::from_model_config(config),
+            ShardConfig::with_shards(n),
+        );
+        let mut answered = 0u64;
+        let start = Instant::now();
+        for chunk in queries.chunks(args.max_batch.max(1)) {
+            if let Ok(ratings) = engine.predict_batch(chunk) {
+                answered += ratings.len() as u64;
+            }
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        let qps = answered as f64 / elapsed.max(1e-9);
+        qps_at.insert(n, qps);
+        let unanswered = queries.len() as u64 - answered;
+        let balance = engine.balance();
+        let hot = engine.hot_key_stats();
+        let per_shard: Vec<ShardSliceReport> = engine
+            .shard_stats()
+            .into_iter()
+            .enumerate()
+            .map(|(s, st)| ShardSliceReport {
+                shard: s,
+                routed: st.routed,
+                served_model: st.tiers.model,
+                served_quantized: st.tiers.quantized,
+                served_hybrid: st.tiers.hybrid,
+                served_cache: st.tiers.cache,
+                served_fallback: st.tiers.fallback,
+                cache_hits: st.cache.hits,
+                cache_misses: st.cache.misses,
+                cache_hit_rate: st.cache.hit_rate(),
+                graph_epoch: st.graph_epoch,
+                model_version: st.version,
+            })
+            .collect();
+        let routed_total: u64 = per_shard.iter().map(|s| s.routed).sum();
+        let hot_hit_rate = if routed_total == 0 {
+            0.0
+        } else {
+            hot.hot_routed as f64 / routed_total as f64
+        };
+        eprintln!(
+            "  {n} shard(s): {qps:.1} qps, balance {balance:.2}, {} replicated hot pairs ({:.1}% hot-routed), {unanswered} unanswered",
+            hot.replicated_pairs,
+            100.0 * hot_hit_rate,
+        );
+        if unanswered > 0 {
+            failures.push(format!("{n} shard(s): {unanswered} queries unanswered"));
+        }
+        // Hot-key replication is on for every multi-shard sweep entry, so
+        // zipf skew must not pile more than 2x the mean load on one shard.
+        if n > 1 && balance > 2.0 {
+            failures.push(format!(
+                "{n} shard(s): load imbalance {balance:.2} exceeds 2.0 (zipf s={})",
+                args.zipf_s
+            ));
+        }
+        entries.push(ShardSweepEntry {
+            shards: n,
+            queries: queries.len() as u64,
+            unanswered,
+            elapsed_secs: elapsed,
+            qps,
+            speedup_vs_one_shard: 0.0,
+            balance,
+            hot_tracked: hot.tracked,
+            hot_replicated_pairs: hot.replicated_pairs,
+            hot_routed: hot.hot_routed,
+            hot_hit_rate,
+            per_shard,
+        });
+    }
+    if let Some(&one) = qps_at.get(&1) {
+        for entry in &mut entries {
+            entry.speedup_vs_one_shard = entry.qps / one.max(1e-9);
+        }
+        // Throughput-scaling gate, host-conditional: a 1-core container
+        // cannot express shard parallelism, so the 2x requirement binds
+        // only where the hardware can deliver it.
+        if let Some(&four) = qps_at.get(&4) {
+            if host_cores >= 4 && four < 2.0 * one {
+                failures.push(format!(
+                    "4 shards reached {:.2}x the 1-shard qps on a {host_cores}-core host (>= 2x required)",
+                    four / one.max(1e-9)
+                ));
+            }
+        }
+    }
+    let report = ShardSweepReport {
+        users: dataset.num_users,
+        items: dataset.num_items,
+        ratings: graph.num_ratings(),
+        streaming_dataset: streaming,
+        zipf_s: args.zipf_s,
+        queries_per_count,
+        entries,
+    };
+    (report, failures)
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.iter().any(|a| a == "--help" || a == "-h") {
@@ -1060,8 +1275,16 @@ fn main() {
     let frozen = FrozenModel::from_model(&model, &dataset).expect("freeze model");
     let frozen_for_chaos = args.chaos_seed.map(|_| frozen.clone());
     let frozen_for_online = args.online.then(|| frozen.clone());
-    let graph = dataset.graph();
-    let log = Arc::new(QueryLog::new(&dataset, &args, &mut rng));
+    let frozen_for_shards = args.shards.is_some().then(|| frozen.clone());
+    let graph = Arc::new(dataset.graph());
+    let log = Arc::new(QueryLog::new(
+        dataset.num_users,
+        dataset.num_items,
+        args.hot_pairs,
+        args.zipf_s,
+        args.cold_frac,
+        &mut rng,
+    ));
 
     eprintln!("serve_bench: baseline (single-threaded tape predict)...");
     let baseline = run_baseline(&model, &dataset, &graph, &log, args.seed);
@@ -1166,6 +1389,26 @@ fn main() {
         report
     });
 
+    let mut shard_failures: Vec<String> = Vec::new();
+    let shard_sweep = args.shards.is_some().then(|| {
+        eprintln!(
+            "serve_bench: shard sweep at counts {:?}...",
+            args.shards.as_deref().unwrap_or(&[])
+        );
+        let (report, failures) = run_shard_sweep(
+            &dataset,
+            &graph,
+            frozen_for_shards
+                .as_ref()
+                .expect("frozen clone reserved for the shard sweep"),
+            &config,
+            &args,
+            host.logical_cores,
+        );
+        shard_failures = failures;
+        report
+    });
+
     let cache_stats = engine.cache_stats();
     let report = ServeBenchReport {
         workers: args.workers,
@@ -1175,7 +1418,7 @@ fn main() {
         max_queue: args.max_queue,
         batch_timeout_ms: args.batch_timeout_ms,
         cold_frac: args.cold_frac,
-        zipf: args.zipf,
+        zipf_s: args.zipf_s,
         hot_pairs: args.hot_pairs,
         seed: args.seed,
         baseline,
@@ -1190,6 +1433,7 @@ fn main() {
         },
         chaos,
         online,
+        shard_sweep,
     };
     eprintln!(
         "serve_bench: cache hit-rate {:.1}% ({} hits / {} misses)",
@@ -1228,6 +1472,13 @@ fn main() {
             "serve_bench: ONLINE SWAP DROPPED QUERIES — {} of {} accepted queries never answered",
             o.dropped, o.submitted
         );
+        std::process::exit(1);
+    }
+    if !shard_failures.is_empty() {
+        eprintln!("serve_bench: SHARD SWEEP GATES FAILED:");
+        for failure in &shard_failures {
+            eprintln!("  - {failure}");
+        }
         std::process::exit(1);
     }
 }

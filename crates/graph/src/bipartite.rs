@@ -61,6 +61,65 @@ impl CsrAdjacency {
     fn len(&self) -> usize {
         self.entries.len()
     }
+
+    /// Merges `extra` edges (already deduplicated against this adjacency and
+    /// within themselves) into a new adjacency in one pass over the flat
+    /// entry buffer — two allocations total, no per-node lists. `extra` is
+    /// `(node, neighbor, value)` triples.
+    fn merged(&self, num_nodes: usize, extra: &[(usize, usize, f32)]) -> CsrAdjacency {
+        let mut ex: Vec<(usize, usize, f32)> = extra.to_vec();
+        ex.sort_by_key(|&(n, nb, _)| (n, nb));
+        let mut offsets = Vec::with_capacity(num_nodes + 1);
+        let mut entries = Vec::with_capacity(self.entries.len() + ex.len());
+        offsets.push(0);
+        let mut ei = 0;
+        for node in 0..num_nodes {
+            let old = self.neighbors(node);
+            let mut oi = 0;
+            while ei < ex.len() && ex[ei].0 == node {
+                let (_, nb, v) = ex[ei];
+                while oi < old.len() && old[oi].0 < nb {
+                    entries.push(old[oi]);
+                    oi += 1;
+                }
+                entries.push((nb, v));
+                ei += 1;
+            }
+            entries.extend_from_slice(&old[oi..]);
+            offsets.push(entries.len());
+        }
+        CsrAdjacency { offsets, entries }
+    }
+
+    /// Finishes a two-pass streaming build: `offsets` are prefix-summed
+    /// degree counts (length `num_nodes + 1`) and `entries` the filled,
+    /// per-node-unsorted buffer. Stable-sorts each row and compacts
+    /// duplicate neighbors in place (first occurrence kept), matching
+    /// [`CsrAdjacency::build`] exactly.
+    fn finish_filled(mut offsets: Vec<usize>, mut entries: Vec<(usize, f32)>) -> CsrAdjacency {
+        let num_nodes = offsets.len() - 1;
+        let mut write = 0;
+        for node in 0..num_nodes {
+            let start = offsets[node];
+            let end = offsets[node + 1];
+            entries[start..end].sort_by_key(|&(x, _)| x);
+            let row_start = write;
+            let mut last: Option<usize> = None;
+            for i in start..end {
+                let e = entries[i];
+                if last == Some(e.0) {
+                    continue;
+                }
+                last = Some(e.0);
+                entries[write] = e;
+                write += 1;
+            }
+            offsets[node] = row_start;
+        }
+        offsets[num_nodes] = write;
+        entries.truncate(write);
+        CsrAdjacency { offsets, entries }
+    }
 }
 
 /// User-item bipartite graph with ratings on the edges, stored as CSR
@@ -186,10 +245,121 @@ impl BipartiteGraph {
     }
 
     /// Returns a new graph containing this graph's edges plus `extra`.
+    ///
+    /// Duplicate pairs keep the first occurrence — an existing edge's rating
+    /// wins over an extra for the same `(user, item)`, and among extras the
+    /// earliest wins (identical to rebuilding via [`Self::from_ratings`]).
+    /// Implemented as a single merge pass over both CSR sides rather than a
+    /// full re-sort, so extending a large graph by a handful of edges costs
+    /// O(E) copying but no per-node allocations — the copy-on-write path
+    /// behind [`crate::EpochedGraph::commit_edges`].
     pub fn with_extra_edges(&self, extra: &[Rating]) -> BipartiteGraph {
-        let mut all: Vec<Rating> = self.edges().collect();
-        all.extend_from_slice(extra);
-        BipartiteGraph::from_ratings(self.num_users, self.num_items, &all)
+        let mut add: Vec<Rating> = Vec::with_capacity(extra.len());
+        for r in extra {
+            assert!(
+                r.user < self.num_users,
+                "user {} out of range {}",
+                r.user,
+                self.num_users
+            );
+            assert!(
+                r.item < self.num_items,
+                "item {} out of range {}",
+                r.item,
+                self.num_items
+            );
+            if self.rating(r.user, r.item).is_none()
+                && !add.iter().any(|a| a.user == r.user && a.item == r.item)
+            {
+                add.push(*r);
+            }
+        }
+        let user_extra: Vec<(usize, usize, f32)> =
+            add.iter().map(|r| (r.user, r.item, r.value)).collect();
+        let item_extra: Vec<(usize, usize, f32)> =
+            add.iter().map(|r| (r.item, r.user, r.value)).collect();
+        let user_adj = self.user_adj.merged(self.num_users, &user_extra);
+        let item_adj = self.item_adj.merged(self.num_items, &item_extra);
+        let num_ratings = user_adj.len();
+        BipartiteGraph {
+            num_users: self.num_users,
+            num_items: self.num_items,
+            user_adj,
+            item_adj,
+            num_ratings,
+        }
+    }
+
+    /// Two-pass, allocation-conscious build for large graphs. `stream` is
+    /// invoked exactly twice with an emit callback and must produce the
+    /// identical edge sequence both times (e.g. by re-seeding a generator) —
+    /// pass one counts degrees, pass two fills preallocated flat CSR buffers
+    /// directly, so no per-node `Vec` or intermediate `Vec<Rating>` is ever
+    /// materialized. Duplicate `(user, item)` pairs keep the first
+    /// occurrence, bit-identical to [`Self::from_ratings`] over the same
+    /// sequence.
+    pub fn from_edge_stream(
+        num_users: usize,
+        num_items: usize,
+        mut stream: impl FnMut(&mut dyn FnMut(Rating)),
+    ) -> Self {
+        let mut udeg = vec![0usize; num_users];
+        let mut ideg = vec![0usize; num_items];
+        let mut count = 0usize;
+        stream(&mut |r: Rating| {
+            assert!(
+                r.user < num_users,
+                "user {} out of range {num_users}",
+                r.user
+            );
+            assert!(
+                r.item < num_items,
+                "item {} out of range {num_items}",
+                r.item
+            );
+            udeg[r.user] += 1;
+            ideg[r.item] += 1;
+            count += 1;
+        });
+        let prefix = |deg: &[usize]| {
+            let mut off = Vec::with_capacity(deg.len() + 1);
+            let mut acc = 0usize;
+            off.push(0);
+            for &d in deg {
+                acc += d;
+                off.push(acc);
+            }
+            off
+        };
+        let uoff = prefix(&udeg);
+        let ioff = prefix(&ideg);
+        let mut ucur: Vec<usize> = uoff[..num_users].to_vec();
+        let mut icur: Vec<usize> = ioff[..num_items].to_vec();
+        drop(udeg);
+        drop(ideg);
+        let mut uent = vec![(0usize, 0f32); count];
+        let mut ient = vec![(0usize, 0f32); count];
+        let mut seen = 0usize;
+        stream(&mut |r: Rating| {
+            assert!(seen < count, "edge stream grew between passes");
+            uent[ucur[r.user]] = (r.item, r.value);
+            ucur[r.user] += 1;
+            ient[icur[r.item]] = (r.user, r.value);
+            icur[r.item] += 1;
+            seen += 1;
+        });
+        assert_eq!(seen, count, "edge stream must replay identically");
+        let user_adj = CsrAdjacency::finish_filled(uoff, uent);
+        let item_adj = CsrAdjacency::finish_filled(ioff, ient);
+        let num_ratings = user_adj.len();
+        debug_assert_eq!(num_ratings, item_adj.len());
+        BipartiteGraph {
+            num_users,
+            num_items,
+            user_adj,
+            item_adj,
+            num_ratings,
+        }
     }
 }
 
@@ -300,6 +470,61 @@ mod tests {
         let g = toy().with_extra_edges(&[Rating::new(2, 0, 2.0)]);
         assert_eq!(g.rating(2, 0), Some(2.0));
         assert_eq!(g.num_ratings(), 5);
+    }
+
+    #[test]
+    fn with_extra_edges_matches_full_rebuild() {
+        let g = toy();
+        let extra = [
+            Rating::new(2, 0, 2.0),
+            Rating::new(0, 0, 9.0), // duplicate of existing edge: old value wins
+            Rating::new(1, 2, 4.5),
+            Rating::new(1, 2, 1.0), // duplicate within extras: first wins
+        ];
+        let merged = g.with_extra_edges(&extra);
+        let mut all: Vec<Rating> = g.edges().collect();
+        all.extend_from_slice(&extra);
+        let rebuilt = BipartiteGraph::from_ratings(3, 4, &all);
+        assert_eq!(merged.num_ratings(), rebuilt.num_ratings());
+        for u in 0..3 {
+            assert_eq!(merged.user_neighbors(u), rebuilt.user_neighbors(u));
+        }
+        for i in 0..4 {
+            assert_eq!(merged.item_neighbors(i), rebuilt.item_neighbors(i));
+        }
+        assert_eq!(merged.rating(0, 0), Some(5.0));
+        assert_eq!(merged.rating(1, 2), Some(4.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn with_extra_edges_checks_ranges() {
+        toy().with_extra_edges(&[Rating::new(7, 0, 1.0)]);
+    }
+
+    #[test]
+    fn edge_stream_matches_from_ratings() {
+        let ratings = [
+            Rating::new(0, 1, 3.0),
+            Rating::new(2, 3, 1.0),
+            Rating::new(0, 0, 5.0),
+            Rating::new(0, 1, 4.0), // duplicate pair: first occurrence kept
+            Rating::new(1, 1, 4.0),
+        ];
+        let streamed = BipartiteGraph::from_edge_stream(3, 4, |emit| {
+            for &r in &ratings {
+                emit(r);
+            }
+        });
+        let direct = BipartiteGraph::from_ratings(3, 4, &ratings);
+        assert_eq!(streamed.num_ratings(), direct.num_ratings());
+        for u in 0..3 {
+            assert_eq!(streamed.user_neighbors(u), direct.user_neighbors(u));
+        }
+        for i in 0..4 {
+            assert_eq!(streamed.item_neighbors(i), direct.item_neighbors(i));
+        }
+        assert_eq!(streamed.rating(0, 1), Some(3.0));
     }
 
     #[test]

@@ -9,10 +9,17 @@
 //! - [`RandomSampler`] — uniform sampling ablation
 //! - [`FeatureSimilaritySampler`] — cosine-similarity ablation
 
+//!
+//! Serving-side concurrency lives in [`epoch`]: copy-on-write, epoch-pinned
+//! CSR snapshots ([`EpochedGraph`] / [`PinnedGraph`]) and the shared
+//! [`EpochSource`] guard abstraction (DESIGN.md §14).
+
 pub mod bipartite;
+pub mod epoch;
 pub mod sampler;
 
 pub use bipartite::{BipartiteGraph, Rating, SocialGraph};
+pub use epoch::{EpochSource, EpochedGraph, PinnedGraph};
 pub use sampler::{
     ContextSampler, ContextSelection, FeatureSimilaritySampler, NeighborhoodSampler, RandomSampler,
 };

@@ -1,0 +1,116 @@
+//! Epoch-pinned snapshot invariants under concurrent writers (ISSUE 8,
+//! satellite 3): a reader pinned to epoch E never observes a post-E edge,
+//! no matter how many commits land while it holds the pin.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+use hire_graph::{BipartiteGraph, EpochSource, EpochedGraph, Rating};
+
+fn base_graph(users: usize, items: usize) -> BipartiteGraph {
+    let ratings: Vec<Rating> = (0..users).map(|u| Rating::new(u, u % items, 3.0)).collect();
+    BipartiteGraph::from_ratings(users, items, &ratings)
+}
+
+/// Edge committed at epoch e (1-based): user `e - 1` rates item
+/// `(e - 1 + 1) % items` — distinct from every base edge.
+fn edge_for_epoch(e: u64, items: usize) -> Rating {
+    let u = (e - 1) as usize;
+    Rating::new(u, (u + 1) % items, 5.0)
+}
+
+#[test]
+fn reader_pinned_to_epoch_e_never_observes_post_e_edge() {
+    let users = 64;
+    let items = 16;
+    let g = Arc::new(EpochedGraph::new(base_graph(users, items)));
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let writer = {
+        let g = Arc::clone(&g);
+        let stop = Arc::clone(&stop);
+        thread::spawn(move || {
+            for e in 1..=users as u64 {
+                let committed = g.commit_edges(&[edge_for_epoch(e, items)]);
+                assert_eq!(committed, e, "epochs advance by exactly one per commit");
+            }
+            stop.store(true, Ordering::Release);
+        })
+    };
+
+    let readers: Vec<_> = (0..4)
+        .map(|_| {
+            let g = Arc::clone(&g);
+            let stop = Arc::clone(&stop);
+            thread::spawn(move || {
+                let mut max_seen = 0u64;
+                loop {
+                    let done = stop.load(Ordering::Acquire);
+                    let pin = g.pin();
+                    let e = pin.epoch();
+                    assert!(e >= max_seen, "pinned epochs are monotone per reader");
+                    max_seen = max_seen.max(e);
+                    // Every edge committed at an epoch <= E is visible...
+                    for past in 1..=e {
+                        let r = edge_for_epoch(past, items);
+                        assert_eq!(
+                            pin.rating(r.user, r.item),
+                            Some(r.value),
+                            "edge committed at epoch {past} missing from pin at {e}"
+                        );
+                    }
+                    // ...and no edge committed after E is, even though the
+                    // writer keeps committing while we hold this pin.
+                    for future in (e + 1)..=users as u64 {
+                        let r = edge_for_epoch(future, items);
+                        assert_eq!(
+                            pin.rating(r.user, r.item),
+                            None,
+                            "pin at epoch {e} observes post-E edge from epoch {future}"
+                        );
+                    }
+                    assert_eq!(pin.num_ratings(), users + e as usize);
+                    if done {
+                        break;
+                    }
+                }
+            })
+        })
+        .collect();
+
+    writer.join().expect("writer");
+    for r in readers {
+        r.join().expect("reader");
+    }
+    assert_eq!(g.epoch(), users as u64);
+    // A stale pin taken before the last commits still answers from its era.
+    let final_pin = g.pin();
+    assert!(final_pin.is_current(&*g));
+}
+
+#[test]
+fn concurrent_commits_lose_no_edges() {
+    let items = 8;
+    let g = Arc::new(EpochedGraph::new(BipartiteGraph::empty(64, items)));
+    let handles: Vec<_> = (0..4)
+        .map(|t| {
+            let g = Arc::clone(&g);
+            thread::spawn(move || {
+                for k in 0..16usize {
+                    let u = t * 16 + k;
+                    g.commit_edges(&[Rating::new(u, u % items, 1.0)]);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("committer");
+    }
+    assert_eq!(g.epoch(), 64);
+    let pin = g.pin();
+    assert_eq!(pin.num_ratings(), 64);
+    for u in 0..64 {
+        assert_eq!(pin.rating(u, u % items), Some(1.0));
+    }
+}

@@ -25,7 +25,7 @@
 //! from a model answer.
 
 use crate::breaker::{BreakerConfig, BreakerState, BreakerStats, CircuitBreaker};
-use crate::cache::{CacheKey, CacheStats, ContextCache};
+use crate::cache::{CacheKey, CacheStats, ContextCache, ExportedContext};
 use crate::frozen::FrozenModel;
 use crate::quant::QuantizedModel;
 use crate::server::{Answer, ModelVersion, Predictor, RatingQuery, ServeError, ServedBy};
@@ -34,7 +34,7 @@ use hire_chaos::{sites, FaultKind, FaultPlan};
 use hire_core::{Backoff, BackoffConfig, HybridModel};
 use hire_data::{test_context_with_ratio, Dataset, PredictionContext};
 use hire_error::HireError;
-use hire_graph::{BipartiteGraph, NeighborhoodSampler, Rating};
+use hire_graph::{BipartiteGraph, EpochSource, EpochedGraph, NeighborhoodSampler, Rating};
 use hire_tensor::QuantMode;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -182,6 +182,15 @@ fn make_slot(
     })
 }
 
+/// The output of [`ServeEngine::prepare_install`]: a validated model plus
+/// its quantized companion, awaiting an infallible
+/// [`ServeEngine::commit_install`]. Dropping it aborts the install with no
+/// engine state touched.
+pub struct PreparedInstall {
+    model: FrozenModel,
+    quantized: Option<QuantizedModel>,
+}
+
 /// Settings for the quantized mid-tier (the ladder rung between the
 /// full-precision model and the hybrid predictor).
 #[derive(Debug, Clone)]
@@ -291,10 +300,12 @@ pub struct ServeEngine {
     /// The next version number to hand out (versions are never reused).
     next_version: AtomicU64,
     dataset: Arc<Dataset>,
-    graph: RwLock<Arc<BipartiteGraph>>,
-    /// Bumped (under the graph write lock) on every graph update; lets
-    /// concurrent resolvers detect that their sample raced a write.
-    epoch: AtomicU64,
+    /// The serving graph: copy-on-write, epoch-pinned snapshots
+    /// (`hire_graph::EpochedGraph`). Resolvers pin a snapshot + epoch
+    /// atomically; `insert_rating` commits a successor without blocking
+    /// pinned readers; the epoch guard lets resolvers detect that their
+    /// sample raced a write.
+    graph: EpochedGraph,
     cache: Mutex<ContextCache>,
     config: EngineConfig,
     resilience: ResilienceConfig,
@@ -383,6 +394,19 @@ impl ServeEngine {
         graph: BipartiteGraph,
         config: EngineConfig,
     ) -> Self {
+        Self::with_shared_graph(model, dataset, Arc::new(graph), config)
+    }
+
+    /// [`ServeEngine::with_graph`] over an already-shared snapshot. Shards
+    /// of a `ShardedEngine` all start from one `Arc`'d base graph this way
+    /// — one CSR allocation for N engines, diverging copy-on-write only
+    /// when a shard commits its first online rating.
+    pub fn with_shared_graph(
+        model: FrozenModel,
+        dataset: Arc<Dataset>,
+        graph: Arc<BipartiteGraph>,
+        config: EngineConfig,
+    ) -> Self {
         let base_user_degree = (0..dataset.num_users)
             .map(|u| graph.user_degree(u))
             .collect();
@@ -396,8 +420,7 @@ impl ServeEngine {
             history: Mutex::new(Vec::new()),
             next_version: AtomicU64::new(2),
             dataset,
-            graph: RwLock::new(Arc::new(graph)),
-            epoch: AtomicU64::new(0),
+            graph: EpochedGraph::from_arc(graph),
             cache: Mutex::new(ContextCache::new(config.cache_capacity)),
             config,
             resilience,
@@ -477,7 +500,13 @@ impl ServeEngine {
 
     /// A pinned snapshot of the live serving graph.
     pub fn graph_snapshot(&self) -> Arc<BipartiteGraph> {
-        self.graph.read().unwrap_or_else(|p| p.into_inner()).clone()
+        self.graph.latest()
+    }
+
+    /// The serving graph's current epoch (bumped once per committed
+    /// `insert_rating`).
+    pub fn graph_epoch(&self) -> u64 {
+        self.graph.epoch()
     }
 
     /// Classifies a query against the engine's base graph (see
@@ -502,6 +531,18 @@ impl ServeEngine {
     /// window against concurrent queries; a `Panic` fires before any state
     /// is touched, so a crashed swapper cannot corrupt the slot.
     pub fn install_model(&self, model: FrozenModel) -> Result<ModelVersion, ServeError> {
+        let prepared = self.prepare_install(model)?;
+        Ok(self.commit_install(prepared))
+    }
+
+    /// Phase one of an install: every fallible step — the chaos fire on
+    /// [`sites::ONLINE_SWAP`], the compatibility check against the
+    /// incumbent, and building the quantized companion. No engine state is
+    /// touched and no version number is consumed, so an abandoned prepare
+    /// (e.g. a sharded install aborting because a sibling shard's prepare
+    /// failed) leaves the engine exactly as it was — version counters
+    /// included, which is what keeps shards in version lockstep.
+    pub fn prepare_install(&self, model: FrozenModel) -> Result<PreparedInstall, ServeError> {
         if let Some(plan) = &self.faults {
             plan.fire(sites::ONLINE_SWAP)?;
         }
@@ -521,8 +562,24 @@ impl ServeEngine {
                 ),
             )));
         }
+        let quantized = self
+            .resilience
+            .quantized
+            .as_ref()
+            .map(|cfg| QuantizedModel::from_frozen(&model, cfg.mode));
+        Ok(PreparedInstall { model, quantized })
+    }
+
+    /// Phase two of an install: infallible. Allocates the fresh version,
+    /// swaps the slot pointer atomically, and pushes the displaced
+    /// incumbent onto the demotion history. Returns the new version.
+    pub fn commit_install(&self, prepared: PreparedInstall) -> ModelVersion {
         let version = self.next_version.fetch_add(1, Ordering::Relaxed);
-        let fresh = make_slot(model, version, self.resilience.quantized.as_ref());
+        let fresh = Arc::new(ModelSlot {
+            model: prepared.model,
+            version,
+            quantized: prepared.quantized,
+        });
         let displaced = {
             let mut slot = self.slot.write().unwrap_or_else(|p| p.into_inner());
             std::mem::replace(&mut *slot, fresh)
@@ -534,7 +591,7 @@ impl ServeEngine {
         if history.len() > 4 {
             history.remove(0);
         }
-        Ok(version)
+        version
     }
 
     /// Re-installs the previously displaced model under a **new** version
@@ -632,15 +689,62 @@ impl ServeEngine {
                 ),
             )));
         }
-        {
-            let mut graph = self.graph.write().unwrap_or_else(|p| p.into_inner());
-            *graph = Arc::new(graph.with_extra_edges(&[rating]));
-            // Bumped while the write lock is held: any resolver that read
-            // the old graph observes the bump before caching its sample.
-            self.epoch.fetch_add(1, Ordering::Release);
-        }
+        // Copy-on-write commit: pinned readers keep their snapshots, the
+        // epoch bump makes any in-flight resolver refuse to cache a sample
+        // taken against the displaced snapshot.
+        self.graph.commit_edges(&[rating]);
         lock(&self.inserted).push(rating);
-        Ok(lock(&self.cache).invalidate_edge(rating.user, rating.item))
+        Ok(self.invalidate_cached_edge(rating.user, rating.item))
+    }
+
+    /// Invalidates every cached context whose block contains `user` or
+    /// `item`, without touching the graph. This is the broadcast half of a
+    /// sharded insert: the owning shard commits the edge to *its* graph,
+    /// every other shard drops the cached blocks (including hot-key
+    /// replicas) the edge touches. Returns the number of entries removed.
+    pub fn invalidate_cached_edge(&self, user: usize, item: usize) -> usize {
+        lock(&self.cache).invalidate_edge(user, item)
+    }
+
+    /// Exports the cached context (and memo, version-stamped) for a query,
+    /// without perturbing LRU order or hit/miss telemetry — the read side
+    /// of hot-key replication.
+    pub fn export_cached(&self, user: usize, item: usize) -> Option<ExportedContext> {
+        let key = self.cache_key(user, item);
+        lock(&self.cache).peek(&key)
+    }
+
+    /// Adopts a context sampled by another shard into this engine's cache,
+    /// re-stamping the memoized prediction if one was exported with it.
+    /// The adopting shard would have sampled the bit-identical context
+    /// itself (sampling is a pure function of `(seed, user, item)` and the
+    /// shards share the engine seed), so this is a cache warm-up, not a
+    /// semantic change; rating-edge invalidation broadcasts drop the
+    /// replica along with native entries.
+    pub fn adopt_context(
+        &self,
+        user: usize,
+        item: usize,
+        ctx: Arc<PredictionContext>,
+        memo: Option<(ModelVersion, f32)>,
+    ) {
+        let key = self.cache_key(user, item);
+        let mut cache = lock(&self.cache);
+        cache.insert(key.clone(), ctx.clone());
+        if let Some((version, value)) = memo {
+            cache.store_prediction(&key, &ctx, version, value);
+        }
+    }
+
+    /// The cache key this engine uses for a query pair.
+    fn cache_key(&self, user: usize, item: usize) -> CacheKey {
+        CacheKey {
+            user,
+            item,
+            strategy: STRATEGY,
+            n: self.config.context_users,
+            m: self.config.context_items,
+        }
     }
 
     /// Resolves the prediction context for a query: cache hit, or a fresh
@@ -687,28 +791,21 @@ impl ServeEngine {
         if let Some(plan) = &self.faults {
             plan.fire(sites::ENGINE_RESOLVE)?;
         }
-        let key = CacheKey {
-            user: query.user,
-            item: query.item,
-            strategy: STRATEGY,
-            n: self.config.context_users,
-            m: self.config.context_items,
-        };
+        let key = self.cache_key(query.user, query.item);
         if let Some(hit) = lock(&self.cache).get(&key, version) {
             return Ok((key, hit.ctx, hit.prediction));
         }
-        // Epoch-then-graph order matters: if a rating lands between these
-        // reads, the epoch check below refuses to cache the (possibly
-        // stale) sample — it is still good enough to answer this query,
-        // whose submission raced the write.
-        let epoch = self.epoch.load(Ordering::Acquire);
-        let graph = self.graph.read().unwrap_or_else(|p| p.into_inner()).clone();
+        // Pin the snapshot and its epoch atomically: if a rating commits
+        // while we sample, the guarded insert below refuses to cache the
+        // (possibly stale) sample — it is still good enough to answer this
+        // query, whose submission raced the write.
+        let pinned = self.graph.pin();
         let mut rng = StdRng::seed_from_u64(context_seed(self.config.seed, query.user, query.item));
         // The query cell is target-masked, so its placeholder value never
         // reaches the model input.
         let placeholder = Rating::new(query.user, query.item, self.dataset.min_rating);
         let ctx = test_context_with_ratio(
-            &graph,
+            &pinned,
             &NeighborhoodSampler,
             &[placeholder],
             self.config.context_users,
@@ -718,9 +815,7 @@ impl ServeEngine {
         )
         .map_err(ServeError::Model)?;
         let ctx = Arc::new(ctx);
-        if self.epoch.load(Ordering::Acquire) == epoch {
-            lock(&self.cache).insert(key.clone(), ctx.clone());
-        }
+        lock(&self.cache).insert_if_current(key.clone(), ctx.clone(), &pinned, &self.graph);
         Ok((key, ctx, None))
     }
 
@@ -728,7 +823,7 @@ impl ServeEngine {
     /// mean → global mean over the live serving graph, clamped into the
     /// dataset's rating range.
     fn fallback_ratings(&self, queries: &[(usize, usize)]) -> Vec<f32> {
-        let graph = self.graph.read().unwrap_or_else(|p| p.into_inner()).clone();
+        let graph = self.graph.latest();
         let mut predictor = EntityMean::new();
         // `fit` only computes the global mean; the RNG is unused but part
         // of the `RatingModel` contract.

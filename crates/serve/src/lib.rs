@@ -58,10 +58,10 @@ pub mod quant;
 pub mod server;
 
 pub use breaker::{BreakerConfig, BreakerState, BreakerStats, CircuitBreaker};
-pub use cache::{CacheKey, CacheStats, CachedContext, ContextCache};
+pub use cache::{CacheKey, CacheStats, CachedContext, ContextCache, ExportedContext};
 pub use engine::{
-    ColdScenario, EngineConfig, ModelSlot, QuantTierConfig, ResilienceConfig, ServeEngine,
-    TierStats,
+    ColdScenario, EngineConfig, ModelSlot, PreparedInstall, QuantTierConfig, ResilienceConfig,
+    ServeEngine, TierStats,
 };
 pub use frozen::FrozenModel;
 pub use online::{

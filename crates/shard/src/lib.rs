@@ -1,0 +1,28 @@
+//! # hire-shard
+//!
+//! Horizontal scaling for the HIRE serving stack (DESIGN.md §14): a
+//! [`ShardedEngine`] partitions queries across N inner
+//! [`hire_serve::ServeEngine`] shards by hash of the seed user — the
+//! natural unit for the paper's neighborhood-context workload, since a
+//! query's BFS context is seeded at its user. Each shard owns its slice of
+//! the context-cache key space, its own circuit breaker and degradation
+//! ladder, and its own copy-on-write, epoch-pinned graph
+//! (`hire_graph::EpochedGraph`) started from one shared base snapshot.
+//!
+//! Cross-cutting operations preserve the single-engine contracts:
+//! `insert_rating` commits to the owner shard and broadcasts cache
+//! invalidation; `install_model` is a two-phase prepare/commit so every
+//! shard serves the same `ModelVersion` or the install aborts wholesale;
+//! zipf-skewed hot keys are detected online by a space-saving sketch
+//! ([`SpaceSaving`]) and their cached contexts replicated across shards so
+//! the head of the distribution stops serializing on one engine.
+//!
+//! Because every shard shares one sampling seed, a fault-free prediction
+//! for a given `(user, item)` is bit-identical at every shard count — the
+//! invariant `tests/sharding.rs` locks down.
+
+pub mod engine;
+pub mod sketch;
+
+pub use engine::{HotKeyConfig, HotKeyStats, ShardConfig, ShardStats, ShardedEngine};
+pub use sketch::SpaceSaving;

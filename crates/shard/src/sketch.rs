@@ -1,0 +1,130 @@
+//! Space-saving heavy-hitter sketch over query pairs.
+//!
+//! Metwally et al.'s *space-saving* algorithm tracks the top-k items of a
+//! stream in O(k) memory: a monitored item's counter increments exactly;
+//! an unmonitored item replaces the minimum-count entry, inheriting its
+//! count (recorded as the new entry's overestimation error). Guarantees:
+//! every true count is ≤ its estimate, and any item with true frequency
+//! above `min_count` is monitored. That is precisely the shape hot-key
+//! detection needs — a zipf-skewed query log's head is caught online with
+//! a few dozen slots, and a false positive merely replicates a lukewarm
+//! key's context (wasted cache bytes, never a wrong answer).
+
+use std::collections::HashMap;
+
+/// One monitored entry: estimated count and the overestimation bound
+/// (the count it inherited when it displaced another entry).
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    count: u64,
+    err: u64,
+}
+
+/// Bounded heavy-hitter counter over `(user, item)` pairs.
+#[derive(Debug)]
+pub struct SpaceSaving {
+    capacity: usize,
+    slots: HashMap<(usize, usize), Slot>,
+}
+
+impl SpaceSaving {
+    /// A sketch monitoring at most `capacity` pairs (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        SpaceSaving {
+            capacity: capacity.max(1),
+            slots: HashMap::new(),
+        }
+    }
+
+    /// Observes one arrival of `pair`; returns the updated count estimate.
+    pub fn observe(&mut self, pair: (usize, usize)) -> u64 {
+        if let Some(slot) = self.slots.get_mut(&pair) {
+            slot.count += 1;
+            return slot.count;
+        }
+        if self.slots.len() < self.capacity {
+            self.slots.insert(pair, Slot { count: 1, err: 0 });
+            return 1;
+        }
+        // Displace the minimum-count entry (ties broken by pair order so
+        // the sketch is deterministic across HashMap iteration orders).
+        let (&victim, &slot) = self
+            .slots
+            .iter()
+            .min_by_key(|(&k, s)| (s.count, k))
+            .expect("capacity >= 1");
+        self.slots.remove(&victim);
+        let inherited = slot.count;
+        self.slots.insert(
+            pair,
+            Slot {
+                count: inherited + 1,
+                err: inherited,
+            },
+        );
+        inherited + 1
+    }
+
+    /// The estimated count for a monitored pair (None if unmonitored).
+    pub fn estimate(&self, pair: (usize, usize)) -> Option<u64> {
+        self.slots.get(&pair).map(|s| s.count)
+    }
+
+    /// Guaranteed-minimum count: estimate minus the overestimation error.
+    pub fn guaranteed(&self, pair: (usize, usize)) -> Option<u64> {
+        self.slots.get(&pair).map(|s| s.count - s.err)
+    }
+
+    /// Number of monitored pairs.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when nothing has been observed yet.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_below_capacity() {
+        let mut s = SpaceSaving::new(4);
+        for _ in 0..5 {
+            s.observe((1, 1));
+        }
+        s.observe((2, 2));
+        assert_eq!(s.estimate((1, 1)), Some(5));
+        assert_eq!(s.guaranteed((1, 1)), Some(5));
+        assert_eq!(s.estimate((2, 2)), Some(1));
+        assert_eq!(s.estimate((3, 3)), None);
+    }
+
+    #[test]
+    fn displacement_inherits_min_count() {
+        let mut s = SpaceSaving::new(2);
+        s.observe((1, 1));
+        s.observe((1, 1));
+        s.observe((2, 2));
+        // Full; (3,3) displaces the min entry (2,2) with count 1.
+        assert_eq!(s.observe((3, 3)), 2);
+        assert_eq!(s.guaranteed((3, 3)), Some(1));
+        assert_eq!(s.estimate((2, 2)), None);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn heavy_hitter_survives_churn() {
+        let mut s = SpaceSaving::new(8);
+        // A hot pair interleaved with a parade of one-off cold pairs.
+        for i in 0..200 {
+            s.observe((0, 0));
+            s.observe((100 + i, 100 + i));
+        }
+        let hot = s.estimate((0, 0)).expect("hot pair must stay monitored");
+        assert!(hot >= 200, "estimate {hot} must dominate the true count");
+    }
+}
