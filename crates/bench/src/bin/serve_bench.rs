@@ -53,6 +53,17 @@
 //!    cold-start scenario and counts swaps; the process exits non-zero if
 //!    any accepted query was dropped across a swap. `--smoke` shrinks
 //!    every phase for CI.
+//!
+//! A seventh, optional phase runs when `--durability` is given:
+//! 7. **durability** — for each WAL durability level (`none`, `group`,
+//!    `strict`; DESIGN.md §15), `--workers` closed-loop writers drive
+//!    acked `insert_rating` traffic against a WAL-attached engine, then
+//!    the engine is dropped and rebuilt from the log alone. The report
+//!    records acked-write throughput, per-insert ack latency percentiles,
+//!    fsync/rotation counts, recovery wall time, and whether the
+//!    recovered engine answers bit-identically to the live one. The
+//!    process exits non-zero if a `group` or `strict` run lost an acked
+//!    write or recovered to different answer bits.
 
 use hire_bench::{write_json_atomic, HostInfo, QueryLog};
 use hire_chaos::FaultPlan;
@@ -63,11 +74,13 @@ use hire_data::{
 use hire_error::{HireError, HireResult};
 use hire_graph::{BipartiteGraph, NeighborhoodSampler, Rating};
 use hire_serve::{
-    EngineConfig, FrozenModel, OnlineConfig, OnlineLoop, Predictor, QuantTierConfig, RatingQuery,
-    ResilienceConfig, RoundOutcome, ServeEngine, ServeError, ServedBy, Server, ServerConfig,
+    recover, EngineConfig, FrozenModel, OnlineConfig, OnlineLoop, Predictor, QuantTierConfig,
+    RatingQuery, ResilienceConfig, RoundOutcome, ServeEngine, ServeError, ServedBy, Server,
+    ServerConfig,
 };
 use hire_shard::{ShardConfig, ShardedEngine};
 use hire_tensor::QuantMode;
+use hire_wal::{Durability, Wal, WalOptions};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::Serialize;
@@ -105,6 +118,9 @@ OPTIONS:
     --fault-rate <f64>       per-site fault probability for the chaos phase [0.2]
     --chaos-queries <usize>  queries fired during the chaos phase [300]
     --online                 run the train-while-serving phase
+    --durability             run the WAL durability/recovery phase
+    --durability-inserts <usize>
+                             acked inserts per durability level [1500]
     --smoke                  shrink every phase for CI (short paced/chaos
                              runs, small online waves)
     --out <path>             write the JSON report here
@@ -127,6 +143,8 @@ struct Args {
     fault_rate: f64,
     chaos_queries: usize,
     online: bool,
+    durability: bool,
+    durability_inserts: usize,
     shards: Option<Vec<usize>>,
     users: Option<usize>,
     items: Option<usize>,
@@ -153,6 +171,8 @@ impl Default for Args {
             fault_rate: 0.2,
             chaos_queries: 300,
             online: false,
+            durability: false,
+            durability_inserts: 1500,
             shards: None,
             users: None,
             items: None,
@@ -208,6 +228,8 @@ fn parse_args(argv: &[String]) -> HireResult<Args> {
             "--fault-rate" => args.fault_rate = num(flag, value()?)?,
             "--chaos-queries" => args.chaos_queries = num(flag, value()?)?,
             "--online" => args.online = true,
+            "--durability" => args.durability = true,
+            "--durability-inserts" => args.durability_inserts = num(flag, value()?)?,
             "--smoke" => args.smoke = true,
             "--out" => args.out = Some(value()?.clone()),
             other => {
@@ -401,6 +423,44 @@ struct OnlineReport {
     versions: Vec<OnlineVersionReport>,
 }
 
+/// One durability level's acked-write and recovery numbers.
+#[derive(Serialize)]
+struct DurabilityLevelReport {
+    /// `none` | `group` | `strict` (DESIGN.md §15 durability ladder).
+    level: String,
+    /// Closed-loop writer threads driving acked inserts.
+    writers: usize,
+    /// Acked inserts across all writers.
+    inserts: u64,
+    elapsed_secs: f64,
+    /// Acked writes per second (all writers combined).
+    acked_per_sec: f64,
+    /// Per-insert submit-to-ack latency percentiles.
+    p50_ms: f64,
+    p99_ms: f64,
+    /// fsync calls the log issued (commit + rotation + open repair) —
+    /// the cost the `group` window amortizes across writers.
+    fsyncs: u64,
+    /// Segment rotations during the run.
+    rotations: u64,
+    /// Records the log itself reports durable at drop time.
+    durable_upto: u64,
+    /// Wall time to rebuild engine + online loop from the log alone.
+    recovery_ms: f64,
+    /// Ratings present after recovery.
+    recovered: u64,
+    /// Acked inserts missing after recovery. Must be zero at `group` and
+    /// `strict`; at `none` a loss is legal (and reported, not gated).
+    lost_acked: u64,
+    /// Recovered engine answers bit-identically to the live one.
+    bitwise_match: bool,
+}
+
+#[derive(Serialize)]
+struct DurabilityReport {
+    levels: Vec<DurabilityLevelReport>,
+}
+
 #[derive(Serialize)]
 struct ServeBenchReport {
     workers: usize,
@@ -423,6 +483,7 @@ struct ServeBenchReport {
     cache: CacheReport,
     chaos: Option<ChaosReport>,
     online: Option<OnlineReport>,
+    durability: Option<DurabilityReport>,
     shard_sweep: Option<ShardSweepReport>,
 }
 
@@ -1073,6 +1134,143 @@ fn run_online(
 /// `--items` the sweep runs on a streaming-generated graph instead of the
 /// serving dataset — the million-user regime the subsystem exists for.
 /// Returns the report plus gate-failure messages (empty = gates held).
+/// Durability phase: for each WAL level, `--workers` closed-loop threads
+/// drive acked inserts against a WAL-attached engine; the engine is then
+/// dropped and rebuilt from the log alone (DESIGN.md §15). Returns the
+/// per-level numbers plus gate failures: at `group`/`strict`, losing an
+/// acked write or recovering to different answer bits is a CI failure.
+fn run_durability(
+    frozen: &FrozenModel,
+    dataset: &Arc<Dataset>,
+    config: &HireConfig,
+    args: &Args,
+) -> (DurabilityReport, Vec<String>) {
+    let root = std::env::temp_dir().join(format!("hire-serve-bench-wal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let graph = Arc::new(dataset.graph());
+    let writers = args.workers.max(1);
+    let total = args.durability_inserts.max(writers);
+    let probes: Vec<RatingQuery> = (0..16)
+        .map(|k| RatingQuery {
+            user: (k * 13) % dataset.num_users,
+            item: (k * 17) % dataset.num_items,
+        })
+        .collect();
+    let mut levels = Vec::new();
+    let mut failures = Vec::new();
+    for (name, durability) in [
+        ("none", Durability::None),
+        ("group", Durability::Group),
+        ("strict", Durability::Strict),
+    ] {
+        let wal_dir = root.join(name);
+        std::fs::create_dir_all(&wal_dir).expect("create wal dir");
+        let opts = WalOptions {
+            durability,
+            ..WalOptions::default()
+        };
+        let (wal, _) = Wal::open(&wal_dir, opts.clone()).expect("open fresh wal");
+        let engine = Arc::new(
+            ServeEngine::with_shared_graph(
+                frozen.clone(),
+                Arc::clone(dataset),
+                Arc::clone(&graph),
+                EngineConfig::from_model_config(config),
+            )
+            .with_wal(Arc::new(wal)),
+        );
+        let users = dataset.num_users;
+        let items = dataset.num_items;
+        let started = Instant::now();
+        let mut lat_ms: Vec<f64> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..writers)
+                .map(|w| {
+                    let engine = Arc::clone(&engine);
+                    scope.spawn(move || {
+                        let mut lat = Vec::new();
+                        let mut k = w;
+                        while k < total {
+                            let rating =
+                                Rating::new((k * 3) % users, (k * 5) % items, ((k % 5) + 1) as f32);
+                            let t = Instant::now();
+                            engine.insert_rating(rating).expect("acked insert");
+                            lat.push(t.elapsed().as_secs_f64() * 1e3);
+                            k += writers;
+                        }
+                        lat
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("writer thread"))
+                .collect()
+        });
+        let elapsed = started.elapsed().as_secs_f64();
+        let stats = engine.wal().expect("wal attached").stats();
+        let live_bits: Vec<u32> = engine
+            .predict_batch(&probes)
+            .expect("live probe batch")
+            .into_iter()
+            .map(f32::to_bits)
+            .collect();
+        drop(engine);
+        lat_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
+
+        let t = Instant::now();
+        let recovered = recover(
+            frozen.clone(),
+            Arc::clone(dataset),
+            Arc::clone(&graph),
+            EngineConfig::from_model_config(config),
+            OnlineConfig::default(),
+            &wal_dir,
+            opts,
+        )
+        .expect("recover from wal");
+        let recovery_ms = t.elapsed().as_secs_f64() * 1e3;
+        let recovered_bits: Vec<u32> = recovered
+            .engine
+            .predict_batch(&probes)
+            .expect("recovered probe batch")
+            .into_iter()
+            .map(f32::to_bits)
+            .collect();
+        let bitwise_match = recovered_bits == live_bits;
+        let lost = (total as u64).saturating_sub(recovered.ratings as u64);
+        if durability != Durability::None {
+            if lost > 0 {
+                failures.push(format!(
+                    "{name}: {lost} acked write(s) lost across recovery"
+                ));
+            }
+            if !bitwise_match {
+                failures.push(format!(
+                    "{name}: recovered answers are not bit-identical to the live engine"
+                ));
+            }
+        }
+        levels.push(DurabilityLevelReport {
+            level: name.to_string(),
+            writers,
+            inserts: total as u64,
+            elapsed_secs: elapsed,
+            acked_per_sec: total as f64 / elapsed.max(1e-9),
+            p50_ms: percentile_ms(&lat_ms, 50.0),
+            p99_ms: percentile_ms(&lat_ms, 99.0),
+            fsyncs: stats.fsyncs,
+            rotations: stats.rotations,
+            durable_upto: stats.durable_upto,
+            recovery_ms,
+            recovered: recovered.ratings as u64,
+            lost_acked: lost,
+            bitwise_match,
+        });
+    }
+    let _ = std::fs::remove_dir_all(&root);
+    (DurabilityReport { levels }, failures)
+}
+
 fn run_shard_sweep(
     base_dataset: &Arc<Dataset>,
     base_graph: &Arc<BipartiteGraph>,
@@ -1247,6 +1445,7 @@ fn main() {
     if args.smoke {
         args.duration_secs = args.duration_secs.min(1.0);
         args.chaos_queries = args.chaos_queries.min(80);
+        args.durability_inserts = args.durability_inserts.min(250);
     }
     if let Some(threads) = args.threads {
         // Must run before any kernel touches the pool; --threads sweeps in
@@ -1276,6 +1475,7 @@ fn main() {
     let frozen_for_chaos = args.chaos_seed.map(|_| frozen.clone());
     let frozen_for_online = args.online.then(|| frozen.clone());
     let frozen_for_shards = args.shards.is_some().then(|| frozen.clone());
+    let frozen_for_durability = args.durability.then(|| frozen.clone());
     let graph = Arc::new(dataset.graph());
     let log = Arc::new(QueryLog::new(
         dataset.num_users,
@@ -1389,6 +1589,38 @@ fn main() {
         report
     });
 
+    let mut durability_failures: Vec<String> = Vec::new();
+    let durability = args.durability.then(|| {
+        eprintln!(
+            "serve_bench: durability ({} inserts per level, {} writers)...",
+            args.durability_inserts, args.workers
+        );
+        let (report, failures) = run_durability(
+            frozen_for_durability
+                .as_ref()
+                .expect("frozen clone reserved for the durability phase"),
+            &dataset,
+            &config,
+            &args,
+        );
+        for level in &report.levels {
+            eprintln!(
+                "  {:<6} {:>8.0} acked/s  p50 {:.3} ms  p99 {:.3} ms  {} fsyncs  recovery {:.1} ms  {} recovered ({} lost){}",
+                level.level,
+                level.acked_per_sec,
+                level.p50_ms,
+                level.p99_ms,
+                level.fsyncs,
+                level.recovery_ms,
+                level.recovered,
+                level.lost_acked,
+                if level.bitwise_match { "" } else { "  ANSWERS DIVERGED" },
+            );
+        }
+        durability_failures = failures;
+        report
+    });
+
     let mut shard_failures: Vec<String> = Vec::new();
     let shard_sweep = args.shards.is_some().then(|| {
         eprintln!(
@@ -1433,6 +1665,7 @@ fn main() {
         },
         chaos,
         online,
+        durability,
         shard_sweep,
     };
     eprintln!(
@@ -1472,6 +1705,13 @@ fn main() {
             "serve_bench: ONLINE SWAP DROPPED QUERIES — {} of {} accepted queries never answered",
             o.dropped, o.submitted
         );
+        std::process::exit(1);
+    }
+    if !durability_failures.is_empty() {
+        eprintln!("serve_bench: DURABILITY GATES FAILED:");
+        for failure in &durability_failures {
+            eprintln!("  - {failure}");
+        }
         std::process::exit(1);
     }
     if !shard_failures.is_empty() {

@@ -390,9 +390,12 @@ impl HostInfo {
     }
 }
 
-/// Serializes `value` and writes it to `path` atomically: the JSON goes to
-/// a `<path>.tmp` sibling first and is renamed over the target, so a crash
-/// mid-write can never leave a truncated result file.
+/// Serializes `value` and writes it to `path` atomically and durably: the
+/// JSON goes to a `<path>.tmp` sibling, is fsynced, renamed over the
+/// target, and the parent directory is fsynced — so a crash mid-write can
+/// never leave a truncated result file, and a crash right after the rename
+/// cannot lose it either (the same temp/fsync/rename/dir-fsync discipline
+/// as `hire-ckpt` and `hire-wal`; see DESIGN.md §15).
 ///
 /// Accepts any path — including non-UTF-8 ones — and reports failures as
 /// typed [`HireError::Io`] values instead of panicking.
@@ -405,9 +408,22 @@ pub fn write_json_atomic<T: Serialize>(path: impl AsRef<Path>, value: &T) -> Hir
         os.push(".tmp");
         PathBuf::from(os)
     };
-    std::fs::write(&tmp, json.as_bytes())
-        .map_err(|e| HireError::io(tmp.display().to_string(), e))?;
-    std::fs::rename(&tmp, path).map_err(|e| HireError::io(path.display().to_string(), e))?;
+    let io = |p: &Path| {
+        let label = p.display().to_string();
+        move |e: std::io::Error| HireError::io(label.clone(), e)
+    };
+    {
+        let mut file = std::fs::File::create(&tmp).map_err(io(&tmp))?;
+        use std::io::Write;
+        file.write_all(json.as_bytes()).map_err(io(&tmp))?;
+        file.sync_all().map_err(io(&tmp))?;
+    }
+    std::fs::rename(&tmp, path).map_err(io(path))?;
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        std::fs::File::open(parent)
+            .and_then(|dir| dir.sync_all())
+            .map_err(io(parent))?;
+    }
     Ok(())
 }
 

@@ -61,6 +61,20 @@ pub mod sites {
     /// `Panic`, and `Error`; a failure here must fall through to the
     /// statistics fallback.
     pub const HYBRID_FORWARD: &str = "hybrid.forward";
+    /// Write-ahead-log frame append. Supports `Delay`, `Panic`, `Error`
+    /// (the write is refused before any byte lands — the caller must not
+    /// ack), and `TornWrite` (a crash mid-`write(2)`: only a prefix of the
+    /// frame plus deterministic garbage reaches the file, and the log
+    /// poisons itself as a dead process would).
+    pub const WAL_APPEND: &str = "wal.append";
+    /// Write-ahead-log fsync (both strict and group commit). Supports
+    /// `Delay` (widens the group-commit batching window), `Panic`, and
+    /// `Error` (the commit fails typed; buffered frames stay unacked).
+    pub const WAL_FSYNC: &str = "wal.fsync";
+    /// Write-ahead-log segment rotation. Supports `Delay`, `Panic`, and
+    /// `Error` (the rotation is abandoned; the current segment keeps
+    /// accepting frames past its size target).
+    pub const WAL_ROTATE: &str = "wal.rotate";
 
     /// Every registered site, for coverage sweeps.
     pub const ALL: &[&str] = &[
@@ -73,6 +87,9 @@ pub mod sites {
         ONLINE_SWAP,
         QUANT_FORWARD,
         HYBRID_FORWARD,
+        WAL_APPEND,
+        WAL_FSYNC,
+        WAL_ROTATE,
     ];
 }
 
@@ -93,6 +110,11 @@ pub enum FaultKind {
     /// Flip one deterministic bit of a byte buffer (drives checkpoint
     /// corruption handling). Only meaningful via [`FaultPlan::corrupt`].
     CorruptByte,
+    /// Tear a buffered write: only a deterministic prefix of the buffer
+    /// (plus trailing garbage) reaches the file, simulating a crash
+    /// mid-`write(2)`. Only meaningful via [`FaultPlan::tear`]; drives the
+    /// WAL's torn-tail recovery.
+    TornWrite,
 }
 
 /// A typed transient failure produced by [`FaultKind::Error`].
@@ -277,6 +299,37 @@ impl FaultPlan {
         true
     }
 
+    /// Applies a scheduled [`FaultKind::TornWrite`] to a buffered write:
+    /// when the fault fires, returns the torn bytes that should reach the
+    /// file instead of `bytes` — a deterministic prefix (at least one byte
+    /// short of complete, so the frame can never validate) followed by a
+    /// few garbage bytes, chosen from the same SplitMix64 stream. Returns
+    /// `None` when no tear is scheduled for this arrival.
+    pub fn tear(&self, site: &'static str, bytes: &[u8]) -> Option<Vec<u8>> {
+        if bytes.is_empty() || !matches!(self.decide(site), Some(FaultKind::TornWrite)) {
+            return None;
+        }
+        Some(self.torn_image(site, bytes))
+    }
+
+    /// The deterministic torn image of `bytes` at `site`, without consulting
+    /// the schedule — for callers that already hold a `TornWrite` decision
+    /// from [`FaultPlan::fire`] or [`FaultPlan::decide`] and must not burn a
+    /// second arrival.
+    pub fn torn_image(&self, site: &'static str, bytes: &[u8]) -> Vec<u8> {
+        if bytes.is_empty() {
+            return Vec::new();
+        }
+        let word = splitmix64(self.seed ^ site_hash(site) ^ bytes.len() as u64);
+        let keep = (word as usize) % bytes.len(); // 0..len-1: always short
+        let mut torn = bytes[..keep].to_vec();
+        let garbage = 1 + (word >> 32) as usize % 4;
+        for g in 0..garbage {
+            torn.push((splitmix64(word ^ g as u64) & 0xFF) as u8);
+        }
+        torn
+    }
+
     /// Arrival/injection counters for one site.
     pub fn site_stats(&self, site: &str) -> SiteStats {
         let arrivals = sites::ALL
@@ -387,6 +440,25 @@ mod tests {
     fn fire_applies_panic() {
         let plan = FaultPlan::new(2).with_fault(sites::SERVER_BATCH, FaultKind::Panic, 1.0);
         let _ = plan.fire(sites::SERVER_BATCH);
+    }
+
+    #[test]
+    fn tear_is_deterministic_short_and_garbage_tailed() {
+        let torn = |seed: u64| {
+            let plan =
+                FaultPlan::new(seed).with_fault(sites::WAL_APPEND, FaultKind::TornWrite, 1.0);
+            plan.tear(sites::WAL_APPEND, &[0x11u8; 40])
+                .expect("scheduled tear fires")
+        };
+        let a = torn(5);
+        assert_eq!(a, torn(5), "tear point must replay per seed");
+        // The intact prefix is strictly shorter than the frame (plus at
+        // most 4 garbage bytes), so a torn frame can never validate whole.
+        assert!(a.len() <= 39 + 4);
+        assert_ne!(a, vec![0x11u8; 40]);
+        // Unscheduled tears are a no-op.
+        let none = FaultPlan::new(5);
+        assert!(none.tear(sites::WAL_APPEND, &[0x11u8; 40]).is_none());
     }
 
     #[test]

@@ -24,6 +24,8 @@ pub mod format;
 pub mod snapshot;
 pub mod store;
 
-pub use format::{crc32, decode_container, encode_container, FORMAT_VERSION, MAGIC};
+pub use format::{
+    crc32, decode_container, encode_container, PayloadReader, PayloadWriter, FORMAT_VERSION, MAGIC,
+};
 pub use snapshot::{fingerprint, GuardSnapshot, OptimizerSnapshot, TrainSnapshot};
-pub use store::{CheckpointStore, LoadOutcome, DEFAULT_TAG, SNAPSHOT_EXT};
+pub use store::{sync_dir, CheckpointStore, LoadOutcome, DEFAULT_TAG, SNAPSHOT_EXT};

@@ -22,6 +22,16 @@ use std::path::{Path, PathBuf};
 /// File extension for snapshot files.
 pub const SNAPSHOT_EXT: &str = "hckpt";
 
+/// Fsyncs a directory so a just-renamed entry inside it is durable.
+/// Surfaces failures typed: until the directory entry is flushed, a
+/// crash can roll the rename back, so the write is *not* durable yet.
+pub fn sync_dir(dir: &Path) -> HireResult<()> {
+    let handle = File::open(dir).map_err(|e| HireError::io(dir.display().to_string(), e))?;
+    handle
+        .sync_all()
+        .map_err(|e| HireError::io(dir.display().to_string(), e))
+}
+
 /// Default lineage tag: plain training snapshots (`ckpt-*.hckpt`).
 pub const DEFAULT_TAG: &str = "ckpt";
 
@@ -140,17 +150,31 @@ impl CheckpointStore {
     /// Writes `snapshot` crash-safely and prunes old files down to the
     /// retention limit. Returns the snapshot's final path.
     pub fn save(&self, snapshot: &TrainSnapshot) -> HireResult<PathBuf> {
-        let final_path = self.dir.join(self.file_name(snapshot.completed_steps));
+        self.save_bytes(snapshot.completed_steps, &snapshot.encode())
+    }
+
+    /// Writes an arbitrary payload into this lineage under `steps`,
+    /// wrapped in the standard checksummed container (see
+    /// [`crate::format::encode_container`]) — the raw counterpart of
+    /// [`CheckpointStore::save`], used by callers whose state is not a
+    /// [`TrainSnapshot`] (e.g. the serving-state snapshots that anchor
+    /// WAL truncation barriers). Same write discipline, retention, and
+    /// newest-valid-fallback loading as training snapshots.
+    pub fn save_raw(&self, steps: u64, payload: &[u8]) -> HireResult<PathBuf> {
+        self.save_bytes(steps, &crate::format::encode_container(payload))
+    }
+
+    fn save_bytes(&self, steps: u64, bytes: &[u8]) -> HireResult<PathBuf> {
+        let final_path = self.dir.join(self.file_name(steps));
         let tmp_path = {
             let mut os = final_path.as_os_str().to_os_string();
             os.push(".tmp");
             PathBuf::from(os)
         };
-        let bytes = snapshot.encode();
         {
             let mut tmp = File::create(&tmp_path)
                 .map_err(|e| HireError::io(tmp_path.display().to_string(), e))?;
-            tmp.write_all(&bytes)
+            tmp.write_all(bytes)
                 .map_err(|e| HireError::io(tmp_path.display().to_string(), e))?;
             // Flush file contents to stable storage before the rename makes
             // the snapshot visible under its real name.
@@ -161,9 +185,9 @@ impl CheckpointStore {
             .map_err(|e| HireError::io(final_path.display().to_string(), e))?;
         // Persist the rename (the directory entry) as well; without this a
         // power loss can roll back to a state where neither name exists.
-        if let Ok(dir) = File::open(&self.dir) {
-            let _ = dir.sync_all();
-        }
+        // A failure here is a durability failure — the caller must not
+        // treat the snapshot as saved — so it surfaces typed, not swallowed.
+        sync_dir(&self.dir)?;
         self.prune()?;
         Ok(final_path)
     }
@@ -223,6 +247,32 @@ impl CheckpointStore {
                     eprintln!("checkpoint: skipping invalid snapshot: {err}");
                     rejected.push((path, err));
                 }
+            }
+        }
+        Ok(None)
+    }
+
+    /// [`CheckpointStore::load_latest`] for raw payloads written with
+    /// [`CheckpointStore::save_raw`]: scans newest-first, returns the
+    /// first payload whose container validates (with its step number),
+    /// and skips corrupt files the same way the snapshot loader does.
+    pub fn load_latest_raw(&self) -> HireResult<Option<(u64, Vec<u8>)>> {
+        if !self.dir.exists() {
+            return Ok(None);
+        }
+        let mut files = self.list()?;
+        files.reverse(); // newest first
+        for path in files {
+            let steps = self.steps_of(&path).expect("listed files parse");
+            let label = path.display().to_string();
+            let result = fs::read(&path)
+                .map_err(|e| HireError::io(label.clone(), e))
+                .and_then(|bytes| {
+                    crate::format::decode_container(&bytes, &label).map(<[u8]>::to_vec)
+                });
+            match result {
+                Ok(payload) => return Ok(Some((steps, payload))),
+                Err(err) => eprintln!("checkpoint: skipping invalid raw snapshot: {err}"),
             }
         }
         Ok(None)
@@ -419,6 +469,32 @@ mod tests {
             .filter(|e| e.path().extension().is_some_and(|x| x == "tmp"))
             .collect();
         assert!(leftover.is_empty(), "tmp files must be pruned");
+    }
+
+    #[test]
+    fn raw_payloads_round_trip_and_fall_back_past_corruption() {
+        let tmp = TempDir::new("raw");
+        let store = CheckpointStore::open_tagged(&tmp.0, "serving", 4).unwrap();
+        assert!(store.load_latest_raw().unwrap().is_none());
+        store.save_raw(3, b"state at three").unwrap();
+        let newest = store.save_raw(9, b"state at nine").unwrap();
+        assert_eq!(
+            store.load_latest_raw().unwrap(),
+            Some((9, b"state at nine".to_vec()))
+        );
+        // Corrupt the newest raw snapshot: the loader falls back.
+        let mut bytes = fs::read(&newest).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        fs::write(&newest, &bytes).unwrap();
+        assert_eq!(
+            store.load_latest_raw().unwrap(),
+            Some((3, b"state at three".to_vec()))
+        );
+        // Raw and TrainSnapshot lineages share listing/retention, so a raw
+        // store never confuses the snapshot loader of another tag.
+        let trainer = CheckpointStore::open(&tmp.0, 2).unwrap();
+        assert!(trainer.load_latest().unwrap().is_none());
     }
 
     #[test]

@@ -1,0 +1,657 @@
+//! Durable serving state: snapshots + WAL replay = crash recovery
+//! (DESIGN.md §15).
+//!
+//! A WAL-attached [`ServeEngine`] logs every state transition before it
+//! takes effect: serve-time ratings, holdout diversions, model promotions
+//! and demotions. This module closes the loop:
+//!
+//! * [`write_snapshot`] captures the whole serving state — the insert
+//!   log, the online loop's routing state, and the model lineage — into
+//!   one checksummed snapshot under the `serving` checkpoint lineage,
+//!   logs a `SnapshotBarrier{covered}` record, and truncates WAL segments
+//!   the snapshot fully covers. Without snapshots the log only grows;
+//!   with them it stays bounded.
+//! * [`recover`] rebuilds a crashed engine from the newest snapshot plus
+//!   the WAL tail: replays rating edges in their original commit order
+//!   (bit-identical CSR ⇒ bit-identical deterministic context samples),
+//!   reloads promoted weights from the checkpoint lineages named by the
+//!   `ModelPromoted` records, reinstates the demotion history, and
+//!   re-routes the online loop's holdout slice exactly as the crashed
+//!   loop had it.
+//!
+//! The recovery contract, proven by `tests/wal_recovery.rs` at every
+//! kill point: **no acknowledged write is lost** (at `Group`/`Strict`
+//! durability) and the recovered engine answers **bit-identically** to
+//! an engine that never crashed.
+
+use crate::engine::{EngineConfig, LineageSnapshot, ServeEngine, SlotSource};
+use crate::frozen::FrozenModel;
+use crate::online::{OnlineConfig, OnlineLoop, REJECTED_TAG};
+use hire_ckpt::{CheckpointStore, PayloadReader, PayloadWriter, SNAPSHOT_EXT};
+use hire_data::Dataset;
+use hire_error::{HireError, HireResult};
+use hire_graph::{BipartiteGraph, Rating};
+use hire_wal::{Wal, WalOptions, WalRecord};
+use std::collections::BTreeSet;
+use std::path::Path;
+use std::sync::Arc;
+
+/// Checkpoint lineage tag for whole-serving-state snapshots. The steps
+/// key of each snapshot is the WAL LSN it covers.
+pub const SERVING_TAG: &str = "serving";
+
+/// Serving-snapshot payload format version.
+const SNAPSHOT_FORMAT: u8 = 1;
+
+/// Everything a serving snapshot persists (decoded form).
+struct ServingSnapshot {
+    /// WAL LSN the snapshot is current as of: every record with a lower
+    /// LSN is reflected in the fields below.
+    covered: u64,
+    /// The engine's full insert log, in commit order.
+    ratings: Vec<Rating>,
+    /// Online-loop cursor (ratings consumed).
+    cursor: usize,
+    /// Online-loop round counter.
+    round: u64,
+    /// Arrival indices ever diverted to the holdout slice.
+    marked: BTreeSet<usize>,
+    /// Model lineage with reload sources.
+    lineage: LineageSnapshot,
+}
+
+fn encode_source(w: &mut PayloadWriter, source: &SlotSource) {
+    match source {
+        SlotSource::Base => w.put_u8(0),
+        SlotSource::Checkpoint { tag, steps } => {
+            w.put_u8(1);
+            w.put_u64(*steps);
+            let bytes = tag.as_bytes();
+            w.put_u32(bytes.len() as u32);
+            for b in bytes {
+                w.put_u8(*b);
+            }
+        }
+    }
+}
+
+fn decode_source(r: &mut PayloadReader<'_>) -> HireResult<SlotSource> {
+    match r.take_u8("source kind")? {
+        0 => Ok(SlotSource::Base),
+        1 => {
+            let steps = r.take_u64("source steps")?;
+            let len = r.take_u32("source tag len")? as usize;
+            let mut bytes = Vec::with_capacity(len);
+            for _ in 0..len {
+                bytes.push(r.take_u8("source tag byte")?);
+            }
+            let tag = String::from_utf8(bytes).map_err(|_| {
+                HireError::invalid_data("ServingSnapshot", "source tag is not UTF-8")
+            })?;
+            Ok(SlotSource::Checkpoint { tag, steps })
+        }
+        other => Err(HireError::invalid_data(
+            "ServingSnapshot",
+            format!("unknown slot source kind {other}"),
+        )),
+    }
+}
+
+fn encode_snapshot(snap: &ServingSnapshot) -> Vec<u8> {
+    let mut w = PayloadWriter::new();
+    w.put_u8(SNAPSHOT_FORMAT);
+    w.put_u64(snap.covered);
+    w.put_u64(snap.ratings.len() as u64);
+    for r in &snap.ratings {
+        w.put_u64(r.user as u64);
+        w.put_u64(r.item as u64);
+        w.put_f32(r.value);
+    }
+    w.put_u64(snap.cursor as u64);
+    w.put_u64(snap.round);
+    w.put_u64(snap.marked.len() as u64);
+    for &idx in &snap.marked {
+        w.put_u64(idx as u64);
+    }
+    w.put_u64(snap.lineage.history.len() as u64);
+    for (source, version) in &snap.lineage.history {
+        encode_source(&mut w, source);
+        w.put_u64(*version);
+    }
+    encode_source(&mut w, &snap.lineage.current.0);
+    w.put_u64(snap.lineage.current.1);
+    w.put_u64(snap.lineage.next_version);
+    w.finish()
+}
+
+fn decode_snapshot(payload: &[u8], label: &str) -> HireResult<ServingSnapshot> {
+    let mut r = PayloadReader::new(payload, label);
+    let format = r.take_u8("snapshot format")?;
+    if format != SNAPSHOT_FORMAT {
+        return Err(HireError::invalid_data(
+            "ServingSnapshot",
+            format!("unsupported snapshot format {format}"),
+        ));
+    }
+    let covered = r.take_u64("covered lsn")?;
+    let n = r.take_len("rating count")?;
+    let mut ratings = Vec::with_capacity(n);
+    for _ in 0..n {
+        ratings.push(Rating {
+            user: r.take_u64("rating user")? as usize,
+            item: r.take_u64("rating item")? as usize,
+            value: r.take_f32("rating value")?,
+        });
+    }
+    let cursor = r.take_u64("cursor")? as usize;
+    let round = r.take_u64("round")?;
+    let marks = r.take_len("mark count")?;
+    let mut marked = BTreeSet::new();
+    for _ in 0..marks {
+        marked.insert(r.take_u64("mark index")? as usize);
+    }
+    let slots = r.take_len("history len")?;
+    let mut history = Vec::with_capacity(slots);
+    for _ in 0..slots {
+        let source = decode_source(&mut r)?;
+        let version = r.take_u64("history version")?;
+        history.push((source, version));
+    }
+    let current_source = decode_source(&mut r)?;
+    let current_version = r.take_u64("current version")?;
+    let next_version = r.take_u64("next version")?;
+    r.expect_exhausted()?;
+    Ok(ServingSnapshot {
+        covered,
+        ratings,
+        cursor,
+        round,
+        marked,
+        lineage: LineageSnapshot {
+            history,
+            current: (current_source, current_version),
+            next_version,
+        },
+    })
+}
+
+/// Captures the engine + online-loop state into a durable snapshot under
+/// the [`SERVING_TAG`] lineage, logs a covering `SnapshotBarrier`, and
+/// truncates every WAL segment the snapshot fully covers. Returns the
+/// covered LSN.
+///
+/// Lock order (the one `crate` convention that prevents deadlock):
+/// online state → engine write order → engine install order. Holding all
+/// three pins the WAL — no rating, mark, promotion, or demotion record
+/// can land between capturing the state and reading the covered LSN.
+pub fn write_snapshot(engine: &ServeEngine, online: &OnlineLoop) -> HireResult<u64> {
+    let wal = engine.wal().cloned().ok_or_else(|| {
+        HireError::invalid_data("durable", "write_snapshot needs a WAL-attached engine")
+    })?;
+    let Some(dir) = online.config().checkpoint_dir.clone() else {
+        return Err(HireError::invalid_data(
+            "durable",
+            "write_snapshot needs OnlineConfig::checkpoint_dir",
+        ));
+    };
+    let keep = online.config().keep_last.max(1);
+    let (payload, covered, cursor, round) = {
+        let state = online.freeze_state();
+        let (ratings, lineage, covered) = engine.durable_capture();
+        let snap = ServingSnapshot {
+            covered,
+            ratings,
+            cursor: state.cursor,
+            round: state.round,
+            marked: state.marked.clone(),
+            lineage,
+        };
+        (
+            encode_snapshot(&snap),
+            covered,
+            state.cursor as u64,
+            state.round,
+        )
+    };
+    let store = CheckpointStore::open_tagged(&dir, SERVING_TAG, keep)?;
+    store.save_raw(covered, &payload)?;
+    // The barrier is logged only after the snapshot is durable: a crash
+    // between the two leaves a barrier-less snapshot (recovery still uses
+    // it — the steps key carries the covered LSN), never a barrier whose
+    // snapshot does not exist.
+    wal.append_durable(&WalRecord::SnapshotBarrier {
+        covered: Some(covered),
+        cursor,
+        round,
+    })
+    .map_err(HireError::from)?;
+    wal.truncate_covered(covered).map_err(HireError::from)?;
+    Ok(covered)
+}
+
+/// The result of [`recover`]: a rebuilt engine + online loop, plus what
+/// recovery found.
+pub struct Recovered {
+    /// The rebuilt serving engine, WAL re-attached (new writes append to
+    /// the same log).
+    pub engine: Arc<ServeEngine>,
+    /// The rebuilt online loop: same cursor, round, and holdout slice the
+    /// crashed loop had durably recorded.
+    pub online: Arc<OnlineLoop>,
+    /// Total ratings in the rebuilt insert log (snapshot + WAL replay).
+    pub ratings: usize,
+    /// WAL records replayed on top of the snapshot.
+    pub records_replayed: usize,
+    /// Covered LSN of the snapshot recovery started from (0 = no
+    /// snapshot, full-log replay).
+    pub snapshot_covered: u64,
+    /// Torn-tail bytes the WAL open repaired away.
+    pub torn_bytes: u64,
+}
+
+/// Rebuilds a serving engine + online loop after a crash, from the newest
+/// [`SERVING_TAG`] snapshot (if any) plus the surviving WAL records.
+///
+/// `base_model`, `dataset`, `base_graph`, and the configs must be the
+/// same the crashed engine started from — they are the deterministic
+/// inputs the log's deltas apply to. Returns a typed error when the log
+/// is corrupt mid-stream, when a record sequence is inconsistent (e.g. a
+/// demotion with no history), or when the incumbent's checkpointed
+/// weights cannot be reloaded. History slots whose weights fail to load
+/// are dropped with a warning (losing a demotion target, never the
+/// incumbent).
+pub fn recover(
+    base_model: FrozenModel,
+    dataset: Arc<Dataset>,
+    base_graph: Arc<BipartiteGraph>,
+    engine_config: EngineConfig,
+    online_config: OnlineConfig,
+    wal_dir: impl AsRef<Path>,
+    wal_opts: WalOptions,
+) -> HireResult<Recovered> {
+    let (wal, wal_recovery) = Wal::open(wal_dir.as_ref(), wal_opts).map_err(HireError::from)?;
+    let wal = Arc::new(wal);
+
+    // ── 1. Newest serving snapshot, if one was ever written ───────────
+    let mut covered = 0u64;
+    let mut ratings: Vec<Rating> = Vec::new();
+    let mut cursor = 0usize;
+    let mut round = 0u64;
+    let mut marked: BTreeSet<usize> = BTreeSet::new();
+    let mut lineage = LineageSnapshot {
+        history: Vec::new(),
+        current: (SlotSource::Base, 1),
+        next_version: 2,
+    };
+    if let Some(dir) = &online_config.checkpoint_dir {
+        if dir.exists() {
+            let store =
+                CheckpointStore::open_tagged(dir, SERVING_TAG, online_config.keep_last.max(1))?;
+            if let Some((steps, payload)) = store.load_latest_raw()? {
+                let snap = decode_snapshot(&payload, "serving snapshot")?;
+                if snap.covered != steps {
+                    return Err(HireError::invalid_data(
+                        "durable",
+                        format!(
+                            "serving snapshot self-reports covered LSN {} under steps key {steps}",
+                            snap.covered
+                        ),
+                    ));
+                }
+                covered = snap.covered;
+                ratings = snap.ratings;
+                cursor = snap.cursor;
+                round = snap.round;
+                marked = snap.marked;
+                lineage = snap.lineage;
+            }
+        }
+    }
+
+    // ── 2. Fold the WAL tail over the snapshot ────────────────────────
+    // Records below the covered LSN are already reflected in the snapshot
+    // (they survive on disk only until truncation catches up).
+    let mut records_replayed = 0usize;
+    for (lsn, record) in &wal_recovery.records {
+        if *lsn < covered {
+            continue;
+        }
+        records_replayed += 1;
+        match record {
+            WalRecord::Rating { user, item, value } => ratings.push(Rating {
+                user: *user as usize,
+                item: *item as usize,
+                value: *value,
+            }),
+            WalRecord::HoldoutMark { index } => {
+                marked.insert(*index as usize);
+            }
+            WalRecord::ModelPromoted { .. } | WalRecord::Demoted { .. } => {
+                fold_model_event(&mut lineage, record)?;
+            }
+            WalRecord::SnapshotBarrier {
+                cursor: c,
+                round: r,
+                ..
+            } => {
+                cursor = *c as usize;
+                round = *r;
+            }
+        }
+    }
+
+    // ── 3. Rebuild the engine: base graph + replayed edges ────────────
+    // One copy-on-write commit per rating, in log order, retraces the
+    // crashed engine's epoch sequence — the final CSR is bit-identical,
+    // so every deterministic context sample (and therefore every answer)
+    // matches.
+    let engine = Arc::new(
+        ServeEngine::with_shared_graph(
+            base_model.clone(),
+            dataset.clone(),
+            base_graph,
+            engine_config,
+        )
+        .with_wal(wal),
+    );
+    for rating in &ratings {
+        engine.replay_rating(*rating);
+    }
+
+    // ── 4. Reload the model lineage from its checkpoint sources ───────
+    let ckpt_dir = online_config.checkpoint_dir.clone();
+    restore_from_lineage(
+        &engine,
+        &lineage,
+        &base_model,
+        &dataset,
+        ckpt_dir.as_deref(),
+    )?;
+
+    // ── 5. Sweep partial rejected-candidate artifacts ─────────────────
+    if let Some(dir) = &ckpt_dir {
+        prune_partial_rejected(dir);
+    }
+
+    // ── 6. Rebuild the online loop's routing state ────────────────────
+    let total = ratings.len();
+    let online = Arc::new(OnlineLoop::recovered(
+        engine.clone(),
+        online_config,
+        cursor,
+        round,
+        marked,
+        &ratings,
+    ));
+    Ok(Recovered {
+        engine,
+        online,
+        ratings: total,
+        records_replayed,
+        snapshot_covered: covered,
+        torn_bytes: wal_recovery.truncated_bytes,
+    })
+}
+
+/// Applies one `ModelPromoted` / `Demoted` WAL record to a lineage being
+/// rebuilt. Returns `Ok(false)` (untouched) for every other record type.
+///
+/// Both records are logged with the engine's install order held, so a
+/// valid log sequences versions exactly: a promotion/demotion record must
+/// carry the lineage's `next_version`. A record that does not — or a
+/// demotion folding onto an empty history — means the log and the
+/// snapshot disagree, and recovery must stop rather than serve a lineage
+/// it cannot prove.
+pub fn fold_model_event(lineage: &mut LineageSnapshot, record: &WalRecord) -> HireResult<bool> {
+    match record {
+        WalRecord::ModelPromoted {
+            version,
+            tag,
+            steps,
+        } => {
+            // The swap itself may not have completed before the crash —
+            // the record is durable, so recovery rolls it forward (the
+            // weights were checkpointed before the record was logged).
+            if *version != lineage.next_version {
+                return Err(HireError::invalid_data(
+                    "durable",
+                    format!(
+                        "promotion record for v{version} does not follow next version {}",
+                        lineage.next_version
+                    ),
+                ));
+            }
+            let displaced = std::mem::replace(
+                &mut lineage.current,
+                (
+                    SlotSource::Checkpoint {
+                        tag: tag.clone(),
+                        steps: *steps,
+                    },
+                    *version,
+                ),
+            );
+            lineage.history.push(displaced);
+            if lineage.history.len() > 4 {
+                lineage.history.remove(0);
+            }
+            lineage.next_version = *version + 1;
+            Ok(true)
+        }
+        WalRecord::Demoted { new_version } => {
+            if *new_version != lineage.next_version {
+                return Err(HireError::invalid_data(
+                    "durable",
+                    format!(
+                        "demotion record for v{new_version} does not follow next version {}",
+                        lineage.next_version
+                    ),
+                ));
+            }
+            let restored = lineage.history.pop().ok_or_else(|| {
+                HireError::invalid_data("durable", "demotion record with an empty history")
+            })?;
+            let displaced = std::mem::replace(&mut lineage.current, (restored.0, *new_version));
+            lineage.history.push(displaced);
+            lineage.next_version = *new_version + 1;
+            Ok(true)
+        }
+        _ => Ok(false),
+    }
+}
+
+/// Loads the weights every slot of `lineage` names and reinstates the
+/// lineage on `engine`. `Base` sources resolve to `base_model`;
+/// `Checkpoint` sources load `{tag}-{steps:012}.hckpt` from `ckpt_dir`.
+/// A history slot whose weights fail to load is dropped with a warning
+/// (a lost demotion target degrades gracefully); an unloadable incumbent
+/// is a typed error — recovery cannot serve weights it does not have.
+pub fn restore_from_lineage(
+    engine: &ServeEngine,
+    lineage: &LineageSnapshot,
+    base_model: &FrozenModel,
+    dataset: &Dataset,
+    ckpt_dir: Option<&Path>,
+) -> HireResult<()> {
+    let resolve = |source: &SlotSource| -> HireResult<FrozenModel> {
+        match source {
+            SlotSource::Base => Ok(base_model.clone()),
+            SlotSource::Checkpoint { tag, steps } => {
+                let dir = ckpt_dir.ok_or_else(|| {
+                    HireError::invalid_data(
+                        "durable",
+                        "lineage references a checkpoint but no checkpoint_dir is configured",
+                    )
+                })?;
+                let path = dir.join(format!("{tag}-{steps:012}.{SNAPSHOT_EXT}"));
+                FrozenModel::from_snapshot_file(&path, dataset, base_model.config())
+            }
+        }
+    };
+    let mut history = Vec::with_capacity(lineage.history.len());
+    for (source, version) in &lineage.history {
+        match resolve(source) {
+            Ok(model) => history.push((model, source.clone(), *version)),
+            Err(err) => eprintln!("recovery: dropping history slot v{version}: {err}"),
+        }
+    }
+    let current_model = resolve(&lineage.current.0)?;
+    engine.restore_lineage(
+        history,
+        (current_model, lineage.current.0.clone(), lineage.current.1),
+        lineage.next_version,
+    );
+    Ok(())
+}
+
+/// Removes partial rejected-candidate artifacts a crash can strand in the
+/// checkpoint dir: a `rejected-*` weights snapshot without its eval
+/// report, an eval report without its snapshot, and interrupted-write
+/// `.tmp` leftovers of the rejected lineage. (The online loop writes the
+/// snapshot first, then the report — a crash between the two leaves the
+/// pair half-made; neither half is referenced by the WAL, so sweeping is
+/// safe.) Best-effort: I/O errors leave files for the next recovery.
+fn prune_partial_rejected(dir: &Path) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let prefix = format!("{REJECTED_TAG}-");
+    let snap_ext = format!(".{SNAPSHOT_EXT}");
+    let mut snaps: BTreeSet<String> = BTreeSet::new();
+    let mut evals: BTreeSet<String> = BTreeSet::new();
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(stem) = name.strip_prefix(&prefix) else {
+            continue;
+        };
+        if name.ends_with(".tmp") {
+            let _ = std::fs::remove_file(entry.path());
+        } else if let Some(steps) = stem.strip_suffix(&snap_ext) {
+            snaps.insert(steps.to_string());
+        } else if let Some(steps) = stem.strip_suffix(".eval.json") {
+            evals.insert(steps.to_string());
+        }
+    }
+    for orphan in snaps.symmetric_difference(&evals) {
+        let half = if snaps.contains(orphan) {
+            dir.join(format!("{prefix}{orphan}{snap_ext}"))
+        } else {
+            dir.join(format!("{prefix}{orphan}.eval.json"))
+        };
+        let _ = std::fs::remove_file(half);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_payload_round_trips() {
+        let snap = ServingSnapshot {
+            covered: 42,
+            ratings: vec![
+                Rating {
+                    user: 3,
+                    item: 9,
+                    value: 4.5,
+                },
+                Rating {
+                    user: 0,
+                    item: 1,
+                    value: f32::from_bits(0x7FC0_0001), // NaN payload survives
+                },
+            ],
+            cursor: 2,
+            round: 7,
+            marked: [0usize, 5, 9].into_iter().collect(),
+            lineage: LineageSnapshot {
+                history: vec![
+                    (SlotSource::Base, 1),
+                    (
+                        SlotSource::Checkpoint {
+                            tag: "candidate".into(),
+                            steps: 3,
+                        },
+                        2,
+                    ),
+                ],
+                current: (
+                    SlotSource::Checkpoint {
+                        tag: "candidate".into(),
+                        steps: 5,
+                    },
+                    4,
+                ),
+                next_version: 5,
+            },
+        };
+        let payload = encode_snapshot(&snap);
+        let back = decode_snapshot(&payload, "test").expect("decode");
+        assert_eq!(back.covered, snap.covered);
+        assert_eq!(back.ratings.len(), 2);
+        assert_eq!(back.ratings[0].user, 3);
+        assert_eq!(
+            back.ratings[1].value.to_bits(),
+            snap.ratings[1].value.to_bits()
+        );
+        assert_eq!(back.cursor, 2);
+        assert_eq!(back.round, 7);
+        assert_eq!(back.marked, snap.marked);
+        assert_eq!(back.lineage, snap.lineage);
+    }
+
+    #[test]
+    fn truncated_snapshot_payload_is_typed_error() {
+        let snap = ServingSnapshot {
+            covered: 1,
+            ratings: vec![Rating {
+                user: 1,
+                item: 2,
+                value: 3.0,
+            }],
+            cursor: 1,
+            round: 1,
+            marked: BTreeSet::new(),
+            lineage: LineageSnapshot {
+                history: Vec::new(),
+                current: (SlotSource::Base, 1),
+                next_version: 2,
+            },
+        };
+        let payload = encode_snapshot(&snap);
+        for cut in [0, 1, payload.len() / 2, payload.len() - 1] {
+            assert!(
+                decode_snapshot(&payload[..cut], "test").is_err(),
+                "cut at {cut} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn prune_removes_orphan_halves_and_keeps_pairs() {
+        let dir = std::env::temp_dir().join(format!("hire-prune-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let touch = |name: &str| std::fs::write(dir.join(name), b"x").expect("touch");
+        touch("rejected-000000000001.hckpt");
+        touch("rejected-000000000001.eval.json");
+        touch("rejected-000000000002.hckpt"); // crash before its report
+        touch("rejected-000000000003.eval.json"); // report without weights
+        touch("rejected-000000000004.hckpt.tmp"); // interrupted write
+        touch("candidate-000000000009.hckpt"); // other lineage: untouched
+        prune_partial_rejected(&dir);
+        let left: BTreeSet<String> = std::fs::read_dir(&dir)
+            .expect("read")
+            .map(|e| e.expect("entry").file_name().to_string_lossy().into_owned())
+            .collect();
+        assert!(left.contains("rejected-000000000001.hckpt"));
+        assert!(left.contains("rejected-000000000001.eval.json"));
+        assert!(left.contains("candidate-000000000009.hckpt"));
+        assert!(!left.contains("rejected-000000000002.hckpt"));
+        assert!(!left.contains("rejected-000000000003.eval.json"));
+        assert!(!left.contains("rejected-000000000004.hckpt.tmp"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

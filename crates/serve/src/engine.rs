@@ -36,6 +36,7 @@ use hire_data::{test_context_with_ratio, Dataset, PredictionContext};
 use hire_error::HireError;
 use hire_graph::{BipartiteGraph, EpochSource, EpochedGraph, NeighborhoodSampler, Rating};
 use hire_tensor::QuantMode;
+use hire_wal::{Wal, WalError, WalRecord};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::BTreeMap;
@@ -191,6 +192,46 @@ pub struct PreparedInstall {
     quantized: Option<QuantizedModel>,
 }
 
+/// Where a slot's weights can be reloaded from after a crash. Tracked per
+/// slot (incumbent and demotion history) on WAL-attached engines, captured
+/// into serving snapshots, and resolved back to [`FrozenModel`]s by
+/// `crate::durable` recovery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SlotSource {
+    /// The construction-time base model. Recovery receives it from the
+    /// caller (it is the model serving started from, not a checkpoint).
+    Base,
+    /// A `hire_ckpt` tagged-lineage snapshot, `{tag}-{steps:012}.hckpt` in
+    /// the online loop's checkpoint directory.
+    Checkpoint {
+        /// The lineage tag (e.g. [`crate::online::CANDIDATE_TAG`]).
+        tag: String,
+        /// The snapshot's step number within the lineage.
+        steps: u64,
+    },
+}
+
+/// Reload sources for the engine's slots, kept in lockstep with the slot
+/// history by the logged install/demote paths (WAL mode only).
+struct LineageSources {
+    history: Vec<SlotSource>,
+    current: SlotSource,
+}
+
+/// A consistent capture of the engine's model lineage: the demotion
+/// history (oldest first), the incumbent, and the next version to be
+/// handed out — each slot paired with where its weights can be reloaded
+/// from. Serialized into serving snapshots by `crate::durable`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LineageSnapshot {
+    /// Demotion history, oldest first.
+    pub history: Vec<(SlotSource, ModelVersion)>,
+    /// The serving incumbent.
+    pub current: (SlotSource, ModelVersion),
+    /// The next version number the engine would allocate.
+    pub next_version: ModelVersion,
+}
+
 /// Settings for the quantized mid-tier (the ladder rung between the
 /// full-precision model and the hybrid predictor).
 #[derive(Debug, Clone)]
@@ -323,6 +364,20 @@ pub struct ServeEngine {
     /// Append-only log of ratings accepted by `insert_rating`, the feed
     /// for the online fine-tuning loop (see [`crate::online`]).
     inserted: Mutex<Vec<Rating>>,
+    /// Durable write-ahead log, attached via [`ServeEngine::with_wal`].
+    /// When present, `insert_rating` appends before acking and model
+    /// installs go through [`ServeEngine::install_model_from`].
+    wal: Option<Arc<Wal>>,
+    /// Serializes WAL appends against graph commits so the log's record
+    /// order is identical to the CSR commit order — the invariant that
+    /// makes replayed recovery bit-exact.
+    write_order: Mutex<()>,
+    /// Serializes the version peek + promoted/demoted WAL append against
+    /// the version allocation in `commit_install`.
+    install_order: Mutex<()>,
+    /// Reload source per slot, in lockstep with `history`/`slot` (WAL mode
+    /// only — on a WAL-less engine this is never read).
+    sources: Mutex<LineageSources>,
     /// Tier counters broken down by the model version that answered.
     version_stats: Mutex<BTreeMap<ModelVersion, TierStats>>,
     /// Tier counters broken down by cold-start scenario.
@@ -360,6 +415,16 @@ impl DegradeReason {
 /// holder (plain data updates only).
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Maps WAL failures onto the serving error surface: injected chaos faults
+/// keep their site (so chaos tests can assert on them), everything else is
+/// a typed model/data error.
+fn wal_to_serve(err: WalError) -> ServeError {
+    match err {
+        WalError::Injected { site } => ServeError::Injected { site },
+        other => ServeError::Model(other.into()),
+    }
 }
 
 /// SplitMix64-style mix of the engine seed and the query pair, so context
@@ -430,6 +495,13 @@ impl ServeEngine {
             base_user_degree,
             base_item_degree,
             inserted: Mutex::new(Vec::new()),
+            wal: None,
+            write_order: Mutex::new(()),
+            install_order: Mutex::new(()),
+            sources: Mutex::new(LineageSources {
+                history: Vec::new(),
+                current: SlotSource::Base,
+            }),
             version_stats: Mutex::new(BTreeMap::new()),
             scenario_stats: Mutex::new(BTreeMap::new()),
             served_model: AtomicU64::new(0),
@@ -479,6 +551,22 @@ impl ServeEngine {
     pub fn with_faults(mut self, faults: Arc<FaultPlan>) -> Self {
         self.faults = Some(faults);
         self
+    }
+
+    /// Attaches a write-ahead log (builder style). From here on,
+    /// [`ServeEngine::insert_rating`] appends (and waits out the log's
+    /// configured [`hire_wal::Durability`]) before acknowledging, and model
+    /// swaps must carry a checkpoint reference via
+    /// [`ServeEngine::install_model_from`] so recovery can reload the
+    /// promoted weights.
+    pub fn with_wal(mut self, wal: Arc<Wal>) -> Self {
+        self.wal = Some(wal);
+        self
+    }
+
+    /// The attached write-ahead log, if any.
+    pub fn wal(&self) -> Option<&Arc<Wal>> {
+        self.wal.as_ref()
     }
 
     /// The currently installed model slot (weights + version). The `Arc`
@@ -531,8 +619,77 @@ impl ServeEngine {
     /// window against concurrent queries; a `Panic` fires before any state
     /// is touched, so a crashed swapper cannot corrupt the slot.
     pub fn install_model(&self, model: FrozenModel) -> Result<ModelVersion, ServeError> {
+        if self.wal.is_some() {
+            return Err(ServeError::Model(HireError::invalid_data(
+                "ServeEngine",
+                "engine has a write-ahead log attached; use install_model_from so the \
+                 promotion is durable and recovery can reload the weights",
+            )));
+        }
         let prepared = self.prepare_install(model)?;
         Ok(self.commit_install(prepared))
+    }
+
+    /// [`ServeEngine::install_model`] for a WAL-attached engine: the swap is
+    /// logged durably as `ModelPromoted{version, tag, steps}` *before* it
+    /// takes effect, where `(tag, steps)` name the checkpoint (a
+    /// `hire_ckpt` tagged lineage in the online loop's checkpoint dir)
+    /// holding the promoted weights — recovery replays the record and
+    /// reloads exactly those bytes. Works on a WAL-less engine too (the
+    /// record is simply not written), so callers can be durability-agnostic.
+    pub fn install_model_from(
+        &self,
+        model: FrozenModel,
+        tag: &str,
+        steps: u64,
+    ) -> Result<ModelVersion, ServeError> {
+        let prepared = self.prepare_install(model)?;
+        self.commit_install_logged(prepared, tag, steps)
+    }
+
+    /// Phase two of a *logged* install: appends a durable
+    /// `ModelPromoted{version, tag, steps}` record — naming the checkpoint
+    /// the weights can be reloaded from — strictly before the swap takes
+    /// effect, so a crash can never observe a promoted model the log does
+    /// not know how to restore. On a WAL-less engine this is just
+    /// [`ServeEngine::commit_install`]. Sharded installs call this per
+    /// shard after *every* shard's prepare succeeded.
+    pub fn commit_install_logged(
+        &self,
+        prepared: PreparedInstall,
+        tag: &str,
+        steps: u64,
+    ) -> Result<ModelVersion, ServeError> {
+        let _order = lock(&self.install_order);
+        if let Some(wal) = &self.wal {
+            // `install_order` is held: nothing else can allocate a version
+            // between this peek and the commit below.
+            let version = self.next_version.load(Ordering::Relaxed);
+            wal.append_durable(&WalRecord::ModelPromoted {
+                version,
+                tag: tag.to_string(),
+                steps,
+            })
+            .map_err(wal_to_serve)?;
+        }
+        let version = self.commit_install(prepared);
+        if self.wal.is_some() {
+            // Mirror the slot-history push: the displaced incumbent's
+            // source joins the history, the checkpoint becomes current.
+            let mut sources = lock(&self.sources);
+            let displaced = std::mem::replace(
+                &mut sources.current,
+                SlotSource::Checkpoint {
+                    tag: tag.to_string(),
+                    steps,
+                },
+            );
+            sources.history.push(displaced);
+            if sources.history.len() > 4 {
+                sources.history.remove(0);
+            }
+        }
+        Ok(version)
     }
 
     /// Phase one of an install: every fallible step — the chaos fire on
@@ -600,10 +757,130 @@ impl ServeEngine {
     /// version, or `Ok(None)` when there is no previous model to demote
     /// to.
     pub fn demote(&self) -> Result<Option<ModelVersion>, ServeError> {
-        let Some(previous) = lock(&self.history).pop() else {
+        let _order = lock(&self.install_order);
+        // Peek rather than pop: a failed prepare (injected swap fault) or a
+        // refused WAL append must leave the history intact for a retry.
+        let Some(previous) = lock(&self.history).last().cloned() else {
             return Ok(None);
         };
-        self.install_model(previous.model.clone()).map(Some)
+        let prepared = self.prepare_install(previous.model.clone())?;
+        if let Some(wal) = &self.wal {
+            let new_version = self.next_version.load(Ordering::Relaxed);
+            wal.append_durable(&WalRecord::Demoted { new_version })
+                .map_err(wal_to_serve)?;
+        }
+        lock(&self.history).pop();
+        let version = self.commit_install(prepared);
+        if self.wal.is_some() {
+            // Mirror the slot moves: the previous source leaves the
+            // history and becomes current, the displaced current's source
+            // joins the history (pushed by `commit_install` on the slot
+            // side).
+            let mut sources = lock(&self.sources);
+            let restored = sources
+                .history
+                .pop()
+                .expect("source history in lockstep with slot history");
+            let displaced = std::mem::replace(&mut sources.current, restored);
+            sources.history.push(displaced);
+        }
+        Ok(Some(version))
+    }
+
+    /// Reinstates a recovered model lineage wholesale: the demotion
+    /// history (oldest first, each with the version it served under), the
+    /// current incumbent, and the next version number to hand out. Used
+    /// only by crash recovery (`crate::durable`), which replays the WAL's
+    /// promoted/demoted events against checkpointed weights; quantized
+    /// companions are rebuilt per the engine's resilience config, exactly
+    /// as a live install would have.
+    pub fn restore_lineage(
+        &self,
+        history: Vec<(FrozenModel, SlotSource, ModelVersion)>,
+        current: (FrozenModel, SlotSource, ModelVersion),
+        next_version: ModelVersion,
+    ) {
+        let _order = lock(&self.install_order);
+        let quant = self.resilience.quantized.as_ref();
+        let mut restored_slots = Vec::with_capacity(history.len());
+        let mut restored_sources = Vec::with_capacity(history.len());
+        for (model, source, version) in history {
+            restored_slots.push(make_slot(model, version, quant));
+            restored_sources.push(source);
+        }
+        let (current_model, current_source, current_version) = current;
+        {
+            let mut slot = self.slot.write().unwrap_or_else(|p| p.into_inner());
+            *slot = make_slot(current_model, current_version, quant);
+        }
+        *lock(&self.history) = restored_slots;
+        {
+            let mut sources = lock(&self.sources);
+            sources.history = restored_sources;
+            sources.current = current_source;
+        }
+        self.next_version.store(next_version, Ordering::Relaxed);
+    }
+
+    /// A consistent capture of the model lineage (demotion history,
+    /// incumbent, next version), each slot paired with its reload source.
+    /// Meaningful on WAL-attached engines, where every install path keeps
+    /// the sources in lockstep with the slots.
+    pub fn lineage(&self) -> LineageSnapshot {
+        let _order = lock(&self.install_order);
+        self.lineage_locked()
+    }
+
+    /// [`ServeEngine::lineage`] body; caller holds `install_order`.
+    fn lineage_locked(&self) -> LineageSnapshot {
+        let sources = lock(&self.sources);
+        let slots = lock(&self.history);
+        assert_eq!(
+            sources.history.len(),
+            slots.len(),
+            "slot sources fell out of lockstep with the slot history"
+        );
+        let history = slots
+            .iter()
+            .zip(&sources.history)
+            .map(|(slot, source)| (source.clone(), slot.version))
+            .collect();
+        let current_slot = self.current_model();
+        LineageSnapshot {
+            history,
+            current: (sources.current.clone(), current_slot.version),
+            next_version: self.next_version.load(Ordering::Relaxed),
+        }
+    }
+
+    /// An atomically consistent capture of everything a serving snapshot
+    /// persists: the full insert log, the model lineage, and the WAL
+    /// position the capture is current as of. Holding `write_order` +
+    /// `install_order` together pins the log: no rating, promotion, or
+    /// demotion record can land between reading the state and reading
+    /// `next_lsn`, so replaying records at LSN ≥ the returned position on
+    /// top of the capture reconstructs any later state exactly. (Holdout
+    /// marks and barriers are the online loop's records; `crate::durable`
+    /// holds the loop's state lock around this call to pin those too.)
+    pub(crate) fn durable_capture(&self) -> (Vec<Rating>, LineageSnapshot, u64) {
+        let _write = lock(&self.write_order);
+        let _install = lock(&self.install_order);
+        let ratings = lock(&self.inserted).clone();
+        let lineage = self.lineage_locked();
+        let next_lsn = self.wal.as_ref().map(|w| w.next_lsn()).unwrap_or(0);
+        (ratings, lineage, next_lsn)
+    }
+
+    /// Recovery's half of [`ServeEngine::insert_rating`]: re-applies a
+    /// rating replayed from the WAL without logging it again. One
+    /// copy-on-write commit per rating, in replay order, walks the graph
+    /// through the same epoch sequence the crashed engine produced — the
+    /// final CSR (and therefore every deterministic context sample) is
+    /// bit-identical.
+    pub fn replay_rating(&self, rating: Rating) {
+        let _order = lock(&self.write_order);
+        self.graph.commit_edges(&[rating]);
+        lock(&self.inserted).push(rating);
     }
 
     /// Ratings accepted by [`ServeEngine::insert_rating`] since `cursor`
@@ -689,12 +966,40 @@ impl ServeEngine {
                 ),
             )));
         }
-        // Copy-on-write commit: pinned readers keep their snapshots, the
-        // epoch bump makes any in-flight resolver refuse to cache a sample
-        // taken against the displaced snapshot.
-        self.graph.commit_edges(&[rating]);
-        lock(&self.inserted).push(rating);
-        Ok(self.invalidate_cached_edge(rating.user, rating.item))
+        // Durable path: append to the WAL *before* mutating any state, under
+        // the write-order lock so WAL record order ≡ graph commit order ≡
+        // `inserted` order (the invariant recovery's replay depends on). A
+        // refused append leaves the engine untouched and unacknowledged.
+        let logged = if let Some(wal) = &self.wal {
+            let order = lock(&self.write_order);
+            let lsn = wal
+                .append(&WalRecord::Rating {
+                    user: rating.user as u64,
+                    item: rating.item as u64,
+                    value: rating.value,
+                })
+                .map_err(wal_to_serve)?;
+            self.graph.commit_edges(&[rating]);
+            lock(&self.inserted).push(rating);
+            drop(order);
+            Some((wal, lsn))
+        } else {
+            // Copy-on-write commit: pinned readers keep their snapshots, the
+            // epoch bump makes any in-flight resolver refuse to cache a
+            // sample taken against the displaced snapshot.
+            self.graph.commit_edges(&[rating]);
+            lock(&self.inserted).push(rating);
+            None
+        };
+        let invalidated = self.invalidate_cached_edge(rating.user, rating.item);
+        // Durability wait happens outside the write-order lock (group commit
+        // batches many waiters under one fsync). A failed commit means the
+        // write is *not acknowledged*: the record may or may not survive a
+        // crash, which is exactly the unacked contract.
+        if let Some((wal, lsn)) = logged {
+            wal.commit(lsn).map_err(wal_to_serve)?;
+        }
+        Ok(invalidated)
     }
 
     /// Invalidates every cached context whose block contains `user` or

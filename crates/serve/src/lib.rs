@@ -51,6 +51,7 @@
 
 pub mod breaker;
 pub mod cache;
+pub mod durable;
 pub mod engine;
 pub mod frozen;
 pub mod online;
@@ -59,9 +60,12 @@ pub mod server;
 
 pub use breaker::{BreakerConfig, BreakerState, BreakerStats, CircuitBreaker};
 pub use cache::{CacheKey, CacheStats, CachedContext, ContextCache, ExportedContext};
+pub use durable::{
+    fold_model_event, recover, restore_from_lineage, write_snapshot, Recovered, SERVING_TAG,
+};
 pub use engine::{
-    ColdScenario, EngineConfig, ModelSlot, PreparedInstall, QuantTierConfig, ResilienceConfig,
-    ServeEngine, TierStats,
+    ColdScenario, EngineConfig, LineageSnapshot, ModelSlot, PreparedInstall, QuantTierConfig,
+    ResilienceConfig, ServeEngine, SlotSource, TierStats,
 };
 pub use frozen::FrozenModel;
 pub use online::{

@@ -47,8 +47,10 @@ use hire_chaos::{sites, FaultPlan};
 use hire_ckpt::{CheckpointStore, GuardSnapshot, OptimizerSnapshot, TrainSnapshot};
 use hire_core::{fine_tune, GuardConfig, HireModel, TrainConfig, TrainOutcome};
 use hire_graph::{NeighborhoodSampler, Rating};
+use hire_wal::WalRecord;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::collections::BTreeSet;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -241,20 +243,30 @@ pub enum RoundOutcome {
     SwapFailed,
 }
 
-struct LoopState {
+pub(crate) struct LoopState {
     /// Ratings already pulled from the engine's insert log.
-    cursor: usize,
+    pub(crate) cursor: usize,
     /// Total ratings routed (drives the every-k-th holdout diversion).
-    routed: usize,
+    pub(crate) routed: usize,
     /// Held-out shadow-eval slice (never trained on).
-    holdout: Vec<Rating>,
+    pub(crate) holdout: Vec<Rating>,
     /// Accumulated training ratings awaiting the next fine-tune.
-    pending: Vec<Rating>,
+    pub(crate) pending: Vec<Rating>,
     /// Completed fine-tuning rounds (drives per-round seeds and
     /// checkpoint step numbers).
-    round: u64,
+    pub(crate) round: u64,
     /// Round outcomes, oldest first (for benches and tests).
-    history: Vec<RoundOutcome>,
+    pub(crate) history: Vec<RoundOutcome>,
+    /// Arrival indices (0-based, in insert order) ever diverted to the
+    /// holdout slice. Mirrors the WAL's `HoldoutMark` records; serialized
+    /// into serving snapshots so recovery can re-route identically.
+    pub(crate) marked: BTreeSet<usize>,
+    /// Ratings with arrival index below this were already routed before a
+    /// crash: recovery re-routes them by `marked` membership instead of the
+    /// every-k cadence, so the rebuilt holdout matches the one the live
+    /// loop had (a rating never silently migrates between the trained pool
+    /// and the never-trained slice).
+    pub(crate) pre_count: usize,
 }
 
 /// Poison recovery, mirroring the engine: state updates are plain data.
@@ -291,8 +303,54 @@ impl OnlineLoop {
                 pending: Vec::new(),
                 round: 0,
                 history: Vec::new(),
+                marked: BTreeSet::new(),
+                pre_count: 0,
             }),
         }
+    }
+
+    /// Rebuilds a loop from recovered durable state (see `crate::durable`):
+    /// `cursor`/`round` from the newest snapshot barrier, `marked` from the
+    /// union of snapshot marks and replayed `HoldoutMark` records, and
+    /// `ratings` the full replayed insert log. Ratings the crashed loop had
+    /// already consumed (below `cursor`) are re-split into holdout/trained
+    /// by their marks; the rest are re-routed by the first `run_round`,
+    /// diverting exactly the marked ones.
+    pub fn recovered(
+        engine: Arc<ServeEngine>,
+        config: OnlineConfig,
+        cursor: usize,
+        round: u64,
+        marked: BTreeSet<usize>,
+        ratings: &[Rating],
+    ) -> Self {
+        let holdout: Vec<Rating> = marked
+            .iter()
+            .filter(|&&idx| idx < cursor)
+            .filter_map(|&idx| ratings.get(idx).copied())
+            .collect();
+        OnlineLoop {
+            engine,
+            config,
+            faults: None,
+            state: Mutex::new(LoopState {
+                cursor,
+                routed: cursor,
+                holdout,
+                pending: Vec::new(),
+                round,
+                history: Vec::new(),
+                marked,
+                pre_count: ratings.len(),
+            }),
+        }
+    }
+
+    /// Snapshot of the durable routing state, captured under the state
+    /// lock: `(cursor, round, marked)`. Used by `crate::durable` while
+    /// writing a serving snapshot.
+    pub(crate) fn freeze_state(&self) -> MutexGuard<'_, LoopState> {
+        lock(&self.state)
     }
 
     /// Installs a chaos [`FaultPlan`] on the loop's fault sites
@@ -338,11 +396,39 @@ impl OnlineLoop {
         let (fresh, cursor) = self.engine.inserted_since(state.cursor);
         state.cursor = cursor;
         for rating in fresh {
+            let idx = state.routed;
             state.routed += 1;
+            // Ratings that were already routed before a recovery follow
+            // their durable marks, not the cadence: the rebuilt holdout must
+            // equal the pre-crash one exactly.
+            if idx < state.pre_count {
+                if state.marked.contains(&idx) {
+                    state.holdout.push(rating);
+                } else {
+                    state.pending.push(rating);
+                }
+                continue;
+            }
             let divert = self.config.holdout_every > 0
                 && state.routed.is_multiple_of(self.config.holdout_every)
                 && state.holdout.len() < self.config.max_holdout;
             if divert {
+                // Durably mark the diversion *before* it takes effect: a
+                // crash may forget an unmarked diversion, and a rating that
+                // silently moved from the never-trained slice into training
+                // would skew every future shadow eval. If the mark cannot be
+                // made durable, the rating trains instead — safe, because
+                // recovery routes unmarked ratings to the trained pool too.
+                if let Some(wal) = self.engine.wal() {
+                    if wal
+                        .append_durable(&WalRecord::HoldoutMark { index: idx as u64 })
+                        .is_err()
+                    {
+                        state.pending.push(rating);
+                        continue;
+                    }
+                }
+                state.marked.insert(idx);
                 state.holdout.push(rating);
             } else {
                 state.pending.push(rating);
@@ -431,17 +517,55 @@ impl OnlineLoop {
         if !eval.promoted() {
             self.checkpoint(REJECTED_TAG, round, &candidate, &eval);
             state.pending.clear();
+            self.round_barrier(state.cursor, round);
             return RoundOutcome::Rejected { eval };
         }
 
         // ── Swap ──────────────────────────────────────────────────────
-        match self.engine.install_model(candidate.clone()) {
-            Ok(version) => {
-                self.checkpoint(CANDIDATE_TAG, round, &candidate, &eval);
-                state.pending.clear();
-                RoundOutcome::Promoted { version, eval }
+        if self.engine.wal().is_some() {
+            // WAL mode: the candidate's weights must be durable *before*
+            // the `ModelPromoted` record is — recovery reloads them from
+            // the `candidate` lineage by (tag, round). A failed checkpoint
+            // therefore vetoes the swap; the incumbent keeps serving and
+            // the next round retries.
+            if !self.checkpoint(CANDIDATE_TAG, round, &candidate, &eval) {
+                return RoundOutcome::SwapFailed;
             }
-            Err(_) => RoundOutcome::SwapFailed,
+            match self
+                .engine
+                .install_model_from(candidate.clone(), CANDIDATE_TAG, round)
+            {
+                Ok(version) => {
+                    state.pending.clear();
+                    self.round_barrier(state.cursor, round);
+                    RoundOutcome::Promoted { version, eval }
+                }
+                Err(_) => RoundOutcome::SwapFailed,
+            }
+        } else {
+            match self.engine.install_model(candidate.clone()) {
+                Ok(version) => {
+                    self.checkpoint(CANDIDATE_TAG, round, &candidate, &eval);
+                    state.pending.clear();
+                    RoundOutcome::Promoted { version, eval }
+                }
+                Err(_) => RoundOutcome::SwapFailed,
+            }
+        }
+    }
+
+    /// Best-effort durable progress mark after a completed round: records
+    /// the loop's cursor and round number so recovery resumes routing where
+    /// the crashed loop left off instead of re-training old ratings.
+    /// `covered: None` — this barrier advances the loop cursor only; log
+    /// truncation needs a full serving snapshot (`crate::durable`).
+    fn round_barrier(&self, cursor: usize, round: u64) {
+        if let Some(wal) = self.engine.wal() {
+            let _ = wal.append_durable(&WalRecord::SnapshotBarrier {
+                covered: None,
+                cursor: cursor as u64,
+                round,
+            });
         }
     }
 
@@ -542,13 +666,15 @@ impl OnlineLoop {
         })
     }
 
-    /// Best-effort durable record of a candidate: weights under the given
-    /// lineage tag plus the eval report as JSON next to it. Durability
-    /// failures never fail the round — the in-memory outcome is the
-    /// source of truth.
-    fn checkpoint(&self, tag: &str, round: u64, model: &FrozenModel, eval: &EvalReport) {
+    /// Durable record of a candidate: weights under the given lineage tag
+    /// plus the eval report as JSON next to it. Returns whether the weight
+    /// snapshot actually landed on disk. Without a WAL this stays
+    /// best-effort (the in-memory outcome is the source of truth); in WAL
+    /// mode the swap path *requires* `true` before logging a promotion,
+    /// since recovery reloads the weights from this very snapshot.
+    fn checkpoint(&self, tag: &str, round: u64, model: &FrozenModel, eval: &EvalReport) -> bool {
         let Some(dir) = &self.config.checkpoint_dir else {
-            return;
+            return false;
         };
         let snapshot = TrainSnapshot {
             completed_steps: round,
@@ -572,13 +698,14 @@ impl OnlineLoop {
             },
             rng_words: Vec::new(),
         };
-        if let Ok(store) = CheckpointStore::open_tagged(dir, tag, self.config.keep_last) {
-            let _ = store.save(&snapshot);
-        }
+        let saved = CheckpointStore::open_tagged(dir, tag, self.config.keep_last)
+            .and_then(|store| store.save(&snapshot))
+            .is_ok();
         let _ = std::fs::write(
             dir.join(format!("{tag}-{round:012}.eval.json")),
             eval.to_json(),
         );
+        saved
     }
 
     /// Demotion watchdog: if the current version's fallback rate exceeds

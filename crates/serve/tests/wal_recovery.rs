@@ -1,0 +1,433 @@
+//! Crash-recovery acceptance tests for the durable serving loop
+//! (DESIGN.md §15). The load-bearing property, exercised at every kill
+//! point of a live scenario:
+//!
+//! > **No acknowledged write is lost, and a recovered engine answers
+//! > bit-identically to one that never crashed.**
+//!
+//! "Kill point" here means a byte-level copy of the WAL directory taken
+//! immediately after an acknowledged operation — exactly what a
+//! power-cut at that instant would leave on disk (the log runs at
+//! `Strict` durability in these tests, so acked ⇒ fsynced). Each copy is
+//! recovered independently and compared against the state the live
+//! engine had at that point.
+
+use hire_chaos::{sites, FaultKind, FaultPlan};
+use hire_core::{HireConfig, HireModel};
+use hire_data::Dataset;
+use hire_graph::Rating;
+use hire_serve::{
+    recover, write_snapshot, EngineConfig, FrozenModel, OnlineConfig, OnlineLoop, Predictor,
+    RatingQuery, RoundOutcome, ServeEngine,
+};
+use hire_wal::{Durability, Wal, WalOptions, SEGMENT_EXT};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+
+const USERS: usize = 40;
+const ITEMS: usize = 35;
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(label: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!(
+            "hire-walrec-{label}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        TempDir(dir)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+
+    fn sub(&self, name: &str) -> PathBuf {
+        let dir = self.0.join(name);
+        std::fs::create_dir_all(&dir).expect("create sub dir");
+        dir
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn dataset() -> Arc<Dataset> {
+    Arc::new(
+        hire_data::SyntheticConfig::movielens_like()
+            .scaled(USERS, ITEMS, (8, 15))
+            .generate(21),
+    )
+}
+
+fn model_config() -> HireConfig {
+    HireConfig::fast().with_blocks(1).with_context_size(6, 6)
+}
+
+fn base_model(dataset: &Dataset) -> FrozenModel {
+    let mut rng = StdRng::seed_from_u64(4);
+    let model = HireModel::new(dataset, &model_config(), &mut rng);
+    FrozenModel::from_model(&model, dataset).expect("freeze")
+}
+
+fn engine_config() -> EngineConfig {
+    EngineConfig {
+        cache_capacity: 128,
+        ..EngineConfig::from_model_config(&model_config())
+    }
+}
+
+fn strict_opts() -> WalOptions {
+    WalOptions {
+        durability: Durability::Strict,
+        segment_max_bytes: 4 << 20,
+        group_window: Duration::ZERO,
+    }
+}
+
+/// A WAL-attached engine over the dataset's base graph.
+fn wal_engine(dataset: &Arc<Dataset>, wal_dir: &Path, opts: WalOptions) -> Arc<ServeEngine> {
+    let (wal, recovery) = Wal::open(wal_dir, opts).expect("open wal");
+    assert!(recovery.records.is_empty(), "fresh log expected");
+    Arc::new(
+        ServeEngine::with_shared_graph(
+            base_model(dataset),
+            dataset.clone(),
+            Arc::new(dataset.graph()),
+            engine_config(),
+        )
+        .with_wal(Arc::new(wal)),
+    )
+}
+
+fn rating(k: usize) -> Rating {
+    Rating::new((k * 3) % USERS, (k * 5) % ITEMS, ((k % 5) + 1) as f32)
+}
+
+fn probes() -> Vec<RatingQuery> {
+    (0..6)
+        .map(|k| RatingQuery {
+            user: (k * 7) % USERS,
+            item: (k * 11) % ITEMS,
+        })
+        .collect()
+}
+
+fn probe_bits(pred: &dyn Predictor) -> Vec<u32> {
+    pred.predict_batch(&probes())
+        .expect("probe batch")
+        .into_iter()
+        .map(f32::to_bits)
+        .collect()
+}
+
+/// Byte-level copy of a (flat) WAL directory — the disk image a crash at
+/// this instant would leave behind.
+fn copy_dir(src: &Path, dst: &Path) {
+    std::fs::create_dir_all(dst).expect("create copy dir");
+    for entry in std::fs::read_dir(src).expect("read wal dir") {
+        let entry = entry.expect("entry");
+        std::fs::copy(entry.path(), dst.join(entry.file_name())).expect("copy file");
+    }
+}
+
+fn recover_from(
+    dataset: &Arc<Dataset>,
+    wal_dir: &Path,
+    online_config: OnlineConfig,
+    opts: WalOptions,
+) -> hire_serve::Recovered {
+    recover(
+        base_model(dataset),
+        dataset.clone(),
+        Arc::new(dataset.graph()),
+        engine_config(),
+        online_config,
+        wal_dir,
+        opts,
+    )
+    .expect("recover")
+}
+
+/// Every acked insert survives a crash taken right after its ack, and the
+/// recovered engine's answers are bit-identical to the live engine's at
+/// that kill point. Also re-checks the final kill point with a garbage
+/// tail glued on (a torn in-flight write dies with the crash; the acked
+/// prefix must not).
+#[test]
+fn acked_inserts_survive_every_kill_point_bitwise() {
+    let tmp = TempDir::new("killpoints");
+    let wal_dir = tmp.sub("wal");
+    let dataset = dataset();
+    let engine = wal_engine(&dataset, &wal_dir, strict_opts());
+
+    const OPS: usize = 18;
+    let mut kill_points = Vec::new(); // (copy dir, acked count, live answer bits)
+    for k in 0..OPS {
+        engine.insert_rating(rating(k)).expect("acked insert");
+        let copy = tmp.path().join(format!("kill-{k:03}"));
+        copy_dir(&wal_dir, &copy);
+        kill_points.push((copy, k + 1, probe_bits(engine.as_ref())));
+    }
+
+    for (copy, acked, live_bits) in &kill_points {
+        let recovered = recover_from(&dataset, copy, OnlineConfig::default(), strict_opts());
+        let (ratings, _) = recovered.engine.inserted_since(0);
+        assert_eq!(ratings.len(), *acked, "acked write lost at kill point");
+        for (j, r) in ratings.iter().enumerate() {
+            assert_eq!((r.user, r.item), (rating(j).user, rating(j).item));
+            assert_eq!(r.value.to_bits(), rating(j).value.to_bits());
+        }
+        assert_eq!(recovered.engine.version(), 1);
+        assert_eq!(
+            &probe_bits(recovered.engine.as_ref()),
+            live_bits,
+            "recovered answers diverge at kill point {acked}"
+        );
+    }
+
+    // Torn tail: a crash mid-append leaves garbage past the acked frames.
+    let (last_copy, acked, live_bits) = kill_points.last().expect("kill points");
+    let torn = tmp.path().join("torn");
+    copy_dir(last_copy, &torn);
+    let seg = std::fs::read_dir(&torn)
+        .expect("read torn dir")
+        .map(|e| e.expect("entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == SEGMENT_EXT))
+        .max()
+        .expect("segment file");
+    use std::io::Write;
+    let mut f = std::fs::OpenOptions::new()
+        .append(true)
+        .open(&seg)
+        .expect("open segment");
+    f.write_all(&[0xAB; 7]).expect("garbage tail");
+    drop(f);
+    let recovered = recover_from(&dataset, &torn, OnlineConfig::default(), strict_opts());
+    assert!(recovered.torn_bytes > 0, "tail should need repair");
+    let (ratings, _) = recovered.engine.inserted_since(0);
+    assert_eq!(ratings.len(), *acked);
+    assert_eq!(&probe_bits(recovered.engine.as_ref()), live_bits);
+}
+
+/// Promotions and demotions recover with the right version sequence and
+/// the right weights: a crash after a promoted round reloads the
+/// candidate's checkpointed weights; a crash after a demotion serves the
+/// rolled-back weights under the post-demotion version. Answers stay
+/// bit-identical to the live engine's throughout.
+#[test]
+fn model_lineage_recovers_versions_and_weights() {
+    let tmp = TempDir::new("lineage");
+    let wal_dir = tmp.sub("wal");
+    let ckpt_dir = tmp.sub("ckpt");
+    let dataset = dataset();
+    let engine = wal_engine(&dataset, &wal_dir, strict_opts());
+    let online_config = OnlineConfig {
+        min_new_ratings: 12,
+        fine_tune_steps: 6,
+        batch_size: 2,
+        base_lr: 1e-4,
+        holdout_every: 4,
+        regression_tolerance: 10.0, // machinery test, not a quality test
+        checkpoint_dir: Some(ckpt_dir.clone()),
+        ..OnlineConfig::default()
+    };
+    let online = OnlineLoop::new(engine.clone(), online_config.clone());
+
+    for k in 0..16 {
+        engine.insert_rating(rating(k)).expect("insert");
+    }
+    let outcome = online.run_round();
+    assert!(
+        matches!(outcome, RoundOutcome::Promoted { .. }),
+        "expected a promotion, got {outcome:?}"
+    );
+    assert_eq!(engine.version(), 2);
+
+    // Crash after the promotion: the recovered incumbent is the candidate,
+    // reloaded from its checkpoint, serving identical bits.
+    let after_promote = tmp.path().join("after-promote");
+    copy_dir(&wal_dir, &after_promote);
+    let recovered = recover_from(
+        &dataset,
+        &after_promote,
+        online_config.clone(),
+        strict_opts(),
+    );
+    assert_eq!(recovered.engine.version(), 2);
+    assert_eq!(
+        probe_bits(recovered.engine.as_ref()),
+        probe_bits(engine.as_ref())
+    );
+
+    // Demote (logged), then crash: the rolled-back weights serve under the
+    // *new* version on both the live and the recovered engine.
+    let demoted_version = engine.demote().expect("demote").expect("history nonempty");
+    assert_eq!(demoted_version, 3);
+    let after_demote = tmp.path().join("after-demote");
+    copy_dir(&wal_dir, &after_demote);
+    let recovered = recover_from(&dataset, &after_demote, online_config, strict_opts());
+    assert_eq!(recovered.engine.version(), 3);
+    assert_eq!(
+        probe_bits(recovered.engine.as_ref()),
+        probe_bits(engine.as_ref())
+    );
+}
+
+/// The online loop's routing state — cursor, round, and which arrivals
+/// went to the never-trained holdout slice — survives a crash: the
+/// recovered loop has the same holdout and keeps routing new arrivals
+/// without re-training old ones.
+#[test]
+fn online_routing_state_recovers() {
+    let tmp = TempDir::new("routing");
+    let wal_dir = tmp.sub("wal");
+    let ckpt_dir = tmp.sub("ckpt");
+    let dataset = dataset();
+    let engine = wal_engine(&dataset, &wal_dir, strict_opts());
+    let online_config = OnlineConfig {
+        min_new_ratings: 12,
+        fine_tune_steps: 6,
+        batch_size: 2,
+        base_lr: 1e-4,
+        holdout_every: 4,
+        regression_tolerance: 10.0,
+        checkpoint_dir: Some(ckpt_dir.clone()),
+        ..OnlineConfig::default()
+    };
+    let online = OnlineLoop::new(engine.clone(), online_config.clone());
+    for k in 0..16 {
+        engine.insert_rating(rating(k)).expect("insert");
+    }
+    let outcome = online.run_round();
+    assert!(
+        matches!(
+            outcome,
+            RoundOutcome::Promoted { .. } | RoundOutcome::Rejected { .. }
+        ),
+        "round must complete, got {outcome:?}"
+    );
+    let live_holdout = online.holdout_len();
+    assert!(
+        live_holdout > 0,
+        "cadence should have diverted some ratings"
+    );
+
+    let copy = tmp.path().join("crash");
+    copy_dir(&wal_dir, &copy);
+    let recovered = recover_from(&dataset, &copy, online_config, strict_opts());
+    assert_eq!(recovered.online.holdout_len(), live_holdout);
+
+    // The recovered loop keeps going: new arrivals route by cadence, old
+    // ones were not re-routed (pending would double-count them otherwise).
+    for k in 16..28 {
+        recovered.engine.insert_rating(rating(k)).expect("insert");
+    }
+    let outcome = recovered.online.run_round();
+    assert!(
+        matches!(
+            outcome,
+            RoundOutcome::Accumulating { .. }
+                | RoundOutcome::Promoted { .. }
+                | RoundOutcome::Rejected { .. }
+        ),
+        "recovered loop must keep functioning, got {outcome:?}"
+    );
+}
+
+/// `write_snapshot` bounds the log: segments fully covered by the
+/// snapshot are deleted, and recovery from snapshot + tail reproduces the
+/// full state bit-identically.
+#[test]
+fn snapshot_truncates_log_and_recovery_uses_it() {
+    let tmp = TempDir::new("snapshot");
+    let wal_dir = tmp.sub("wal");
+    let ckpt_dir = tmp.sub("ckpt");
+    let dataset = dataset();
+    let opts = WalOptions {
+        durability: Durability::Strict,
+        segment_max_bytes: 256, // force frequent rotation
+        group_window: Duration::ZERO,
+    };
+    let engine = wal_engine(&dataset, &wal_dir, opts.clone());
+    let online_config = OnlineConfig {
+        checkpoint_dir: Some(ckpt_dir.clone()),
+        ..OnlineConfig::default()
+    };
+    let online = OnlineLoop::new(engine.clone(), online_config.clone());
+
+    for k in 0..40 {
+        engine.insert_rating(rating(k)).expect("insert");
+    }
+    let wal = engine.wal().expect("wal attached");
+    let before = wal.segment_count().expect("count");
+    assert!(before > 2, "expected rotation, got {before} segment(s)");
+
+    let covered = write_snapshot(&engine, &online).expect("snapshot");
+    assert_eq!(covered, 40, "40 ratings were logged before the snapshot");
+    let after = wal.segment_count().expect("count");
+    assert!(
+        after < before,
+        "snapshot should truncate covered segments ({before} -> {after})"
+    );
+
+    // More traffic lands in the tail; recovery = snapshot + tail replay.
+    for k in 40..50 {
+        engine.insert_rating(rating(k)).expect("insert");
+    }
+    let live_bits = probe_bits(engine.as_ref());
+    let copy = tmp.path().join("crash");
+    copy_dir(&wal_dir, &copy);
+    let recovered = recover_from(&dataset, &copy, online_config, opts);
+    assert_eq!(recovered.snapshot_covered, 40);
+    let (ratings, _) = recovered.engine.inserted_since(0);
+    assert_eq!(ratings.len(), 50);
+    assert_eq!(probe_bits(recovered.engine.as_ref()), live_bits);
+}
+
+/// A refused WAL append (injected fault) leaves the engine untouched: no
+/// ack, no graph commit, no insert-log entry — and the next insert, once
+/// the fault clears, proceeds normally.
+#[test]
+fn refused_append_means_nothing_happened() {
+    let tmp = TempDir::new("refused");
+    let wal_dir = tmp.sub("wal");
+    let dataset = dataset();
+    let plan = Arc::new(FaultPlan::new(7).with_fault(sites::WAL_APPEND, FaultKind::Error, 1.0));
+    let (wal, _) = Wal::open_with_faults(&wal_dir, strict_opts(), Some(plan)).expect("open");
+    let engine = Arc::new(
+        ServeEngine::with_shared_graph(
+            base_model(&dataset),
+            dataset.clone(),
+            Arc::new(dataset.graph()),
+            engine_config(),
+        )
+        .with_wal(Arc::new(wal)),
+    );
+
+    let epoch = engine.graph_epoch();
+    for k in 0..3 {
+        assert!(engine.insert_rating(rating(k)).is_err(), "append refused");
+    }
+    assert_eq!(engine.inserted_since(0).0.len(), 0, "no unacked state");
+    assert_eq!(
+        engine.graph_epoch(),
+        epoch,
+        "no graph commit without a log entry"
+    );
+
+    // Same directory, fault-free reopen: nothing poisoned on disk.
+    drop(engine);
+    let engine = wal_engine(&dataset, &wal_dir, strict_opts());
+    engine.insert_rating(rating(0)).expect("clean insert");
+    assert_eq!(engine.inserted_since(0).0.len(), 1);
+}

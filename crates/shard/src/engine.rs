@@ -4,12 +4,15 @@
 use crate::sketch::SpaceSaving;
 use hire_core::HybridModel;
 use hire_data::Dataset;
+use hire_error::{HireError, HireResult};
 use hire_graph::{BipartiteGraph, Rating};
 use hire_serve::{
     Answer, CacheStats, EngineConfig, FrozenModel, ModelVersion, Predictor, RatingQuery,
     ResilienceConfig, ServeEngine, ServeError, TierStats,
 };
+use hire_wal::{shard_dir, ShardManifest, Wal, WalOptions};
 use std::collections::HashMap;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, RwLock};
 use std::time::Instant;
@@ -245,6 +248,67 @@ impl ShardedEngine {
         self
     }
 
+    /// Attaches a **fresh** sharded write-ahead log rooted at `root`
+    /// (builder style): writes (or validates) the `MANIFEST` naming the
+    /// shard count, opens one log per shard under `root/shard-NNN/`, and
+    /// attaches each to its engine — from here on every shard's
+    /// `insert_rating` appends before acking, and installs must go through
+    /// [`ShardedEngine::install_model_logged`].
+    ///
+    /// "Fresh" is enforced: a root whose logs already hold records needs
+    /// [`crate::recovery::recover_sharded`], which replays them — opening
+    /// it here would silently serve without the logged state.
+    pub fn with_wal_root(self, root: &Path, opts: WalOptions) -> HireResult<Self> {
+        let n = self.shards.len();
+        match ShardManifest::read(root).map_err(HireError::from)? {
+            Some(manifest) if manifest.shards as usize != n => {
+                return Err(HireError::invalid_data(
+                    "ShardedEngine",
+                    format!(
+                        "WAL root {} is laid out for {} shards but this engine has {n}; \
+                         changing the shard count requires a re-shard, not a reopen",
+                        root.display(),
+                        manifest.shards
+                    ),
+                ));
+            }
+            Some(_) => {}
+            None => ShardManifest { shards: n as u32 }
+                .write(root)
+                .map_err(HireError::from)?,
+        }
+        let mut wals = Vec::with_capacity(n);
+        for idx in 0..n {
+            let (wal, recovery) =
+                Wal::open(shard_dir(root, idx), opts.clone()).map_err(HireError::from)?;
+            if !recovery.records.is_empty() {
+                return Err(HireError::invalid_data(
+                    "ShardedEngine",
+                    format!(
+                        "shard {idx}'s log already holds {} records; use recover_sharded \
+                         to replay them instead of attaching over them",
+                        recovery.records.len()
+                    ),
+                ));
+            }
+            wals.push(Arc::new(wal));
+        }
+        Ok(self.with_wals(wals))
+    }
+
+    /// Attaches pre-opened logs, one per shard (recovery path — the logs'
+    /// records have already been replayed into the engines).
+    pub(crate) fn with_wals(mut self, wals: Vec<Arc<Wal>>) -> Self {
+        assert_eq!(wals.len(), self.shards.len(), "one WAL per shard required");
+        self.shards = self
+            .shards
+            .into_iter()
+            .zip(wals)
+            .map(|(e, w)| e.with_wal(w))
+            .collect();
+        self
+    }
+
     /// Number of shards.
     pub fn num_shards(&self) -> usize {
         self.shards.len()
@@ -337,6 +401,13 @@ impl ShardedEngine {
     /// consumed, every incumbent keeps serving, and the error is returned
     /// typed. On success all shards answer under the same new version.
     pub fn install_model(&self, model: FrozenModel) -> Result<ModelVersion, ServeError> {
+        if self.shards[0].wal().is_some() {
+            return Err(ServeError::Model(HireError::invalid_data(
+                "ShardedEngine",
+                "engine has write-ahead logs attached; use install_model_logged so the \
+                 promotion is durable on every shard",
+            )));
+        }
         let mut prepared = Vec::with_capacity(self.shards.len());
         for engine in &self.shards {
             prepared.push(engine.prepare_install(model.clone())?);
@@ -351,6 +422,40 @@ impl ShardedEngine {
             assert_eq!(first, v, "shards diverged in model version after commit");
         }
         Ok(first)
+    }
+
+    /// [`ShardedEngine::install_model`] for a WAL-attached engine: prepare
+    /// on every shard first (any failure aborts wholesale, nothing
+    /// logged), then per shard append a durable `ModelPromoted{tag,steps}`
+    /// record and commit. `(tag, steps)` must name the checkpoint holding
+    /// the weights — written *before* this call, or a crash after the
+    /// first shard's append leaves a promotion no recovery can reload.
+    ///
+    /// A failure in the append+commit phase (e.g. one shard's disk
+    /// refusing the fsync) returns the error with earlier shards already
+    /// on the new version. The divergence is bounded and repairable:
+    /// every shard's event log is a prefix of the longest one, and
+    /// [`crate::recovery::recover_sharded`] rolls lagging shards forward
+    /// to restore lockstep.
+    pub fn install_model_logged(
+        &self,
+        model: FrozenModel,
+        tag: &str,
+        steps: u64,
+    ) -> Result<ModelVersion, ServeError> {
+        let mut prepared = Vec::with_capacity(self.shards.len());
+        for engine in &self.shards {
+            prepared.push(engine.prepare_install(model.clone())?);
+        }
+        let mut first = None;
+        for (engine, p) in self.shards.iter().zip(prepared) {
+            let v = engine.commit_install_logged(p, tag, steps)?;
+            match first {
+                None => first = Some(v),
+                Some(f) => assert_eq!(f, v, "shards diverged in model version after commit"),
+            }
+        }
+        Ok(first.expect("at least one shard"))
     }
 
     /// Routes every query: owner shard by default, round-robin for

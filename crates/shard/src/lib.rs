@@ -22,7 +22,9 @@
 //! invariant `tests/sharding.rs` locks down.
 
 pub mod engine;
+pub mod recovery;
 pub mod sketch;
 
 pub use engine::{HotKeyConfig, HotKeyStats, ShardConfig, ShardStats, ShardedEngine};
+pub use recovery::{recover_sharded, RecoveredShards};
 pub use sketch::SpaceSaving;

@@ -1,0 +1,396 @@
+//! Sharded crash recovery (ISSUE 9 tentpole, sharded half): N per-shard
+//! write-ahead logs under one manifest must recover in **lockstep** — every
+//! shard on the same model version with the same weights, every shard's
+//! ratings replayed, answers bit-identical to an engine that never
+//! crashed. A crash *mid-install* leaves prefix-chained event logs;
+//! recovery rolls the lagging shards forward (durably). Divergent logs
+//! are a refusal, not a guess.
+
+use hire_ckpt::{CheckpointStore, GuardSnapshot, OptimizerSnapshot, TrainSnapshot};
+use hire_core::{HireConfig, HireModel};
+use hire_data::Dataset;
+use hire_graph::Rating;
+use hire_serve::{EngineConfig, FrozenModel, Predictor, RatingQuery};
+use hire_shard::{recover_sharded, ShardConfig, ShardedEngine};
+use hire_wal::{shard_dir, Durability, Wal, WalOptions, WalRecord};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+
+const USERS: usize = 60;
+const ITEMS: usize = 45;
+const SHARDS: usize = 4;
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(label: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!(
+            "hire-shardrec-{label}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        TempDir(dir)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+
+    fn sub(&self, name: &str) -> PathBuf {
+        let dir = self.0.join(name);
+        std::fs::create_dir_all(&dir).expect("create sub dir");
+        dir
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn dataset() -> Arc<Dataset> {
+    Arc::new(
+        hire_data::SyntheticConfig::movielens_like()
+            .scaled(USERS, ITEMS, (8, 15))
+            .generate(21),
+    )
+}
+
+fn model_config() -> HireConfig {
+    HireConfig::fast().with_blocks(1).with_context_size(8, 8)
+}
+
+fn frozen(dataset: &Dataset, seed: u64) -> FrozenModel {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let model = HireModel::new(dataset, &model_config(), &mut rng);
+    FrozenModel::from_model(&model, dataset).expect("freeze")
+}
+
+fn engine_config() -> EngineConfig {
+    EngineConfig {
+        cache_capacity: 128,
+        ..EngineConfig::from_model_config(&model_config())
+    }
+}
+
+fn strict_opts() -> WalOptions {
+    WalOptions {
+        durability: Durability::Strict,
+        segment_max_bytes: 4 << 20,
+        group_window: Duration::ZERO,
+    }
+}
+
+fn shard_config() -> ShardConfig {
+    ShardConfig {
+        shards: SHARDS,
+        hot_keys: None,
+    }
+}
+
+fn logged_engine(dataset: &Arc<Dataset>, root: &Path) -> ShardedEngine {
+    ShardedEngine::with_shared_graph(
+        frozen(dataset, 4),
+        Arc::clone(dataset),
+        Arc::new(dataset.graph()),
+        engine_config(),
+        shard_config(),
+    )
+    .with_wal_root(root, strict_opts())
+    .expect("attach wal root")
+}
+
+fn rating(k: usize) -> Rating {
+    Rating::new((k * 3) % USERS, (k * 5) % ITEMS, ((k % 5) + 1) as f32)
+}
+
+fn probes() -> Vec<RatingQuery> {
+    (0..12)
+        .map(|k| RatingQuery {
+            user: (k * 13) % USERS,
+            item: (k * 17) % ITEMS,
+        })
+        .collect()
+}
+
+fn probe_bits(engine: &ShardedEngine) -> Vec<(u32, u64)> {
+    engine
+        .predict_batch_tagged(&probes(), None)
+        .expect("probe batch")
+        .into_iter()
+        .map(|a| (a.rating.to_bits(), a.version))
+        .collect()
+}
+
+/// Writes a weight checkpoint the way the online loop does before a
+/// logged promotion: the `(tag, steps)` pair in the `ModelPromoted`
+/// record names exactly this file.
+fn checkpoint_weights(dir: &Path, tag: &str, steps: u64, model: &FrozenModel) {
+    let snapshot = TrainSnapshot {
+        completed_steps: steps,
+        config_fingerprint: 0,
+        params: model.parameters(),
+        rollback_step: 0,
+        rollback_params: Vec::new(),
+        optimizer: OptimizerSnapshot {
+            lamb_m: Vec::new(),
+            lamb_v: Vec::new(),
+            lamb_t: 0,
+            slow_weights: Vec::new(),
+            lookahead_steps: 0,
+        },
+        guard: GuardSnapshot {
+            ema: None,
+            healthy_steps: 0,
+            suspicious_streak: 0,
+            lr_scale: 1.0,
+            recoveries: 0,
+        },
+        rng_words: Vec::new(),
+    };
+    CheckpointStore::open_tagged(dir, tag, 4)
+        .and_then(|store| store.save(&snapshot))
+        .expect("checkpoint weights");
+}
+
+fn copy_tree(src: &Path, dst: &Path) {
+    std::fs::create_dir_all(dst).expect("create copy dir");
+    for entry in std::fs::read_dir(src).expect("read dir") {
+        let entry = entry.expect("entry");
+        let to = dst.join(entry.file_name());
+        if entry.file_type().expect("file type").is_dir() {
+            copy_tree(&entry.path(), &to);
+        } else {
+            std::fs::copy(entry.path(), &to).expect("copy file");
+        }
+    }
+}
+
+fn recover_copy(
+    dataset: &Arc<Dataset>,
+    root: &Path,
+    ckpt_dir: Option<&Path>,
+) -> hire_shard::RecoveredShards {
+    recover_sharded(
+        frozen(dataset, 4),
+        Arc::clone(dataset),
+        Arc::new(dataset.graph()),
+        engine_config(),
+        shard_config(),
+        ckpt_dir,
+        root,
+        strict_opts(),
+    )
+    .expect("recover sharded")
+}
+
+/// Clean crash: inserts spread over all shards plus a logged install
+/// recover in lockstep, bit-identical to the live engine, with no
+/// roll-forward needed.
+#[test]
+fn sharded_recovery_is_bitwise_lockstep() {
+    let tmp = TempDir::new("lockstep");
+    let root = tmp.sub("wal");
+    let ckpt_dir = tmp.sub("ckpt");
+    let data = dataset();
+    let engine = logged_engine(&data, &root);
+
+    for k in 0..30 {
+        engine.insert_rating(rating(k)).expect("acked insert");
+    }
+    let candidate = frozen(&data, 11);
+    checkpoint_weights(&ckpt_dir, "cand", 7, &candidate);
+    let version = engine
+        .install_model_logged(candidate, "cand", 7)
+        .expect("logged install");
+    assert_eq!(version, 2);
+    for k in 30..42 {
+        engine.insert_rating(rating(k)).expect("acked insert");
+    }
+    let live_bits = probe_bits(&engine);
+
+    let crash = tmp.path().join("crash");
+    copy_tree(&root, &crash);
+    let recovered = recover_copy(&data, &crash, Some(&ckpt_dir));
+    assert_eq!(recovered.rolled_forward, 0, "clean crash needs no repair");
+    assert_eq!(recovered.model_events, 1);
+    assert_eq!(recovered.ratings_per_shard.iter().sum::<usize>(), 42);
+    for shard in recovered.engine.shard_engines() {
+        assert_eq!(shard.version(), 2, "shards must recover in lockstep");
+    }
+    assert_eq!(probe_bits(&recovered.engine), live_bits);
+}
+
+/// Crash mid-install: only a prefix of the shards logged the promotion.
+/// Recovery takes the longest log as truth, durably appends the missing
+/// records to the lagging shards, and lands everyone on the new version —
+/// and a *second* recovery of the repaired root sees nothing left to fix.
+#[test]
+fn partial_install_rolls_lagging_shards_forward() {
+    let tmp = TempDir::new("rollforward");
+    let root = tmp.sub("wal");
+    let ckpt_dir = tmp.sub("ckpt");
+    let data = dataset();
+    let engine = logged_engine(&data, &root);
+    for k in 0..24 {
+        engine.insert_rating(rating(k)).expect("acked insert");
+    }
+    let candidate = frozen(&data, 11);
+    checkpoint_weights(&ckpt_dir, "cand", 7, &candidate);
+    engine
+        .install_model_logged(candidate.clone(), "cand", 7)
+        .expect("logged install");
+    drop(engine);
+
+    // Reference: an engine where the *next* promotion (v3) completed on
+    // every shard before the crash.
+    let next = frozen(&data, 23);
+    checkpoint_weights(&ckpt_dir, "next", 9, &next);
+    let full = tmp.path().join("full");
+    copy_tree(&root, &full);
+    for idx in 0..SHARDS {
+        let (wal, _) = Wal::open(shard_dir(&full, idx), strict_opts()).expect("open shard log");
+        wal.append_durable(&WalRecord::ModelPromoted {
+            version: 3,
+            tag: "next".into(),
+            steps: 9,
+        })
+        .expect("append");
+    }
+    let reference_bits = probe_bits(&recover_copy(&data, &full, Some(&ckpt_dir)).engine);
+
+    // Crash image: the same promotion reached only shard 0.
+    let torn = tmp.path().join("torn");
+    copy_tree(&root, &torn);
+    let (wal, _) = Wal::open(shard_dir(&torn, 0), strict_opts()).expect("open shard log");
+    wal.append_durable(&WalRecord::ModelPromoted {
+        version: 3,
+        tag: "next".into(),
+        steps: 9,
+    })
+    .expect("append");
+    drop(wal);
+
+    let recovered = recover_copy(&data, &torn, Some(&ckpt_dir));
+    assert_eq!(recovered.rolled_forward, SHARDS - 1);
+    assert_eq!(recovered.model_events, 2);
+    for shard in recovered.engine.shard_engines() {
+        assert_eq!(shard.version(), 3, "roll-forward must restore lockstep");
+    }
+    assert_eq!(probe_bits(&recovered.engine), reference_bits);
+    drop(recovered);
+
+    // The repair was durable: recovering the repaired root again finds
+    // every log already even.
+    let again = recover_copy(&data, &torn, Some(&ckpt_dir));
+    assert_eq!(
+        again.rolled_forward, 0,
+        "repair must persist across recoveries"
+    );
+    for shard in again.engine.shard_engines() {
+        assert_eq!(shard.version(), 3);
+    }
+}
+
+/// Logs that are not prefix-chained (two shards claiming different
+/// promotions for the same version) are unrecoverable by roll-forward;
+/// recovery must refuse with a typed error rather than pick a side.
+#[test]
+fn divergent_shard_logs_are_refused() {
+    let tmp = TempDir::new("diverge");
+    let root = tmp.sub("wal");
+    let ckpt_dir = tmp.sub("ckpt");
+    let data = dataset();
+    let engine = logged_engine(&data, &root);
+    for k in 0..12 {
+        engine.insert_rating(rating(k)).expect("acked insert");
+    }
+    drop(engine);
+
+    for (idx, tag) in [(0usize, "alpha"), (1usize, "beta")] {
+        let (wal, _) = Wal::open(shard_dir(&root, idx), strict_opts()).expect("open shard log");
+        wal.append_durable(&WalRecord::ModelPromoted {
+            version: 2,
+            tag: tag.into(),
+            steps: 5,
+        })
+        .expect("append");
+    }
+
+    let err = match recover_sharded(
+        frozen(&data, 4),
+        Arc::clone(&data),
+        Arc::new(data.graph()),
+        engine_config(),
+        shard_config(),
+        Some(ckpt_dir.as_path()),
+        &root,
+        strict_opts(),
+    ) {
+        Ok(_) => panic!("divergent logs must be refused"),
+        Err(err) => err,
+    };
+    assert!(
+        err.to_string().contains("prefix-chained"),
+        "error should name the broken invariant, got: {err}"
+    );
+}
+
+/// Guard rails on the attach/recover split: a root with logged records
+/// cannot be silently re-attached as fresh, and a manifest written for N
+/// shards cannot be recovered as M.
+#[test]
+fn dirty_roots_and_shard_count_mismatches_are_refused() {
+    let tmp = TempDir::new("guards");
+    let root = tmp.sub("wal");
+    let data = dataset();
+    let engine = logged_engine(&data, &root);
+    for k in 0..6 {
+        engine.insert_rating(rating(k)).expect("acked insert");
+    }
+    drop(engine);
+
+    let err = match ShardedEngine::with_shared_graph(
+        frozen(&data, 4),
+        Arc::clone(&data),
+        Arc::new(data.graph()),
+        engine_config(),
+        shard_config(),
+    )
+    .with_wal_root(&root, strict_opts())
+    {
+        Ok(_) => panic!("dirty root must not attach as fresh"),
+        Err(err) => err,
+    };
+    assert!(
+        err.to_string().contains("recover_sharded"),
+        "error should direct to recovery, got: {err}"
+    );
+
+    let err = match recover_sharded(
+        frozen(&data, 4),
+        Arc::clone(&data),
+        Arc::new(data.graph()),
+        engine_config(),
+        ShardConfig {
+            shards: SHARDS + 1,
+            hot_keys: None,
+        },
+        None,
+        &root,
+        strict_opts(),
+    ) {
+        Ok(_) => panic!("shard count mismatch must be refused"),
+        Err(err) => err,
+    };
+    assert!(
+        err.to_string().contains("re-shard"),
+        "error should name the mismatch, got: {err}"
+    );
+}

@@ -1,14 +1,15 @@
 //! Serving quickstart: train HIRE, freeze it, answer rating queries
 //! through the online inference stack (context cache + micro-batched
-//! worker pool), then close the loop — fine-tune on freshly observed
-//! ratings and hot-swap the promoted candidate into serving.
+//! worker pool), close the loop — fine-tune on freshly observed ratings
+//! and hot-swap the promoted candidate into serving — then kill the
+//! engine and recover it from the write-ahead log, bit-identical.
 //!
 //! ```sh
 //! cargo run --release --example serve_quickstart
 //! ```
 
 use hire::prelude::*;
-use hire::serve::Predictor;
+use hire::serve::{recover, Predictor};
 use rand::SeedableRng;
 use std::sync::Arc;
 use std::time::Duration;
@@ -52,11 +53,26 @@ fn main() {
 
     // 3. The engine samples a deterministic context per (user, item),
     //    memoizes it in an LRU cache, and runs batched no-grad forwards.
-    let engine = Arc::new(ServeEngine::new(
-        frozen,
-        Arc::new(dataset),
-        EngineConfig::from_model_config(&config),
-    ));
+    //    Attaching a write-ahead log makes every accepted write durable:
+    //    `insert_rating` appends (group-committed fsync) before acking,
+    //    and model promotions/demotions are logged too — step 7 rebuilds
+    //    the whole engine from this log after a simulated crash.
+    let dataset = Arc::new(dataset);
+    let base = frozen.clone();
+    let scratch = std::env::temp_dir().join(format!("hire-quickstart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    let wal_dir = scratch.join("wal");
+    let ckpt_dir = scratch.join("ckpt");
+    std::fs::create_dir_all(&ckpt_dir).expect("scratch dir");
+    let (wal, _) = Wal::open(&wal_dir, WalOptions::default()).expect("open wal");
+    let engine = Arc::new(
+        ServeEngine::new(
+            frozen,
+            dataset.clone(),
+            EngineConfig::from_model_config(&config),
+        )
+        .with_wal(Arc::new(wal)),
+    );
 
     // 4. Serve through the micro-batching worker pool: submissions are
     //    coalesced into batches of up to `max_batch` and answered on
@@ -141,20 +157,22 @@ fn main() {
     for r in &fresh {
         engine.insert_rating(*r).expect("in range");
     }
-    let online = OnlineLoop::new(
-        engine.clone(),
-        OnlineConfig {
-            min_new_ratings: 8,
-            fine_tune_steps: 10,
-            batch_size: 2,
-            base_lr: 1e-4,
-            holdout_every: 4,
-            // The example demonstrates the machinery, so the gate is
-            // lenient; production keeps the default 5 % tolerance.
-            regression_tolerance: 1.0,
-            ..OnlineConfig::default()
-        },
-    );
+    let online_config = OnlineConfig {
+        min_new_ratings: 8,
+        fine_tune_steps: 10,
+        batch_size: 2,
+        base_lr: 1e-4,
+        holdout_every: 4,
+        // The example demonstrates the machinery, so the gate is
+        // lenient; production keeps the default 5 % tolerance.
+        regression_tolerance: 1.0,
+        // With a WAL attached, promotions checkpoint the candidate's
+        // weights *before* logging the swap — recovery reloads them from
+        // here.
+        checkpoint_dir: Some(ckpt_dir),
+        ..OnlineConfig::default()
+    };
+    let online = OnlineLoop::new(engine.clone(), online_config.clone());
     println!("\nfine-tuning on {} fresh ratings ...", fresh.len());
     match online.run_round() {
         RoundOutcome::Promoted { version, eval } => println!(
@@ -174,4 +192,46 @@ fn main() {
         tagged[0].rating, tagged[0].version
     );
     server.shutdown();
+
+    // 7. Kill the engine and recover it from the log alone. Everything
+    //    durable comes back: every acked rating, the promoted model (its
+    //    weights reloaded from the promotion checkpoint), and the online
+    //    loop's routing state — and the recovered engine answers
+    //    bit-identically to the one we just killed.
+    let before: Vec<f32> = engine.predict_batch(&queries).expect("served");
+    let version_before = engine.version();
+    let inserted_before = engine.inserted_since(0).0.len();
+    drop(online);
+    drop(engine); // the "crash": nothing survives but the log + checkpoints
+    let recovered = recover(
+        base,
+        dataset.clone(),
+        Arc::new(dataset.graph()),
+        EngineConfig::from_model_config(&config),
+        online_config,
+        &wal_dir,
+        WalOptions::default(),
+    )
+    .expect("recover from wal");
+    let after: Vec<f32> = recovered.engine.predict_batch(&queries).expect("served");
+    let bitwise = before
+        .iter()
+        .zip(&after)
+        .all(|(a, b)| a.to_bits() == b.to_bits());
+    println!(
+        "\nrecovered from WAL: {} ratings replayed ({} records), model v{} (was v{})",
+        recovered.ratings,
+        recovered.records_replayed,
+        recovered.engine.version(),
+        version_before
+    );
+    println!(
+        "recovered answers bit-identical: {bitwise} ({} of {} ratings, holdout {})",
+        recovered.ratings,
+        inserted_before,
+        recovered.online.holdout_len()
+    );
+    assert!(bitwise, "recovered engine must answer identically");
+    assert_eq!(recovered.engine.version(), version_before);
+    let _ = std::fs::remove_dir_all(&scratch);
 }

@@ -16,6 +16,7 @@
 //! | [`metrics`] | `hire-metrics` | Precision/NDCG/MAP @ k |
 //! | [`eval`] | `hire-eval` | the comparison harness used by the benches |
 //! | [`serve`] | `hire-serve` | online inference: frozen models, context cache, worker pool, degradation ladder |
+//! | [`wal`] | `hire-wal` | write-ahead log: group commit, segment rotation, crash recovery |
 //! | [`chaos`] | `hire-chaos` | deterministic fault injection for resilience testing |
 //!
 //! ```
@@ -51,6 +52,7 @@ pub use hire_nn as nn;
 pub use hire_optim as optim;
 pub use hire_serve as serve;
 pub use hire_tensor as tensor;
+pub use hire_wal as wal;
 
 /// One-stop imports for the common workflow.
 pub mod prelude {
@@ -75,4 +77,5 @@ pub mod prelude {
         RoundOutcome, ServeEngine, ServeError, ServedBy, Server, ServerConfig, TierStats,
     };
     pub use hire_tensor::{NdArray, Shape, Tensor};
+    pub use hire_wal::{Durability, Wal, WalOptions};
 }
