@@ -3,19 +3,25 @@
 //!
 //! Three sections:
 //! 1. **matmul** — GFLOP/s at HIM-realistic shapes: the naive reference
-//!    loop vs the blocked/tiled kernel at 1 thread (the blocking speedup),
-//!    then the blocked kernel across the thread sweep. Every variant is
-//!    checked bitwise against the reference before it is timed.
+//!    loop, the blocked kernel forced to the scalar micro-kernel, and the
+//!    blocked kernel on the dispatched ISA (see `hire_tensor::simd`), all
+//!    at 1 thread, then the dispatched kernel across the thread sweep.
+//!    Every variant is correctness-checked before it is timed: bitwise
+//!    against the reference on scalar/sse2, oracle-bounded on avx2 (whose
+//!    FMA chain rounds less — DESIGN.md §16), and always bitwise
+//!    thread-invariant against its own 1-thread result.
 //! 2. **him** — full HIM forward and forward+backward wall time on a
 //!    synthetic cold-start context across the thread sweep, with the loss
 //!    value asserted bit-identical at every thread count.
 //! 3. **serve** — saturation throughput from the sibling `serve_bench`
 //!    binary run with `--threads 1/2/4/8` (skipped under `--smoke`).
 //!
-//! `--smoke` shrinks every section to seconds and asserts that the
-//! 4-thread HIM forward is no slower than the 1-thread run (with a noise
-//! tolerance so single-core machines, where both degenerate to the same
-//! serial execution, still pass): the CI regression gate for the pool.
+//! `--smoke` shrinks every section to seconds and gates two regressions:
+//! the 4-thread HIM forward must be no slower than the 1-thread run (with
+//! a noise tolerance so single-core machines, where both degenerate to the
+//! same serial execution, still pass), and on hosts where the dispatcher
+//! resolves to avx2 the dispatched matmul must beat the forced-scalar
+//! micro-kernel — the CI regression gates for the pool and the SIMD layer.
 
 use hire_bench::write_json_atomic;
 use hire_core::{HireConfig, HireModel};
@@ -36,8 +42,9 @@ USAGE:
     compute_bench [OPTIONS]
 
 OPTIONS:
-    --smoke         quick run: small shapes, no serve sweep, and assert the
-                    4-thread HIM forward is no slower than 1-thread
+    --smoke         quick run: small shapes, no serve sweep, assert the
+                    4-thread HIM forward is no slower than 1-thread and
+                    (on avx2 hosts) that dispatch beats forced-scalar
     --out <path>    write the JSON report here [BENCH_KERNELS.json]
     --no-serve      skip the serve_bench throughput sweep
     -h, --help      print this help";
@@ -49,6 +56,13 @@ const THREAD_SWEEP: [usize; 4] = [1, 2, 4, 8];
 /// smoke gate fails — covers timer noise and single-core machines where
 /// both runs execute the same serial code under different pool wiring.
 const SMOKE_TOLERANCE: f64 = 1.25;
+
+/// On hosts where the dispatcher resolves to avx2, the dispatched matmul
+/// must beat the forced-scalar micro-kernel by at least this factor on
+/// every smoke shape. Deliberately far below the ~4x the avx2 kernel
+/// actually delivers — the gate catches a dispatcher wired to the wrong
+/// path, not a few percent of perf drift.
+const ISA_SMOKE_SPEEDUP: f64 = 1.2;
 
 #[derive(Debug, Clone)]
 struct Args {
@@ -101,10 +115,20 @@ struct ThreadPoint {
 struct MatmulReport {
     /// `[n, k, m]` of the timed product.
     shape: Vec<usize>,
+    /// Kernel path the dispatched numbers below ran on
+    /// (`scalar` | `sse2` | `avx2`).
+    isa: String,
     gflops_reference_1t: f64,
+    /// Blocked kernel pinned to the scalar micro-kernel: the pre-SIMD
+    /// baseline every dispatched number is compared against.
+    gflops_scalar_1t: f64,
+    /// Blocked kernel on the dispatched ISA.
     gflops_blocked_1t: f64,
-    /// Single-thread win from blocking/tiling alone.
+    /// Single-thread win from blocking/tiling alone (scalar vs reference).
     blocking_speedup_1t: f64,
+    /// Single-thread win from the dispatched micro-kernel over the forced
+    /// scalar one. 1.0 on hosts where the dispatcher resolves to scalar.
+    dispatch_speedup_1t: f64,
     sweep: Vec<ThreadPoint>,
 }
 
@@ -144,33 +168,61 @@ struct KernelBenchReport {
     serve: Option<Vec<ServePoint>>,
 }
 
-/// Times one `[n,k] x [k,m]` product: reference vs blocked at 1 thread,
-/// then the blocked kernel across the sweep. Asserts every timed variant
-/// produces bits identical to the reference first.
+/// Times one `[n,k] x [k,m]` product: reference vs forced-scalar blocked
+/// vs dispatched blocked at 1 thread, then the dispatched kernel across
+/// the sweep. Correctness runs first: the dispatched result must match the
+/// reference (bitwise on scalar/sse2, oracle-bounded on avx2 per DESIGN.md
+/// §16) and must be bitwise thread-invariant at every sweep thread count.
 fn bench_matmul(n: usize, k: usize, m: usize, reps: usize) -> MatmulReport {
     let mut rng = StdRng::seed_from_u64(0x11A7 ^ (n * k * m) as u64);
     let a = NdArray::randn([n, k], 0.0, 1.0, &mut rng);
     let b = NdArray::randn([k, m], 0.0, 1.0, &mut rng);
     let flops = 2.0 * (n * k * m) as f64;
+    let isa = hire_tensor::simd::active_isa();
 
     let mut reference = vec![0.0f32; n * m];
     linalg::matmul_reference(a.as_slice(), b.as_slice(), &mut reference, n, k, m);
     let one = Arc::new(ThreadPool::new(1));
-    for &threads in &THREAD_SWEEP {
+    let baseline = with_pool(&one, || linalg::matmul2d(&a, &b));
+    let bitwise_vs_reference = isa < hire_tensor::simd::Isa::Avx2;
+    for (i, (&x, &y)) in baseline.as_slice().iter().zip(&reference).enumerate() {
+        if bitwise_vs_reference {
+            assert!(
+                x.to_bits() == y.to_bits(),
+                "{} matmul deviates from reference at element {i} ({n}x{k}x{m})",
+                isa.label()
+            );
+        } else {
+            let tol = 1e-4 * (k as f32).sqrt() * y.abs().max(1.0);
+            assert!(
+                (x - y).abs() <= tol,
+                "{} matmul outside oracle bound at element {i} ({n}x{k}x{m}): {x} vs {y}",
+                isa.label()
+            );
+        }
+    }
+    for &threads in &THREAD_SWEEP[1..] {
         let pool = Arc::new(ThreadPool::new(threads));
         let out = with_pool(&pool, || linalg::matmul2d(&a, &b));
         assert!(
             out.as_slice()
                 .iter()
-                .zip(&reference)
+                .zip(baseline.as_slice())
                 .all(|(x, y)| x.to_bits() == y.to_bits()),
-            "blocked matmul deviates from reference at {threads} threads ({n}x{k}x{m})"
+            "{} matmul is not thread-invariant at {threads} threads ({n}x{k}x{m})",
+            isa.label()
         );
     }
 
     let t_ref = time_best(reps, || {
         let mut out = vec![0.0f32; n * m];
         linalg::matmul_reference(a.as_slice(), b.as_slice(), &mut out, n, k, m);
+        std::hint::black_box(&out);
+    });
+    let t_scalar_1t = time_best(reps, || {
+        let out = with_pool(&one, || {
+            linalg::matmul2d_with_isa(&a, &b, hire_tensor::simd::Isa::Scalar)
+        });
         std::hint::black_box(&out);
     });
     let t_blocked_1t = time_best(reps, || {
@@ -193,9 +245,12 @@ fn bench_matmul(n: usize, k: usize, m: usize, reps: usize) -> MatmulReport {
         .collect();
     MatmulReport {
         shape: vec![n, k, m],
+        isa: isa.label().to_string(),
         gflops_reference_1t: flops / t_ref / 1e9,
+        gflops_scalar_1t: flops / t_scalar_1t / 1e9,
         gflops_blocked_1t: flops / t_blocked_1t / 1e9,
-        blocking_speedup_1t: t_ref / t_blocked_1t,
+        blocking_speedup_1t: t_ref / t_scalar_1t,
+        dispatch_speedup_1t: t_scalar_1t / t_blocked_1t,
         sweep,
     }
 }
@@ -340,31 +395,25 @@ fn main() {
 
     let host = hire_bench::HostInfo::detect();
     let host_threads = host.logical_cores;
-    eprintln!(
-        "compute_bench: host has {host_threads} hardware threads (isa: {}; HIRE_THREADS={})",
-        if host.isa_features.is_empty() {
-            "unknown".to_string()
-        } else {
-            host.isa_features.join("+")
-        },
-        host.hire_threads_env.as_deref().unwrap_or("unset"),
-    );
+    eprintln!("compute_bench: {}", host.summary());
 
     // HIM-realistic products: [rows, e] x [e, inner] attention projections
     // (rows = batch*tokens of MBU/MBI/MBA) and the larger full-tier shape.
     let shapes: &[[usize; 3]] = if args.smoke {
-        &[[128, 40, 32], [512, 64, 64]]
+        &[[256, 40, 32], [512, 64, 64]]
     } else {
         &[[256, 40, 32], [1024, 40, 32], [4096, 24, 24], [512, 64, 64]]
     };
-    let reps = if args.smoke { 5 } else { 10 };
+    // Matmul timings are microseconds per rep; a generous best-of count
+    // costs nothing and rides out scheduler noise on shared hosts.
+    let reps = if args.smoke { 20 } else { 40 };
     let matmul: Vec<MatmulReport> = shapes
         .iter()
         .map(|&[n, k, m]| {
             let r = bench_matmul(n, k, m, reps);
             eprintln!(
-                "  matmul {n}x{k}x{m}: ref {:.2} GF/s, blocked 1t {:.2} GF/s ({:.2}x from blocking)",
-                r.gflops_reference_1t, r.gflops_blocked_1t, r.blocking_speedup_1t
+                "  matmul {n}x{k}x{m}: ref {:.2} GF/s, scalar 1t {:.2} GF/s, {} 1t {:.2} GF/s ({:.2}x from dispatch)",
+                r.gflops_reference_1t, r.gflops_scalar_1t, r.isa, r.gflops_blocked_1t, r.dispatch_speedup_1t
             );
             r
         })
@@ -399,6 +448,21 @@ fn main() {
             "compute_bench: smoke gate skipped (host has {host_threads} hardware threads, need 4)"
         );
     }
+    // ISA gate: a host that dispatched avx2 or better must see the SIMD win
+    // on every smoke shape, else the dispatcher or the micro-kernel
+    // regressed.
+    let mut isa_gate_failed = false;
+    if args.smoke && hire_tensor::simd::active_isa() >= hire_tensor::simd::Isa::Avx2 {
+        for r in &matmul {
+            if r.dispatch_speedup_1t < ISA_SMOKE_SPEEDUP {
+                eprintln!(
+                    "compute_bench: ISA GATE FAILED — {} matmul only {:.2}x over forced-scalar at {:?} (need {ISA_SMOKE_SPEEDUP}x)",
+                    r.isa, r.dispatch_speedup_1t, r.shape
+                );
+                isa_gate_failed = true;
+            }
+        }
+    }
     let report = KernelBenchReport {
         smoke: args.smoke,
         host_threads,
@@ -414,6 +478,8 @@ fn main() {
         eprintln!(
             "compute_bench: SMOKE GATE FAILED — 4-thread HIM forward is more than {SMOKE_TOLERANCE}x slower than 1-thread"
         );
+    }
+    if smoke_gate_failed || isa_gate_failed {
         std::process::exit(1);
     }
 }

@@ -1459,9 +1459,11 @@ fn main() {
         }
     }
     // Snapshot the host after the pool override so the report records the
-    // effective thread count the kernels actually ran with.
+    // effective thread count the kernels actually ran with — and the
+    // kernel path the SIMD dispatcher resolved to for this process.
     let host = HostInfo::detect();
     let compute_threads = host.compute_pool_threads;
+    eprintln!("serve_bench: {}", host.summary());
 
     let dataset = Arc::new(
         SyntheticConfig::movielens_like()

@@ -355,6 +355,13 @@ pub struct HostInfo {
     /// Size of the `hire-par` global pool — the effective thread count
     /// kernels actually ran with after flags and env were applied.
     pub compute_pool_threads: usize,
+    /// Kernel path the SIMD dispatcher resolved to for this process
+    /// (`scalar` | `sse2` | `avx2`) — the ISA every recorded number
+    /// actually ran on.
+    pub dispatched_kernel: String,
+    /// Raw `HIRE_ISA` override from the environment, if set (the
+    /// dispatched kernel above already reflects it).
+    pub hire_isa_env: Option<String>,
 }
 
 impl HostInfo {
@@ -386,7 +393,30 @@ impl HostInfo {
             isa_features,
             hire_threads_env: std::env::var("HIRE_THREADS").ok(),
             compute_pool_threads: hire_par::global().threads(),
+            dispatched_kernel: hire_tensor::simd::active_isa().label().to_string(),
+            hire_isa_env: std::env::var("HIRE_ISA").ok(),
         }
+    }
+
+    /// One-line host description for benchmark stderr banners — the single
+    /// shared formatting used by `compute_bench` and `serve_bench`.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} hardware thread(s), isa features {}, dispatched kernel {}{}, HIRE_THREADS={}, pool {} thread(s)",
+            self.logical_cores,
+            if self.isa_features.is_empty() {
+                "unknown".to_string()
+            } else {
+                self.isa_features.join("+")
+            },
+            self.dispatched_kernel,
+            match &self.hire_isa_env {
+                Some(v) => format!(" (HIRE_ISA={v})"),
+                None => String::new(),
+            },
+            self.hire_threads_env.as_deref().unwrap_or("unset"),
+            self.compute_pool_threads,
+        )
     }
 }
 
@@ -893,9 +923,21 @@ mod tests {
             !host.isa_features.is_empty(),
             "sse2/neon are baseline on these targets"
         );
+        assert!(
+            ["scalar", "sse2", "avx2", "avx512"].contains(&host.dispatched_kernel.as_str()),
+            "unknown dispatched kernel {:?}",
+            host.dispatched_kernel
+        );
+        if let Ok(isa) = std::env::var("HIRE_ISA") {
+            assert_eq!(host.hire_isa_env.as_deref(), Some(isa.as_str()));
+        }
+        let summary = host.summary();
+        assert!(summary.contains(&host.dispatched_kernel));
+        assert!(summary.contains("dispatched kernel"));
         let json = serde_json::to_string(&host).expect("serialize");
         assert!(json.contains("logical_cores"));
         assert!(json.contains("compute_pool_threads"));
+        assert!(json.contains("dispatched_kernel"));
     }
 
     #[test]

@@ -19,6 +19,9 @@
 //!   with dequantize-on-the-fly kernels in [`linalg`]
 //!   (`matmul2d_dequant`, `linear_nd_dequant`, `gather_rows_dequant`),
 //!   bit-exact across thread counts like the f32 kernels.
+//! - [`simd`] — runtime-dispatched vector micro-kernels
+//!   (scalar/sse2/avx2, `HIRE_ISA` override) behind the [`linalg`] hot
+//!   paths, with a per-ISA determinism contract (DESIGN.md §16).
 //!
 //! ```
 //! use hire_tensor::{NdArray, Tensor};
@@ -37,6 +40,7 @@ pub mod linalg;
 pub mod ndarray;
 pub mod quant;
 pub mod shape;
+pub mod simd;
 
 pub use autograd::Tensor;
 pub use ndarray::NdArray;

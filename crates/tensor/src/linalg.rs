@@ -7,17 +7,27 @@
 //! # Parallelism and determinism
 //!
 //! The hot kernels (matmul family, softmax, layer norm, reductions) run on
-//! the `hire-par` pool. Results are **bit-exact for every thread count**:
-//! parallelism only splits *independent output regions* (matrix rows,
-//! softmax rows, batch entries), and every reduction either stays inside one
-//! region (a single f32 accumulator walking `k` in ascending order — the
-//! same chain as the serial reference kernel) or combines fixed-size chunk
-//! partials in ascending chunk order via `parallel_map_chunks`, whose chunk
-//! grid depends only on the problem shape, never on the thread count.
+//! the `hire-par` pool and dispatch through [`crate::simd`] to the best
+//! instruction set the host supports (`scalar`/`sse2`/`avx2`, overridable
+//! via `HIRE_ISA`). Results are **bit-exact for every thread count on every
+//! ISA**: parallelism only splits *independent output regions* (matrix
+//! rows, softmax rows, batch entries), and every reduction either stays
+//! inside one region (a single register lane walking `k` in ascending
+//! order) or combines fixed-size chunk partials in ascending chunk order
+//! via `parallel_map_chunks`, whose chunk grid depends only on the problem
+//! shape, never on the thread count. Across ISAs, scalar and sse2 are
+//! bit-identical to [`matmul_reference`]; avx2 follows the documented
+//! relaxation in the [`crate::simd`] module docs (FMA chains, lane-parallel
+//! reductions — deterministic per ISA, oracle-bounded).
+//!
+//! Each hot kernel also has a public `*_with_isa` twin taking an explicit
+//! [`Isa`], so the cross-check tests and `compute_bench` can exercise every
+//! path in one process regardless of the process-global dispatch.
 
 use crate::ndarray::NdArray;
 use crate::quant::QuantizedTensor;
 use crate::shape::Shape;
+use crate::simd::{self, Isa};
 use hire_par::SendPtr;
 
 /// Element-wise binary op with numpy-style broadcasting.
@@ -116,6 +126,12 @@ pub fn reduce_to_shape(grad: &NdArray, target: &Shape) -> NdArray {
 
 /// 2-D matrix multiply: `[n,k] x [k,m] -> [n,m]`.
 pub fn matmul2d(a: &NdArray, b: &NdArray) -> NdArray {
+    matmul2d_with_isa(a, b, simd::active_isa())
+}
+
+/// [`matmul2d`] on an explicit ISA path (tests and benchmarks; `isa` must
+/// be available on this host).
+pub fn matmul2d_with_isa(a: &NdArray, b: &NdArray, isa: Isa) -> NdArray {
     assert_eq!(
         a.shape().rank(),
         2,
@@ -138,7 +154,7 @@ pub fn matmul2d(a: &NdArray, b: &NdArray) -> NdArray {
         b.shape()
     );
     let mut out = vec![0.0f32; n * m];
-    matmul_kernel(a.as_slice(), b.as_slice(), &mut out, n, k, m);
+    matmul_kernel_with_isa(a.as_slice(), b.as_slice(), &mut out, n, k, m, isa);
     NdArray::from_vec([n, m], out)
 }
 
@@ -146,16 +162,22 @@ pub fn matmul2d(a: &NdArray, b: &NdArray) -> NdArray {
 /// register tiles per task: small enough that HIM-sized products (a few
 /// dozen rows) split across every worker, large enough that a task's
 /// arithmetic dwarfs the queue handoff. Chunk boundaries never change
-/// per-row float chains, so this is a pure tuning knob.
+/// per-row float chains, so this is a pure tuning knob — except in
+/// [`matmul2d_tn`], whose `k`-partials fold per chunk, so its bits are
+/// pinned to this exact value.
 const ROW_BLOCK: usize = 8;
-/// Register tile: the micro-kernel keeps an `MR x NR` accumulator block of
-/// the output in locals across the whole `k` walk.
-const MR: usize = 4;
-const NR: usize = 8;
+/// Rows per parallel task in the *forward* blocked matmul. A multiple of
+/// every ISA's micro-kernel `MR` (scalar/sse2 4, avx2 6, avx512 8) so a
+/// task's band splits into full register tiles instead of ragged
+/// remainders. Each
+/// output row's accumulator chain lives entirely inside one task, so this
+/// too is a pure tuning knob that can never change bits.
+const MM_ROW_BLOCK: usize = 24;
 /// Below this many multiply-adds the packing/tiling overhead outweighs the
-/// win; the kernel falls through to the reference loop. Dispatch depends
-/// only on the problem shape, so it cannot perturb thread-count invariance
-/// (and both paths produce identical bits anyway — see below).
+/// win; the kernel falls through to the small-product path. Dispatch
+/// depends only on the problem shape, so it cannot perturb thread-count
+/// invariance, and each ISA's small path runs the identical per-element
+/// chain as its blocked path, so the threshold never changes bits either.
 const BLOCK_THRESHOLD: usize = 16 * 1024;
 
 /// Reference i-k-j loop: `out[n,m] += a[n,k] * b[k,m]`.
@@ -186,32 +208,51 @@ pub fn matmul_reference(a: &[f32], b: &[f32], out: &mut [f32], n: usize, k: usiz
 }
 
 /// `out[n,m] += a[n,k] * b[k,m]`, cache-blocked and parallel over row
+/// blocks, on the process-wide dispatched ISA.
+fn matmul_kernel(a: &[f32], b: &[f32], out: &mut [f32], n: usize, k: usize, m: usize) {
+    matmul_kernel_with_isa(a, b, out, n, k, m, simd::active_isa());
+}
+
+/// `out[n,m] += a[n,k] * b[k,m]`, cache-blocked and parallel over row
 /// blocks.
 ///
-/// `b` is packed once into zero-padded `NR`-wide column panels (k-major
-/// inside each panel, so the micro-kernel streams it contiguously), then
-/// row blocks of the output fan out across the pool. Each output element
-/// still accumulates through a single f32 register in ascending-`k` order —
-/// the identical floating-point chain to [`matmul_reference`], hence
-/// bit-identical results for any thread count and either dispatch path.
-fn matmul_kernel(a: &[f32], b: &[f32], out: &mut [f32], n: usize, k: usize, m: usize) {
+/// `b` is packed once into zero-padded `panel_width(isa)`-wide column
+/// panels (k-major inside each panel, so the micro-kernel streams it
+/// contiguously), then row blocks of the output fan out across the pool.
+/// Each output element still accumulates through a single register lane in
+/// ascending-`k` order — on scalar/sse2 the identical floating-point chain
+/// to [`matmul_reference`]; on avx2 the same chain with each step fused
+/// into an FMA (the relaxation documented in [`crate::simd`]). Results are
+/// bit-identical for any thread count and either size-dispatch path on a
+/// fixed ISA.
+fn matmul_kernel_with_isa(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    n: usize,
+    k: usize,
+    m: usize,
+    isa: Isa,
+) {
+    assert!(
+        isa.is_available(),
+        "ISA {} not available on this host",
+        isa.label()
+    );
     if n * k * m <= BLOCK_THRESHOLD {
-        return matmul_reference(a, b, out, n, k, m);
+        return simd::matmul_small(isa, a, b, out, n, k, m);
     }
-    let m_panels = m.div_ceil(NR);
-    let mut packed = vec![0.0f32; m_panels * k * NR];
-    for kk in 0..k {
-        let b_row = &b[kk * m..(kk + 1) * m];
-        for (j, &v) in b_row.iter().enumerate() {
-            packed[((j / NR) * k + kk) * NR + (j % NR)] = v;
-        }
-    }
+    let nr = simd::panel_width(isa);
+    let m_panels = m.div_ceil(nr);
+    let mut packed = vec![0.0f32; m_panels * k * nr];
+    simd::pack_b(&mut packed, b, k, m, nr);
     let out_ptr = SendPtr(out.as_mut_ptr());
-    hire_par::parallel_for(n, ROW_BLOCK, |rows| {
+    hire_par::parallel_for(n, MM_ROW_BLOCK, |rows| {
         // SAFETY: chunks partition 0..n, so each task writes a disjoint
         // band of output rows.
         let out_rows = unsafe { out_ptr.slice_mut(rows.start * m, rows.len() * m) };
-        matmul_block_rows(
+        simd::matmul_block_rows(
+            isa,
             &a[rows.start * k..rows.end * k],
             &packed,
             out_rows,
@@ -220,42 +261,6 @@ fn matmul_kernel(a: &[f32], b: &[f32], out: &mut [f32], n: usize, k: usize, m: u
             m,
         );
     });
-}
-
-/// Micro-kernel over one band of rows: `MR x NR` output tiles held in
-/// registers across the full `k` walk, fed from the packed `b` panels.
-fn matmul_block_rows(a: &[f32], packed: &[f32], out: &mut [f32], n: usize, k: usize, m: usize) {
-    let m_panels = m.div_ceil(NR);
-    let mut i0 = 0;
-    while i0 < n {
-        let rows = (n - i0).min(MR);
-        for jp in 0..m_panels {
-            let j0 = jp * NR;
-            let jw = (m - j0).min(NR);
-            let mut acc = [[0.0f32; NR]; MR];
-            // Seed from the current output (the kernel contract is `+=`),
-            // preserving the reference chain `((out + t0) + t1) + ...`.
-            for r in 0..rows {
-                acc[r][..jw].copy_from_slice(&out[(i0 + r) * m + j0..(i0 + r) * m + j0 + jw]);
-            }
-            let panel = &packed[jp * k * NR..(jp + 1) * k * NR];
-            for kk in 0..k {
-                let bp = &panel[kk * NR..kk * NR + NR];
-                for r in 0..rows {
-                    let a_ik = a[(i0 + r) * k + kk];
-                    for c in 0..NR {
-                        // Padded lanes (c >= jw) multiply against the
-                        // panel's zero fill and are never stored.
-                        acc[r][c] += a_ik * bp[c];
-                    }
-                }
-            }
-            for r in 0..rows {
-                out[(i0 + r) * m + j0..(i0 + r) * m + j0 + jw].copy_from_slice(&acc[r][..jw]);
-            }
-        }
-        i0 += rows;
-    }
 }
 
 /// `out[n,m] += a[n,k] * b[m,k]^T` over one band of rows: each output
@@ -622,6 +627,19 @@ fn row_grain(w: usize) -> usize {
 /// Numerically stable softmax along the last axis, parallel over rows
 /// (rows are independent, so any thread count produces identical bits).
 pub fn softmax_last(a: &NdArray) -> NdArray {
+    softmax_last_with_isa(a, simd::active_isa())
+}
+
+/// [`softmax_last`] on an explicit ISA path (tests and benchmarks; `isa`
+/// must be available on this host). The per-row traversal (max, exp +
+/// f64 sum, scale) lives in [`crate::simd`] so every ISA shares one
+/// structure and one set of edge-case tests.
+pub fn softmax_last_with_isa(a: &NdArray, isa: Isa) -> NdArray {
+    assert!(
+        isa.is_available(),
+        "ISA {} not available on this host",
+        isa.label()
+    );
     let rank = a.shape().rank();
     assert!(rank >= 1, "softmax needs rank >= 1");
     let w = a.dims()[rank - 1];
@@ -632,21 +650,7 @@ pub fn softmax_last(a: &NdArray) -> NdArray {
     hire_par::parallel_for(rows, row_grain(w), |rr| {
         // SAFETY: row chunks are disjoint.
         let chunk = unsafe { out_ptr.slice_mut(rr.start * w, rr.len() * w) };
-        for (ri, r) in rr.enumerate() {
-            let row = &src[r * w..(r + 1) * w];
-            let dst = &mut chunk[ri * w..(ri + 1) * w];
-            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-            let mut sum = 0.0f64;
-            for (d, &x) in dst.iter_mut().zip(row) {
-                let e = (x - max).exp();
-                *d = e;
-                sum += e as f64;
-            }
-            let inv = (1.0 / sum) as f32;
-            for d in dst.iter_mut() {
-                *d *= inv;
-            }
-        }
+        simd::softmax_rows(isa, &src[rr.start * w..rr.end * w], chunk, w);
     });
     NdArray::from_vec(a.shape().clone(), out)
 }
@@ -731,6 +735,23 @@ pub fn linear_nd(x: &NdArray, w: &NdArray) -> NdArray {
 /// are independent, so results are bit-identical to the tape path for any
 /// thread count.
 pub fn layer_norm_last_nd(x: &NdArray, gamma: &NdArray, beta: &NdArray, eps: f32) -> NdArray {
+    layer_norm_last_nd_with_isa(x, gamma, beta, eps, simd::active_isa())
+}
+
+/// [`layer_norm_last_nd`] on an explicit ISA path (tests and benchmarks;
+/// `isa` must be available on this host).
+pub fn layer_norm_last_nd_with_isa(
+    x: &NdArray,
+    gamma: &NdArray,
+    beta: &NdArray,
+    eps: f32,
+    isa: Isa,
+) -> NdArray {
+    assert!(
+        isa.is_available(),
+        "ISA {} not available on this host",
+        isa.label()
+    );
     let w = *x.dims().last().expect("layer_norm_last_nd needs rank >= 1");
     let rows = x.numel() / w.max(1);
     assert_eq!(gamma.dims(), &[w], "gamma must be [{w}]");
@@ -745,26 +766,12 @@ pub fn layer_norm_last_nd(x: &NdArray, gamma: &NdArray, beta: &NdArray, eps: f32
         let chunk = unsafe { y_ptr.slice_mut(rr.start * w, rr.len() * w) };
         for (ri, r) in rr.enumerate() {
             let row = &xs[r * w..(r + 1) * w];
-            let (mean, istd) = layer_norm_row_stats(row, eps);
+            let (mean, istd) = simd::layer_norm_row_stats(isa, row, eps);
             let dst = &mut chunk[ri * w..(ri + 1) * w];
-            for j in 0..w {
-                let xh = ((row[j] as f64 - mean) * istd) as f32;
-                dst[j] = xh * gs[j] + bs[j];
-            }
+            simd::layer_norm_normalize_row(isa, row, mean, istd, gs, bs, dst, None);
         }
     });
     NdArray::from_vec(x.shape().clone(), y)
-}
-
-/// Per-row mean and inverse standard deviation in f64 — the single
-/// canonical chain shared by the tape forward, the no-grad forward, and
-/// the backward.
-fn layer_norm_row_stats(row: &[f32], eps: f32) -> (f64, f64) {
-    let w = row.len();
-    let mean = row.iter().map(|&v| v as f64).sum::<f64>() / w as f64;
-    let var = row.iter().map(|&v| (v as f64 - mean).powi(2)).sum::<f64>() / w as f64;
-    let istd = 1.0 / (var + eps as f64).sqrt();
-    (mean, istd)
 }
 
 /// Forward pass of layer norm for the autograd tape: returns `(y, xhat,
@@ -777,6 +784,23 @@ pub fn layer_norm_forward_last(
     beta: &NdArray,
     eps: f32,
 ) -> (NdArray, NdArray, Vec<f32>) {
+    layer_norm_forward_last_with_isa(x, gamma, beta, eps, simd::active_isa())
+}
+
+/// [`layer_norm_forward_last`] on an explicit ISA path (tests and
+/// benchmarks; `isa` must be available on this host).
+pub fn layer_norm_forward_last_with_isa(
+    x: &NdArray,
+    gamma: &NdArray,
+    beta: &NdArray,
+    eps: f32,
+    isa: Isa,
+) -> (NdArray, NdArray, Vec<f32>) {
+    assert!(
+        isa.is_available(),
+        "ISA {} not available on this host",
+        isa.label()
+    );
     let w = *x.dims().last().expect("layer_norm needs rank >= 1");
     let rows = x.numel() / w.max(1);
     assert_eq!(gamma.dims(), &[w], "gamma must be [{w}]");
@@ -797,13 +821,18 @@ pub fn layer_norm_forward_last(
         let is_c = unsafe { is_ptr.slice_mut(rr.start, rr.len()) };
         for (ri, r) in rr.enumerate() {
             let row = &xs[r * w..(r + 1) * w];
-            let (mean, istd) = layer_norm_row_stats(row, eps);
+            let (mean, istd) = simd::layer_norm_row_stats(isa, row, eps);
             is_c[ri] = istd as f32;
-            for j in 0..w {
-                let xh = ((row[j] as f64 - mean) * istd) as f32;
-                xh_c[ri * w + j] = xh;
-                y_c[ri * w + j] = xh * gs[j] + bs[j];
-            }
+            simd::layer_norm_normalize_row(
+                isa,
+                row,
+                mean,
+                istd,
+                gs,
+                bs,
+                &mut y_c[ri * w..(ri + 1) * w],
+                Some(&mut xh_c[ri * w..(ri + 1) * w]),
+            );
         }
     });
     (
@@ -825,6 +854,23 @@ pub fn layer_norm_backward_last(
     gamma: &NdArray,
     g: &NdArray,
 ) -> (NdArray, NdArray, NdArray) {
+    layer_norm_backward_last_with_isa(xhat, inv_std, gamma, g, simd::active_isa())
+}
+
+/// [`layer_norm_backward_last`] on an explicit ISA path (tests and
+/// benchmarks; `isa` must be available on this host).
+pub fn layer_norm_backward_last_with_isa(
+    xhat: &NdArray,
+    inv_std: &[f32],
+    gamma: &NdArray,
+    g: &NdArray,
+    isa: Isa,
+) -> (NdArray, NdArray, NdArray) {
+    assert!(
+        isa.is_available(),
+        "ISA {} not available on this host",
+        isa.label()
+    );
     let w = *xhat
         .dims()
         .last()
@@ -842,23 +888,16 @@ pub fn layer_norm_backward_last(
         let mut dgamma = vec![0.0f32; w];
         let mut dbeta = vec![0.0f32; w];
         for (ri, r) in rr.enumerate() {
-            let mut sum_dy = 0.0f64;
-            let mut sum_dy_xhat = 0.0f64;
-            for j in 0..w {
-                let dy = gs[r * w + j] * gv[j];
-                sum_dy += dy as f64;
-                sum_dy_xhat += (dy * xh[r * w + j]) as f64;
-                dgamma[j] += gs[r * w + j] * xh[r * w + j];
-                dbeta[j] += gs[r * w + j];
-            }
-            let istd = inv_std[r];
-            for j in 0..w {
-                let dy = gs[r * w + j] * gv[j];
-                dx_c[ri * w + j] = istd
-                    * (dy
-                        - (sum_dy / w as f64) as f32
-                        - xh[r * w + j] * (sum_dy_xhat / w as f64) as f32);
-            }
+            simd::layer_norm_backward_row(
+                isa,
+                &xh[r * w..(r + 1) * w],
+                inv_std[r],
+                gv,
+                &gs[r * w..(r + 1) * w],
+                &mut dx_c[ri * w..(ri + 1) * w],
+                &mut dgamma,
+                &mut dbeta,
+            );
         }
         (dgamma, dbeta)
     });
@@ -884,19 +923,24 @@ const FLAT_GRAIN: usize = 4096;
 /// Writes are element-disjoint, so any thread count produces the same
 /// result.
 pub fn sanitize_non_finite(xs: &mut [f32]) -> usize {
+    sanitize_non_finite_with_isa(xs, simd::active_isa())
+}
+
+/// [`sanitize_non_finite`] on an explicit ISA path (tests and benchmarks;
+/// `isa` must be available on this host). Element-wise, so every ISA
+/// produces identical results.
+pub fn sanitize_non_finite_with_isa(xs: &mut [f32], isa: Isa) -> usize {
+    assert!(
+        isa.is_available(),
+        "ISA {} not available on this host",
+        isa.label()
+    );
     let ptr = SendPtr(xs.as_mut_ptr());
     let len = xs.len();
     hire_par::parallel_map_chunks(len, FLAT_GRAIN, |rr| {
         // SAFETY: element chunks are disjoint.
         let chunk = unsafe { ptr.slice_mut(rr.start, rr.len()) };
-        let mut bad = 0usize;
-        for x in chunk.iter_mut() {
-            if !x.is_finite() {
-                *x = 0.0;
-                bad += 1;
-            }
-        }
-        bad
+        simd::sanitize_chunk(isa, chunk)
     })
     .into_iter()
     .sum()
@@ -905,15 +949,20 @@ pub fn sanitize_non_finite(xs: &mut [f32]) -> usize {
 /// Sum of squares in f64 over fixed 4096-element chunks folded in ascending
 /// chunk order — the deterministic parallel norm used by gradient clipping.
 pub fn norm_sq_f64(xs: &[f32]) -> f64 {
-    hire_par::parallel_map_chunks(xs.len(), FLAT_GRAIN, |rr| {
-        let mut acc = 0.0f64;
-        for &x in &xs[rr] {
-            acc += (x as f64) * (x as f64);
-        }
-        acc
-    })
-    .into_iter()
-    .sum()
+    norm_sq_f64_with_isa(xs, simd::active_isa())
+}
+
+/// [`norm_sq_f64`] on an explicit ISA path (tests and benchmarks; `isa`
+/// must be available on this host).
+pub fn norm_sq_f64_with_isa(xs: &[f32], isa: Isa) -> f64 {
+    assert!(
+        isa.is_available(),
+        "ISA {} not available on this host",
+        isa.label()
+    );
+    hire_par::parallel_map_chunks(xs.len(), FLAT_GRAIN, |rr| simd::norm_sq_chunk(isa, &xs[rr]))
+        .into_iter()
+        .sum()
 }
 
 /// Gathers rows of a 2-D `table` `[v, f]` by `indices`, producing `[n, f]`.
@@ -956,6 +1005,19 @@ pub fn scatter_add_rows(rows: &NdArray, indices: &[usize], v: usize) -> NdArray 
 /// weight row is dequantized once per task (not once per element), so the
 /// decompression cost amortizes across the task's output rows.
 pub fn matmul2d_dequant(a: &NdArray, w: &QuantizedTensor) -> NdArray {
+    matmul2d_dequant_with_isa(a, w, simd::active_isa())
+}
+
+/// [`matmul2d_dequant`] on an explicit ISA path (tests and benchmarks;
+/// `isa` must be available on this host). The accumulation runs the matmul
+/// chain of `isa`, so the bit-identity with
+/// `matmul2d_with_isa(a, w.dequantize(), isa)` holds per ISA.
+pub fn matmul2d_dequant_with_isa(a: &NdArray, w: &QuantizedTensor, isa: Isa) -> NdArray {
+    assert!(
+        isa.is_available(),
+        "ISA {} not available on this host",
+        isa.label()
+    );
     assert_eq!(
         a.shape().rank(),
         2,
@@ -984,9 +1046,7 @@ pub fn matmul2d_dequant(a: &NdArray, w: &QuantizedTensor) -> NdArray {
             for (ri, r) in rows.clone().enumerate() {
                 let a_ik = a_s[r * k + kk];
                 let dst = &mut out_rows[ri * m..(ri + 1) * m];
-                for (o, &b_kj) in dst.iter_mut().zip(&w_row) {
-                    *o += a_ik * b_kj;
-                }
+                simd::dequant_axpy(isa, a_ik, &w_row, dst);
             }
         }
     });

@@ -152,9 +152,14 @@ impl QuantizedTensor {
         let base = row * w;
         match &self.repr {
             QuantRepr::Int8 { data, scale } => {
-                for (o, &q) in out.iter_mut().zip(&data[base..base + w]) {
-                    *o = q as f32 * scale;
-                }
+                // Widening int8 and one f32 multiply are exact per element
+                // on every ISA, so the dispatched path cannot change bits.
+                crate::simd::dequant_row_i8(
+                    crate::simd::active_isa(),
+                    &data[base..base + w],
+                    *scale,
+                    out,
+                );
             }
             QuantRepr::F16 { data } => {
                 for (o, &h) in out.iter_mut().zip(&data[base..base + w]) {

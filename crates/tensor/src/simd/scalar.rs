@@ -1,0 +1,171 @@
+//! Portable reference implementations of the dispatched kernels.
+//!
+//! These are the chains every other ISA is defined against: single f32
+//! accumulators walking `k` in ascending order for the matmul family,
+//! serial left-to-right f64 sums for the reductions. The sse2 path is
+//! bit-identical to everything here; the avx2 path relaxes the reduction
+//! order and fuses multiply-adds (see the module docs in `simd`).
+
+/// Register tile of the scalar micro-kernel: `MR x NR` accumulators held in
+/// locals across the whole `k` walk. `NR` matches `panel_width(Scalar)`.
+pub const MR: usize = 4;
+pub const NR: usize = 8;
+
+/// Micro-kernel over one band of rows fed from `NR`-wide packed panels:
+/// `out[n,m] += a[n,k] * panels`. Each output element accumulates through
+/// a single f32 in ascending-`k` order — the identical floating-point
+/// chain to `linalg::matmul_reference`, hence bit-identical results.
+pub fn matmul_block_rows(a: &[f32], packed: &[f32], out: &mut [f32], n: usize, k: usize, m: usize) {
+    let m_panels = m.div_ceil(NR);
+    let mut i0 = 0;
+    while i0 < n {
+        let rows = (n - i0).min(MR);
+        for jp in 0..m_panels {
+            let j0 = jp * NR;
+            let jw = (m - j0).min(NR);
+            let mut acc = [[0.0f32; NR]; MR];
+            // Seed from the current output (the kernel contract is `+=`),
+            // preserving the reference chain `((out + t0) + t1) + ...`.
+            for r in 0..rows {
+                acc[r][..jw].copy_from_slice(&out[(i0 + r) * m + j0..(i0 + r) * m + j0 + jw]);
+            }
+            let panel = &packed[jp * k * NR..(jp + 1) * k * NR];
+            for kk in 0..k {
+                let bp = &panel[kk * NR..kk * NR + NR];
+                for r in 0..rows {
+                    let a_ik = a[(i0 + r) * k + kk];
+                    for c in 0..NR {
+                        // Padded lanes (c >= jw) multiply against the
+                        // panel's zero fill and are never stored.
+                        acc[r][c] += a_ik * bp[c];
+                    }
+                }
+            }
+            for r in 0..rows {
+                out[(i0 + r) * m + j0..(i0 + r) * m + j0 + jw].copy_from_slice(&acc[r][..jw]);
+            }
+        }
+        i0 += rows;
+    }
+}
+
+/// Numerically stable softmax of one row — the shared traversal structure
+/// (max, exp+f64-sum, scale) every ISA implements. Hoisted out of
+/// `softmax_last`'s row loop so scalar and SIMD paths share one shape and
+/// one set of edge-case tests (empty and single-element rows included).
+pub fn softmax_row(row: &[f32], dst: &mut [f32]) {
+    debug_assert_eq!(row.len(), dst.len());
+    let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0f64;
+    for (d, &x) in dst.iter_mut().zip(row) {
+        let e = (x - max).exp();
+        *d = e;
+        sum += e as f64;
+    }
+    let inv = (1.0 / sum) as f32;
+    for d in dst.iter_mut() {
+        *d *= inv;
+    }
+}
+
+/// Per-row mean and inverse standard deviation in f64 — serial
+/// left-to-right sums, the canonical chain of the pre-SIMD kernels.
+pub fn layer_norm_row_stats(row: &[f32], eps: f32) -> (f64, f64) {
+    let w = row.len();
+    let mean = row.iter().map(|&v| v as f64).sum::<f64>() / w as f64;
+    let var = row.iter().map(|&v| (v as f64 - mean).powi(2)).sum::<f64>() / w as f64;
+    let istd = 1.0 / (var + eps as f64).sqrt();
+    (mean, istd)
+}
+
+/// Normalizes one row given its statistics; element-wise, so every ISA
+/// matches these bits when handed identical `(mean, istd)`.
+pub fn layer_norm_normalize_row(
+    row: &[f32],
+    mean: f64,
+    istd: f64,
+    gamma: &[f32],
+    beta: &[f32],
+    y: &mut [f32],
+    xhat_out: Option<&mut [f32]>,
+) {
+    match xhat_out {
+        Some(xhat) => {
+            for j in 0..row.len() {
+                let xh = ((row[j] as f64 - mean) * istd) as f32;
+                xhat[j] = xh;
+                y[j] = xh * gamma[j] + beta[j];
+            }
+        }
+        None => {
+            for j in 0..row.len() {
+                let xh = ((row[j] as f64 - mean) * istd) as f32;
+                y[j] = xh * gamma[j] + beta[j];
+            }
+        }
+    }
+}
+
+/// Layer-norm backward for one row: serial f64 row sums, element-wise
+/// `dx`, and `dgamma`/`dbeta` accumulation into the caller's partials.
+pub fn layer_norm_backward_row(
+    xhat: &[f32],
+    istd: f32,
+    gamma: &[f32],
+    g: &[f32],
+    dx: &mut [f32],
+    dgamma: &mut [f32],
+    dbeta: &mut [f32],
+) {
+    let w = xhat.len();
+    let mut sum_dy = 0.0f64;
+    let mut sum_dy_xhat = 0.0f64;
+    for j in 0..w {
+        let dy = g[j] * gamma[j];
+        sum_dy += dy as f64;
+        sum_dy_xhat += (dy * xhat[j]) as f64;
+        dgamma[j] += g[j] * xhat[j];
+        dbeta[j] += g[j];
+    }
+    let c1 = (sum_dy / w as f64) as f32;
+    let c2 = (sum_dy_xhat / w as f64) as f32;
+    for j in 0..w {
+        let dy = g[j] * gamma[j];
+        dx[j] = istd * (dy - c1 - xhat[j] * c2);
+    }
+}
+
+/// Zeroes NaN/±Inf entries, returning the count.
+pub fn sanitize_chunk(xs: &mut [f32]) -> usize {
+    let mut bad = 0usize;
+    for x in xs.iter_mut() {
+        if !x.is_finite() {
+            *x = 0.0;
+            bad += 1;
+        }
+    }
+    bad
+}
+
+/// Serial ascending f64 sum of squares.
+pub fn norm_sq_chunk(xs: &[f32]) -> f64 {
+    let mut acc = 0.0f64;
+    for &x in xs {
+        acc += (x as f64) * (x as f64);
+    }
+    acc
+}
+
+/// `dst[j] += a * w[j]`, mul-then-add per element.
+pub fn axpy(a: f32, w: &[f32], dst: &mut [f32]) {
+    for (o, &b) in dst.iter_mut().zip(w) {
+        *o += a * b;
+    }
+}
+
+/// `out[j] = q[j] as f32 * scale` — exact per element.
+pub fn dequant_row_i8(qs: &[i8], scale: f32, out: &mut [f32]) {
+    for (o, &q) in out.iter_mut().zip(qs) {
+        *o = q as f32 * scale;
+    }
+}

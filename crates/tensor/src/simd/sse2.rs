@@ -1,0 +1,91 @@
+//! SSE2 micro-kernels — 4 f32 lanes, **bit-identical to the scalar path**.
+//!
+//! Vector lanes here are always independent output elements, and every
+//! accumulation step is a multiply followed by an add (`_mm_mul_ps` then
+//! `_mm_add_ps`), each rounding exactly like the corresponding scalar f32
+//! op. The per-element chains are therefore the same as the scalar
+//! reference loops bit for bit; this path exists purely to issue four of
+//! those chains per instruction.
+//!
+//! SSE2 is part of the x86-64 baseline, so these functions need no
+//! `#[target_feature]` and are safe to call on any x86-64 host. The
+//! reductions that would need a horizontal fold to vectorize (softmax,
+//! layer-norm statistics, `norm_sq`) deliberately stay on the scalar
+//! implementations under SSE2 dispatch — a 4-lane fold would break the
+//! bit-compatibility that makes this tier a drop-in scalar replacement.
+
+use std::arch::x86_64::*;
+
+/// Register tile: 4 rows x 8 columns = eight XMM accumulators.
+pub const MR: usize = 4;
+pub const NR: usize = 8;
+
+/// Micro-kernel over one band of rows from `NR`-wide packed panels —
+/// the SSE2 twin of `scalar::matmul_block_rows` (same panel width, same
+/// chains, four lanes per instruction).
+pub fn matmul_block_rows(a: &[f32], packed: &[f32], out: &mut [f32], n: usize, k: usize, m: usize) {
+    let m_panels = m.div_ceil(NR);
+    let mut i0 = 0;
+    while i0 < n {
+        let rows = (n - i0).min(MR);
+        for jp in 0..m_panels {
+            let j0 = jp * NR;
+            let jw = (m - j0).min(NR);
+            let panel = &packed[jp * k * NR..(jp + 1) * k * NR];
+            // Stack tile seeded from the current output; padded lanes are
+            // zero and never stored back.
+            let mut tile = [[0.0f32; NR]; MR];
+            for r in 0..rows {
+                tile[r][..jw].copy_from_slice(&out[(i0 + r) * m + j0..(i0 + r) * m + j0 + jw]);
+            }
+            // SAFETY: SSE2 is unconditionally available on x86-64; all
+            // loads/stores go through {load,store}u on in-bounds slices.
+            unsafe {
+                let mut acc = [[_mm_setzero_ps(); 2]; MR];
+                for r in 0..rows {
+                    acc[r][0] = _mm_loadu_ps(tile[r].as_ptr());
+                    acc[r][1] = _mm_loadu_ps(tile[r].as_ptr().add(4));
+                }
+                for kk in 0..k {
+                    let bp = panel.as_ptr().add(kk * NR);
+                    let b0 = _mm_loadu_ps(bp);
+                    let b1 = _mm_loadu_ps(bp.add(4));
+                    for r in 0..rows {
+                        let av = _mm_set1_ps(a[(i0 + r) * k + kk]);
+                        acc[r][0] = _mm_add_ps(_mm_mul_ps(av, b0), acc[r][0]);
+                        acc[r][1] = _mm_add_ps(_mm_mul_ps(av, b1), acc[r][1]);
+                    }
+                }
+                for r in 0..rows {
+                    _mm_storeu_ps(tile[r].as_mut_ptr(), acc[r][0]);
+                    _mm_storeu_ps(tile[r].as_mut_ptr().add(4), acc[r][1]);
+                }
+            }
+            for r in 0..rows {
+                out[(i0 + r) * m + j0..(i0 + r) * m + j0 + jw].copy_from_slice(&tile[r][..jw]);
+            }
+        }
+        i0 += rows;
+    }
+}
+
+/// `dst[j] += a * w[j]` four lanes at a time; mul-then-add keeps the
+/// scalar rounding per element, the tail runs the scalar loop.
+pub fn axpy(a: f32, w: &[f32], dst: &mut [f32]) {
+    let len = dst.len().min(w.len());
+    let body = len - len % 4;
+    // SAFETY: SSE2 is baseline on x86-64; indices stay within `body`.
+    unsafe {
+        let av = _mm_set1_ps(a);
+        let mut j = 0;
+        while j < body {
+            let d = _mm_loadu_ps(dst.as_ptr().add(j));
+            let b = _mm_loadu_ps(w.as_ptr().add(j));
+            _mm_storeu_ps(dst.as_mut_ptr().add(j), _mm_add_ps(_mm_mul_ps(av, b), d));
+            j += 4;
+        }
+    }
+    for j in body..len {
+        dst[j] += a * w[j];
+    }
+}

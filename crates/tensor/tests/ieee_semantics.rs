@@ -65,19 +65,24 @@ fn zero_times_inf_is_nan_on_the_blocked_path() {
 #[test]
 fn both_paths_agree_bitwise_on_non_finite_inputs() {
     // The bit-exactness contract (DESIGN.md §11, rule 2) holds even
-    // when the accumulator chains pass through Inf and NaN: the blocked
-    // kernel walks the identical chain, so the produced bit patterns
-    // match the reference loop exactly.
+    // when the accumulator chains pass through Inf and NaN: on every
+    // available ISA the blocked kernel walks a chain whose invalid
+    // operations produce the same canonical quiet-NaN patterns as the
+    // reference loop (FMA follows the identical IEEE-754 invalid-operation
+    // rules as mul-then-add), so the produced bits match exactly.
     let n = BLOCKED_DIM;
     let (a, b) = poisoned_inputs(n, n, n);
-    let blocked = linalg::matmul2d(&a, &b);
     let mut reference = vec![0.0f32; n * n];
     linalg::matmul_reference(a.as_slice(), b.as_slice(), &mut reference, n, n, n);
-    for (i, (&got, &want)) in blocked.as_slice().iter().zip(&reference).enumerate() {
-        assert_eq!(
-            got.to_bits(),
-            want.to_bits(),
-            "element {i}: blocked {got} vs reference {want}"
-        );
+    for isa in hire_tensor::simd::Isa::available() {
+        let blocked = linalg::matmul2d_with_isa(&a, &b, isa);
+        for (i, (&got, &want)) in blocked.as_slice().iter().zip(&reference).enumerate() {
+            assert_eq!(
+                got.to_bits(),
+                want.to_bits(),
+                "{}: element {i}: blocked {got} vs reference {want}",
+                isa.label()
+            );
+        }
     }
 }

@@ -46,8 +46,13 @@ fn randn(dims: &[usize], seed: u64) -> NdArray {
 #[test]
 fn matmul2d_is_thread_invariant_and_matches_reference() {
     // Shapes straddle BLOCK_THRESHOLD so both the blocked path and the
-    // small-product reference path are exercised, plus ragged row counts
-    // that do not divide the block size.
+    // small-product path are exercised, plus ragged row counts that do not
+    // divide the block size. Thread invariance must hold bitwise on every
+    // dispatched ISA; agreement with `matmul_reference` is bitwise on
+    // scalar/sse2 and oracle-bounded on avx2 (whose FMA chain rounds less —
+    // see DESIGN.md §16; the per-ISA bound itself is pinned by
+    // tests/isa_dispatch.rs).
+    let bitwise_vs_reference = hire_tensor::simd::active_isa() < hire_tensor::simd::Isa::Avx2;
     for (n, k, m) in [(3, 5, 4), (33, 17, 9), (64, 40, 32), (129, 31, 33)] {
         let a = randn(&[n, k], 0xA0 + n as u64);
         let b = randn(&[k, m], 0xB0 + m as u64);
@@ -55,11 +60,19 @@ fn matmul2d_is_thread_invariant_and_matches_reference() {
         let mut reference = vec![0.0f32; n * m];
         linalg::matmul_reference(a.as_slice(), b.as_slice(), &mut reference, n, k, m);
         for (i, (x, y)) in out.as_slice().iter().zip(&reference).enumerate() {
-            assert_eq!(
-                x.to_bits(),
-                y.to_bits(),
-                "matmul2d {n}x{k}x{m}: element {i} deviates from reference"
-            );
+            if bitwise_vs_reference {
+                assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "matmul2d {n}x{k}x{m}: element {i} deviates from reference"
+                );
+            } else {
+                let tol = 1e-4 * (k as f32).sqrt() * y.abs().max(1.0);
+                assert!(
+                    (x - y).abs() <= tol,
+                    "matmul2d {n}x{k}x{m}: element {i} outside oracle bound ({x} vs {y})"
+                );
+            }
         }
     }
 }
